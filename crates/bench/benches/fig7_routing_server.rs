@@ -1,0 +1,136 @@
+//! Fig. 7a/7b (Criterion): routing-server request and update latency as
+//! a function of the number of configured routes.
+//!
+//! The paper's claim: "the delay is not dependent on the number of
+//! routes" because the store is a Patricia trie whose cost depends on
+//! key width, not entry count. We measure the real data structure at
+//! 10 / 100 / 1,000 / 10,000 / 100,000 routes; the report should show
+//! flat medians across the sweep.
+//!
+//! Run with: `cargo bench -p sda-bench --bench fig7_routing_server`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sda_lisp::MapServer;
+use sda_simnet::SimTime;
+use sda_types::{Eid, Rloc, VnId};
+use sda_wire::lisp::Message;
+use std::net::Ipv4Addr;
+
+fn vn() -> VnId {
+    VnId::new(100).unwrap()
+}
+
+/// Deterministic, distinct EIDs ("Each query requested or updated a
+/// different route, in order to avoid optimizations due to intermediate
+/// caches").
+fn eid(i: u32) -> Eid {
+    Eid::V4(Ipv4Addr::from(0x0A00_0000 | (i & 0x00FF_FFFF)))
+}
+
+fn preloaded_server(routes: u32) -> MapServer {
+    let mut s = MapServer::new(Rloc::for_router_index(65_000));
+    for i in 0..routes {
+        s.handle(
+            Message::MapRegister {
+                nonce: u64::from(i),
+                vn: vn(),
+                eid: eid(i),
+                rloc: Rloc::for_router_index((i % 200) as u16),
+                ttl_secs: 0,
+                want_notify: false,
+            },
+            SimTime::ZERO,
+        );
+    }
+    s
+}
+
+/// Fig. 7a: Map-Request service latency vs. configured routes.
+fn bench_requests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_map_request");
+    for routes in [10u32, 100, 1_000, 10_000, 100_000] {
+        let mut server = preloaded_server(routes);
+        let mut rng = SmallRng::seed_from_u64(7);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(routes), &routes, |b, _| {
+            b.iter(|| {
+                let i = rng.gen_range(0..routes);
+                let out = server.handle(
+                    Message::MapRequest {
+                        nonce: u64::from(i),
+                        smr: false,
+                        vn: vn(),
+                        eid: eid(i),
+                        itr_rloc: Rloc::for_router_index(3),
+                    },
+                    SimTime::ZERO,
+                );
+                criterion::black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7b: Map-Register (update) service latency vs. configured routes.
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_map_register");
+    for routes in [10u32, 100, 1_000, 10_000, 100_000] {
+        let mut server = preloaded_server(routes);
+        let mut rng = SmallRng::seed_from_u64(8);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(routes), &routes, |b, _| {
+            b.iter(|| {
+                let i = rng.gen_range(0..routes);
+                // Rotate the RLOC so every update really writes.
+                let out = server.handle(
+                    Message::MapRegister {
+                        nonce: u64::from(i),
+                        vn: vn(),
+                        eid: eid(i),
+                        rloc: Rloc::for_router_index(rng.gen_range(0..400)),
+                        ttl_secs: 0,
+                        want_notify: false,
+                    },
+                    SimTime::ZERO,
+                );
+                criterion::black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Underlying structure: raw Patricia-trie lookups, the paper's cited
+/// reason for the flatness.
+fn bench_trie_lookup(c: &mut Criterion) {
+    use sda_trie::EidTrie;
+    use sda_types::EidPrefix;
+    let mut group = c.benchmark_group("fig7_trie_lookup");
+    for routes in [10u32, 100, 1_000, 10_000, 100_000] {
+        let mut trie: EidTrie<u32> = EidTrie::new();
+        for i in 0..routes {
+            trie.insert(EidPrefix::host(eid(i)), i);
+        }
+        let mut rng = SmallRng::seed_from_u64(9);
+        group.bench_with_input(BenchmarkId::from_parameter(routes), &routes, |b, _| {
+            b.iter(|| {
+                let i = rng.gen_range(0..routes);
+                criterion::black_box(trie.lookup(&eid(i)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(60)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_requests, bench_updates, bench_trie_lookup
+}
+criterion_main!(benches);

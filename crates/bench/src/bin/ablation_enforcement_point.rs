@@ -1,0 +1,140 @@
+//! §5.3 ablation — policy enforcement point: **egress** (SDA's choice)
+//! vs. **ingress**.
+//!
+//! The trade-off the paper describes: ingress saves the bandwidth of
+//! traffic that will be dropped, but needs rules for *all possible
+//! destination groups* at every edge (and a way to learn destination
+//! groups); egress needs only the rules toward locally attached groups
+//! and keeps the `(Overlay IP, GroupId)` binding fresh for free.
+//!
+//! We run the identical workload twice and compare: ACL state per edge,
+//! overlay bytes spent on eventually-dropped traffic, and where drops
+//! happen.
+//!
+//! Run with: `cargo run --release -p sda-bench --bin ablation_enforcement_point`
+
+use sda_core::controller::FabricBuilder;
+use sda_core::EnforcementPoint;
+use sda_simnet::{SimDuration, SimTime};
+use sda_types::{Eid, GroupId, Ipv4Prefix, PortId};
+use std::net::Ipv4Addr;
+
+struct Outcome {
+    rules_per_edge: f64,
+    overlay_bytes: u64,
+    egress_drops: u64,
+    ingress_drops: u64,
+}
+
+fn run(enforcement: EnforcementPoint) -> Outcome {
+    let mut b = FabricBuilder::new(33);
+    b.config_mut().enforcement = enforcement;
+    let vn = b.add_vn(1, Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap());
+
+    // 12 groups; clients (group 1) may reach only even server groups.
+    let client = GroupId(1);
+    for g in 2..=12 {
+        if g % 2 == 0 {
+            b.allow(vn, client, GroupId(g));
+        } else {
+            b.deny(vn, client, GroupId(g));
+        }
+    }
+
+    let n_edges = 6;
+    let edges: Vec<_> = (0..n_edges).map(|i| b.add_edge(format!("e{i}"))).collect();
+    b.add_border("border", vec![]);
+
+    // One client per edge; one server of each group spread round-robin.
+    let clients: Vec<_> = (0..n_edges).map(|_| b.mint_endpoint(vn, client)).collect();
+    let servers: Vec<_> = (2..=12)
+        .map(|g| (g, b.mint_endpoint(vn, GroupId(g))))
+        .collect();
+
+    let mut f = b.build();
+    for (i, c) in clients.iter().enumerate() {
+        f.attach_at(SimTime::ZERO, edges[i], *c, PortId(1));
+    }
+    for (j, (_, s)) in servers.iter().enumerate() {
+        f.attach_at(SimTime::ZERO, edges[j % n_edges], *s, PortId(2));
+    }
+    f.run_until(SimTime::ZERO + SimDuration::from_millis(100));
+
+    // Every client sends 20 packets to every server (half will be
+    // denied). Two rounds so caches are warm for the second.
+    let mut t = SimTime::ZERO + SimDuration::from_millis(200);
+    for round in 0..20 {
+        for (i, c) in clients.iter().enumerate() {
+            for (g, s) in &servers {
+                f.send_at(t, edges[i], c.mac, Eid::V4(s.ipv4), 1000, (round * 100 + g) as u64, false);
+                t += SimDuration::from_micros(200);
+            }
+        }
+    }
+    f.run_until(t + SimDuration::from_secs(1));
+
+    let mut rules = 0usize;
+    let mut egress_drops = 0u64;
+    let mut ingress_drops = 0u64;
+    for (i, e) in edges.iter().enumerate() {
+        let edge = f.edge(*e);
+        rules += edge.acl().len();
+        // In ingress mode drops register at the sender; in egress mode
+        // at the destination. policy_drops counts both; attribute by
+        // which pipeline could have dropped: clients only exist one per
+        // edge, so sender-side drops = drops on edges whose *client*
+        // initiated them. Simplest faithful split: ask the stats.
+        let s = edge.stats();
+        let _ = i;
+        match enforcement {
+            EnforcementPoint::Egress => egress_drops += s.policy_drops,
+            EnforcementPoint::Ingress => ingress_drops += s.policy_drops,
+        }
+    }
+    Outcome {
+        rules_per_edge: rules as f64 / n_edges as f64,
+        overlay_bytes: f.metrics().counter("fabric.overlay_bytes"),
+        egress_drops,
+        ingress_drops,
+    }
+}
+
+fn main() {
+    println!("§5.3 ablation — enforcement point: bandwidth vs state\n");
+    let egress = run(EnforcementPoint::Egress);
+    let ingress = run(EnforcementPoint::Ingress);
+
+    println!("                        │   egress │  ingress");
+    println!("────────────────────────┼──────────┼─────────");
+    println!(
+        " ACL rules per edge     │ {:>8.1} │ {:>8.1}",
+        egress.rules_per_edge, ingress.rules_per_edge
+    );
+    println!(
+        " overlay bytes carried  │ {:>8} │ {:>8}",
+        egress.overlay_bytes, ingress.overlay_bytes
+    );
+    println!(
+        " drops at destination   │ {:>8} │ {:>8}",
+        egress.egress_drops, 0
+    );
+    println!(
+        " drops at source        │ {:>8} │ {:>8}",
+        0, ingress.ingress_drops
+    );
+    let wasted = egress.overlay_bytes.saturating_sub(ingress.overlay_bytes);
+    println!(
+        "\nbandwidth egress wastes on doomed traffic: {wasted} bytes \
+         ({:.0}% of egress-mode overlay bytes)",
+        wasted as f64 / egress.overlay_bytes.max(1) as f64 * 100.0
+    );
+    println!(
+        "state ingress pays for it: {:.1}× the per-edge rules",
+        ingress.rules_per_edge / egress.rules_per_edge.max(0.1)
+    );
+    println!("\npaper: SDA chooses egress — the measured waste is ≤0.2‰ in");
+    println!("production (Fig. 12) while the state saving is structural.");
+
+    assert!(ingress.rules_per_edge > egress.rules_per_edge);
+    assert!(egress.overlay_bytes > ingress.overlay_bytes);
+}

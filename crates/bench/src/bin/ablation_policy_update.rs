@@ -1,0 +1,85 @@
+//! §5.4 ablation — policy-update strategies: move endpoints between
+//! groups vs. rewrite group ACLs.
+//!
+//! The paper: "it can be more scalable moving users to different groups
+//! rather than directly updating the group-based ACLs … it is not
+//! always the case" — it depends on the endpoint-per-group vs
+//! rules-touched distribution. This harness sweeps both axes and prints
+//! the crossover.
+//!
+//! Run with: `cargo run -p sda-bench --bin ablation_policy_update`
+
+use sda_policy::{Population, UpdatePlan, UpdateStrategy};
+use sda_types::{GroupId, RouterId, VnId};
+
+fn vn() -> VnId {
+    VnId::new(1).unwrap()
+}
+
+fn main() {
+    println!("§5.4 ablation — signaling cost of the two update strategies\n");
+
+    // Sweep: group size (endpoints to move) × rules touched, with the
+    // group spread over 20 edges.
+    let edges = 20u32;
+    println!("signaling messages (move-endpoints / rewrite-rules), group on {edges} edges:");
+    println!("
+ endpoints\\rules │      5 │     20 │     80 │    320");
+    println!("─────────────────┼────────┼────────┼────────┼───────");
+    for group_size in [10u32, 100, 1_000, 10_000] {
+        let mut pop = Population::new();
+        for e in 0..edges {
+            let n = group_size / edges + u32::from(e < group_size % edges);
+            if n > 0 {
+                pop.add(RouterId(e), vn(), GroupId(1), n);
+            }
+        }
+        let mut row = format!(" {group_size:>15} │");
+        for rules in [5u32, 20, 80, 320] {
+            let plan = UpdatePlan::acquisition(vn(), GroupId(1), GroupId(2), rules);
+            let mv = plan.signaling_messages(UpdateStrategy::MoveEndpoints, &pop);
+            let rw = plan.signaling_messages(UpdateStrategy::RewriteRules, &pop);
+            let marker = if plan.cheaper_strategy(&pop) == UpdateStrategy::MoveEndpoints {
+                "M"
+            } else {
+                "R"
+            };
+            row.push_str(&format!(" {mv:>3}/{rw:<3}{marker}│"));
+        }
+        println!("{row}");
+    }
+    println!("\n(M = moving endpoints cheaper, R = rewriting rules cheaper)");
+
+    // The paper's two playbooks.
+    println!("\nacquisition playbook: 500 new staff on 5 edges, 12 rules touched");
+    let mut pop = Population::new();
+    for e in 0..5 {
+        pop.add(RouterId(e), vn(), GroupId(7), 100);
+    }
+    let plan = UpdatePlan::acquisition(vn(), GroupId(7), GroupId(1), 12);
+    println!(
+        "  move-endpoints: {} msgs   rewrite-rules: {} msgs  → {:?}",
+        plan.signaling_messages(UpdateStrategy::MoveEndpoints, &pop),
+        plan.signaling_messages(UpdateStrategy::RewriteRules, &pop),
+        plan.cheaper_strategy(&pop)
+    );
+
+    println!("\nservice-insertion playbook: retag 30 middlebox-bound endpoints");
+    println!("instead of installing per-hop policies on 50 path edges:");
+    let mut pop = Population::new();
+    pop.add(RouterId(1), vn(), GroupId(9), 30);
+    for e in 0..50 {
+        pop.add(RouterId(e), vn(), GroupId(10), 1);
+    }
+    let plan = UpdatePlan {
+        vn: vn(),
+        moved_groups: (GroupId(9), GroupId(10)),
+        rewritten_rows: vec![(GroupId(10), 4)],
+    };
+    println!(
+        "  move (retag): {} msgs   rewrite per-hop: {} msgs  → {:?}",
+        plan.signaling_messages(UpdateStrategy::MoveEndpoints, &pop),
+        plan.signaling_messages(UpdateStrategy::RewriteRules, &pop),
+        plan.cheaper_strategy(&pop)
+    );
+}

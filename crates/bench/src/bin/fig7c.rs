@@ -1,0 +1,62 @@
+//! Fig. 7c — route-request delay vs. **queries per second**.
+//!
+//! The paper sweeps 500/1000/1500/2000 q/s against the same server and
+//! observes growing-but-tolerable delay: queueing, not lookup cost.
+//! The harness also reproduces the §4.1 capacity check: at the
+//! warehouse's 1600 q/s (800 moves × 2 queries each) the server keeps
+//! up.
+//!
+//! Run with: `cargo run --release -p sda-bench --bin fig7c`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sda_bench::{fifo_sojourns, print_boxplot_row};
+use sda_lisp::REQUEST_SERVICE;
+use sda_simnet::{SimTime, Summary};
+use sda_workloads::PoissonArrivals;
+
+fn jitter(rng: &mut SmallRng) -> f64 {
+    use rand::Rng;
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    1.0 + ((-u.ln()) * 0.18).min(2.0)
+}
+
+fn run(rate: f64, seed: u64) -> Vec<f64> {
+    let mut arrivals = PoissonArrivals::new(rate, SimTime::ZERO, seed);
+    let times: Vec<f64> = (0..20_000).map(|_| arrivals.next_arrival().as_secs_f64()).collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0DE);
+    let base = REQUEST_SERVICE.as_secs_f64();
+    fifo_sojourns(&times, || base * jitter(&mut rng))
+}
+
+fn main() {
+    println!("Fig. 7c — route-request delay vs offered load (10k routes)");
+    println!("values relative to the minimum of all samples\n");
+
+    let runs: Vec<(u32, Vec<f64>)> = [500u32, 1_000, 1_500, 2_000]
+        .iter()
+        .map(|&r| (r, run(f64::from(r), u64::from(r))))
+        .collect();
+    let baseline = runs
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::INFINITY, f64::min);
+
+    println!(" queries/s │  relative delay (boxplot)");
+    println!("───────────┼─────────────────────────────────────────────────");
+    for (rate, samples) in &runs {
+        let s = Summary::of(samples).unwrap();
+        print_boxplot_row(&rate.to_string(), &s, baseline);
+    }
+
+    // §4.1: the warehouse needs 800 moves/s × 2 queries = 1600 q/s.
+    let wh = run(1_600.0, 99);
+    let s = Summary::of(&wh).unwrap();
+    println!("\n§4.1 capacity check at 1600 q/s (warehouse requirement):");
+    print_boxplot_row("1600", &s, baseline);
+    assert!(
+        s.p95 / baseline < 10.0,
+        "server must keep up at the warehouse load"
+    );
+    println!("\npaper: median grows ≈1.1→2.25× from 500→2000 q/s; 1600 q/s is sustainable");
+}

@@ -1,0 +1,148 @@
+//! # sda-bench
+//!
+//! The experiment harness: one target per table/figure of the paper's
+//! evaluation (see DESIGN.md §4 for the full index).
+//!
+//! * Criterion micro-benchmarks (`benches/`):
+//!   - `fig7_routing_server` — Fig. 7a/7b: map-server request/update
+//!     latency vs. stored-route count (flat, Patricia property).
+//! * Figure/table harness binaries (`src/bin/`):
+//!   - `fig7a`, `fig7b` — boxplot rows from the simulated server.
+//!   - `fig7c` — delay vs. offered load (queueing).
+//!   - `fig9_fib_timeseries` — border vs. edge FIB over weeks.
+//!   - `table3_scenarios` — deployment inventory.
+//!   - `table5_fib_average` — 5-week FIB averages, day/night split.
+//!   - `fig11_handover_cdf` — reactive vs. proactive handover CDF.
+//!   - `fig12_drop_permille` — egress drop rates across profiles.
+//!   - `ablation_*` — §5.3/§5.4/§3.2.2/§4.1 design-choice studies.
+//!
+//! This library hosts shared output helpers so every binary prints the
+//! same table/CSV shapes.
+
+use sda_simnet::Summary;
+
+/// Prints a boxplot summary row in the Fig. 7 style: values relative to
+/// a `baseline` (e.g. the minimum of the 1-route configuration).
+pub fn print_boxplot_row(label: &str, summary: &Summary, baseline: f64) {
+    println!(
+        "{label:>10} │ p05 {:>6.2} │ p25 {:>6.2} │ median {:>6.2} │ p75 {:>6.2} │ p95 {:>6.2} │ n={}",
+        summary.p05 / baseline,
+        summary.p25 / baseline,
+        summary.p50 / baseline,
+        summary.p75 / baseline,
+        summary.p95 / baseline,
+        summary.count,
+    );
+}
+
+/// Prints a two-series CDF table (the Fig. 11 shape), relative to `unit`.
+pub fn print_cdf_pair(
+    a_name: &str,
+    a: &[f64],
+    b_name: &str,
+    b: &[f64],
+    unit: f64,
+    points: usize,
+) {
+    println!(" frac │ {a_name:>8} │ {b_name:>8}");
+    println!("──────┼──────────┼─────────");
+    let ca = Summary::cdf(a, points);
+    let cb = Summary::cdf(b, points);
+    for (pa, pb) in ca.iter().zip(cb.iter()) {
+        println!(
+            " {:>4.2} │ {:>8.2} │ {:>8.2}",
+            pa.1,
+            pa.0 / unit,
+            pb.0 / unit
+        );
+    }
+}
+
+/// Formats a mean with the day/night split used by Table 5.
+pub struct DayNight {
+    /// Mean over all samples.
+    pub all: f64,
+    /// Mean over working hours (9:00–19:00, paper's definition).
+    pub day: f64,
+    /// Mean over the rest.
+    pub night: f64,
+}
+
+/// Splits an hourly series into Table 5's all/day/night means.
+/// `hour_of(t)` maps a sample time to the hour-of-day.
+pub fn day_night_split(series: &[(f64, f64)]) -> Option<DayNight> {
+    if series.is_empty() {
+        return None;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let all: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+    let day: Vec<f64> = series
+        .iter()
+        .filter(|(h, _)| (9.0..19.0).contains(&(h % 24.0)))
+        .map(|(_, v)| *v)
+        .collect();
+    let night: Vec<f64> = series
+        .iter()
+        .filter(|(h, _)| !(9.0..19.0).contains(&(h % 24.0)))
+        .map(|(_, v)| *v)
+        .collect();
+    Some(DayNight {
+        all: mean(&all),
+        day: if day.is_empty() { 0.0 } else { mean(&day) },
+        night: if night.is_empty() { 0.0 } else { mean(&night) },
+    })
+}
+
+/// Simulates a single-server FIFO queue: for each arrival instant
+/// (seconds), draws a service time and returns the sojourn time
+/// (wait + service). This is exactly how the simulator's per-node
+/// control CPU behaves; the standalone form lets the Fig. 7 harnesses
+/// sweep offered load without building a whole fabric.
+pub fn fifo_sojourns(arrivals: &[f64], mut service: impl FnMut() -> f64) -> Vec<f64> {
+    let mut free_at = 0.0f64;
+    arrivals
+        .iter()
+        .map(|&t| {
+            let start = free_at.max(t);
+            let s = service();
+            free_at = start + s;
+            free_at - t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_sojourn_accounts_waiting() {
+        // Three arrivals at t=0, fixed 1s service: sojourns 1, 2, 3.
+        let s = fifo_sojourns(&[0.0, 0.0, 0.0], || 1.0);
+        assert_eq!(s, vec![1.0, 2.0, 3.0]);
+        // Spaced-out arrivals never wait.
+        let s = fifo_sojourns(&[0.0, 10.0, 20.0], || 1.0);
+        assert_eq!(s, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn day_night_split_respects_hours() {
+        // Value 100 during 9–19, 10 otherwise.
+        let series: Vec<(f64, f64)> = (0..48)
+            .map(|h| {
+                let hour = h as f64;
+                let v = if (9.0..19.0).contains(&(hour % 24.0)) { 100.0 } else { 10.0 };
+                (hour, v)
+            })
+            .collect();
+        let dn = day_night_split(&series).unwrap();
+        assert_eq!(dn.day, 100.0);
+        assert_eq!(dn.night, 10.0);
+        assert!(dn.all > 10.0 && dn.all < 100.0);
+    }
+
+    #[test]
+    fn empty_series_yields_none() {
+        assert!(day_night_split(&[]).is_none());
+    }
+}

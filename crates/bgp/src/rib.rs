@@ -1,0 +1,93 @@
+//! The routing information base each BGP edge holds: every host route
+//! in the network (the proactive cost Fig. 9 quantifies against).
+
+use std::collections::BTreeMap;
+
+use sda_types::{Eid, Rloc};
+
+/// A full host-route table: EID → serving edge.
+#[derive(Default, Debug, Clone)]
+pub struct Rib {
+    routes: BTreeMap<Eid, (Rloc, u64)>,
+}
+
+impl Rib {
+    /// Empty RIB.
+    pub fn new() -> Self {
+        Rib::default()
+    }
+
+    /// Installs `eid → rloc` if `seq` is newer than the stored route.
+    /// Returns true when the route changed (stale reordered updates are
+    /// ignored — BGP's path-selection recency, collapsed to a sequence).
+    pub fn install(&mut self, eid: Eid, rloc: Rloc, seq: u64) -> bool {
+        match self.routes.get(&eid) {
+            Some((_, cur)) if *cur >= seq => false,
+            _ => {
+                self.routes.insert(eid, (rloc, seq));
+                true
+            }
+        }
+    }
+
+    /// Removes the route for `eid`.
+    pub fn withdraw(&mut self, eid: Eid) -> bool {
+        self.routes.remove(&eid).is_some()
+    }
+
+    /// Next hop for `eid`.
+    pub fn lookup(&self, eid: Eid) -> Option<Rloc> {
+        self.routes.get(&eid).map(|(r, _)| *r)
+    }
+
+    /// Number of installed routes — every edge carries all of them,
+    /// which is exactly the state the reactive design avoids.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn eid(n: u8) -> Eid {
+        Eid::V4(Ipv4Addr::new(10, 0, 0, n))
+    }
+
+    #[test]
+    fn install_lookup_withdraw() {
+        let mut rib = Rib::new();
+        assert!(rib.install(eid(1), Rloc::for_router_index(1), 1));
+        assert_eq!(rib.lookup(eid(1)), Some(Rloc::for_router_index(1)));
+        assert!(rib.withdraw(eid(1)));
+        assert!(!rib.withdraw(eid(1)));
+        assert!(rib.lookup(eid(1)).is_none());
+    }
+
+    #[test]
+    fn stale_updates_ignored() {
+        let mut rib = Rib::new();
+        rib.install(eid(1), Rloc::for_router_index(1), 5);
+        assert!(!rib.install(eid(1), Rloc::for_router_index(2), 4), "older seq");
+        assert!(!rib.install(eid(1), Rloc::for_router_index(2), 5), "same seq");
+        assert_eq!(rib.lookup(eid(1)), Some(Rloc::for_router_index(1)));
+        assert!(rib.install(eid(1), Rloc::for_router_index(2), 6));
+        assert_eq!(rib.lookup(eid(1)), Some(Rloc::for_router_index(2)));
+    }
+
+    #[test]
+    fn len_counts_routes() {
+        let mut rib = Rib::new();
+        for i in 0..10 {
+            rib.install(eid(i), Rloc::for_router_index(1), 1);
+        }
+        assert_eq!(rib.len(), 10);
+    }
+}

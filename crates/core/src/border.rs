@@ -1,0 +1,296 @@
+//! The border router (§3.3 "Border Routers").
+//!
+//! Same functions as an edge, with two differences:
+//!
+//! 1. Its overlay table is **synchronized** with the routing server via
+//!    pub/sub instead of populated reactively — so it can absorb the
+//!    default-routed traffic edges send while their resolutions are in
+//!    flight.
+//! 2. It holds routes to external networks (Internet, datacenter).
+//!
+//! It is also provisioned with a beefier control CPU in the scenarios
+//! ("the border router is usually more powerful than edge routers").
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use sda_simnet::{Context, Node, NodeId, SimTime};
+use sda_types::{Eid, EidPrefix, Ipv4Prefix, Rloc, VnId};
+use sda_wire::lisp::Message as Lisp;
+
+use crate::acl::GroupAcl;
+use crate::msg::{FabricMsg, OverlayPacket, PolicyMsg};
+use crate::pipeline::{self, EgressAction};
+use crate::servers::Directory;
+use crate::vrf::VrfTable;
+
+/// Timer token for the subscription kick.
+const TIMER_SUBSCRIBE: u64 = 0;
+/// Timer token for FIB sampling.
+const TIMER_FIB_SAMPLE: u64 = 2;
+
+/// Border counters for scenario assertions.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct BorderStats {
+    /// Packets relayed into the fabric from the synced table.
+    pub relayed: u64,
+    /// Packets delivered to external networks.
+    pub external: u64,
+    /// Packets dropped: destination unknown everywhere.
+    pub unroutable: u64,
+    /// Packets delivered to endpoints attached directly to the border.
+    pub delivered: u64,
+    /// Policy drops at the border's egress ACL.
+    pub policy_drops: u64,
+    /// Publishes applied from the routing server.
+    pub publishes_applied: u64,
+}
+
+/// The border router node.
+pub struct BorderRouter {
+    name: String,
+    rloc: Rloc,
+    dir: Rc<Directory>,
+    /// Pub/sub-synchronized full overlay table: (vn, host EID) → RLOC.
+    synced: BTreeMap<(VnId, Eid), Rloc>,
+    /// Directly attached endpoints (warehouse sinks, servers).
+    vrf: VrfTable,
+    acl: GroupAcl,
+    /// External prefixes (Internet/DC) reachable through this border.
+    external: Vec<Ipv4Prefix>,
+    stats: BorderStats,
+}
+
+impl BorderRouter {
+    /// Creates a border router serving `rloc`.
+    pub fn new(name: impl Into<String>, rloc: Rloc, dir: Rc<Directory>) -> Self {
+        BorderRouter {
+            name: name.into(),
+            rloc,
+            dir,
+            synced: BTreeMap::new(),
+            vrf: VrfTable::new(),
+            acl: GroupAcl::new(),
+            external: Vec::new(),
+            stats: BorderStats::default(),
+        }
+    }
+
+    /// Adds an external route (e.g. `0.0.0.0/0` for the Internet).
+    pub fn add_external(&mut self, prefix: Ipv4Prefix) {
+        self.external.push(prefix);
+    }
+
+    /// This border's locator.
+    pub fn rloc(&self) -> Rloc {
+        self.rloc
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> BorderStats {
+        self.stats
+    }
+
+    /// Synced overlay FIB size (all families).
+    pub fn fib_len(&self) -> usize {
+        self.synced.len()
+    }
+
+    /// IPv4 mappings only — the Fig. 9 border series.
+    pub fn fib_len_v4(&self) -> usize {
+        self.synced
+            .keys()
+            .filter(|(_, eid)| matches!(eid, Eid::V4(_)))
+            .count()
+    }
+
+    /// Mutable VRF access for scenario setup (border-attached sinks are
+    /// onboarded by the controller directly — they are infrastructure,
+    /// not roaming endpoints).
+    pub fn vrf_mut(&mut self) -> &mut VrfTable {
+        &mut self.vrf
+    }
+
+    /// Mutable ACL access for scenario setup.
+    pub fn acl_mut(&mut self) -> &mut GroupAcl {
+        &mut self.acl
+    }
+
+    fn external_match(&self, eid: Eid) -> bool {
+        match eid {
+            Eid::V4(a) => self.external.iter().any(|p| p.contains(a)),
+            _ => false,
+        }
+    }
+
+    fn handle_data(&mut self, ctx: &mut Context<'_, FabricMsg>, pkt: OverlayPacket) {
+        // Directly attached endpoints first (the warehouse traffic sink).
+        match pipeline::egress(
+            &self.vrf,
+            &mut self.acl,
+            &pkt,
+            self.dir.params.enforcement_for_egress(),
+            self.dir.params.default_action,
+        ) {
+            EgressAction::Deliver { .. } => {
+                self.stats.delivered += 1;
+                ctx.metrics().incr("fabric.delivered");
+                if pkt.inner.track {
+                    let name = format!("deliver.{}", pkt.inner.dst);
+                    let now = ctx.now();
+                    ctx.metrics().record(&name, now, pkt.inner.flow as f64);
+                }
+                return;
+            }
+            EgressAction::DropPolicy => {
+                self.stats.policy_drops += 1;
+                ctx.metrics().incr(&format!("acl.drops.{}", self.name));
+                return;
+            }
+            EgressAction::NotLocal => {}
+        }
+
+        if pkt.hops_left == 0 {
+            ctx.metrics().incr("fabric.hop_exhausted");
+            return;
+        }
+
+        // Synced table: relay into the fabric.
+        if let Some(rloc) = self.synced.get(&(pkt.vn, pkt.inner.dst)).copied() {
+            if rloc != self.rloc {
+                self.stats.relayed += 1;
+                let mut fwd = pkt;
+                fwd.hops_left -= 1;
+                let node = self.dir.node_of(rloc);
+                ctx.send(node, FabricMsg::Data(fwd));
+                return;
+            }
+        }
+
+        // External routes.
+        if self.external_match(pkt.inner.dst) {
+            self.stats.external += 1;
+            ctx.metrics().incr("fabric.external_delivered");
+            return;
+        }
+
+        self.stats.unroutable += 1;
+        ctx.metrics().incr("fabric.unroutable");
+    }
+
+    fn handle_control(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: Lisp, _now: SimTime) {
+        match msg {
+            Lisp::Publish { vn, prefix, rloc, withdraw, .. } => {
+                let Some(eid) = host_eid(&prefix) else {
+                    return;
+                };
+                self.stats.publishes_applied += 1;
+                if withdraw {
+                    self.synced.remove(&(vn, eid));
+                } else {
+                    self.synced.insert((vn, eid), rloc);
+                }
+                ctx.metrics().incr("border.publishes");
+            }
+            Lisp::MapNotify { .. } => {}
+            other => {
+                debug_assert!(false, "border received unexpected control {other:?}");
+            }
+        }
+    }
+}
+
+/// Host EID of a full-length prefix.
+fn host_eid(prefix: &EidPrefix) -> Option<Eid> {
+    match prefix {
+        EidPrefix::V4(p) if p.len() == 32 => Some(Eid::V4(p.addr())),
+        EidPrefix::V6(p) if p.len() == 128 => Some(Eid::V6(p.addr())),
+        EidPrefix::Mac(p) if p.len() == 48 => Some(Eid::Mac(p.addr())),
+        _ => None,
+    }
+}
+
+impl Node<FabricMsg> for BorderRouter {
+    fn on_message(&mut self, ctx: &mut Context<'_, FabricMsg>, _from: NodeId, msg: FabricMsg) {
+        match msg {
+            FabricMsg::Data(pkt) => {
+                ctx.busy(self.dir.params.border_data_service);
+                self.handle_data(ctx, pkt);
+            }
+            FabricMsg::Control(m) => {
+                let now = ctx.now();
+                self.handle_control(ctx, m, now);
+            }
+            FabricMsg::Policy(PolicyMsg::RuleRefresh { rules }) => {
+                self.acl.replace(&rules);
+            }
+            FabricMsg::Host(ev) => {
+                // Border-attached endpoints (traffic sinks) do not roam;
+                // sends are processed like an edge's local sends but
+                // against the synced table.
+                if let crate::msg::HostEvent::Send { src_mac, dst, payload_len, flow, track } = ev
+                {
+                    let Some((vn, src_ep)) = self.vrf.classify(src_mac) else {
+                        return;
+                    };
+                    let packet = OverlayPacket {
+                        vn,
+                        src_group: src_ep.group,
+                        policy_applied: false,
+                        hops_left: self.dir.params.hop_budget,
+                        origin: self.rloc,
+                        inner: crate::msg::InnerPacket {
+                            src: Eid::V4(src_ep.ipv4),
+                            dst,
+                            payload_len,
+                            flow,
+                            track,
+                        },
+                    };
+                    self.handle_data(ctx, packet);
+                }
+            }
+            // Borders do not run the link-state protocol in this model;
+            // hellos from edges are absorbed (edges detect border
+            // liveness through the fabric's always-on default route).
+            FabricMsg::Underlay(_) => {}
+            other => {
+                debug_assert!(false, "border received unexpected {other:?}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, FabricMsg>, token: u64) {
+        match token {
+            TIMER_SUBSCRIBE => {
+                // §3.3: subscribe to every VN's mapping stream.
+                for vn in &self.dir.params.vns {
+                    ctx.send(
+                        self.dir.routing_server,
+                        FabricMsg::Control(Lisp::Subscribe {
+                            nonce: 0,
+                            vn: *vn,
+                            subscriber: self.rloc,
+                        }),
+                    );
+                }
+                if let Some(interval) = self.dir.params.fib_sample_interval {
+                    ctx.set_timer(interval, TIMER_FIB_SAMPLE);
+                }
+            }
+            TIMER_FIB_SAMPLE => {
+                let name = format!("fib.{}", self.name);
+                let now = ctx.now();
+                ctx.metrics().record(&name, now, self.fib_len_v4() as f64);
+                if let Some(interval) = self.dir.params.fib_sample_interval {
+                    ctx.set_timer(interval, TIMER_FIB_SAMPLE);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

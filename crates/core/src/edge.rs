@@ -1,0 +1,814 @@
+//! The edge router node: the §3.3 "Edge Routers" functions.
+//!
+//! 1. Encap/decap endpoint traffic (via [`crate::pipeline`]).
+//! 2. Inter-VN isolation (VRF tables keyed by VN).
+//! 3. Roaming detection and location registration.
+//! 4. Group-permission enforcement on egress.
+//!
+//! Plus the lessons-learned machinery: default-route fallback while a
+//! resolution is in flight (§3.2.2), data-triggered SMRs for stale
+//! senders (Fig. 6), reboot recovery (§5.2), and underlay-reachability
+//! fallback (§5.1).
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use sda_lisp::{CacheOutcome, MapCache, SmrTracker};
+use sda_simnet::{Context, Node, NodeId, SimDuration, SimTime};
+use sda_types::{Eid, MacAddr, PortId, Rloc, VnId};
+use sda_underlay::{LinkStateRouter, ReachabilityEvent, ReachabilityTracker};
+use sda_wire::lisp::Message as Lisp;
+
+use crate::acl::GroupAcl;
+use crate::msg::{ArpMsg, EndpointIdentity, FabricMsg, HostEvent, InnerPacket, PolicyMsg};
+use crate::pipeline::{self, EgressAction, IngressAction};
+use crate::servers::Directory;
+use crate::vrf::{LocalEndpoint, VrfTable};
+
+/// Timer tokens.
+const TIMER_EVICT: u64 = 1;
+const TIMER_FIB_SAMPLE: u64 = 2;
+const TIMER_UNDERLAY: u64 = 3;
+const TIMER_REFRESH: u64 = 4;
+
+/// A pending attach awaiting authentication.
+struct PendingAttach {
+    endpoint: EndpointIdentity,
+    port: PortId,
+    started: SimTime,
+}
+
+/// Counters a scenario can read back after the run.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct EdgeStats {
+    /// Packets handed to locally attached endpoints.
+    pub delivered: u64,
+    /// Egress policy drops.
+    pub policy_drops: u64,
+    /// Packets forwarded to the border on cache miss (default route).
+    pub default_routed: u64,
+    /// Packets forwarded onward for a moved endpoint (Fig. 5 step 3).
+    pub mobility_forwards: u64,
+    /// Packets dropped because the hop budget ran out (§5.2 transient
+    /// loops).
+    pub hop_exhausted: u64,
+    /// Packets from unknown (unauthenticated) senders.
+    pub unknown_source: u64,
+    /// Packets dropped on cache miss with the border default route
+    /// disabled (§3.2.2 ablation).
+    pub first_packet_drops: u64,
+    /// Map-Requests sent.
+    pub map_requests: u64,
+    /// SMRs sent (Fig. 6 step 2).
+    pub smrs_sent: u64,
+    /// Completed onboardings.
+    pub onboarded: u64,
+    /// ARP broadcasts converted to unicast (§3.5).
+    pub arp_converted: u64,
+}
+
+/// The edge router.
+pub struct EdgeRouter {
+    /// Human-readable name used as a metrics prefix (`edgeA1` etc.).
+    name: String,
+    rloc: Rloc,
+    dir: Rc<Directory>,
+    vrf: VrfTable,
+    cache: MapCache,
+    acl: GroupAcl,
+    smr: SmrTracker,
+    pending_auth: HashMap<u64, PendingAttach>,
+    /// Resolutions in flight, to avoid duplicate Map-Requests.
+    resolving: HashSet<(VnId, Eid)>,
+    /// Pending ARP conversions: (vn, ip) → requesting endpoint's MAC.
+    pending_arp: HashMap<(VnId, std::net::Ipv4Addr), MacAddr>,
+    next_txn: u64,
+    next_nonce: u64,
+    stats: EdgeStats,
+    /// Underlay protocol instance (when dynamics are enabled).
+    underlay: Option<LinkStateRouter>,
+    reach: ReachabilityTracker,
+    /// Fault injection: a failed edge ignores everything (no hellos,
+    /// no forwarding) — the §5.1 outage.
+    failed: bool,
+}
+
+impl EdgeRouter {
+    /// Creates an edge router serving `rloc`.
+    pub fn new(name: impl Into<String>, rloc: Rloc, dir: Rc<Directory>) -> Self {
+        EdgeRouter {
+            name: name.into(),
+            rloc,
+            dir,
+            vrf: VrfTable::new(),
+            cache: MapCache::new(),
+            acl: GroupAcl::new(),
+            smr: SmrTracker::new(SimDuration::from_secs(5)),
+            pending_auth: HashMap::new(),
+            resolving: HashSet::new(),
+            pending_arp: HashMap::new(),
+            next_txn: 1,
+            next_nonce: 1,
+            stats: EdgeStats::default(),
+            underlay: None,
+            reach: ReachabilityTracker::default(),
+            failed: false,
+        }
+    }
+
+    /// Attaches an underlay protocol instance (dynamics mode).
+    pub fn with_underlay(mut self, router: LinkStateRouter, watch: Vec<sda_types::RouterId>) -> Self {
+        self.reach = ReachabilityTracker::new(watch);
+        self.underlay = Some(router);
+        self
+    }
+
+    /// This edge's locator.
+    pub fn rloc(&self) -> Rloc {
+        self.rloc
+    }
+
+    /// Scenario-facing counters.
+    pub fn stats(&self) -> EdgeStats {
+        self.stats
+    }
+
+    /// Current overlay FIB size (map-cache entries).
+    pub fn fib_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// IPv4 overlay-to-underlay mappings only — the exact Fig. 9 metric
+    /// ("we counted the number of overlay-to-underlay IPv4 mappings in
+    /// the FIB").
+    pub fn fib_len_v4(&self) -> usize {
+        self.cache.len_of(sda_types::EidKind::V4)
+    }
+
+    /// Locally attached endpoints.
+    pub fn attached(&self) -> usize {
+        self.vrf.endpoint_count()
+    }
+
+    /// ACL state (for the §5.3 ablation).
+    pub fn acl(&self) -> &GroupAcl {
+        &self.acl
+    }
+
+    /// Simulates a reboot (§5.2): all volatile state is lost.
+    /// Must be followed by endpoints re-attaching (the real box
+    /// re-detects them on its ports).
+    pub fn reboot(&mut self) {
+        self.vrf.clear();
+        self.cache.clear();
+        self.acl.clear();
+        self.pending_auth.clear();
+        self.resolving.clear();
+        self.pending_arp.clear();
+        if let Some(ls) = self.underlay.take() {
+            // Fresh protocol instance with the same wiring (empty LSDB,
+            // sequence restart — the §5.2 recovery path).
+            let id = ls.id();
+            let links: Vec<(sda_types::RouterId, u32)> = self
+                .reach
+                .up_peers()
+                .map(|p| (p, 1))
+                .collect();
+            let _ = links;
+            // Reconstruct from the directory's full fabric set.
+            let all: Vec<(sda_types::RouterId, u32)> = self
+                .dir
+                .node_of_rloc
+                .keys()
+                .filter(|r| **r != self.rloc && **r != self.dir.routing_server_rloc)
+                .map(|r| (underlay_id(*r), 1))
+                .collect();
+            self.underlay = Some(LinkStateRouter::new(id, all));
+        }
+    }
+
+    /// Fault injection (§5.1): while failed, the edge processes nothing.
+    pub fn set_failed(&mut self, failed: bool) {
+        self.failed = failed;
+    }
+
+    /// Whether the edge is currently failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Arms the periodic timers; the controller calls this right after
+    /// node creation via an injected kick (timers need a context).
+    fn arm_timers(&self, ctx: &mut Context<'_, FabricMsg>) {
+        let p = &self.dir.params;
+        ctx.set_timer(p.eviction_interval, TIMER_EVICT);
+        if let Some(interval) = p.fib_sample_interval {
+            ctx.set_timer(interval, TIMER_FIB_SAMPLE);
+        }
+        if self.underlay.is_some() {
+            ctx.set_timer(p.underlay_tick, TIMER_UNDERLAY);
+        }
+        if let Some(interval) = p.refresh_interval {
+            ctx.set_timer(interval, TIMER_REFRESH);
+        }
+    }
+
+    fn txn(&mut self) -> u64 {
+        self.next_txn += 1;
+        self.next_txn
+    }
+
+    fn nonce(&mut self) -> u64 {
+        self.next_nonce += 1;
+        self.next_nonce
+    }
+
+    fn node_of(&self, rloc: Rloc) -> NodeId {
+        self.dir.node_of(rloc)
+    }
+
+    fn send_map_request(
+        &mut self,
+        ctx: &mut Context<'_, FabricMsg>,
+        vn: VnId,
+        eid: Eid,
+    ) {
+        if !self.resolving.insert((vn, eid)) {
+            return; // already in flight
+        }
+        let nonce = self.nonce();
+        self.stats.map_requests += 1;
+        ctx.metrics().incr("fabric.map_requests");
+        ctx.send(
+            self.dir.routing_server,
+            FabricMsg::Control(Lisp::MapRequest {
+                nonce,
+                smr: false,
+                vn,
+                eid,
+                itr_rloc: self.rloc,
+            }),
+        );
+    }
+
+    fn register_endpoint(
+        &mut self,
+        ctx: &mut Context<'_, FabricMsg>,
+        vn: VnId,
+        mac: MacAddr,
+        ipv4: std::net::Ipv4Addr,
+    ) {
+        let ttl = self.dir.params.register_ttl_secs;
+        let mut eids = vec![Eid::V4(ipv4)];
+        if self.dir.params.register_mac {
+            eids.push(Eid::Mac(mac));
+        }
+        for eid in eids {
+            let nonce = self.nonce();
+            ctx.send(
+                self.dir.routing_server,
+                FabricMsg::Control(Lisp::MapRegister {
+                    nonce,
+                    vn,
+                    eid,
+                    rloc: self.rloc,
+                    ttl_secs: ttl,
+                    want_notify: false,
+                }),
+            );
+        }
+        // §3.5: the routing server also stores the IP→MAC pair.
+        if self.dir.params.register_mac {
+            ctx.send(
+                self.dir.routing_server,
+                FabricMsg::Arp(ArpMsg::Register { vn, ip: ipv4, mac }),
+            );
+        }
+    }
+
+    /// Periodic refresh: re-register every attached endpoint so live
+    /// registrations never expire while the endpoint is present.
+    fn refresh_registrations(&mut self, ctx: &mut Context<'_, FabricMsg>) {
+        let attached: Vec<(VnId, MacAddr, std::net::Ipv4Addr)> = self
+            .vrf
+            .iter()
+            .map(|(vn, ep)| (vn, ep.mac, ep.ipv4))
+            .collect();
+        for (vn, mac, ipv4) in attached {
+            self.register_endpoint(ctx, vn, mac, ipv4);
+        }
+    }
+
+    fn handle_host_event(&mut self, ctx: &mut Context<'_, FabricMsg>, ev: HostEvent) {
+        match ev {
+            HostEvent::Attach { endpoint, port, vn: _ } => {
+                // Fig. 3 step 1: authenticate against the policy server.
+                let txn = self.txn();
+                self.pending_auth.insert(
+                    txn,
+                    PendingAttach { endpoint, port, started: ctx.now() },
+                );
+                ctx.send(
+                    self.dir.policy_server,
+                    FabricMsg::Policy(PolicyMsg::AuthRequest {
+                        mac: endpoint.mac,
+                        secret: endpoint.secret,
+                        txn,
+                    }),
+                );
+            }
+            HostEvent::Detach { mac } => {
+                self.vrf.detach(mac);
+                // Deliberately no withdraw: mobility overwrites the
+                // mapping when the endpoint re-registers elsewhere
+                // (Fig. 5); a true offboard goes through the controller.
+            }
+            HostEvent::Send { src_mac, dst, payload_len, flow, track } => {
+                self.handle_endpoint_send(ctx, src_mac, dst, payload_len, flow, track);
+            }
+            HostEvent::ArpRequest { src_mac, target_ip } => {
+                self.handle_arp_request(ctx, src_mac, target_ip);
+            }
+        }
+    }
+
+    fn handle_endpoint_send(
+        &mut self,
+        ctx: &mut Context<'_, FabricMsg>,
+        src_mac: MacAddr,
+        dst: Eid,
+        payload_len: u16,
+        flow: u64,
+        track: bool,
+    ) {
+        // Ingress classification: port/MAC → (VN, GroupId) from
+        // onboarding.
+        let Some((vn, src_ep)) = self.vrf.classify(src_mac) else {
+            self.stats.unknown_source += 1;
+            return;
+        };
+        let src_group = src_ep.group;
+        let src_eid = Eid::V4(src_ep.ipv4);
+        let inner = InnerPacket {
+            src: if matches!(dst, Eid::Mac(_)) { Eid::Mac(src_mac) } else { src_eid },
+            dst,
+            payload_len,
+            flow,
+            track,
+        };
+
+        // Map-cache resolution (the caller-side part of the pipeline).
+        let (resolved, needs_resolution, stale) = match self.cache.lookup(vn, dst, ctx.now()) {
+            CacheOutcome::Hit(rloc) => (Some(rloc), false, false),
+            CacheOutcome::Miss => (None, true, false),
+            CacheOutcome::Stale(rloc) => (Some(rloc), true, true),
+        };
+
+        let hint = if stale { None } else { self.dir.params.dst_group_hint(vn, dst) };
+        let action = pipeline::ingress(
+            &self.vrf,
+            &mut self.acl,
+            vn,
+            src_group,
+            inner,
+            resolved,
+            self.dir.params.enforcement,
+            hint,
+            self.dir.params.default_action,
+            self.dir.params.hop_budget,
+            self.rloc,
+        );
+
+        // Resolution is only needed when the packet actually leaves this
+        // edge (a local delivery or drop must not query the server).
+        let needs_resolution = needs_resolution
+            && matches!(
+                action,
+                IngressAction::Encap { .. } | IngressAction::EncapToBorder { .. }
+            );
+
+        match action {
+            IngressAction::DeliverLocal { .. } => {
+                self.stats.delivered += 1;
+                self.record_delivery(ctx, &inner);
+            }
+            IngressAction::Encap { to, packet } => {
+                let mut packet = packet;
+                packet.hops_left -= 1;
+                ctx.metrics().add("fabric.overlay_bytes", u64::from(payload_len));
+                let node = self.node_of(to);
+                ctx.send(node, FabricMsg::Data(packet));
+            }
+            IngressAction::EncapToBorder { packet } => {
+                if self.dir.params.border_default_route {
+                    let mut packet = packet;
+                    packet.hops_left -= 1;
+                    self.stats.default_routed += 1;
+                    ctx.metrics().add("fabric.overlay_bytes", u64::from(payload_len));
+                    let node = self.node_of(self.dir.border_rloc);
+                    ctx.send(node, FabricMsg::Data(packet));
+                } else {
+                    // Ablation: no border sync — the first packets of a
+                    // flow are lost while the resolution completes.
+                    self.stats.first_packet_drops += 1;
+                    ctx.metrics().incr("fabric.first_packet_drops");
+                }
+            }
+            IngressAction::DropPolicy => {
+                self.stats.policy_drops += 1;
+            }
+            IngressAction::DropUnknownSource => {
+                self.stats.unknown_source += 1;
+            }
+        }
+
+        if needs_resolution {
+            self.send_map_request(ctx, vn, dst);
+        }
+    }
+
+    fn handle_arp_request(
+        &mut self,
+        ctx: &mut Context<'_, FabricMsg>,
+        src_mac: MacAddr,
+        target_ip: std::net::Ipv4Addr,
+    ) {
+        let Some((vn, _)) = self.vrf.classify(src_mac) else {
+            self.stats.unknown_source += 1;
+            return;
+        };
+        // Local answer: target attached to this same edge.
+        if let Some(ep) = self.vrf.lookup(vn, Eid::V4(target_ip)) {
+            let _ = ep;
+            self.stats.arp_converted += 1;
+            ctx.metrics().incr("fabric.arp_local_answers");
+            return;
+        }
+        // §3.5: the L2 gateway absorbs the broadcast and asks the
+        // routing server for the owning MAC.
+        self.pending_arp.insert((vn, target_ip), src_mac);
+        ctx.send(
+            self.dir.routing_server,
+            FabricMsg::Arp(ArpMsg::Query { vn, ip: target_ip, reply_to: self.rloc }),
+        );
+    }
+
+    fn handle_arp_answer(
+        &mut self,
+        ctx: &mut Context<'_, FabricMsg>,
+        vn: VnId,
+        ip: std::net::Ipv4Addr,
+        mac: Option<MacAddr>,
+    ) {
+        let Some(requester) = self.pending_arp.remove(&(vn, ip)) else {
+            return;
+        };
+        let Some(mac) = mac else {
+            ctx.metrics().incr("fabric.arp_unresolved");
+            return;
+        };
+        // Broadcast became unicast: forward the (now unicast) ARP
+        // request as an L2 overlay packet toward the owner MAC; the
+        // owning edge delivers it and the target replies over the same
+        // machinery. Delivery itself reuses the normal send path.
+        self.stats.arp_converted += 1;
+        ctx.metrics().incr("fabric.arp_converted");
+        self.handle_endpoint_send(ctx, requester, Eid::Mac(mac), 28, 0, false);
+    }
+
+    /// Decap + egress processing for fabric traffic arriving from the
+    /// underlay.
+    fn handle_data(&mut self, ctx: &mut Context<'_, FabricMsg>, pkt: crate::msg::OverlayPacket) {
+        match pipeline::egress(
+            &self.vrf,
+            &mut self.acl,
+            &pkt,
+            self.dir.params.enforcement_for_egress(),
+            self.dir.params.default_action,
+        ) {
+            EgressAction::Deliver { .. } => {
+                self.stats.delivered += 1;
+                self.record_delivery(ctx, &pkt.inner);
+            }
+            EgressAction::DropPolicy => {
+                self.stats.policy_drops += 1;
+                ctx.metrics().incr(&format!("acl.drops.{}", self.name));
+            }
+            EgressAction::NotLocal => self.handle_not_local(ctx, pkt),
+        }
+    }
+
+    /// Fig. 6: traffic arrived for an endpoint that is not here.
+    fn handle_not_local(&mut self, ctx: &mut Context<'_, FabricMsg>, pkt: crate::msg::OverlayPacket) {
+        if pkt.hops_left == 0 {
+            self.stats.hop_exhausted += 1;
+            ctx.metrics().incr("fabric.hop_exhausted");
+            return;
+        }
+        let vn = pkt.vn;
+        let dst = pkt.inner.dst;
+
+        // (3) forward toward the current location if we know one
+        // (Map-Notify installed it after the endpoint moved away).
+        let forward_to = match self.cache.lookup(vn, dst, ctx.now()) {
+            CacheOutcome::Hit(rloc) | CacheOutcome::Stale(rloc) if rloc != self.rloc => Some(rloc),
+            _ => None,
+        };
+
+        match forward_to {
+            Some(rloc) => {
+                self.stats.mobility_forwards += 1;
+                let mut fwd = pkt;
+                fwd.hops_left -= 1;
+                let node = self.node_of(rloc);
+                ctx.send(node, FabricMsg::Data(fwd));
+            }
+            None => {
+                // Unknown here entirely (e.g. freshly rebooted, §5.2):
+                // fall back to the border default route.
+                self.stats.default_routed += 1;
+                let mut fwd = pkt;
+                fwd.hops_left -= 1;
+                let node = self.node_of(self.dir.border_rloc);
+                ctx.send(node, FabricMsg::Data(fwd));
+            }
+        }
+
+        // (2) data-triggered SMR to the origin edge (the packet's outer
+        // source, Fig. 6 step 2) so it re-resolves — rate-limited per
+        // (eid, source).
+        let now = ctx.now();
+        let origin = pkt.origin;
+        if origin != self.rloc
+            && origin != self.dir.border_rloc
+            && self.smr.should_send(vn, dst, origin, now)
+        {
+            self.stats.smrs_sent += 1;
+            ctx.metrics().incr("fabric.smrs");
+            let nonce = self.nonce();
+            let node = self.node_of(origin);
+            ctx.send(
+                node,
+                FabricMsg::Control(Lisp::MapRequest {
+                    nonce,
+                    smr: true,
+                    vn,
+                    eid: dst,
+                    itr_rloc: self.rloc,
+                }),
+            );
+        }
+    }
+
+    fn record_delivery(&mut self, ctx: &mut Context<'_, FabricMsg>, inner: &InnerPacket) {
+        ctx.metrics().incr("fabric.delivered");
+        if inner.track {
+            let name = format!("deliver.{}", inner.dst);
+            let now = ctx.now();
+            ctx.metrics().record(&name, now, inner.flow as f64);
+        }
+    }
+
+    fn handle_control(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: Lisp) {
+        let now = ctx.now();
+        match msg {
+            Lisp::MapReply { vn, prefix, rloc, negative, ttl_secs, .. } => {
+                if let Some(eid0) = prefix_eid(&prefix) {
+                    self.resolving.remove(&(vn, eid0));
+                }
+                if negative {
+                    self.cache.apply_negative(vn, prefix);
+                } else if let Some(rloc) = rloc {
+                    self.cache.install(
+                        vn,
+                        prefix,
+                        rloc,
+                        SimDuration::from_secs(u64::from(ttl_secs)),
+                        now,
+                    );
+                }
+            }
+            Lisp::MapNotify { vn, eid, new_rloc, .. } => {
+                // Fig. 5 step 2–3: the moved endpoint's new location.
+                // Install it so in-flight traffic forwards onward.
+                self.cache.update_rloc(
+                    vn,
+                    eid,
+                    new_rloc,
+                    SimDuration::from_secs(u64::from(sda_lisp::map_server::REPLY_TTL_SECS)),
+                    now,
+                );
+                self.smr.forget_eid(vn, eid);
+            }
+            Lisp::MapRequest { smr: true, vn, eid, .. } => {
+                // An SMR: our cached mapping is stale. Mark and
+                // re-resolve (Fig. 6 step 4).
+                self.cache.mark_stale(vn, eid);
+                self.send_map_request(ctx, vn, eid);
+            }
+            other => {
+                debug_assert!(false, "edge received unexpected control {other:?}");
+            }
+        }
+    }
+
+    fn handle_policy(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: PolicyMsg) {
+        match msg {
+            PolicyMsg::AuthAccept { txn, mac, profile, rules } => {
+                let Some(pending) = self.pending_auth.remove(&txn) else {
+                    return;
+                };
+                debug_assert_eq!(pending.endpoint.mac, mac);
+                // Fig. 3 steps 2–4: install binding, rules, register.
+                self.acl.install(&rules);
+                self.vrf.attach(
+                    profile.vn,
+                    LocalEndpoint {
+                        port: pending.port,
+                        group: profile.group,
+                        mac,
+                        ipv4: pending.endpoint.ipv4,
+                    },
+                );
+                self.register_endpoint(ctx, profile.vn, mac, pending.endpoint.ipv4);
+                self.stats.onboarded += 1;
+                let latency = ctx.now().since(pending.started);
+                ctx.metrics().observe("fabric.onboarding_secs", latency.as_secs_f64());
+                let name = format!("onboard.{}", mac);
+                let now = ctx.now();
+                ctx.metrics().record(&name, now, 1.0);
+            }
+            PolicyMsg::AuthReject { txn, .. } => {
+                self.pending_auth.remove(&txn);
+                ctx.metrics().incr("fabric.auth_rejects");
+            }
+            PolicyMsg::RuleRefresh { rules } => {
+                self.acl.replace(&rules);
+            }
+            other => {
+                debug_assert!(false, "edge received server-side policy msg {other:?}");
+            }
+        }
+    }
+
+    fn handle_underlay(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: sda_underlay::Message, from: NodeId) {
+        let Some(ls) = self.underlay.as_mut() else {
+            return;
+        };
+        // Map the sender node back to a RouterId via the directory's
+        // rloc table (fabric routers are their own underlay routers).
+        let from_router = self
+            .dir
+            .node_of_rloc
+            .iter()
+            .find(|(_, n)| **n == from)
+            .map(|(r, _)| underlay_id(*r));
+        let Some(from_router) = from_router else {
+            return;
+        };
+        let out = ls.handle(from_router, msg, ctx.now());
+        self.flush_underlay(ctx, out);
+        self.apply_reachability(ctx);
+    }
+
+    fn flush_underlay(
+        &mut self,
+        ctx: &mut Context<'_, FabricMsg>,
+        out: Vec<(sda_types::RouterId, sda_underlay::Message)>,
+    ) {
+        for (to, msg) in out {
+            let rloc = rloc_of_underlay(to);
+            if let Some(node) = self.dir.node_of_rloc.get(&rloc) {
+                ctx.send(*node, FabricMsg::Underlay(msg));
+            }
+        }
+    }
+
+    fn apply_reachability(&mut self, ctx: &mut Context<'_, FabricMsg>) {
+        let Some(ls) = self.underlay.as_ref() else {
+            return;
+        };
+        let table = ls.routes();
+        for event in self.reach.update(&table) {
+            if let ReachabilityEvent::Down(router) = event {
+                // §5.1: delete routes through the lost RLOC; traffic
+                // falls back to the border default route.
+                let purged = self.cache.purge_rloc(rloc_of_underlay(router));
+                ctx.metrics().add("fabric.reachability_purges", purged as u64);
+            }
+        }
+    }
+}
+
+/// Fabric routers use their RLOC's host octets as underlay RouterId.
+pub(crate) fn underlay_id(rloc: Rloc) -> sda_types::RouterId {
+    let o = rloc.addr().octets();
+    sda_types::RouterId(u32::from(o[2]) << 8 | u32::from(o[3]))
+}
+
+/// Inverse of [`underlay_id`].
+pub(crate) fn rloc_of_underlay(id: sda_types::RouterId) -> Rloc {
+    Rloc::for_router_index(id.0 as u16)
+}
+
+/// The representative EID of a host prefix (for resolution bookkeeping).
+fn prefix_eid(prefix: &sda_types::EidPrefix) -> Option<Eid> {
+    use sda_types::EidPrefix;
+    match prefix {
+        EidPrefix::V4(p) if p.len() == 32 => Some(Eid::V4(p.addr())),
+        EidPrefix::V6(p) if p.len() == 128 => Some(Eid::V6(p.addr())),
+        EidPrefix::Mac(p) if p.len() == 48 => Some(Eid::Mac(p.addr())),
+        _ => None,
+    }
+}
+
+impl Node<FabricMsg> for EdgeRouter {
+    fn on_message(&mut self, ctx: &mut Context<'_, FabricMsg>, from: NodeId, msg: FabricMsg) {
+        if self.failed {
+            ctx.metrics().incr("fabric.dropped_by_failed_edge");
+            return;
+        }
+        match msg {
+            FabricMsg::Host(ev) => self.handle_host_event(ctx, ev),
+            FabricMsg::Data(pkt) => {
+                ctx.busy(self.dir.params.data_service);
+                self.handle_data(ctx, pkt);
+            }
+            FabricMsg::Control(m) => {
+                ctx.busy(self.dir.params.edge_control_service);
+                self.handle_control(ctx, m);
+            }
+            FabricMsg::Policy(m) => self.handle_policy(ctx, m),
+            FabricMsg::Arp(ArpMsg::Answer { vn, ip, mac }) => {
+                self.handle_arp_answer(ctx, vn, ip, mac);
+            }
+            FabricMsg::Arp(_) => {}
+            FabricMsg::Underlay(m) => self.handle_underlay(ctx, m, from),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, FabricMsg>, token: u64) {
+        if self.failed {
+            // Keep timers armed so a revived edge resumes housekeeping.
+            let p = &self.dir.params;
+            match token {
+                TIMER_EVICT => ctx.set_timer(p.eviction_interval, TIMER_EVICT),
+                TIMER_UNDERLAY => ctx.set_timer(p.underlay_tick, TIMER_UNDERLAY),
+                TIMER_REFRESH => {
+                    if let Some(i) = p.refresh_interval {
+                        ctx.set_timer(i, TIMER_REFRESH);
+                    }
+                }
+                TIMER_FIB_SAMPLE => {
+                    if let Some(i) = p.fib_sample_interval {
+                        ctx.set_timer(i, TIMER_FIB_SAMPLE);
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
+        match token {
+            TIMER_EVICT => {
+                let evicted = self
+                    .cache
+                    .evict(ctx.now(), self.dir.params.idle_timeout);
+                ctx.metrics().add("fabric.cache_evictions", evicted as u64);
+                ctx.set_timer(self.dir.params.eviction_interval, TIMER_EVICT);
+            }
+            TIMER_FIB_SAMPLE => {
+                let name = format!("fib.{}", self.name);
+                let now = ctx.now();
+                ctx.metrics().record(&name, now, self.fib_len_v4() as f64);
+                if let Some(interval) = self.dir.params.fib_sample_interval {
+                    ctx.set_timer(interval, TIMER_FIB_SAMPLE);
+                }
+            }
+            TIMER_UNDERLAY => {
+                if let Some(ls) = self.underlay.as_mut() {
+                    let out = ls.tick(ctx.now());
+                    self.flush_underlay(ctx, out);
+                    self.apply_reachability(ctx);
+                    ctx.set_timer(self.dir.params.underlay_tick, TIMER_UNDERLAY);
+                }
+            }
+            TIMER_REFRESH => {
+                self.refresh_registrations(ctx);
+                if let Some(interval) = self.dir.params.refresh_interval {
+                    ctx.set_timer(interval, TIMER_REFRESH);
+                }
+            }
+            // Token 0 is the controller's arming kick.
+            0 => self.arm_timers(ctx),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}

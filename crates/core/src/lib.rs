@@ -1,0 +1,57 @@
+//! # sda-core
+//!
+//! The paper's primary contribution assembled: edge and border routers,
+//! the two-stage ingress/egress pipelines, host onboarding, mobility,
+//! L2 services and the fabric controller that wires everything onto the
+//! simulator.
+//!
+//! ## Architecture (Fig. 1)
+//!
+//! ```text
+//!            ┌─────────────┐   ┌──────────────┐
+//!            │policy server│   │routing server│   control plane
+//!            └──────┬──────┘   └──────┬───────┘
+//!        RADIUS/SXP │       LISP      │   ▲ sync (pub/sub)
+//!            ┌──────┴─────────────────┴───┴───┐
+//!            │            underlay            │
+//!            └─┬─────────┬─────────┬──────────┘
+//!          ┌───┴──┐  ┌───┴──┐  ┌───┴───┐
+//!          │edge 1│  │edge 2│  │border │ ──► Internet
+//!          └──────┘  └──────┘  └───────┘
+//!           endpoints roam across edges
+//! ```
+//!
+//! * [`msg`] — the fabric's simulator message type (data packets,
+//!   LISP control, policy exchanges, host events, underlay protocol).
+//! * [`vrf`] — per-VN local endpoint tables with the `(Overlay IP,
+//!   GroupId)` association the egress pipeline reads (§3.3.2).
+//! * [`acl`] — group-based ACL with hit/drop counters (Fig. 12's data).
+//! * [`pipeline`] — the ingress and egress stages as pure decision
+//!   functions, plus byte-level encap/decap proving the structured path
+//!   and `sda-wire` agree.
+//! * [`edge`] — the edge router node: onboarding (Fig. 3), reactive
+//!   resolution, mobility (Figs. 5–6), SMR, reboot recovery, underlay
+//!   fallback.
+//! * [`border`] — the border router: pub/sub-synced full table, default-
+//!   route target, external prefixes.
+//! * [`servers`] — policy-server and routing-server simulator nodes
+//!   wrapping `sda-policy` / `sda-lisp`.
+//! * [`dhcp`] — overlay address allocation per VN.
+//! * [`controller`] — the declarative operator API (§3.1) and scenario
+//!   builder producing a runnable [`controller::Fabric`].
+
+pub mod acl;
+pub mod border;
+pub mod controller;
+pub mod dhcp;
+pub mod edge;
+pub mod msg;
+pub mod pipeline;
+pub mod servers;
+pub mod vrf;
+
+pub use acl::GroupAcl;
+pub use controller::{Fabric, FabricBuilder, FabricConfig};
+pub use msg::{EndpointIdentity, FabricMsg, HostEvent, InnerPacket, OverlayPacket, PolicyMsg};
+pub use pipeline::EnforcementPoint;
+pub use vrf::VrfTable;

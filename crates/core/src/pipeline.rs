@@ -1,0 +1,565 @@
+//! The two-stage forwarding pipelines (Fig. 4) as pure decision
+//! functions, plus the byte-level encap/decap path.
+//!
+//! Keeping the decisions pure (state in, action out) makes every branch
+//! unit-testable without a simulator; the router nodes in [`crate::edge`]
+//! and [`crate::border`] execute the returned actions.
+//!
+//! The byte path ([`encode_packet`]/[`decode_packet`]) produces the exact
+//! Fig. 2 format via `sda-wire` — outer IPv4 + UDP + VXLAN-GPO + inner
+//! packet — and the differential tests at the bottom prove it round-trips
+//! the structured [`OverlayPacket`] the simulator forwards.
+
+use sda_policy::Action;
+use sda_types::{Eid, GroupId, PortId, Rloc, VnId};
+use sda_wire::{ipv4, udp, vxlan};
+
+use crate::acl::GroupAcl;
+use crate::msg::{InnerPacket, OverlayPacket};
+use crate::vrf::VrfTable;
+
+/// Where group policy is enforced (§5.3 trade-off).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EnforcementPoint {
+    /// At the destination edge: less data-plane state, some wasted
+    /// bandwidth on traffic that will be dropped. SDA's choice.
+    #[default]
+    Egress,
+    /// At the source edge: saves the wasted transit, but needs
+    /// destination-group knowledge everywhere (the signaling problem of
+    /// Fig. 13).
+    Ingress,
+}
+
+/// What the egress stage decided.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EgressAction {
+    /// Hand the inner packet to the endpoint on this port.
+    Deliver {
+        /// Output port.
+        port: PortId,
+        /// Destination group (for accounting).
+        dst_group: GroupId,
+    },
+    /// Group ACL verdict was deny.
+    DropPolicy,
+    /// The destination is not attached here (mobility / stale routing);
+    /// the caller runs the Fig. 6 machinery.
+    NotLocal,
+}
+
+/// Runs the egress pipeline of Fig. 4 (right half): VRF lookup, then
+/// group-ACL exact match.
+///
+/// `default_action` is the matrix default for unmatched pairs. When the
+/// packet's `policy_applied` bit is set (ingress already enforced),
+/// the ACL stage is skipped — re-dropping would double-count.
+pub fn egress(
+    vrf: &VrfTable,
+    acl: &mut GroupAcl,
+    pkt: &OverlayPacket,
+    enforcement: EnforcementPoint,
+    default_action: Action,
+) -> EgressAction {
+    // Stage 1: (VN + overlay destination) lookup in the VRF.
+    let Some(ep) = vrf.lookup(pkt.vn, pkt.inner.dst) else {
+        return EgressAction::NotLocal;
+    };
+    // Stage 2: (src GroupId, dst GroupId) exact match.
+    let must_enforce = matches!(enforcement, EnforcementPoint::Egress) && !pkt.policy_applied;
+    if must_enforce {
+        match acl.enforce(pkt.vn, pkt.src_group, ep.group, default_action) {
+            Action::Allow => {}
+            Action::Deny => return EgressAction::DropPolicy,
+        }
+    }
+    EgressAction::Deliver { port: ep.port, dst_group: ep.group }
+}
+
+/// What the ingress stage decided for a locally originated packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IngressAction {
+    /// Destination is attached to this same edge: deliver directly
+    /// (the egress stages still ran — ACL included).
+    DeliverLocal {
+        /// Output port.
+        port: PortId,
+    },
+    /// Encapsulate toward this RLOC.
+    Encap {
+        /// Destination fabric router.
+        to: Rloc,
+        /// The packet to transmit.
+        packet: OverlayPacket,
+    },
+    /// No mapping cached: encapsulate toward the border (default route,
+    /// §3.2.2) — the caller must also trigger a Map-Request.
+    EncapToBorder {
+        /// The packet to transmit.
+        packet: OverlayPacket,
+    },
+    /// Ingress-enforcement drop (policy said no before transit).
+    DropPolicy,
+    /// The sender is not an onboarded endpoint of this edge.
+    DropUnknownSource,
+}
+
+/// Ingress-enforcement destination-group knowledge: `Some(group)` when
+/// this edge knows the destination's group (however it learned it),
+/// `None` otherwise. With egress enforcement pass `None`.
+pub type DstGroupHint = Option<GroupId>;
+
+/// Runs the ingress pipeline of Fig. 4 (left half) for a packet from an
+/// attached endpoint, given the already-classified source binding and
+/// the map-cache resolution result.
+///
+/// `resolved` is what the caller's map-cache said (`Some(rloc)` on
+/// hit/stale, `None` on miss). The caller owns cache bookkeeping; this
+/// function owns the decision logic so it can be tested exhaustively.
+#[allow(clippy::too_many_arguments)]
+pub fn ingress(
+    vrf: &VrfTable,
+    acl: &mut GroupAcl,
+    vn: VnId,
+    src_group: GroupId,
+    inner: InnerPacket,
+    resolved: Option<Rloc>,
+    enforcement: EnforcementPoint,
+    dst_group_hint: DstGroupHint,
+    default_action: Action,
+    hop_budget: u8,
+    self_rloc: Rloc,
+) -> IngressAction {
+    // Same-edge delivery: run the egress stages locally.
+    if vrf.lookup(vn, inner.dst).is_some() {
+        let pkt = OverlayPacket {
+            vn,
+            src_group,
+            policy_applied: false,
+            hops_left: hop_budget,
+            origin: self_rloc,
+            inner,
+        };
+        return match egress(vrf, acl, &pkt, EnforcementPoint::Egress, default_action) {
+            EgressAction::Deliver { port, .. } => IngressAction::DeliverLocal { port },
+            EgressAction::DropPolicy => IngressAction::DropPolicy,
+            EgressAction::NotLocal => unreachable!("lookup succeeded above"),
+        };
+    }
+
+    // Ingress enforcement (ablation mode): check before spending transit
+    // bandwidth, if the destination group is known here.
+    let mut policy_applied = false;
+    if matches!(enforcement, EnforcementPoint::Ingress) {
+        if let Some(dst_group) = dst_group_hint {
+            match acl.enforce(vn, src_group, dst_group, default_action) {
+                Action::Allow => policy_applied = true,
+                Action::Deny => return IngressAction::DropPolicy,
+            }
+        }
+        // Unknown destination group: fall through unenforced; egress
+        // still default-checks packets without the applied bit.
+    }
+
+    let packet = OverlayPacket {
+        vn,
+        src_group,
+        policy_applied,
+        hops_left: hop_budget,
+        origin: self_rloc,
+        inner,
+    };
+    match resolved {
+        Some(rloc) => IngressAction::Encap { to: rloc, packet },
+        None => IngressAction::EncapToBorder { packet },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Byte-accurate encapsulation (Fig. 2) via sda-wire.
+// ---------------------------------------------------------------------
+
+/// Synthesizes the full on-wire bytes of `pkt` between `outer_src` and
+/// `outer_dst`: outer IPv4 / UDP(4789) / VXLAN-GPO / inner IPv4.
+/// Only IPv4-EID inner packets have a byte form (L2 flows would carry an
+/// Ethernet inner frame; the structured path covers those in-sim).
+pub fn encode_packet(outer_src: Rloc, outer_dst: Rloc, pkt: &OverlayPacket) -> Option<Vec<u8>> {
+    let (Eid::V4(inner_src), Eid::V4(inner_dst)) = (pkt.inner.src, pkt.inner.dst) else {
+        return None;
+    };
+
+    // Inner IPv4: payload carries (flow, track) then zero padding.
+    let meta_len = 9usize;
+    let inner_payload_len = meta_len + pkt.inner.payload_len as usize;
+    let inner_repr = ipv4::Repr {
+        src: inner_src,
+        dst: inner_dst,
+        protocol: ipv4::Protocol::Unknown(253), // RFC 3692 experimental
+        payload_len: inner_payload_len,
+        ttl: ipv4::DEFAULT_TTL,
+    };
+    let mut inner = vec![0u8; inner_repr.buffer_len()];
+    {
+        let mut p = ipv4::Packet::new_unchecked(&mut inner[..]);
+        inner_repr.emit(&mut p);
+        let payload = p.payload_mut();
+        payload[..8].copy_from_slice(&pkt.inner.flow.to_be_bytes());
+        payload[8] = u8::from(pkt.inner.track);
+    }
+
+    // VXLAN-GPO.
+    let vx_repr = vxlan::Repr {
+        vn: pkt.vn,
+        group: Some(pkt.src_group),
+        policy_applied: pkt.policy_applied,
+        payload_len: inner.len(),
+    };
+    let mut vx = vec![0u8; vx_repr.buffer_len()];
+    {
+        let mut p = vxlan::Packet::new_unchecked(&mut vx[..]);
+        vx_repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(&inner);
+    }
+
+    // UDP.
+    let udp_repr = udp::Repr {
+        // Real encaps hash the inner flow into the source port for ECMP.
+        src_port: 49152 + (pkt.inner.flow % 16384) as u16,
+        dst_port: udp::VXLAN_PORT,
+        payload_len: vx.len(),
+    };
+    let mut dgram = vec![0u8; udp_repr.buffer_len()];
+    {
+        let mut p = udp::Packet::new_unchecked(&mut dgram[..]);
+        udp_repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(&vx);
+        p.fill_checksum(outer_src.addr(), outer_dst.addr());
+    }
+
+    // Outer IPv4: the fabric hop budget rides the outer TTL.
+    let outer_repr = ipv4::Repr {
+        src: outer_src.addr(),
+        dst: outer_dst.addr(),
+        protocol: ipv4::Protocol::Udp,
+        payload_len: dgram.len(),
+        ttl: pkt.hops_left,
+    };
+    let mut outer = vec![0u8; outer_repr.buffer_len()];
+    {
+        let mut p = ipv4::Packet::new_unchecked(&mut outer[..]);
+        outer_repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(&dgram);
+    }
+    Some(outer)
+}
+
+/// Parses bytes produced by [`encode_packet`] back into
+/// `(outer_src, outer_dst, packet)`, validating every checksum and
+/// header on the way — the egress edge's decapsulation.
+pub fn decode_packet(bytes: &[u8]) -> sda_wire::Result<(Rloc, Rloc, OverlayPacket)> {
+    let outer = ipv4::Packet::new_checked(bytes)?;
+    let outer_src = Rloc(outer.src_addr());
+    let outer_dst = Rloc(outer.dst_addr());
+    if outer.protocol() != ipv4::Protocol::Udp {
+        return Err(sda_wire::Error::Malformed);
+    }
+
+    let dgram = udp::Packet::new_checked(outer.payload())?;
+    if !dgram.verify_checksum(outer.src_addr(), outer.dst_addr()) {
+        return Err(sda_wire::Error::BadChecksum);
+    }
+    if dgram.dst_port() != udp::VXLAN_PORT {
+        return Err(sda_wire::Error::Malformed);
+    }
+
+    let vx = vxlan::Packet::new_checked(dgram.payload())?;
+    let group = vx.group().ok_or(sda_wire::Error::Malformed)?;
+
+    let inner = ipv4::Packet::new_checked(vx.payload())?;
+    let payload = inner.payload();
+    if payload.len() < 9 {
+        return Err(sda_wire::Error::Truncated);
+    }
+    let flow = u64::from_be_bytes(payload[..8].try_into().unwrap());
+    let track = payload[8] != 0;
+
+    Ok((
+        outer_src,
+        outer_dst,
+        OverlayPacket {
+            vn: vx.vni(),
+            src_group: group,
+            policy_applied: vx.policy_applied(),
+            hops_left: outer.ttl(),
+            origin: outer_src,
+            inner: InnerPacket {
+                src: Eid::V4(inner.src_addr()),
+                dst: Eid::V4(inner.dst_addr()),
+                payload_len: (payload.len() - 9) as u16,
+                flow,
+                track,
+            },
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vrf::LocalEndpoint;
+    use sda_policy::{GroupRule, RuleSubset};
+    use sda_types::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn vn(n: u32) -> VnId {
+        VnId::new(n).unwrap()
+    }
+
+    fn local(seed: u32, group: u16) -> LocalEndpoint {
+        LocalEndpoint {
+            port: PortId(seed as u16),
+            group: GroupId(group),
+            mac: MacAddr::from_seed(seed),
+            ipv4: Ipv4Addr::new(10, 0, 0, seed as u8),
+        }
+    }
+
+    fn allow_rule(v: VnId, s: u16, d: u16) -> RuleSubset {
+        RuleSubset {
+            version: 1,
+            rules: vec![(v, GroupRule { src: GroupId(s), dst: GroupId(d), action: Action::Allow })],
+        }
+    }
+
+    fn inner(src: u8, dst: u8, track: bool) -> InnerPacket {
+        InnerPacket {
+            src: Eid::V4(Ipv4Addr::new(10, 0, 0, src)),
+            dst: Eid::V4(Ipv4Addr::new(10, 0, 0, dst)),
+            payload_len: 100,
+            flow: 42,
+            track,
+        }
+    }
+
+    fn packet(v: VnId, src_group: u16, src: u8, dst: u8) -> OverlayPacket {
+        OverlayPacket {
+            vn: v,
+            src_group: GroupId(src_group),
+            policy_applied: false,
+            hops_left: 8,
+            origin: Rloc::for_router_index(1),
+            inner: inner(src, dst, false),
+        }
+    }
+
+    #[test]
+    fn egress_delivers_allowed_traffic() {
+        let mut vrf = VrfTable::new();
+        vrf.attach(vn(1), local(2, 20));
+        let mut acl = GroupAcl::new();
+        acl.install(&allow_rule(vn(1), 10, 20));
+        let act = egress(&vrf, &mut acl, &packet(vn(1), 10, 1, 2), EnforcementPoint::Egress, Action::Deny);
+        assert_eq!(act, EgressAction::Deliver { port: PortId(2), dst_group: GroupId(20) });
+        assert_eq!(acl.counters(), (1, 0));
+    }
+
+    #[test]
+    fn egress_drops_denied_traffic() {
+        let mut vrf = VrfTable::new();
+        vrf.attach(vn(1), local(2, 20));
+        let mut acl = GroupAcl::new();
+        let act = egress(&vrf, &mut acl, &packet(vn(1), 66, 1, 2), EnforcementPoint::Egress, Action::Deny);
+        assert_eq!(act, EgressAction::DropPolicy);
+        assert_eq!(acl.counters(), (0, 1));
+    }
+
+    #[test]
+    fn egress_not_local_when_vrf_misses() {
+        let vrf = VrfTable::new();
+        let mut acl = GroupAcl::new();
+        let act = egress(&vrf, &mut acl, &packet(vn(1), 10, 1, 2), EnforcementPoint::Egress, Action::Deny);
+        assert_eq!(act, EgressAction::NotLocal);
+        assert_eq!(acl.counters(), (0, 0), "ACL must not run before VRF hit");
+    }
+
+    #[test]
+    fn egress_skips_acl_when_policy_already_applied() {
+        let mut vrf = VrfTable::new();
+        vrf.attach(vn(1), local(2, 20));
+        let mut acl = GroupAcl::new(); // empty: would deny
+        let mut pkt = packet(vn(1), 66, 1, 2);
+        pkt.policy_applied = true;
+        let act = egress(&vrf, &mut acl, &pkt, EnforcementPoint::Egress, Action::Deny);
+        assert!(matches!(act, EgressAction::Deliver { .. }));
+    }
+
+    #[test]
+    fn ingress_local_delivery_still_enforces() {
+        let mut vrf = VrfTable::new();
+        vrf.attach(vn(1), local(1, 10));
+        vrf.attach(vn(1), local(2, 20));
+        let mut acl = GroupAcl::new();
+        acl.install(&allow_rule(vn(1), 10, 20));
+        let act = ingress(
+            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 2, false),
+            None, EnforcementPoint::Egress, None, Action::Deny, 8,
+            Rloc::for_router_index(1),
+        );
+        assert_eq!(act, IngressAction::DeliverLocal { port: PortId(2) });
+        // Reverse direction lacks a rule: denied locally.
+        let act = ingress(
+            &vrf, &mut acl, vn(1), GroupId(20), inner(2, 1, false),
+            None, EnforcementPoint::Egress, None, Action::Deny, 8,
+            Rloc::for_router_index(1),
+        );
+        assert_eq!(act, IngressAction::DropPolicy);
+    }
+
+    #[test]
+    fn ingress_encapsulates_on_cache_hit() {
+        let vrf = VrfTable::new();
+        let mut acl = GroupAcl::new();
+        let target = Rloc::for_router_index(7);
+        let act = ingress(
+            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 9, false),
+            Some(target), EnforcementPoint::Egress, None, Action::Deny, 8,
+            Rloc::for_router_index(1),
+        );
+        match act {
+            IngressAction::Encap { to, packet } => {
+                assert_eq!(to, target);
+                assert_eq!(packet.src_group, GroupId(10));
+                assert!(!packet.policy_applied);
+            }
+            other => panic!("expected Encap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingress_defaults_to_border_on_miss() {
+        let vrf = VrfTable::new();
+        let mut acl = GroupAcl::new();
+        let act = ingress(
+            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 9, false),
+            None, EnforcementPoint::Egress, None, Action::Deny, 8,
+            Rloc::for_router_index(1),
+        );
+        assert!(matches!(act, IngressAction::EncapToBorder { .. }));
+    }
+
+    #[test]
+    fn ingress_enforcement_drops_before_transit() {
+        let vrf = VrfTable::new();
+        let mut acl = GroupAcl::new(); // empty → default deny
+        let act = ingress(
+            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 9, false),
+            Some(Rloc::for_router_index(7)), EnforcementPoint::Ingress,
+            Some(GroupId(20)), Action::Deny, 8, Rloc::for_router_index(1),
+        );
+        assert_eq!(act, IngressAction::DropPolicy);
+        assert_eq!(acl.counters(), (0, 1));
+    }
+
+    #[test]
+    fn ingress_enforcement_sets_applied_bit() {
+        let vrf = VrfTable::new();
+        let mut acl = GroupAcl::new();
+        acl.install(&allow_rule(vn(1), 10, 20));
+        let act = ingress(
+            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 9, false),
+            Some(Rloc::for_router_index(7)), EnforcementPoint::Ingress,
+            Some(GroupId(20)), Action::Deny, 8, Rloc::for_router_index(1),
+        );
+        match act {
+            IngressAction::Encap { packet, .. } => assert!(packet.policy_applied),
+            other => panic!("expected Encap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingress_enforcement_without_hint_defers_to_egress() {
+        let vrf = VrfTable::new();
+        let mut acl = GroupAcl::new();
+        let act = ingress(
+            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 9, false),
+            Some(Rloc::for_router_index(7)), EnforcementPoint::Ingress,
+            None, Action::Deny, 8, Rloc::for_router_index(1),
+        );
+        match act {
+            IngressAction::Encap { packet, .. } => assert!(!packet.policy_applied),
+            other => panic!("expected Encap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_matches_structured_packet() {
+        let pkt = OverlayPacket {
+            vn: vn(4097),
+            src_group: GroupId(17),
+            policy_applied: true,
+            hops_left: 6,
+            origin: Rloc::for_router_index(1),
+            inner: inner(1, 2, true),
+        };
+        let src = Rloc::for_router_index(1);
+        let dst = Rloc::for_router_index(2);
+        let bytes = encode_packet(src, dst, &pkt).unwrap();
+        let (got_src, got_dst, got_pkt) = decode_packet(&bytes).unwrap();
+        assert_eq!(got_src, src);
+        assert_eq!(got_dst, dst);
+        assert_eq!(got_pkt, pkt);
+    }
+
+    #[test]
+    fn byte_path_rejects_corruption() {
+        let pkt = packet(vn(1), 10, 1, 2);
+        let src = Rloc::for_router_index(1);
+        let dst = Rloc::for_router_index(2);
+        let bytes = encode_packet(src, dst, &pkt).unwrap();
+        // Flip a payload byte: UDP checksum must catch it.
+        let mut corrupted = bytes.clone();
+        let idx = bytes.len() - 3;
+        corrupted[idx] ^= 0xff;
+        assert!(decode_packet(&corrupted).is_err());
+    }
+
+    #[test]
+    fn mac_inner_has_no_byte_form() {
+        let pkt = OverlayPacket {
+            vn: vn(1),
+            src_group: GroupId(1),
+            policy_applied: false,
+            hops_left: 8,
+            origin: Rloc::for_router_index(1),
+            inner: InnerPacket {
+                src: Eid::Mac(MacAddr::from_seed(1)),
+                dst: Eid::Mac(MacAddr::from_seed(2)),
+                payload_len: 64,
+                flow: 0,
+                track: false,
+            },
+        };
+        assert!(encode_packet(Rloc::for_router_index(1), Rloc::for_router_index(2), &pkt).is_none());
+    }
+
+    /// Differential: the egress decision on a packet that took the byte
+    /// path equals the decision on the structured packet.
+    #[test]
+    fn decisions_identical_across_byte_roundtrip() {
+        let mut vrf = VrfTable::new();
+        vrf.attach(vn(1), local(2, 20));
+        let mut acl1 = GroupAcl::new();
+        acl1.install(&allow_rule(vn(1), 10, 20));
+        let mut acl2 = GroupAcl::new();
+        acl2.install(&allow_rule(vn(1), 10, 20));
+
+        let pkt = packet(vn(1), 10, 1, 2);
+        let bytes =
+            encode_packet(Rloc::for_router_index(1), Rloc::for_router_index(2), &pkt).unwrap();
+        let (_, _, decoded) = decode_packet(&bytes).unwrap();
+
+        let a = egress(&vrf, &mut acl1, &pkt, EnforcementPoint::Egress, Action::Deny);
+        let b = egress(&vrf, &mut acl2, &decoded, EnforcementPoint::Egress, Action::Deny);
+        assert_eq!(a, b);
+    }
+}

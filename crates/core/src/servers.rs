@@ -1,0 +1,257 @@
+//! Simulator nodes wrapping the control-plane servers.
+//!
+//! * [`RoutingServerNode`] — the routing server of Fig. 1: an
+//!   `sda-lisp` [`MapServer`] plus the §3.5 IP→MAC table for ARP
+//!   service, with a single-server control CPU (service times from
+//!   `sda-lisp`, small multiplicative jitter for realistic percentile
+//!   spread — Fig. 7's boxplots).
+//! * [`PolicyServerNode`] — the policy server: `sda-policy`'s
+//!   [`PolicyServer`] answering auth and rule-refresh requests.
+//!
+//! Both translate between `(RLOC)`-addressed protocol outboxes and
+//! simulator `NodeId`s via the shared [`Directory`].
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use rand::Rng;
+use sda_lisp::MapServer;
+use sda_policy::PolicyServer;
+use sda_simnet::{Context, Node, NodeId, SimDuration};
+use sda_types::{MacAddr, Rloc, VnId};
+
+use crate::msg::{ArpMsg, FabricMsg, PolicyMsg};
+
+/// Immutable fabric-wide wiring and parameters, shared by every node.
+#[derive(Debug)]
+pub struct Directory {
+    /// RLOC → simulator node.
+    pub node_of_rloc: BTreeMap<Rloc, NodeId>,
+    /// The routing server's node and locator.
+    pub routing_server: NodeId,
+    /// The routing server's RLOC (Map-Request targets).
+    pub routing_server_rloc: Rloc,
+    /// The policy server's node.
+    pub policy_server: NodeId,
+    /// The primary border router's locator (default-route target).
+    pub border_rloc: Rloc,
+    /// Fabric behavior knobs.
+    pub params: crate::controller::FabricConfig,
+}
+
+impl Directory {
+    /// The simulator node serving `rloc`.
+    ///
+    /// # Panics
+    /// Panics on an unknown RLOC — scenario wiring bug, not a runtime
+    /// condition.
+    pub fn node_of(&self, rloc: Rloc) -> NodeId {
+        *self
+            .node_of_rloc
+            .get(&rloc)
+            .unwrap_or_else(|| panic!("no node for rloc {rloc}"))
+    }
+}
+
+/// Multiplicative service-time jitter: 1.0 + Exp(1)·0.18, capped.
+/// Produces the long-tailed-but-bounded spread of Fig. 7's boxplots.
+pub(crate) fn service_jitter(rng: &mut impl Rng) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let exp = -u.ln();
+    1.0 + (exp * 0.18).min(2.0)
+}
+
+/// The routing server simulator node.
+pub struct RoutingServerNode {
+    server: MapServer,
+    dir: Rc<Directory>,
+    /// §3.5: overlay IP → MAC, for ARP broadcast-to-unicast conversion.
+    arp_db: BTreeMap<(VnId, Ipv4Addr), MacAddr>,
+}
+
+impl RoutingServerNode {
+    /// Wraps `server` with fabric wiring.
+    pub fn new(server: MapServer, dir: Rc<Directory>) -> Self {
+        RoutingServerNode { server, dir, arp_db: BTreeMap::new() }
+    }
+
+    /// Read access for post-run assertions.
+    pub fn server(&self) -> &MapServer {
+        &self.server
+    }
+
+    /// Registered IP→MAC pairs.
+    pub fn arp_entries(&self) -> usize {
+        self.arp_db.len()
+    }
+}
+
+/// Timer token: periodic purge of expired registrations.
+const TIMER_PURGE: u64 = 0;
+
+impl Node<FabricMsg> for RoutingServerNode {
+    fn on_timer(&mut self, ctx: &mut Context<'_, FabricMsg>, token: u64) {
+        if token == TIMER_PURGE {
+            let out = self.server.expire(ctx.now());
+            for (rloc, msg) in out {
+                ctx.send(self.dir.node_of(rloc), FabricMsg::Control(msg));
+            }
+            if let Some(interval) = self.dir.params.purge_interval {
+                ctx.set_timer(interval, TIMER_PURGE);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, FabricMsg>, _from: NodeId, msg: FabricMsg) {
+        match msg {
+            FabricMsg::Control(m) => {
+                let base = MapServer::service_time(&m);
+                let jitter = service_jitter(ctx.rng());
+                ctx.busy(SimDuration::from_secs_f64(base.as_secs_f64() * jitter));
+                let out = self.server.handle(m, ctx.now());
+                for (rloc, reply) in out {
+                    ctx.send(self.dir.node_of(rloc), FabricMsg::Control(reply));
+                }
+            }
+            FabricMsg::Arp(ArpMsg::Register { vn, ip, mac }) => {
+                self.arp_db.insert((vn, ip), mac);
+            }
+            FabricMsg::Arp(ArpMsg::Query { vn, ip, reply_to }) => {
+                ctx.busy(SimDuration::from_micros(100));
+                let mac = self.arp_db.get(&(vn, ip)).copied();
+                ctx.send(
+                    self.dir.node_of(reply_to),
+                    FabricMsg::Arp(ArpMsg::Answer { vn, ip, mac }),
+                );
+                ctx.metrics().incr("routing_server.arp_queries");
+            }
+            other => {
+                debug_assert!(
+                    false,
+                    "routing server received unexpected message {other:?}"
+                );
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Per-auth-round-trip policy-server processing time.
+pub const AUTH_SERVICE: SimDuration = SimDuration::from_micros(200);
+
+/// The policy server simulator node.
+pub struct PolicyServerNode {
+    server: PolicyServer,
+    dir: Rc<Directory>,
+}
+
+impl PolicyServerNode {
+    /// Wraps a configured policy server.
+    pub fn new(server: PolicyServer, dir: Rc<Directory>) -> Self {
+        PolicyServerNode { server, dir }
+    }
+
+    /// Read access for post-run assertions.
+    pub fn server(&self) -> &PolicyServer {
+        &self.server
+    }
+
+    /// Mutable access (runtime policy changes in scenarios).
+    pub fn server_mut(&mut self) -> &mut PolicyServer {
+        &mut self.server
+    }
+}
+
+impl Node<FabricMsg> for PolicyServerNode {
+    fn on_message(&mut self, ctx: &mut Context<'_, FabricMsg>, from: NodeId, msg: FabricMsg) {
+        let FabricMsg::Policy(pm) = msg else {
+            debug_assert!(false, "policy server received non-policy message");
+            return;
+        };
+        match pm {
+            PolicyMsg::AuthRequest { mac, secret, txn } => {
+                let cred = sda_policy::Credential { identity: mac, secret };
+                match self.server.onboard(&cred) {
+                    Some(grant) => {
+                        // EAP methods cost extra round trips; charge them
+                        // as additional serialized service time (with the
+                        // same long-tail jitter as the routing server).
+                        let jitter = service_jitter(ctx.rng());
+                        let base = AUTH_SERVICE.saturating_mul(u64::from(grant.auth_round_trips));
+                        ctx.busy(SimDuration::from_secs_f64(base.as_secs_f64() * jitter));
+                        ctx.metrics().incr("policy.auth_accepts");
+                        // §5.3: with egress enforcement the edge gets the
+                        // rules *toward* the endpoint's group; with
+                        // ingress enforcement (ablation) it needs every
+                        // rule the group can *source* — the state blow-up
+                        // the paper avoids.
+                        let rules = match self.dir.params.enforcement {
+                            crate::pipeline::EnforcementPoint::Egress => grant.rules,
+                            crate::pipeline::EnforcementPoint::Ingress => {
+                                sda_policy::sxp::ingress_subset(
+                                    self.server.matrix(),
+                                    &[(grant.profile.vn, grant.profile.group)],
+                                )
+                            }
+                        };
+                        ctx.send(
+                            from,
+                            FabricMsg::Policy(PolicyMsg::AuthAccept {
+                                txn,
+                                mac,
+                                profile: grant.profile,
+                                rules,
+                            }),
+                        );
+                    }
+                    None => {
+                        ctx.busy(AUTH_SERVICE);
+                        ctx.metrics().incr("policy.auth_rejects");
+                        ctx.send(from, FabricMsg::Policy(PolicyMsg::AuthReject { txn, mac }));
+                    }
+                }
+            }
+            PolicyMsg::RuleRefreshRequest { local } => {
+                ctx.busy(AUTH_SERVICE);
+                let rules = self.server.rules_for_edge(&local);
+                ctx.send(from, FabricMsg::Policy(PolicyMsg::RuleRefresh { rules }));
+            }
+            other => {
+                debug_assert!(false, "policy server received reply-type message {other:?}");
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn jitter_is_bounded_and_above_one() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let j = service_jitter(&mut rng);
+            assert!((1.0..=3.0).contains(&j), "jitter {j} out of range");
+        }
+    }
+
+    #[test]
+    fn jitter_has_spread() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..1000).map(|_| service_jitter(&mut rng)).collect();
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 1.3, "jitter spread too tight: {min}..{max}");
+    }
+}

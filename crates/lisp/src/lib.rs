@@ -1,0 +1,45 @@
+//! # sda-lisp
+//!
+//! The SDA **routing server** (LISP map-server) and the edge-side
+//! **map-cache**: the reactive control plane at the heart of the paper.
+//!
+//! * [`registry::MappingDb`] — the `(VN, EID) → RLOC` database, one
+//!   Patricia trie per VN per address family (§3.2.2, Table 2 row 3).
+//! * [`map_server::MapServer`] — a pure state machine speaking
+//!   [`sda_wire::lisp::Message`]: Map-Request/Reply, Map-Register with
+//!   move detection (Fig. 5), Map-Notify to the previous edge, negative
+//!   replies for unknown EIDs, and pub/sub publishes to subscribed
+//!   borders.
+//! * [`map_cache::MapCache`] — the edge router's on-demand FIB: TTL'd
+//!   entries, idle decay, SMR/underlay-event invalidation, negative
+//!   caching. Its `len()` *is* the Fig. 9 "FIB entries" series.
+//! * [`pubsub::SubscriberTable`] — border-router synchronization
+//!   (§3.3: "their FIB table is synchronized with the routing server").
+//! * [`smr::SmrTracker`] — dedup window for the data-triggered
+//!   Solicit-Map-Request messages of Fig. 6.
+//! * [`shard::ShardedMapServer`] — the horizontal-scaling deployment of
+//!   §4.1 (requests load-balanced by edge group, updates fan to all).
+//!
+//! ## Service-time model
+//!
+//! The paper's Fig. 7 measures a commercial virtual router. We model the
+//! map-server control CPU as a single-server FIFO queue whose service
+//! times ([`map_server::REQUEST_SERVICE`], [`map_server::UPDATE_SERVICE`])
+//! are *independent of the number of stored routes* — true by
+//! construction, because the Patricia trie's cost depends on key width
+//! only. Fig. 7c's load-dependent growth then falls out of queueing,
+//! exactly as on the real server.
+
+pub mod map_cache;
+pub mod map_server;
+pub mod pubsub;
+pub mod registry;
+pub mod shard;
+pub mod smr;
+
+pub use map_cache::{CacheEntry, CacheOutcome, MapCache};
+pub use map_server::{MapServer, REQUEST_SERVICE, UPDATE_SERVICE};
+pub use pubsub::SubscriberTable;
+pub use registry::{MappingDb, MappingRecord, RegisterOutcome};
+pub use shard::ShardedMapServer;
+pub use smr::SmrTracker;

@@ -1,0 +1,290 @@
+//! The edge router's map-cache: the on-demand overlay FIB.
+//!
+//! This is the structure whose size Fig. 9 plots. Entries arrive from
+//! Map-Replies and leave through four doors, each tied to a paper
+//! behavior:
+//!
+//! 1. **TTL expiry** — replies carry a TTL; expired entries are purged.
+//! 2. **Negative replies** — a resolution that fails *deletes* the entry
+//!    (§4.2: nighttime traffic toward departed endpoints cleans edge
+//!    caches in building B).
+//! 3. **SMR invalidation** — a Solicit-Map-Request marks the entry stale;
+//!    the edge re-resolves on next use (Fig. 6).
+//! 4. **Underlay events** — when a peer RLOC becomes unreachable, every
+//!    entry pointing at it is dropped and traffic falls back to the
+//!    border default route (§5.1).
+
+use std::collections::BTreeMap;
+
+use sda_simnet::{SimDuration, SimTime};
+use sda_trie::EidTrie;
+use sda_types::{Eid, EidPrefix, Rloc, VnId};
+
+/// One cached mapping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheEntry {
+    /// Locator the prefix resolves to.
+    pub rloc: Rloc,
+    /// Absolute expiry instant.
+    pub expires_at: SimTime,
+    /// Last time a lookup hit this entry (idle-decay input).
+    pub last_used: SimTime,
+    /// Entry marked stale by an SMR; next lookup must re-resolve.
+    pub stale: bool,
+}
+
+/// Result of a cache lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheOutcome {
+    /// Fresh mapping: encapsulate toward this RLOC.
+    Hit(Rloc),
+    /// No entry (or expired): send a Map-Request, meanwhile use the
+    /// default route to the border (§3.2.2).
+    Miss,
+    /// Entry exists but was SMR'd: usable for forwarding *now*, but a
+    /// re-resolution must be triggered.
+    Stale(Rloc),
+}
+
+/// The per-VN overlay FIB of one edge router.
+#[derive(Default)]
+pub struct MapCache {
+    vns: BTreeMap<VnId, EidTrie<CacheEntry>>,
+}
+
+impl MapCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        MapCache::default()
+    }
+
+    /// Installs a mapping from a positive Map-Reply.
+    pub fn install(
+        &mut self,
+        vn: VnId,
+        prefix: EidPrefix,
+        rloc: Rloc,
+        ttl: SimDuration,
+        now: SimTime,
+    ) {
+        self.vns.entry(vn).or_default().insert(
+            prefix,
+            CacheEntry { rloc, expires_at: now + ttl, last_used: now, stale: false },
+        );
+    }
+
+    /// Applies a negative Map-Reply: the covered entry is *deleted*.
+    /// Returns true if something was removed.
+    pub fn apply_negative(&mut self, vn: VnId, prefix: EidPrefix) -> bool {
+        self.vns
+            .get_mut(&vn)
+            .map(|t| t.remove(&prefix).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Looks up `eid`, refreshing `last_used` on a hit.
+    pub fn lookup(&mut self, vn: VnId, eid: Eid, now: SimTime) -> CacheOutcome {
+        let Some(trie) = self.vns.get_mut(&vn) else {
+            return CacheOutcome::Miss;
+        };
+        // Find the covering prefix first (immutable), then update.
+        let Some((prefix, entry)) = trie.lookup(&eid).map(|(p, e)| (p, *e)) else {
+            return CacheOutcome::Miss;
+        };
+        if now >= entry.expires_at {
+            trie.remove(&prefix);
+            return CacheOutcome::Miss;
+        }
+        let updated = CacheEntry { last_used: now, ..entry };
+        trie.insert(prefix, updated);
+        if entry.stale {
+            CacheOutcome::Stale(entry.rloc)
+        } else {
+            CacheOutcome::Hit(entry.rloc)
+        }
+    }
+
+    /// Marks the entry covering `eid` stale (SMR received).
+    /// Returns the current RLOC if an entry existed.
+    pub fn mark_stale(&mut self, vn: VnId, eid: Eid) -> Option<Rloc> {
+        let trie = self.vns.get_mut(&vn)?;
+        let (prefix, entry) = trie.lookup(&eid).map(|(p, e)| (p, *e))?;
+        trie.insert(prefix, CacheEntry { stale: true, ..entry });
+        Some(entry.rloc)
+    }
+
+    /// Replaces the mapping for `eid` (Map-Notify / refreshed Map-Reply
+    /// after SMR).
+    pub fn update_rloc(
+        &mut self,
+        vn: VnId,
+        eid: Eid,
+        rloc: Rloc,
+        ttl: SimDuration,
+        now: SimTime,
+    ) {
+        self.install(vn, EidPrefix::host(eid), rloc, ttl, now);
+    }
+
+    /// Drops every entry pointing at `rloc` (underlay declared it down).
+    /// Returns how many entries were removed.
+    pub fn purge_rloc(&mut self, rloc: Rloc) -> usize {
+        let mut removed = 0;
+        for trie in self.vns.values_mut() {
+            let victims: Vec<EidPrefix> = trie
+                .iter()
+                .filter(|(_, e)| e.rloc == rloc)
+                .map(|(p, _)| p)
+                .collect();
+            for p in victims {
+                trie.remove(&p);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Drops entries expired at `now` or idle longer than `idle_timeout`.
+    /// Returns how many were evicted. This is the slow decay §4.2
+    /// observes: "edge routers cache routes learned on demand and may
+    /// retain them during longer periods".
+    pub fn evict(&mut self, now: SimTime, idle_timeout: SimDuration) -> usize {
+        let mut removed = 0;
+        for trie in self.vns.values_mut() {
+            let victims: Vec<EidPrefix> = trie
+                .iter()
+                .filter(|(_, e)| {
+                    now >= e.expires_at
+                        || now.saturating_since(e.last_used) >= idle_timeout
+                })
+                .map(|(p, _)| p)
+                .collect();
+            for p in victims {
+                trie.remove(&p);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Current entry count — the Fig. 9 "FIB entries" metric.
+    pub fn len(&self) -> usize {
+        self.vns.values().map(EidTrie::len).sum()
+    }
+
+    /// Entries of one address family (the paper's Fig. 9 counts IPv4
+    /// overlay-to-underlay mappings only).
+    pub fn len_of(&self, kind: sda_types::EidKind) -> usize {
+        self.vns.values().map(|t| t.len_of(kind)).sum()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears everything (edge reboot, §5.2: "it will start with an
+    /// empty FIB for the overlay entries").
+    pub fn clear(&mut self) {
+        self.vns.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn vn(n: u32) -> VnId {
+        VnId::new(n).unwrap()
+    }
+
+    fn eid(n: u8) -> Eid {
+        Eid::V4(Ipv4Addr::new(10, 0, 0, n))
+    }
+
+    const TTL: SimDuration = SimDuration::from_secs(3600);
+    const IDLE: SimDuration = SimDuration::from_secs(7200);
+
+    #[test]
+    fn install_then_hit() {
+        let mut c = MapCache::new();
+        let r = Rloc::for_router_index(1);
+        c.install(vn(1), EidPrefix::host(eid(1)), r, TTL, SimTime::ZERO);
+        assert_eq!(c.lookup(vn(1), eid(1), SimTime::ZERO), CacheOutcome::Hit(r));
+        assert_eq!(c.lookup(vn(1), eid(2), SimTime::ZERO), CacheOutcome::Miss);
+        assert_eq!(c.lookup(vn(2), eid(1), SimTime::ZERO), CacheOutcome::Miss);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ttl_expiry_turns_hit_into_miss_and_removes() {
+        let mut c = MapCache::new();
+        c.install(vn(1), EidPrefix::host(eid(1)), Rloc::for_router_index(1), TTL, SimTime::ZERO);
+        let later = SimTime::ZERO + TTL + SimDuration::from_secs(1);
+        assert_eq!(c.lookup(vn(1), eid(1), later), CacheOutcome::Miss);
+        assert_eq!(c.len(), 0, "expired entry removed on lookup");
+    }
+
+    #[test]
+    fn negative_reply_deletes() {
+        let mut c = MapCache::new();
+        c.install(vn(1), EidPrefix::host(eid(1)), Rloc::for_router_index(1), TTL, SimTime::ZERO);
+        assert!(c.apply_negative(vn(1), EidPrefix::host(eid(1))));
+        assert!(!c.apply_negative(vn(1), EidPrefix::host(eid(1))));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn smr_marks_stale_but_still_forwards() {
+        let mut c = MapCache::new();
+        let old = Rloc::for_router_index(1);
+        let new = Rloc::for_router_index(2);
+        c.install(vn(1), EidPrefix::host(eid(1)), old, TTL, SimTime::ZERO);
+        assert_eq!(c.mark_stale(vn(1), eid(1)), Some(old));
+        // Stale entries keep forwarding to the old RLOC (which forwards
+        // on per Fig. 6) until the re-resolution lands.
+        assert_eq!(c.lookup(vn(1), eid(1), SimTime::ZERO), CacheOutcome::Stale(old));
+        c.update_rloc(vn(1), eid(1), new, TTL, SimTime::ZERO);
+        assert_eq!(c.lookup(vn(1), eid(1), SimTime::ZERO), CacheOutcome::Hit(new));
+        // SMR for something not cached: no-op.
+        assert_eq!(c.mark_stale(vn(1), eid(9)), None);
+    }
+
+    #[test]
+    fn purge_rloc_clears_only_that_locator() {
+        let mut c = MapCache::new();
+        let r1 = Rloc::for_router_index(1);
+        let r2 = Rloc::for_router_index(2);
+        c.install(vn(1), EidPrefix::host(eid(1)), r1, TTL, SimTime::ZERO);
+        c.install(vn(1), EidPrefix::host(eid(2)), r1, TTL, SimTime::ZERO);
+        c.install(vn(1), EidPrefix::host(eid(3)), r2, TTL, SimTime::ZERO);
+        assert_eq!(c.purge_rloc(r1), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(vn(1), eid(3), SimTime::ZERO), CacheOutcome::Hit(r2));
+    }
+
+    #[test]
+    fn idle_eviction() {
+        let mut c = MapCache::new();
+        let r = Rloc::for_router_index(1);
+        c.install(vn(1), EidPrefix::host(eid(1)), r, SimDuration::from_days(7), SimTime::ZERO);
+        c.install(vn(1), EidPrefix::host(eid(2)), r, SimDuration::from_days(7), SimTime::ZERO);
+        // Keep entry 1 warm.
+        let mid = SimTime::ZERO + SimDuration::from_secs(5000);
+        assert_eq!(c.lookup(vn(1), eid(1), mid), CacheOutcome::Hit(r));
+        // At IDLE past zero, entry 2 has idled out, entry 1 has not.
+        let later = SimTime::ZERO + IDLE;
+        assert_eq!(c.evict(later, IDLE), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(vn(1), eid(1), later), CacheOutcome::Hit(r));
+    }
+
+    #[test]
+    fn clear_models_reboot() {
+        let mut c = MapCache::new();
+        c.install(vn(1), EidPrefix::host(eid(1)), Rloc::for_router_index(1), TTL, SimTime::ZERO);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

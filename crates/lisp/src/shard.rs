@@ -1,0 +1,196 @@
+//! Horizontal map-server scaling (§4.1):
+//!
+//! > "the architecture scales horizontally and can deploy more routing
+//! > servers. Then, we load balance across edge routers by grouping them
+//! > and pointing each group to a different routing server for the route
+//! > requests, and perform route updates on all servers."
+//!
+//! [`ShardedMapServer`] implements exactly that: requests route to one
+//! shard by requester group; registers replicate to every shard.
+
+use sda_simnet::SimTime;
+use sda_types::Rloc;
+use sda_wire::lisp::Message;
+
+use crate::map_server::{MapServer, MapServerStats, Outbox};
+
+/// A group of map-servers acting as one logical routing server.
+pub struct ShardedMapServer {
+    shards: Vec<MapServer>,
+}
+
+impl ShardedMapServer {
+    /// Creates `n` shards with locators from `rlocs` (one per shard).
+    ///
+    /// # Panics
+    /// Panics if `rlocs` is empty.
+    pub fn new(rlocs: Vec<Rloc>) -> Self {
+        assert!(!rlocs.is_empty(), "need at least one shard");
+        ShardedMapServer {
+            shards: rlocs.into_iter().map(MapServer::new).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard serves requests from `requester` (stable hash of the
+    /// edge's RLOC — the "grouping edge routers" rule).
+    pub fn shard_for(&self, requester: Rloc) -> usize {
+        let ip = u32::from(requester.addr());
+        (ip.wrapping_mul(2_654_435_761) >> 16) as usize % self.shards.len()
+    }
+
+    /// Handles a message, applying the request/update routing rule.
+    pub fn handle(&mut self, msg: Message, now: SimTime) -> Outbox {
+        match &msg {
+            // Updates fan to ALL shards so any shard can answer any EID.
+            Message::MapRegister { .. } => {
+                let mut out = Outbox::new();
+                let last = self.shards.len() - 1;
+                for (i, shard) in self.shards.iter_mut().enumerate() {
+                    let produced = shard.handle(msg.clone(), now);
+                    // Only one shard's side effects (notify/publish) are
+                    // transmitted, or every subscriber would see N copies.
+                    if i == last {
+                        out = produced;
+                    }
+                }
+                out
+            }
+            Message::MapRequest { itr_rloc, .. } => {
+                let idx = self.shard_for(*itr_rloc);
+                self.shards[idx].handle(msg, now)
+            }
+            Message::Subscribe { subscriber, .. } => {
+                // Subscriptions live on the last shard — the one whose
+                // side effects are transmitted for registers.
+                let idx = self.shards.len() - 1;
+                let _ = subscriber;
+                self.shards[idx].handle(msg, now)
+            }
+            _ => Outbox::new(),
+        }
+    }
+
+    /// Aggregated statistics across shards.
+    pub fn stats(&self) -> MapServerStats {
+        let mut total = MapServerStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            total.replies += st.replies;
+            total.negative_replies += st.negative_replies;
+            total.registers += st.registers;
+            total.moves += st.moves;
+            total.publishes += st.publishes;
+        }
+        total
+    }
+
+    /// Per-shard request counts (for balance checks).
+    pub fn request_distribution(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.stats().replies + s.stats().negative_replies)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_types::{Eid, VnId};
+    use std::net::Ipv4Addr;
+
+    fn vn() -> VnId {
+        VnId::new(1).unwrap()
+    }
+
+    fn eid(n: u8) -> Eid {
+        Eid::V4(Ipv4Addr::new(10, 0, 0, n))
+    }
+
+    fn sharded(n: u16) -> ShardedMapServer {
+        ShardedMapServer::new((0..n).map(|i| Rloc::for_router_index(1000 + i)).collect())
+    }
+
+    fn register(e: Eid, edge: Rloc) -> Message {
+        Message::MapRegister {
+            nonce: 0,
+            vn: vn(),
+            eid: e,
+            rloc: edge,
+            ttl_secs: 300,
+            want_notify: false,
+        }
+    }
+
+    fn request(e: Eid, requester: Rloc) -> Message {
+        Message::MapRequest { nonce: 1, smr: false, vn: vn(), eid: e, itr_rloc: requester }
+    }
+
+    #[test]
+    fn any_shard_answers_any_eid() {
+        let mut s = sharded(4);
+        let edge = Rloc::for_router_index(1);
+        s.handle(register(eid(1), edge), SimTime::ZERO);
+        // Ask from many different requesters (hitting different shards):
+        // all must answer positively.
+        for i in 0..16 {
+            let requester = Rloc::for_router_index(i);
+            let out = s.handle(request(eid(1), requester), SimTime::ZERO);
+            assert_eq!(out.len(), 1);
+            assert!(
+                matches!(out[0].1, Message::MapReply { negative: false, .. }),
+                "shard must know the EID"
+            );
+        }
+    }
+
+    #[test]
+    fn requests_spread_across_shards() {
+        let mut s = sharded(4);
+        s.handle(register(eid(1), Rloc::for_router_index(1)), SimTime::ZERO);
+        for i in 0..200 {
+            let requester = Rloc::for_router_index(i);
+            s.handle(request(eid(1), requester), SimTime::ZERO);
+        }
+        let dist = s.request_distribution();
+        assert_eq!(dist.iter().sum::<u64>(), 200);
+        for (i, count) in dist.iter().enumerate() {
+            assert!(*count > 20, "shard {i} got only {count}/200 requests");
+        }
+    }
+
+    #[test]
+    fn same_requester_always_same_shard() {
+        let s = sharded(3);
+        let r = Rloc::for_router_index(42);
+        let first = s.shard_for(r);
+        for _ in 0..10 {
+            assert_eq!(s.shard_for(r), first);
+        }
+    }
+
+    #[test]
+    fn move_notify_emitted_once_not_per_shard() {
+        let mut s = sharded(4);
+        let old_edge = Rloc::for_router_index(1);
+        let new_edge = Rloc::for_router_index(2);
+        s.handle(register(eid(1), old_edge), SimTime::ZERO);
+        let out = s.handle(register(eid(1), new_edge), SimTime::ZERO);
+        let notifies = out
+            .iter()
+            .filter(|(_, m)| matches!(m, Message::MapNotify { .. }))
+            .count();
+        assert_eq!(notifies, 1, "exactly one notify despite 4 shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        ShardedMapServer::new(vec![]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Solicit-Map-Request bookkeeping (Fig. 6).
+//!
+//! When a *stale* edge keeps receiving traffic for a moved endpoint, it
+//! answers each source with an SMR. Sources may send many packets before
+//! their re-resolution completes; re-SMR'ing every packet would melt the
+//! control plane, so senders are deduplicated within a window — the
+//! paper's observation that "these control plane messages will be
+//! staggered over time" stays true while the *rate* stays bounded.
+
+use std::collections::HashMap;
+
+use sda_simnet::{SimDuration, SimTime};
+use sda_types::{Eid, Rloc, VnId};
+
+/// Deduplicates SMR transmissions per `(vn, eid, requester)` within a
+/// hold-down window.
+pub struct SmrTracker {
+    window: SimDuration,
+    last_sent: HashMap<(VnId, Eid, Rloc), SimTime>,
+    sent: u64,
+    suppressed: u64,
+}
+
+impl SmrTracker {
+    /// Creates a tracker with the given hold-down window.
+    pub fn new(window: SimDuration) -> Self {
+        SmrTracker {
+            window,
+            last_sent: HashMap::new(),
+            sent: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Should an SMR be sent to `source` about `(vn, eid)` now?
+    /// Records the transmission when answering `true`.
+    pub fn should_send(&mut self, vn: VnId, eid: Eid, source: Rloc, now: SimTime) -> bool {
+        let key = (vn, eid, source);
+        match self.last_sent.get(&key) {
+            Some(&t) if now.saturating_since(t) < self.window => {
+                self.suppressed += 1;
+                false
+            }
+            _ => {
+                self.last_sent.insert(key, now);
+                self.sent += 1;
+                true
+            }
+        }
+    }
+
+    /// Clears state for an EID once its move has been re-resolved.
+    pub fn forget_eid(&mut self, vn: VnId, eid: Eid) {
+        self.last_sent.retain(|(v, e, _), _| !(*v == vn && *e == eid));
+    }
+
+    /// (sent, suppressed) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.sent, self.suppressed)
+    }
+
+    /// Drops records older than the window (housekeeping).
+    pub fn gc(&mut self, now: SimTime) {
+        let window = self.window;
+        self.last_sent
+            .retain(|_, t| now.saturating_since(*t) < window);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn vn(n: u32) -> VnId {
+        VnId::new(n).unwrap()
+    }
+
+    fn eid(n: u8) -> Eid {
+        Eid::V4(Ipv4Addr::new(10, 0, 0, n))
+    }
+
+    const WINDOW: SimDuration = SimDuration::from_secs(5);
+
+    #[test]
+    fn dedup_within_window() {
+        let mut t = SmrTracker::new(WINDOW);
+        let src = Rloc::for_router_index(1);
+        assert!(t.should_send(vn(1), eid(1), src, SimTime::ZERO));
+        assert!(!t.should_send(vn(1), eid(1), src, SimTime::ZERO + SimDuration::from_secs(1)));
+        assert!(t.should_send(vn(1), eid(1), src, SimTime::ZERO + WINDOW));
+        assert_eq!(t.stats(), (2, 1));
+    }
+
+    #[test]
+    fn distinct_sources_tracked_independently() {
+        let mut t = SmrTracker::new(WINDOW);
+        assert!(t.should_send(vn(1), eid(1), Rloc::for_router_index(1), SimTime::ZERO));
+        assert!(t.should_send(vn(1), eid(1), Rloc::for_router_index(2), SimTime::ZERO));
+    }
+
+    #[test]
+    fn forget_eid_resets() {
+        let mut t = SmrTracker::new(WINDOW);
+        let src = Rloc::for_router_index(1);
+        assert!(t.should_send(vn(1), eid(1), src, SimTime::ZERO));
+        t.forget_eid(vn(1), eid(1));
+        assert!(t.should_send(vn(1), eid(1), src, SimTime::ZERO));
+    }
+
+    #[test]
+    fn gc_prunes_old_records() {
+        let mut t = SmrTracker::new(WINDOW);
+        let src = Rloc::for_router_index(1);
+        t.should_send(vn(1), eid(1), src, SimTime::ZERO);
+        t.gc(SimTime::ZERO + WINDOW + SimDuration::from_secs(1));
+        assert!(t.last_sent.is_empty());
+    }
+}

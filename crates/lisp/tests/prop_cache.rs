@@ -1,0 +1,168 @@
+//! Model-based property tests for the edge map-cache: the trie-backed
+//! implementation must agree with a naive reference on every operation
+//! sequence, and its TTL/idle/invalidations must never resurrect stale
+//! state.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use sda_lisp::{CacheOutcome, MapCache};
+use sda_simnet::{SimDuration, SimTime};
+use sda_types::{Eid, EidPrefix, Rloc, VnId};
+
+fn vn() -> VnId {
+    VnId::new(1).unwrap()
+}
+
+fn eid(n: u8) -> Eid {
+    Eid::V4(Ipv4Addr::new(10, 0, 0, n))
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// install(eid, rloc, ttl_secs) at the current time.
+    Install(u8, u16, u32),
+    /// lookup(eid).
+    Lookup(u8),
+    /// negative(eid).
+    Negative(u8),
+    /// mark_stale(eid).
+    MarkStale(u8),
+    /// purge_rloc(rloc).
+    PurgeRloc(u16),
+    /// advance clock by seconds.
+    Advance(u32),
+    /// evict with idle timeout (secs).
+    Evict(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16, 0u16..4, 1u32..600).prop_map(|(e, r, t)| Op::Install(e, r, t)),
+        (0u8..16).prop_map(Op::Lookup),
+        (0u8..16).prop_map(Op::Negative),
+        (0u8..16).prop_map(Op::MarkStale),
+        (0u16..4).prop_map(Op::PurgeRloc),
+        (1u32..400).prop_map(Op::Advance),
+        (60u32..600).prop_map(Op::Evict),
+    ]
+}
+
+/// Reference model entry.
+#[derive(Clone, Copy)]
+struct ModelEntry {
+    rloc: Rloc,
+    expires_at: SimTime,
+    last_used: SimTime,
+    stale: bool,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut cache = MapCache::new();
+        let mut model: HashMap<Eid, ModelEntry> = HashMap::new();
+        let mut now = SimTime::ZERO;
+
+        for op in ops {
+            match op {
+                Op::Install(e, r, ttl) => {
+                    let rloc = Rloc::for_router_index(r);
+                    let ttl = SimDuration::from_secs(u64::from(ttl));
+                    cache.install(vn(), EidPrefix::host(eid(e)), rloc, ttl, now);
+                    model.insert(eid(e), ModelEntry {
+                        rloc,
+                        expires_at: now + ttl,
+                        last_used: now,
+                        stale: false,
+                    });
+                }
+                Op::Lookup(e) => {
+                    let got = cache.lookup(vn(), eid(e), now);
+                    let want = match model.get_mut(&eid(e)) {
+                        Some(entry) if now < entry.expires_at => {
+                            entry.last_used = now;
+                            if entry.stale {
+                                CacheOutcome::Stale(entry.rloc)
+                            } else {
+                                CacheOutcome::Hit(entry.rloc)
+                            }
+                        }
+                        Some(_) => {
+                            model.remove(&eid(e));
+                            CacheOutcome::Miss
+                        }
+                        None => CacheOutcome::Miss,
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                Op::Negative(e) => {
+                    let got = cache.apply_negative(vn(), EidPrefix::host(eid(e)));
+                    let want = model.remove(&eid(e)).is_some();
+                    prop_assert_eq!(got, want);
+                }
+                Op::MarkStale(e) => {
+                    let got = cache.mark_stale(vn(), eid(e));
+                    let want = model.get_mut(&eid(e)).map(|entry| {
+                        entry.stale = true;
+                        entry.rloc
+                    });
+                    prop_assert_eq!(got, want);
+                }
+                Op::PurgeRloc(r) => {
+                    let rloc = Rloc::for_router_index(r);
+                    let got = cache.purge_rloc(rloc);
+                    let before = model.len();
+                    model.retain(|_, entry| entry.rloc != rloc);
+                    prop_assert_eq!(got, before - model.len());
+                }
+                Op::Advance(secs) => {
+                    now += SimDuration::from_secs(u64::from(secs));
+                }
+                Op::Evict(idle) => {
+                    let idle = SimDuration::from_secs(u64::from(idle));
+                    let got = cache.evict(now, idle);
+                    let before = model.len();
+                    model.retain(|_, entry| {
+                        now < entry.expires_at
+                            && now.saturating_since(entry.last_used) < idle
+                    });
+                    prop_assert_eq!(got, before - model.len());
+                }
+            }
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+
+    /// A hit can never return an expired entry's RLOC.
+    #[test]
+    fn hits_are_never_expired(
+        installs in proptest::collection::vec((0u8..8, 0u16..4, 1u32..100), 1..20),
+        probe_at in 0u32..300,
+        probe in 0u8..8,
+    ) {
+        let mut cache = MapCache::new();
+        for (e, r, ttl) in &installs {
+            cache.install(
+                vn(),
+                EidPrefix::host(eid(*e)),
+                Rloc::for_router_index(*r),
+                SimDuration::from_secs(u64::from(*ttl)),
+                SimTime::ZERO,
+            );
+        }
+        let now = SimTime::ZERO + SimDuration::from_secs(u64::from(probe_at));
+        match cache.lookup(vn(), eid(probe), now) {
+            CacheOutcome::Hit(_) | CacheOutcome::Stale(_) => {
+                // The last install for this eid must still be live.
+                let last = installs.iter().rev().find(|(e, _, _)| *e == probe);
+                let (_, _, ttl) = last.expect("hit without install");
+                prop_assert!(u64::from(probe_at) < u64::from(*ttl));
+            }
+            CacheOutcome::Miss => {}
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # sda-policy
+//!
+//! The SDA **policy server**: the control-plane half that knows *who* may
+//! talk to *whom* (the routing server knows *where* everyone is).
+//!
+//! Responsibilities, following §3.2.1:
+//!
+//! * **Authentication** ([`auth`]) — a RADIUS-style credential exchange.
+//!   A successful authentication binds the endpoint to its `(VN, GroupId)`
+//!   pair, the inputs to both macro- and micro-segmentation.
+//! * **Connectivity matrix** ([`matrix`]) — per-VN group-pair rules with
+//!   a configurable default action; "VNs never talk to each other" is
+//!   structural (rules are scoped inside a VN).
+//! * **Rule distribution** ([`sxp`]) — the SXP-style push of exactly the
+//!   rule subset an edge router needs: with egress enforcement, only
+//!   rules whose *destination* group is locally attached (§3.3.1, §5.3).
+//! * **Policy updates** ([`update`]) — the two operational strategies of
+//!   §5.4 (move endpoints between groups vs. rewrite the matrix), with
+//!   signaling-cost accounting so the trade-off is measurable.
+//!
+//! [`server::PolicyServer`] ties these together behind the message-level
+//! API the fabric speaks.
+
+pub mod auth;
+pub mod matrix;
+pub mod server;
+pub mod sxp;
+pub mod update;
+
+pub use auth::{AuthMethod, AuthOutcome, AuthServer, Credential};
+pub use matrix::{Action, ConnectivityMatrix, GroupRule};
+pub use server::{EndpointProfile, PolicyServer};
+pub use sxp::RuleSubset;
+pub use update::{Population, UpdatePlan, UpdateStrategy};

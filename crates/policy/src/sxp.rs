@@ -1,0 +1,142 @@
+//! SXP-style rule distribution.
+//!
+//! The policy server pushes group rules to edge routers with the
+//! Scalable-Group Tag eXchange Protocol. With **egress** enforcement an
+//! edge only needs the matrix rows whose *destination* group is attached
+//! locally; with **ingress** enforcement it would need every rule whose
+//! *source* group is local — and, transitively, reachability to all
+//! destination groups, which is the state blow-up §5.3 avoids.
+
+use sda_types::{GroupId, VnId};
+
+use crate::matrix::{ConnectivityMatrix, GroupRule};
+
+/// The rules shipped to one edge router, tagged with the matrix version
+/// so the edge can detect staleness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleSubset {
+    /// Matrix version this subset was computed from.
+    pub version: u64,
+    /// The rules, ascending by (vn, src, dst).
+    pub rules: Vec<(VnId, GroupRule)>,
+}
+
+impl RuleSubset {
+    /// Number of rules in the subset.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the subset carries no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// Computes the egress-enforcement subset for an edge whose locally
+/// attached endpoints span `local` `(vn, group)` pairs.
+pub fn egress_subset(matrix: &ConnectivityMatrix, local: &[(VnId, GroupId)]) -> RuleSubset {
+    let mut rules = Vec::new();
+    let mut vns: Vec<VnId> = local.iter().map(|(vn, _)| *vn).collect();
+    vns.sort_unstable();
+    vns.dedup();
+    for vn in vns {
+        let dst_groups: Vec<GroupId> = local
+            .iter()
+            .filter(|(v, _)| *v == vn)
+            .map(|(_, g)| *g)
+            .collect();
+        for r in matrix.rules_toward(vn, &dst_groups) {
+            rules.push((vn, r));
+        }
+    }
+    RuleSubset { version: matrix.version(), rules }
+}
+
+/// Computes the ingress-enforcement subset: every rule whose *source*
+/// group is local. Implemented for the §5.3 ablation.
+pub fn ingress_subset(matrix: &ConnectivityMatrix, local: &[(VnId, GroupId)]) -> RuleSubset {
+    let mut rules = Vec::new();
+    let mut vns: Vec<VnId> = local.iter().map(|(vn, _)| *vn).collect();
+    vns.sort_unstable();
+    vns.dedup();
+    for vn in vns {
+        let src_groups: Vec<GroupId> = local
+            .iter()
+            .filter(|(v, _)| *v == vn)
+            .map(|(_, g)| *g)
+            .collect();
+        for r in matrix.rules_of(vn) {
+            if src_groups.contains(&r.src) {
+                rules.push((vn, r));
+            }
+        }
+    }
+    RuleSubset { version: matrix.version(), rules }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Action;
+
+    fn vn(n: u32) -> VnId {
+        VnId::new(n).unwrap()
+    }
+
+    fn demo_matrix() -> ConnectivityMatrix {
+        let mut m = ConnectivityMatrix::new();
+        // VN 1: groups 1,2,3; 1→2 allow, 3→2 deny, 2→1 allow, 1→3 allow.
+        m.set_rule(vn(1), GroupId(1), GroupId(2), Action::Allow);
+        m.set_rule(vn(1), GroupId(3), GroupId(2), Action::Deny);
+        m.set_rule(vn(1), GroupId(2), GroupId(1), Action::Allow);
+        m.set_rule(vn(1), GroupId(1), GroupId(3), Action::Allow);
+        // VN 2: 5→6 allow.
+        m.set_rule(vn(2), GroupId(5), GroupId(6), Action::Allow);
+        m
+    }
+
+    #[test]
+    fn egress_subset_only_local_destinations() {
+        let m = demo_matrix();
+        // Edge hosts endpoints of group 2 in VN 1.
+        let s = egress_subset(&m, &[(vn(1), GroupId(2))]);
+        assert_eq!(s.len(), 2, "both rules toward group 2");
+        assert!(s.rules.iter().all(|(v, r)| *v == vn(1) && r.dst == GroupId(2)));
+        assert_eq!(s.version, m.version());
+    }
+
+    #[test]
+    fn ingress_subset_only_local_sources() {
+        let m = demo_matrix();
+        let s = ingress_subset(&m, &[(vn(1), GroupId(1))]);
+        assert_eq!(s.len(), 2, "1→2 and 1→3");
+        assert!(s.rules.iter().all(|(_, r)| r.src == GroupId(1)));
+    }
+
+    #[test]
+    fn other_vn_rules_never_leak() {
+        let m = demo_matrix();
+        let s = egress_subset(&m, &[(vn(1), GroupId(2)), (vn(1), GroupId(3))]);
+        assert!(s.rules.iter().all(|(v, _)| *v == vn(1)));
+        // Group 6 lives in VN 2 only; asking within VN 1 yields nothing.
+        let s = egress_subset(&m, &[(vn(1), GroupId(6))]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn egress_typically_smaller_than_ingress_for_popular_sources() {
+        // A client group that talks to many server groups: ingress would
+        // carry all of them, egress only the locally served rows.
+        let mut m = ConnectivityMatrix::new();
+        for dst in 10..30 {
+            m.set_rule(vn(1), GroupId(1), GroupId(dst), Action::Allow);
+        }
+        let local = [(vn(1), GroupId(1)), (vn(1), GroupId(10))];
+        let egress = egress_subset(&m, &local);
+        let ingress = ingress_subset(&m, &local);
+        assert_eq!(egress.len(), 1, "only the rule toward local group 10");
+        assert_eq!(ingress.len(), 20, "every rule sourced by local group 1");
+        assert!(egress.len() < ingress.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! # sda-simnet
+//!
+//! A deterministic discrete-event network simulator: the substrate every
+//! experiment in this reproduction runs on (the paper ran on physical
+//! testbeds and a commercial traffic generator; see DESIGN.md §2 for the
+//! substitution argument).
+//!
+//! Design:
+//!
+//! * **Single-threaded, seeded, deterministic.** The event queue orders by
+//!   `(time, sequence)`; ties break by insertion order, and all randomness
+//!   flows from one [`rand::rngs::SmallRng`] seeded per scenario, so a run
+//!   is a pure function of `(scenario, seed)`.
+//! * **Poll-free node model.** Nodes implement [`Node`] and react to
+//!   delivered messages and timers; they emit new messages through the
+//!   [`Context`] handed to every callback (the smoltcp-style "state
+//!   machine + explicit environment" shape, adapted from event-driven
+//!   stack design).
+//! * **Control-plane queueing.** Each node models a single-server FIFO
+//!   control CPU: handlers call [`Context::busy`] to account processing
+//!   time, and deliveries that arrive while the CPU is busy wait in line.
+//!   This is what makes *load* translate into *convergence delay
+//!   variance*, the effect behind Fig. 11's BGP-vs-LISP gap.
+//! * **Links.** Latency per directed pair with a default, plus optional
+//!   deterministic-seeded loss.
+//!
+//! The simulator is generic over the message type `M`, so `sda-core`,
+//! `sda-bgp` and tests each bring their own protocol enums.
+
+pub mod metrics;
+pub mod sim;
+pub mod time;
+
+pub use metrics::{Metrics, Summary};
+pub use sim::{Context, Node, NodeId, Simulator};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,218 @@
+//! Bit-string keys for the Patricia trie.
+//!
+//! A [`BitStr`] is an immutable sequence of bits backed by bytes, most
+//! significant bit first — the natural order for network prefixes, where
+//! "the first `len` bits of the address" is exactly the CIDR meaning.
+
+use core::fmt;
+
+/// An owned bit string (MSB-first).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitStr {
+    /// Backing bytes; bits beyond `len` are zero (canonical form).
+    bytes: Vec<u8>,
+    /// Length in bits.
+    len: usize,
+}
+
+impl BitStr {
+    /// The empty bit string (the trie root's label).
+    pub fn empty() -> Self {
+        BitStr::default()
+    }
+
+    /// Builds a bit string from the first `len` bits of `bytes`.
+    ///
+    /// Trailing bits inside the last byte are zeroed so equal prefixes
+    /// have equal representations regardless of the source buffer.
+    ///
+    /// # Panics
+    /// Panics if `len > bytes.len() * 8`.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(len <= bytes.len() * 8, "bit length exceeds buffer");
+        let nbytes = len.div_ceil(8);
+        let mut v = bytes[..nbytes].to_vec();
+        let spare = nbytes * 8 - len;
+        if spare > 0 {
+            if let Some(last) = v.last_mut() {
+                *last &= 0xffu8 << spare;
+            }
+        }
+        BitStr { bytes: v, len }
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the string holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at position `i` (0 = most significant of the first byte).
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let byte = self.bytes[i / 8];
+        (byte >> (7 - (i % 8))) & 1 == 1
+    }
+
+    /// The sub-string `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > len`.
+    pub fn slice(&self, start: usize, end: usize) -> BitStr {
+        assert!(start <= end && end <= self.len);
+        let mut out = BitStr::with_capacity(end - start);
+        for i in start..end {
+            out.push(self.bit(i));
+        }
+        out
+    }
+
+    fn with_capacity(bits: usize) -> BitStr {
+        BitStr { bytes: Vec::with_capacity(bits.div_ceil(8)), len: 0 }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(8) {
+            self.bytes.push(0);
+        }
+        if bit {
+            let idx = self.len / 8;
+            self.bytes[idx] |= 1 << (7 - (self.len % 8));
+        }
+        self.len += 1;
+    }
+
+    /// Concatenation `self ++ other`.
+    pub fn concat(&self, other: &BitStr) -> BitStr {
+        let mut out = self.clone();
+        for i in 0..other.len {
+            out.push(other.bit(i));
+        }
+        out
+    }
+
+    /// Number of leading bits shared with `other`.
+    pub fn common_prefix_len(&self, other: &BitStr) -> usize {
+        let max = self.len.min(other.len);
+        // Byte-at-a-time fast path.
+        let full_bytes = max / 8;
+        let mut i = 0;
+        while i < full_bytes {
+            let x = self.bytes[i] ^ other.bytes[i];
+            if x != 0 {
+                return i * 8 + x.leading_zeros() as usize;
+            }
+            i += 1;
+        }
+        let mut bits = full_bytes * 8;
+        while bits < max && self.bit(bits) == other.bit(bits) {
+            bits += 1;
+        }
+        bits
+    }
+
+    /// True when `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &BitStr) -> bool {
+        self.len <= other.len && self.common_prefix_len(other) == self.len
+    }
+}
+
+impl fmt::Debug for BitStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitStr(")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for BitStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_canonicalizes_spare_bits() {
+        let a = BitStr::from_bytes(&[0b1010_1111], 4);
+        let b = BitStr::from_bytes(&[0b1010_0000], 4);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "1010");
+    }
+
+    #[test]
+    fn bit_indexing_is_msb_first() {
+        let s = BitStr::from_bytes(&[0b1000_0001, 0b0100_0000], 16);
+        assert!(s.bit(0));
+        assert!(!s.bit(1));
+        assert!(s.bit(7));
+        assert!(!s.bit(8));
+        assert!(s.bit(9));
+    }
+
+    #[test]
+    fn push_builds_same_as_from_bytes() {
+        let mut s = BitStr::empty();
+        for b in [true, false, true, true, false, false, true, false, true] {
+            s.push(b);
+        }
+        assert_eq!(s, BitStr::from_bytes(&[0b1011_0010, 0b1000_0000], 9));
+    }
+
+    #[test]
+    fn slice_and_concat_are_inverse() {
+        let s = BitStr::from_bytes(&[0xDE, 0xAD, 0xBE], 22);
+        let left = s.slice(0, 10);
+        let right = s.slice(10, 22);
+        assert_eq!(left.concat(&right), s);
+    }
+
+    #[test]
+    fn common_prefix_len_cases() {
+        let a = BitStr::from_bytes(&[0b1100_0000], 8);
+        let b = BitStr::from_bytes(&[0b1101_0000], 8);
+        assert_eq!(a.common_prefix_len(&b), 3);
+        assert_eq!(a.common_prefix_len(&a), 8);
+        let empty = BitStr::empty();
+        assert_eq!(a.common_prefix_len(&empty), 0);
+    }
+
+    #[test]
+    fn common_prefix_spans_byte_boundary() {
+        let a = BitStr::from_bytes(&[0xFF, 0b1010_0000], 12);
+        let b = BitStr::from_bytes(&[0xFF, 0b1011_0000], 12);
+        assert_eq!(a.common_prefix_len(&b), 11);
+    }
+
+    #[test]
+    fn is_prefix_of() {
+        let p = BitStr::from_bytes(&[0b1010_0000], 4);
+        let full = BitStr::from_bytes(&[0b1010_1111], 8);
+        assert!(p.is_prefix_of(&full));
+        assert!(!full.is_prefix_of(&p));
+        assert!(BitStr::empty().is_prefix_of(&p));
+        assert!(p.is_prefix_of(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        BitStr::from_bytes(&[0xff], 4).bit(4);
+    }
+}

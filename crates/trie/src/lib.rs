@@ -1,0 +1,27 @@
+//! # sda-trie
+//!
+//! A Patricia (path-compressed binary radix) trie, the data structure the
+//! paper credits for the routing server's flat lookup latency:
+//!
+//! > "it makes it easy to implement the routing server with a Patricia
+//! > Trie. The delay of this data structure depends on the number of bits
+//! > of the keys, not the number of elements" (§4.1, citing Morrison 1968).
+//!
+//! Two layers:
+//!
+//! * [`trie::PatriciaTrie`] — the generic bit-keyed trie with exact-match
+//!   and longest-prefix-match operations.
+//! * [`map::EidTrie`] — an address-family-aware wrapper keyed by
+//!   [`sda_types::EidPrefix`], with one inner trie per family so IPv4,
+//!   IPv6 and MAC keys never collide.
+//!
+//! The benchmark `fig7_routing_server` measures these operations directly
+//! to reproduce Fig. 7a/7b.
+
+pub mod bits;
+pub mod map;
+pub mod trie;
+
+pub use bits::BitStr;
+pub use map::EidTrie;
+pub use trie::PatriciaTrie;

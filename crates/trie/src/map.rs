@@ -1,0 +1,219 @@
+//! Address-family-aware prefix map over the Patricia trie.
+//!
+//! The routing server stores IPv4, IPv6 and MAC EIDs. [`EidTrie`] keeps
+//! one inner trie per family so a 32-bit IPv4 key can never alias a
+//! 48-bit MAC key, and exposes the operations the map-server needs:
+//! exact insert/remove by [`EidPrefix`] and longest-prefix lookup by
+//! [`Eid`].
+
+use sda_types::{Eid, EidKind, EidPrefix, Ipv4Prefix, Ipv6Prefix, MacPrefix};
+
+use crate::bits::BitStr;
+use crate::trie::PatriciaTrie;
+
+fn prefix_key(p: &EidPrefix) -> BitStr {
+    BitStr::from_bytes(&p.addr_bytes(), p.len() as usize)
+}
+
+fn eid_key(e: &Eid) -> BitStr {
+    let bytes = e.to_bytes();
+    let len = bytes.len() * 8;
+    BitStr::from_bytes(&bytes, len)
+}
+
+fn prefix_from_parts(kind: EidKind, key: &BitStr) -> EidPrefix {
+    // Reconstruct canonical bytes from the bit string.
+    let width = kind.bit_len() as usize / 8;
+    let mut bytes = vec![0u8; width];
+    for i in 0..key.len() {
+        if key.bit(i) {
+            bytes[i / 8] |= 1 << (7 - (i % 8));
+        }
+    }
+    let len = key.len() as u8;
+    match kind {
+        EidKind::V4 => {
+            let arr: [u8; 4] = bytes.try_into().unwrap();
+            EidPrefix::V4(Ipv4Prefix::new(arr.into(), len).unwrap())
+        }
+        EidKind::V6 => {
+            let arr: [u8; 16] = bytes.try_into().unwrap();
+            EidPrefix::V6(Ipv6Prefix::new(arr.into(), len).unwrap())
+        }
+        EidKind::Mac => {
+            let arr: [u8; 6] = bytes.try_into().unwrap();
+            EidPrefix::Mac(MacPrefix::new(sda_types::MacAddr(arr), len).unwrap())
+        }
+    }
+}
+
+/// A map from [`EidPrefix`] to `V` with longest-prefix lookup by [`Eid`].
+pub struct EidTrie<V> {
+    v4: PatriciaTrie<V>,
+    v6: PatriciaTrie<V>,
+    mac: PatriciaTrie<V>,
+}
+
+impl<V> Default for EidTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> EidTrie<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        EidTrie {
+            v4: PatriciaTrie::new(),
+            v6: PatriciaTrie::new(),
+            mac: PatriciaTrie::new(),
+        }
+    }
+
+    fn family(&self, kind: EidKind) -> &PatriciaTrie<V> {
+        match kind {
+            EidKind::V4 => &self.v4,
+            EidKind::V6 => &self.v6,
+            EidKind::Mac => &self.mac,
+        }
+    }
+
+    fn family_mut(&mut self, kind: EidKind) -> &mut PatriciaTrie<V> {
+        match kind {
+            EidKind::V4 => &mut self.v4,
+            EidKind::V6 => &mut self.v6,
+            EidKind::Mac => &mut self.mac,
+        }
+    }
+
+    /// Total entries across all families.
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len() + self.mac.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries in one family.
+    pub fn len_of(&self, kind: EidKind) -> usize {
+        self.family(kind).len()
+    }
+
+    /// Inserts `value` at `prefix`, returning any previous value.
+    pub fn insert(&mut self, prefix: EidPrefix, value: V) -> Option<V> {
+        let key = prefix_key(&prefix);
+        self.family_mut(prefix.kind()).insert(&key, value)
+    }
+
+    /// Exact-match lookup by prefix.
+    pub fn get(&self, prefix: &EidPrefix) -> Option<&V> {
+        self.family(prefix.kind()).get(&prefix_key(prefix))
+    }
+
+    /// Removes the entry at `prefix`, returning its value.
+    pub fn remove(&mut self, prefix: &EidPrefix) -> Option<V> {
+        let key = prefix_key(prefix);
+        self.family_mut(prefix.kind()).remove(&key)
+    }
+
+    /// Longest-prefix match for `eid`: the most specific covering prefix
+    /// and its value.
+    pub fn lookup(&self, eid: &Eid) -> Option<(EidPrefix, &V)> {
+        let key = eid_key(eid);
+        let (len, v) = self.family(eid.kind()).longest_match(&key)?;
+        let pk = key.slice(0, len);
+        Some((prefix_from_parts(eid.kind(), &pk), v))
+    }
+
+    /// Iterates all `(prefix, value)` pairs, IPv4 then IPv6 then MAC.
+    pub fn iter(&self) -> impl Iterator<Item = (EidPrefix, &V)> {
+        let v4 = self.v4.iter().map(|(k, v)| (prefix_from_parts(EidKind::V4, &k), v));
+        let v6 = self.v6.iter().map(|(k, v)| (prefix_from_parts(EidKind::V6, &k), v));
+        let mac = self.mac.iter().map(|(k, v)| (prefix_from_parts(EidKind::Mac, &k), v));
+        v4.chain(v6).chain(mac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_types::MacAddr;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn families_do_not_alias() {
+        let mut m = EidTrie::new();
+        // Same leading bytes, different families.
+        let v4: EidPrefix = Ipv4Prefix::host(Ipv4Addr::new(2, 0, 0, 1)).into();
+        let mac: EidPrefix = MacPrefix::host(MacAddr([2, 0, 0, 1, 0, 0])).into();
+        m.insert(v4, "v4");
+        m.insert(mac, "mac");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&v4), Some(&"v4"));
+        assert_eq!(m.get(&mac), Some(&"mac"));
+        assert_eq!(m.len_of(EidKind::V4), 1);
+        assert_eq!(m.len_of(EidKind::Mac), 1);
+        assert_eq!(m.len_of(EidKind::V6), 0);
+    }
+
+    #[test]
+    fn lookup_prefers_host_route_over_subnet() {
+        let mut m = EidTrie::new();
+        let subnet: EidPrefix =
+            Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap().into();
+        let host: EidPrefix = Ipv4Prefix::host(Ipv4Addr::new(10, 1, 2, 3)).into();
+        m.insert(subnet, "subnet");
+        m.insert(host, "host");
+        let (p, v) = m.lookup(&Eid::V4(Ipv4Addr::new(10, 1, 2, 3))).unwrap();
+        assert_eq!(*v, "host");
+        assert_eq!(p, host);
+        let (p, v) = m.lookup(&Eid::V4(Ipv4Addr::new(10, 1, 9, 9))).unwrap();
+        assert_eq!(*v, "subnet");
+        assert_eq!(p, subnet);
+        assert!(m.lookup(&Eid::V4(Ipv4Addr::new(10, 2, 0, 1))).is_none());
+    }
+
+    #[test]
+    fn remove_then_lookup_falls_back() {
+        let mut m = EidTrie::new();
+        let subnet: EidPrefix =
+            Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap().into();
+        let host: EidPrefix = Ipv4Prefix::host(Ipv4Addr::new(10, 1, 2, 3)).into();
+        m.insert(subnet, "subnet");
+        m.insert(host, "host");
+        assert_eq!(m.remove(&host), Some("host"));
+        let (_, v) = m.lookup(&Eid::V4(Ipv4Addr::new(10, 1, 2, 3))).unwrap();
+        assert_eq!(*v, "subnet");
+    }
+
+    #[test]
+    fn iter_reconstructs_prefixes() {
+        let mut m = EidTrie::new();
+        let entries: Vec<EidPrefix> = vec![
+            Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8).unwrap().into(),
+            Ipv4Prefix::host(Ipv4Addr::new(10, 1, 2, 3)).into(),
+            MacPrefix::host(MacAddr::from_seed(1)).into(),
+        ];
+        for (i, p) in entries.iter().enumerate() {
+            m.insert(*p, i);
+        }
+        let mut got: Vec<EidPrefix> = m.iter().map(|(p, _)| p).collect();
+        got.sort();
+        let mut want = entries.clone();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mac_lookup_exact_only_route() {
+        let mut m = EidTrie::new();
+        let mac = MacAddr::from_seed(77);
+        m.insert(MacPrefix::host(mac).into(), 9);
+        let (p, v) = m.lookup(&Eid::Mac(mac)).unwrap();
+        assert!(p.is_host());
+        assert_eq!(*v, 9);
+        assert!(m.lookup(&Eid::Mac(MacAddr::from_seed(78))).is_none());
+    }
+}

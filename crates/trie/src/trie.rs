@@ -1,0 +1,379 @@
+//! The path-compressed binary radix (Patricia) trie.
+//!
+//! Structure: every node carries a *label* (the bits between its parent
+//! and itself), an optional value, and up to two children indexed by the
+//! first bit of their labels. Invariants maintained by all operations:
+//!
+//! 1. A child's label is never empty and starts with the bit it is
+//!    indexed under.
+//! 2. No interior node without a value has fewer than two children
+//!    (otherwise it is merged with its single child) — *path compression*.
+//!
+//! Lookup cost is therefore O(key bits), independent of the number of
+//! stored entries — the property Fig. 7a/7b measures.
+
+use crate::bits::BitStr;
+
+struct Node<V> {
+    /// Bits between the parent node and this node.
+    label: BitStr,
+    /// Value stored at this exact prefix, if any.
+    value: Option<V>,
+    /// Children indexed by their label's first bit.
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    fn new(label: BitStr, value: Option<V>) -> Self {
+        Node { label, value, children: [None, None] }
+    }
+
+    fn child_count(&self) -> usize {
+        self.children.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// A Patricia trie mapping bit-string prefixes to values.
+pub struct PatriciaTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for PatriciaTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PatriciaTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PatriciaTrie { root: Node::new(BitStr::empty(), None), len: 0 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: &BitStr, value: V) -> Option<V> {
+        let (old, _) = Self::insert_at(&mut self.root, key, 0, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Recursive insert below `node`, whose label is already matched up
+    /// to `depth` bits of `key`. Returns (old value, ()).
+    fn insert_at(node: &mut Node<V>, key: &BitStr, depth: usize, value: V) -> (Option<V>, ()) {
+        // `depth` bits of key consumed before node's label started.
+        let label_len = node.label.len();
+        debug_assert!(depth + label_len <= key.len() || label_len > 0 || depth <= key.len());
+        let after_label = depth + label_len;
+
+        if after_label == key.len() {
+            // Key ends exactly at this node.
+            return (node.value.replace(value), ());
+        }
+
+        // Key continues below this node.
+        let next_bit = key.bit(after_label) as usize;
+        match &mut node.children[next_bit] {
+            None => {
+                let label = key.slice(after_label, key.len());
+                node.children[next_bit] = Some(Box::new(Node::new(label, Some(value))));
+                (None, ())
+            }
+            Some(child) => {
+                let rest = key.slice(after_label, key.len());
+                let common = child.label.common_prefix_len(&rest);
+                if common == child.label.len() {
+                    // Child label fully matches; descend.
+                    Self::insert_at(child, key, after_label, value)
+                } else {
+                    // Split the child at `common`.
+                    let child_box = node.children[next_bit].take().unwrap();
+                    let split = Self::split_node(child_box, common);
+                    node.children[next_bit] = Some(split);
+                    let child = node.children[next_bit].as_mut().unwrap();
+                    if common == rest.len() {
+                        // Key ends exactly at the split point.
+                        (child.value.replace(value), ())
+                    } else {
+                        let bit = rest.bit(common) as usize;
+                        debug_assert!(child.children[bit].is_none());
+                        let label = rest.slice(common, rest.len());
+                        child.children[bit] = Some(Box::new(Node::new(label, Some(value))));
+                        (None, ())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Splits `node` after `at` bits of its label, returning the new
+    /// parent whose single child is the original node (with shortened
+    /// label).
+    fn split_node(mut node: Box<Node<V>>, at: usize) -> Box<Node<V>> {
+        debug_assert!(at < node.label.len());
+        let parent_label = node.label.slice(0, at);
+        let child_label = node.label.slice(at, node.label.len());
+        let bit = child_label.bit(0) as usize;
+        node.label = child_label;
+        let mut parent = Box::new(Node::new(parent_label, None));
+        parent.children[bit] = Some(node);
+        parent
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, key: &BitStr) -> Option<&V> {
+        let mut node = &self.root;
+        let mut depth = node.label.len(); // root label is empty
+        debug_assert_eq!(depth, 0);
+        loop {
+            if depth == key.len() {
+                return node.value.as_ref();
+            }
+            let bit = key.bit(depth) as usize;
+            let child = node.children[bit].as_ref()?;
+            let rest = key.slice(depth, key.len());
+            if !child.label.is_prefix_of(&rest) {
+                return None;
+            }
+            depth += child.label.len();
+            node = child;
+        }
+    }
+
+    /// Longest-prefix match: the value of the longest stored prefix of
+    /// `key`, together with its bit length.
+    pub fn longest_match(&self, key: &BitStr) -> Option<(usize, &V)> {
+        let mut node = &self.root;
+        let mut depth = 0usize;
+        let mut best: Option<(usize, &V)> = node.value.as_ref().map(|v| (0, v));
+        loop {
+            if depth == key.len() {
+                return best;
+            }
+            let bit = key.bit(depth) as usize;
+            let Some(child) = node.children[bit].as_ref() else {
+                return best;
+            };
+            let rest = key.slice(depth, key.len());
+            if !child.label.is_prefix_of(&rest) {
+                return best;
+            }
+            depth += child.label.len();
+            node = child;
+            if let Some(v) = node.value.as_ref() {
+                best = Some((depth, v));
+            }
+        }
+    }
+
+    /// Removes the value at `key`, returning it. Re-compresses the path.
+    pub fn remove(&mut self, key: &BitStr) -> Option<V> {
+        let removed = Self::remove_at(&mut self.root, key, 0);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_at(node: &mut Node<V>, key: &BitStr, depth: usize) -> Option<V> {
+        if depth == key.len() {
+            return node.value.take();
+        }
+        let bit = key.bit(depth) as usize;
+        let child = node.children[bit].as_mut()?;
+        let rest = key.slice(depth, key.len());
+        if !child.label.is_prefix_of(&rest) {
+            return None;
+        }
+        let child_depth = depth + child.label.len();
+        let removed = Self::remove_at(child, key, child_depth)?;
+        // Re-establish compression on the way out.
+        let child_ref = node.children[bit].as_mut().unwrap();
+        if child_ref.value.is_none() {
+            match child_ref.child_count() {
+                0 => {
+                    node.children[bit] = None;
+                }
+                1 => {
+                    // Merge child with its single grandchild.
+                    let mut child_box = node.children[bit].take().unwrap();
+                    let gc = child_box
+                        .children
+                        .iter_mut()
+                        .find_map(Option::take)
+                        .expect("child_count said 1");
+                    let mut gc = gc;
+                    gc.label = child_box.label.concat(&gc.label);
+                    node.children[bit] = Some(gc);
+                }
+                _ => {}
+            }
+        }
+        Some(removed)
+    }
+
+    /// Iterates `(prefix, value)` pairs in depth-first order.
+    pub fn iter(&self) -> impl Iterator<Item = (BitStr, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::collect(&self.root, BitStr::empty(), &mut out);
+        out.into_iter()
+    }
+
+    fn collect<'a>(node: &'a Node<V>, prefix: BitStr, out: &mut Vec<(BitStr, &'a V)>) {
+        let here = prefix.concat(&node.label);
+        if let Some(v) = node.value.as_ref() {
+            out.push((here.clone(), v));
+        }
+        for child in node.children.iter().flatten() {
+            Self::collect(child, here.clone(), out);
+        }
+    }
+
+    /// Maximum node depth (edges from the root), a diagnostics metric:
+    /// bounded by key bit-width regardless of entry count.
+    pub fn max_depth(&self) -> usize {
+        fn depth_of<V>(node: &Node<V>) -> usize {
+            node.children
+                .iter()
+                .flatten()
+                .map(|c| 1 + depth_of(c))
+                .max()
+                .unwrap_or(0)
+        }
+        depth_of(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(bits: &str) -> BitStr {
+        let mut s = BitStr::empty();
+        for c in bits.chars() {
+            s.push(c == '1');
+        }
+        s
+    }
+
+    #[test]
+    fn insert_get_basic() {
+        let mut t = PatriciaTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(&key("1010"), "a"), None);
+        assert_eq!(t.insert(&key("1011"), "b"), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&key("1010")), Some(&"a"));
+        assert_eq!(t.get(&key("1011")), Some(&"b"));
+        assert_eq!(t.get(&key("101")), None);
+        assert_eq!(t.get(&key("10110")), None);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = PatriciaTrie::new();
+        t.insert(&key("111"), 1);
+        assert_eq!(t.insert(&key("111"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&key("111")), Some(&2));
+    }
+
+    #[test]
+    fn empty_key_is_a_valid_entry() {
+        let mut t = PatriciaTrie::new();
+        t.insert(&BitStr::empty(), "default");
+        assert_eq!(t.get(&BitStr::empty()), Some(&"default"));
+        // Default route matches everything via LPM.
+        assert_eq!(t.longest_match(&key("10101")), Some((0, &"default")));
+    }
+
+    #[test]
+    fn longest_match_prefers_longest() {
+        let mut t = PatriciaTrie::new();
+        t.insert(&key("10"), "short");
+        t.insert(&key("1010"), "long");
+        assert_eq!(t.longest_match(&key("101011")), Some((4, &"long")));
+        assert_eq!(t.longest_match(&key("100111")), Some((2, &"short")));
+        assert_eq!(t.longest_match(&key("0")), None);
+        // Exact length counts too.
+        assert_eq!(t.longest_match(&key("1010")), Some((4, &"long")));
+    }
+
+    #[test]
+    fn split_preserves_existing_entries() {
+        let mut t = PatriciaTrie::new();
+        t.insert(&key("110011"), "deep");
+        t.insert(&key("1100"), "mid"); // ends exactly at split point
+        t.insert(&key("110100"), "fork"); // splits at bit 3
+        assert_eq!(t.get(&key("110011")), Some(&"deep"));
+        assert_eq!(t.get(&key("1100")), Some(&"mid"));
+        assert_eq!(t.get(&key("110100")), Some(&"fork"));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn remove_and_recompress() {
+        let mut t = PatriciaTrie::new();
+        t.insert(&key("1010"), 1);
+        t.insert(&key("1011"), 2);
+        t.insert(&key("10"), 3);
+        assert_eq!(t.remove(&key("1010")), Some(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&key("1010")), None);
+        assert_eq!(t.get(&key("1011")), Some(&2));
+        assert_eq!(t.get(&key("10")), Some(&3));
+        assert_eq!(t.remove(&key("1010")), None);
+        assert_eq!(t.remove(&key("10")), Some(3));
+        assert_eq!(t.remove(&key("1011")), Some(2));
+        assert!(t.is_empty());
+        assert_eq!(t.max_depth(), 0);
+    }
+
+    #[test]
+    fn remove_nonexistent_divergent_key() {
+        let mut t = PatriciaTrie::new();
+        t.insert(&key("1111"), 1);
+        assert_eq!(t.remove(&key("1110")), None);
+        assert_eq!(t.remove(&key("11")), None);
+        assert_eq!(t.remove(&key("11110")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut t = PatriciaTrie::new();
+        let keys = ["0", "00", "01", "1", "101", "111111"];
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(&key(k), i);
+        }
+        let mut got: Vec<String> = t.iter().map(|(k, _)| k.to_string()).collect();
+        got.sort();
+        let mut want: Vec<String> = keys.iter().map(|s| s.to_string()).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn depth_bounded_by_key_width() {
+        // Insert many 32-bit keys; depth can never exceed 32.
+        let mut t = PatriciaTrie::new();
+        for i in 0u32..2000 {
+            let bytes = i.wrapping_mul(2_654_435_761).to_be_bytes();
+            t.insert(&BitStr::from_bytes(&bytes, 32), i);
+        }
+        assert!(t.max_depth() <= 32, "depth {} exceeds 32", t.max_depth());
+        assert_eq!(t.len(), 2000);
+    }
+}

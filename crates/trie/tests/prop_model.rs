@@ -1,0 +1,162 @@
+//! Model-based property tests: the Patricia trie must agree with a naive
+//! reference implementation (linear scan over a `Vec`) on every operation
+//! sequence, and its structural invariants must hold throughout.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use sda_trie::{BitStr, EidTrie, PatriciaTrie};
+use sda_types::{Eid, EidPrefix, Ipv4Prefix};
+
+/// Naive reference: HashMap keyed by the bit-string rendering.
+#[derive(Default)]
+struct Model {
+    entries: HashMap<String, u32>,
+}
+
+impl Model {
+    fn insert(&mut self, k: &BitStr, v: u32) -> Option<u32> {
+        self.entries.insert(k.to_string(), v)
+    }
+    fn get(&self, k: &BitStr) -> Option<u32> {
+        self.entries.get(&k.to_string()).copied()
+    }
+    fn remove(&mut self, k: &BitStr) -> Option<u32> {
+        self.entries.remove(&k.to_string())
+    }
+    fn longest_match(&self, k: &BitStr) -> Option<(usize, u32)> {
+        let key = k.to_string();
+        self.entries
+            .iter()
+            .filter(|(p, _)| key.starts_with(p.as_str()))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, v)| (p.len(), *v))
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<bool>, u32),
+    Remove(Vec<bool>),
+    Get(Vec<bool>),
+    Lpm(Vec<bool>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), 0..24)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        arb_key().prop_map(Op::Remove),
+        arb_key().prop_map(Op::Get),
+        arb_key().prop_map(Op::Lpm),
+    ]
+}
+
+fn to_bits(k: &[bool]) -> BitStr {
+    let mut s = BitStr::empty();
+    for &b in k {
+        s.push(b);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn trie_matches_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut trie = PatriciaTrie::new();
+        let mut model = Model::default();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let key = to_bits(k);
+                    prop_assert_eq!(trie.insert(&key, *v), model.insert(&key, *v));
+                }
+                Op::Remove(k) => {
+                    let key = to_bits(k);
+                    prop_assert_eq!(trie.remove(&key), model.remove(&key));
+                }
+                Op::Get(k) => {
+                    let key = to_bits(k);
+                    prop_assert_eq!(trie.get(&key).copied(), model.get(&key));
+                }
+                Op::Lpm(k) => {
+                    let key = to_bits(k);
+                    prop_assert_eq!(
+                        trie.longest_match(&key).map(|(l, v)| (l, *v)),
+                        model.longest_match(&key)
+                    );
+                }
+            }
+            prop_assert_eq!(trie.len(), model.entries.len());
+        }
+        // Final iteration agreement.
+        let mut got: Vec<(String, u32)> =
+            trie.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        got.sort();
+        let mut want: Vec<(String, u32)> =
+            model.entries.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Depth stays bounded by the key width no matter the workload — the
+    /// Fig. 7 "flat latency" property in structural form.
+    #[test]
+    fn depth_bounded_by_width(keys in proptest::collection::vec(any::<u32>(), 1..500)) {
+        let mut trie = PatriciaTrie::new();
+        for k in &keys {
+            let bytes = k.to_be_bytes();
+            trie.insert(&BitStr::from_bytes(&bytes, 32), *k);
+        }
+        prop_assert!(trie.max_depth() <= 32);
+    }
+
+    /// EidTrie LPM agrees with a linear scan over `EidPrefix::contains`.
+    #[test]
+    fn eid_trie_lookup_matches_contains_scan(
+        prefixes in proptest::collection::vec((any::<u32>(), 8u8..=32), 1..64),
+        probe in any::<u32>(),
+    ) {
+        let mut m = EidTrie::new();
+        let mut list: Vec<(EidPrefix, usize)> = Vec::new();
+        for (i, (addr, len)) in prefixes.iter().enumerate() {
+            let p: EidPrefix =
+                Ipv4Prefix::new(Ipv4Addr::from(*addr), *len).unwrap().into();
+            m.insert(p, i);
+            // Later inserts of the same canonical prefix overwrite.
+            list.retain(|(q, _)| *q != p);
+            list.push((p, i));
+        }
+        let eid = Eid::V4(Ipv4Addr::from(probe));
+        let expect = list
+            .iter()
+            .filter(|(p, _)| p.contains(eid))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, v)| (*p, *v));
+        let got = m.lookup(&eid).map(|(p, v)| (p, *v));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Insert-then-remove of a disjoint batch restores emptiness (no leaks
+    /// of structural nodes visible through iteration or len).
+    #[test]
+    fn insert_remove_all_restores_empty(keys in proptest::collection::hash_set(any::<u32>(), 1..200)) {
+        let mut trie = PatriciaTrie::new();
+        for k in &keys {
+            trie.insert(&BitStr::from_bytes(&k.to_be_bytes(), 32), *k);
+        }
+        prop_assert_eq!(trie.len(), keys.len());
+        for k in &keys {
+            prop_assert_eq!(trie.remove(&BitStr::from_bytes(&k.to_be_bytes(), 32)), Some(*k));
+        }
+        prop_assert!(trie.is_empty());
+        prop_assert_eq!(trie.iter().count(), 0);
+        prop_assert_eq!(trie.max_depth(), 0);
+    }
+}

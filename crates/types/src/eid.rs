@@ -1,0 +1,315 @@
+//! Endpoint identifiers (EIDs) and routing locators (RLOCs).
+//!
+//! LISP separates *who* an endpoint is (its EID — an overlay IPv4, IPv6 or
+//! MAC address) from *where* it currently attaches (the RLOC — the underlay
+//! address of the edge router serving it). The routing server stores
+//! `(VN, EID) → RLOC` mappings; edge routers query and update them.
+
+use core::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use crate::error::{Error, Result};
+
+/// A 48-bit MAC address.
+///
+/// MAC-keyed EIDs are what make SDA's L2 service support possible (§3.5):
+/// the routing server indexes endpoints by MAC in addition to IP so that
+/// L2 gateways can convert broadcast (e.g. ARP) to unicast.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast MAC address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// All-zero MAC, used as a "none yet" placeholder during onboarding.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Builds a locally-administered unicast MAC from a 32-bit seed.
+    ///
+    /// Workload generators use this to mint unique, valid endpoint MACs:
+    /// the first octet is `0x02` (locally administered, unicast).
+    pub const fn from_seed(seed: u32) -> Self {
+        let b = seed.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// True if the group (multicast/broadcast) bit is set.
+    pub const fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True if this is the all-ones broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// Byte representation, network order.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// The address family of an [`Eid`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EidKind {
+    /// Overlay IPv4 address.
+    V4,
+    /// Overlay IPv6 address.
+    V6,
+    /// Overlay MAC address (L2 service support).
+    Mac,
+}
+
+impl EidKind {
+    /// Key width in bits when stored in the Patricia trie.
+    pub const fn bit_len(self) -> u16 {
+        match self {
+            EidKind::V4 => 32,
+            EidKind::V6 => 128,
+            EidKind::Mac => 48,
+        }
+    }
+}
+
+impl fmt::Display for EidKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EidKind::V4 => "ipv4",
+            EidKind::V6 => "ipv6",
+            EidKind::Mac => "mac",
+        })
+    }
+}
+
+/// An overlay Endpoint IDentifier.
+///
+/// SDA registers up to three EIDs per endpoint — IPv4, IPv6 and MAC — all
+/// mapping to the same RLOC. The enum keeps them in one keyspace so the
+/// routing server can be generic over address family.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Eid {
+    /// Overlay IPv4 address.
+    V4(Ipv4Addr),
+    /// Overlay IPv6 address.
+    V6(Ipv6Addr),
+    /// Overlay MAC address.
+    Mac(MacAddr),
+}
+
+impl Eid {
+    /// The address family of this EID.
+    pub const fn kind(&self) -> EidKind {
+        match self {
+            Eid::V4(_) => EidKind::V4,
+            Eid::V6(_) => EidKind::V6,
+            Eid::Mac(_) => EidKind::Mac,
+        }
+    }
+
+    /// Canonical byte representation (4, 16 or 6 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Eid::V4(a) => a.octets().to_vec(),
+            Eid::V6(a) => a.octets().to_vec(),
+            Eid::Mac(m) => m.octets().to_vec(),
+        }
+    }
+
+    /// Reconstructs an EID from `kind` + canonical bytes.
+    pub fn from_bytes(kind: EidKind, bytes: &[u8]) -> Result<Self> {
+        match kind {
+            EidKind::V4 => {
+                let arr: [u8; 4] = bytes
+                    .try_into()
+                    .map_err(|_| Error::BadEidLength { kind, len: bytes.len() })?;
+                Ok(Eid::V4(Ipv4Addr::from(arr)))
+            }
+            EidKind::V6 => {
+                let arr: [u8; 16] = bytes
+                    .try_into()
+                    .map_err(|_| Error::BadEidLength { kind, len: bytes.len() })?;
+                Ok(Eid::V6(Ipv6Addr::from(arr)))
+            }
+            EidKind::Mac => {
+                let arr: [u8; 6] = bytes
+                    .try_into()
+                    .map_err(|_| Error::BadEidLength { kind, len: bytes.len() })?;
+                Ok(Eid::Mac(MacAddr(arr)))
+            }
+        }
+    }
+
+    /// The IP address if this is an L3 EID.
+    pub fn as_ip(&self) -> Option<IpAddr> {
+        match self {
+            Eid::V4(a) => Some(IpAddr::V4(*a)),
+            Eid::V6(a) => Some(IpAddr::V6(*a)),
+            Eid::Mac(_) => None,
+        }
+    }
+
+    /// The MAC address if this is an L2 EID.
+    pub fn as_mac(&self) -> Option<MacAddr> {
+        match self {
+            Eid::Mac(m) => Some(*m),
+            _ => None,
+        }
+    }
+}
+
+impl From<Ipv4Addr> for Eid {
+    fn from(a: Ipv4Addr) -> Self {
+        Eid::V4(a)
+    }
+}
+
+impl From<Ipv6Addr> for Eid {
+    fn from(a: Ipv6Addr) -> Self {
+        Eid::V6(a)
+    }
+}
+
+impl From<MacAddr> for Eid {
+    fn from(m: MacAddr) -> Self {
+        Eid::Mac(m)
+    }
+}
+
+impl From<IpAddr> for Eid {
+    fn from(a: IpAddr) -> Self {
+        match a {
+            IpAddr::V4(v4) => Eid::V4(v4),
+            IpAddr::V6(v6) => Eid::V6(v6),
+        }
+    }
+}
+
+impl fmt::Display for Eid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Eid::V4(a) => write!(f, "{a}"),
+            Eid::V6(a) => write!(f, "{a}"),
+            Eid::Mac(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// An underlay Routing LOCator: the underlay IPv4 address of a fabric
+/// router. Other routers encapsulate overlay traffic toward this address.
+///
+/// The underlay in SDA deployments is IPv4 (OSPF/IS-IS routed), so RLOCs
+/// are IPv4-only here; the *overlay* is the multi-family side.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Rloc(pub Ipv4Addr);
+
+impl Rloc {
+    /// Builds the conventional underlay address for router index `i`:
+    /// `10.255.(i >> 8).(i & 0xff)` — a loopback-style /32 per router.
+    pub const fn for_router_index(i: u16) -> Self {
+        Rloc(Ipv4Addr::new(10, 255, (i >> 8) as u8, (i & 0xff) as u8))
+    }
+
+    /// The underlying IPv4 address.
+    pub const fn addr(self) -> Ipv4Addr {
+        self.0
+    }
+}
+
+impl From<Ipv4Addr> for Rloc {
+    fn from(a: Ipv4Addr) -> Self {
+        Rloc(a)
+    }
+}
+
+impl fmt::Display for Rloc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_is_colon_hex() {
+        let m = MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn mac_from_seed_is_unicast_locally_administered() {
+        for seed in [0u32, 1, 0xffff_ffff, 12345] {
+            let m = MacAddr::from_seed(seed);
+            assert!(!m.is_multicast(), "{m} must be unicast");
+            assert_eq!(m.octets()[0], 0x02);
+        }
+    }
+
+    #[test]
+    fn mac_from_seed_is_injective_on_distinct_seeds() {
+        let a = MacAddr::from_seed(1);
+        let b = MacAddr::from_seed(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn broadcast_is_multicast_too() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::ZERO.is_broadcast());
+    }
+
+    #[test]
+    fn eid_roundtrips_through_bytes() {
+        let cases = [
+            Eid::V4(Ipv4Addr::new(10, 1, 2, 3)),
+            Eid::V6("2001:db8::1".parse::<Ipv6Addr>().unwrap()),
+            Eid::Mac(MacAddr::from_seed(99)),
+        ];
+        for eid in cases {
+            let bytes = eid.to_bytes();
+            assert_eq!(bytes.len() as u16 * 8, eid.kind().bit_len());
+            let back = Eid::from_bytes(eid.kind(), &bytes).unwrap();
+            assert_eq!(back, eid);
+        }
+    }
+
+    #[test]
+    fn eid_from_bytes_rejects_wrong_length() {
+        assert!(Eid::from_bytes(EidKind::V4, &[1, 2, 3]).is_err());
+        assert!(Eid::from_bytes(EidKind::Mac, &[0; 7]).is_err());
+        assert!(Eid::from_bytes(EidKind::V6, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn eid_accessors() {
+        let v4 = Eid::V4(Ipv4Addr::LOCALHOST);
+        assert!(v4.as_ip().is_some());
+        assert!(v4.as_mac().is_none());
+        let mac = Eid::Mac(MacAddr::ZERO);
+        assert!(mac.as_ip().is_none());
+        assert_eq!(mac.as_mac(), Some(MacAddr::ZERO));
+    }
+
+    #[test]
+    fn rloc_for_router_index_unique_and_stable() {
+        let a = Rloc::for_router_index(1);
+        let b = Rloc::for_router_index(256);
+        assert_ne!(a, b);
+        assert_eq!(a.addr(), Ipv4Addr::new(10, 255, 0, 1));
+        assert_eq!(b.addr(), Ipv4Addr::new(10, 255, 1, 0));
+    }
+}

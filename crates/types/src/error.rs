@@ -1,0 +1,66 @@
+//! Error type shared by the vocabulary crates.
+
+use core::fmt;
+
+use crate::eid::EidKind;
+
+/// Errors produced while constructing or parsing vocabulary types.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Error {
+    /// A VN identifier larger than 24 bits was supplied.
+    VnIdOutOfRange(u32),
+    /// EID byte slice had the wrong length for its address family.
+    BadEidLength {
+        /// The family being parsed.
+        kind: EidKind,
+        /// The offending byte length.
+        len: usize,
+    },
+    /// A prefix length larger than the address width was supplied.
+    PrefixLenOutOfRange {
+        /// Requested prefix length.
+        len: u8,
+        /// Maximum allowed for the family.
+        max: u8,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::VnIdOutOfRange(v) => write!(f, "VN id {v} exceeds 24 bits"),
+            Error::BadEidLength { kind, len } => {
+                write!(f, "{len} bytes is not a valid {kind} EID")
+            }
+            Error::PrefixLenOutOfRange { len, max } => {
+                write!(f, "prefix length /{len} exceeds maximum /{max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the vocabulary crates.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readably() {
+        assert_eq!(
+            Error::VnIdOutOfRange(1 << 24).to_string(),
+            "VN id 16777216 exceeds 24 bits"
+        );
+        assert_eq!(
+            Error::BadEidLength { kind: EidKind::V4, len: 3 }.to_string(),
+            "3 bytes is not a valid ipv4 EID"
+        );
+        assert_eq!(
+            Error::PrefixLenOutOfRange { len: 33, max: 32 }.to_string(),
+            "prefix length /33 exceeds maximum /32"
+        );
+    }
+}

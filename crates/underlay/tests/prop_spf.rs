@@ -1,0 +1,155 @@
+//! SPF correctness on random graphs: Dijkstra-with-ECMP must produce
+//! exactly the distances of a reference Bellman-Ford, and every ECMP
+//! next hop must lie on some shortest path.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use sda_types::RouterId;
+use sda_underlay::{spf, Lsa, Lsdb, Topology};
+
+/// Reference: Bellman-Ford over the same confirmed-link view.
+fn bellman_ford(t: &Topology, src: RouterId) -> BTreeMap<RouterId, u32> {
+    let mut dist: BTreeMap<RouterId, u32> = BTreeMap::new();
+    dist.insert(src, 0);
+    let n = t.len();
+    for _ in 0..n {
+        let mut changed = false;
+        let snapshot: Vec<(RouterId, u32)> =
+            dist.iter().map(|(r, d)| (*r, *d)).collect();
+        for (u, du) in snapshot {
+            for (v, w) in t.neighbors(u) {
+                let cand = du + w;
+                if dist.get(&v).map(|d| cand < *d).unwrap_or(true) {
+                    dist.insert(v, cand);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+fn full_lsdb(t: &Topology) -> Lsdb {
+    let mut db = Lsdb::new();
+    for r in t.routers() {
+        db.install(Lsa::new(r, 1, t.neighbors(r).collect()));
+    }
+    db
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    // n nodes, random edge set with weights 1..8.
+    (2usize..12).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u32..8),
+            0..(n * (n - 1) / 2 + 1),
+        );
+        edges.prop_map(move |es| {
+            let mut t = Topology::new();
+            for i in 0..n as u32 {
+                t.add_router(RouterId(i));
+            }
+            for (a, b, w) in es {
+                if a != b {
+                    t.add_link(RouterId(a), RouterId(b), w);
+                }
+            }
+            t
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn spf_distances_match_bellman_ford(t in arb_topology()) {
+        let db = full_lsdb(&t);
+        for src in t.routers() {
+            let table = spf(&db, src);
+            let reference = bellman_ford(&t, src);
+            // Same reachable set.
+            let got: BTreeMap<RouterId, u32> = t
+                .routers()
+                .filter_map(|d| table.route(d).map(|(c, _)| (d, c)))
+                .collect();
+            prop_assert_eq!(&got, &reference, "src {:?}", src);
+        }
+    }
+
+    #[test]
+    fn every_ecmp_next_hop_lies_on_a_shortest_path(t in arb_topology()) {
+        let db = full_lsdb(&t);
+        for src in t.routers() {
+            let table = spf(&db, src);
+            let dist = bellman_ford(&t, src);
+            for dst in t.routers() {
+                if dst == src {
+                    continue;
+                }
+                let Some((cost, hops)) = table.route(dst) else { continue };
+                for h in hops {
+                    // src—h link weight + dist(h → dst along shortest
+                    // tree) must equal the total cost:
+                    // dist[h] == w(src,h) and remaining dist must be
+                    // cost - w(src,h) when measured from h.
+                    let w = t
+                        .neighbors(src)
+                        .find(|(n, _)| n == h)
+                        .map(|(_, w)| w)
+                        .expect("next hop must be a direct neighbor");
+                    let from_h = bellman_ford(&t, *h);
+                    let rest = from_h.get(&dst).copied();
+                    prop_assert_eq!(
+                        rest.map(|r| r + w),
+                        Some(cost),
+                        "hop {:?} of {:?}→{:?} is off the shortest path",
+                        h, src, dst
+                    );
+                }
+                // The paper's ECMP flow stability: next_hop() result is a
+                // member of the advertised set.
+                if let Some(pick) = table.next_hop(dst, 12345) {
+                    prop_assert!(hops.contains(&pick));
+                }
+            }
+            let _ = dist;
+        }
+    }
+
+    /// Removing a link never *improves* any distance (monotonicity).
+    #[test]
+    fn link_removal_is_monotone(t in arb_topology(), k in 0usize..8) {
+        let links: Vec<(RouterId, RouterId)> = t
+            .routers()
+            .flat_map(|r| {
+                t.neighbors(r)
+                    .filter(move |(n, _)| *n > r)
+                    .map(move |(n, _)| (r, n))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if links.is_empty() {
+            return Ok(());
+        }
+        let (a, b) = links[k % links.len()];
+        let mut cut = t.clone();
+        cut.remove_link(a, b);
+
+        let before = spf(&full_lsdb(&t), RouterId(0));
+        let after = spf(&full_lsdb(&cut), RouterId(0));
+        for dst in t.routers() {
+            if let (Some((cb, _)), Some((ca, _))) = (before.route(dst), after.route(dst)) {
+                prop_assert!(ca >= cb, "removing a link must not shorten paths");
+            }
+            // A destination reachable after must have been reachable before.
+            if after.reaches(dst) {
+                prop_assert!(before.reaches(dst));
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! IPv6 headers (RFC 8200), no extension headers.
+//!
+//! Overlay endpoints are dual-stack in SDA (each endpoint registers an
+//! IPv4, an IPv6 and a MAC EID), so the inner packet may be IPv6. The
+//! underlay stays IPv4.
+
+use std::net::Ipv6Addr;
+
+use crate::field::{self, Field, Rest};
+use crate::ipv4::Protocol;
+use crate::{Error, Result};
+
+mod layout {
+    use super::{Field, Rest};
+    pub const VER_TC_FL: Field = 0..4;
+    pub const PAYLOAD_LEN: Field = 4..6;
+    pub const NEXT_HEADER: Field = 6..7;
+    pub const HOP_LIMIT: Field = 7..8;
+    pub const SRC: Field = 8..24;
+    pub const DST: Field = 24..40;
+    pub const PAYLOAD: Rest = 40..;
+}
+
+/// Length of the fixed IPv6 header.
+pub const HEADER_LEN: usize = layout::PAYLOAD.start;
+
+/// Default hop limit for locally originated packets.
+pub const DEFAULT_HOP_LIMIT: u8 = 64;
+
+/// A read/write view of an IPv6 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wraps a buffer without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Packet { buffer }
+    }
+
+    /// Wraps and validates version and payload length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let p = Packet { buffer };
+        let d = p.buffer.as_ref();
+        if d[0] >> 4 != 6 {
+            return Err(Error::Malformed);
+        }
+        let payload_len = field::get_u16(d, layout::PAYLOAD_LEN) as usize;
+        if HEADER_LEN + payload_len > len {
+            return Err(Error::BadLength);
+        }
+        Ok(p)
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Payload length field.
+    pub fn payload_len(&self) -> u16 {
+        field::get_u16(self.buffer.as_ref(), layout::PAYLOAD_LEN)
+    }
+
+    /// Next-header (protocol) field.
+    pub fn next_header(&self) -> Protocol {
+        self.buffer.as_ref()[layout::NEXT_HEADER][0].into()
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[layout::HOP_LIMIT][0]
+    }
+
+    fn addr_at(&self, f: Field) -> Ipv6Addr {
+        let mut a = [0u8; 16];
+        a.copy_from_slice(&self.buffer.as_ref()[f]);
+        Ipv6Addr::from(a)
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv6Addr {
+        self.addr_at(layout::SRC)
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv6Addr {
+        self.addr_at(layout::DST)
+    }
+
+    /// Payload bytes (bounded by the payload-length field).
+    pub fn payload(&self) -> &[u8] {
+        let end = HEADER_LEN + self.payload_len() as usize;
+        &self.buffer.as_ref()[HEADER_LEN..end]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Writes version 6, zero traffic class and flow label.
+    pub fn fill_version(&mut self) {
+        field::set_u32(self.buffer.as_mut(), layout::VER_TC_FL, 6 << 28);
+    }
+
+    /// Sets the payload-length field.
+    pub fn set_payload_len(&mut self, len: u16) {
+        field::set_u16(self.buffer.as_mut(), layout::PAYLOAD_LEN, len);
+    }
+
+    /// Sets the next-header field.
+    pub fn set_next_header(&mut self, p: Protocol) {
+        self.buffer.as_mut()[layout::NEXT_HEADER.start] = p.into();
+    }
+
+    /// Sets the hop limit.
+    pub fn set_hop_limit(&mut self, hl: u8) {
+        self.buffer.as_mut()[layout::HOP_LIMIT.start] = hl;
+    }
+
+    /// Sets the source address.
+    pub fn set_src_addr(&mut self, a: Ipv6Addr) {
+        self.buffer.as_mut()[layout::SRC].copy_from_slice(&a.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst_addr(&mut self, a: Ipv6Addr) {
+        self.buffer.as_mut()[layout::DST].copy_from_slice(&a.octets());
+    }
+
+    /// Mutable payload bytes.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let end = HEADER_LEN + self.payload_len() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..end]
+    }
+}
+
+/// Parsed representation of an IPv6 header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Repr {
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// Payload protocol.
+    pub next_header: Protocol,
+    /// Payload byte length.
+    pub payload_len: usize,
+    /// Hop limit.
+    pub hop_limit: u8,
+}
+
+impl Repr {
+    /// Parses a validated packet view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Repr {
+        Repr {
+            src: packet.src_addr(),
+            dst: packet.dst_addr(),
+            next_header: packet.next_header(),
+            payload_len: packet.payload_len() as usize,
+            hop_limit: packet.hop_limit(),
+        }
+    }
+
+    /// Bytes needed to emit header + payload.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emits the header into a packet view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        packet.fill_version();
+        packet.set_payload_len(self.payload_len as u16);
+        packet.set_next_header(self.next_header);
+        packet.set_hop_limit(self.hop_limit);
+        packet.set_src_addr(self.src);
+        packet.set_dst_addr(self.dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(payload: usize) -> Repr {
+        Repr {
+            src: "2001:db8::1".parse().unwrap(),
+            dst: "2001:db8::2".parse().unwrap(),
+            next_header: Protocol::Udp,
+            payload_len: payload,
+            hop_limit: DEFAULT_HOP_LIMIT,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample(5);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut pkt = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut pkt);
+        pkt.payload_mut().copy_from_slice(b"hello");
+        let pkt = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&pkt), repr);
+        assert_eq!(pkt.payload(), b"hello");
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let repr = sample(0);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        buf[0] = 0x45;
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn payload_len_longer_than_buffer_rejected() {
+        let repr = sample(10);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        assert_eq!(
+            Packet::new_checked(&buf[..buf.len() - 1]).unwrap_err(),
+            Error::BadLength
+        );
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(
+            Packet::new_checked(&[0x60; 39][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # sda-workloads
+//!
+//! Workload generators standing in for the paper's live deployments and
+//! commercial traffic generator (DESIGN.md §2 documents each
+//! substitution):
+//!
+//! * [`campus`] — the diurnal campus model behind Fig. 9 / Table 5:
+//!   Table 3/4 deployment shapes (buildings A and B), morning arrivals,
+//!   evening departures, weekends, an always-on device share, favorite-
+//!   peer traffic with popularity skew, and nighttime chatter toward
+//!   departed endpoints (the building-B cache-cleaning effect).
+//! * [`warehouse`] — the massive-mobility model behind Fig. 11: 16,000
+//!   endpoints over 200 edges, 800 moves/s flipping attachment between
+//!   two physical edges, with measured movers receiving correspondent
+//!   traffic; runs against both the reactive (`sda-core`) and proactive
+//!   (`sda-bgp`) fabrics.
+//! * [`queries`] — Poisson arrival processes (Fig. 7c's offered load).
+//! * [`traffic`] — popularity (Zipf) samplers shared by the models.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod campus;
+pub mod queries;
+pub mod traffic;
+pub mod warehouse;
+
+pub use campus::{CampusParams, CampusScenario};
+pub use queries::PoissonArrivals;
+pub use traffic::ZipfSampler;
+pub use warehouse::{HandoverSample, WarehouseParams};

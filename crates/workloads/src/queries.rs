@@ -1,0 +1,84 @@
+//! Arrival processes for load experiments (Fig. 7c).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sda_simnet::{SimDuration, SimTime};
+
+/// A Poisson arrival process: exponential inter-arrival times at a
+/// configured rate.
+pub struct PoissonArrivals {
+    rng: SmallRng,
+    rate_per_sec: f64,
+    next: SimTime,
+}
+
+impl PoissonArrivals {
+    /// Creates a process starting at `start` with `rate_per_sec`.
+    ///
+    /// # Panics
+    /// Panics if the rate is not positive and finite.
+    pub fn new(rate_per_sec: f64, start: SimTime, seed: u64) -> Self {
+        assert!(rate_per_sec > 0.0 && rate_per_sec.is_finite());
+        let mut p = PoissonArrivals {
+            rng: SmallRng::seed_from_u64(seed),
+            rate_per_sec,
+            next: start,
+        };
+        p.advance();
+        p
+    }
+
+    fn advance(&mut self) {
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let gap = -u.ln() / self.rate_per_sec;
+        self.next += SimDuration::from_secs_f64(gap);
+    }
+
+    /// The next arrival instant (consumes it).
+    pub fn next_arrival(&mut self) -> SimTime {
+        let t = self.next;
+        self.advance();
+        t
+    }
+
+    /// All arrivals up to `deadline`.
+    pub fn take_until(&mut self, deadline: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        while self.next <= deadline {
+            out.push(self.next_arrival());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_respected() {
+        let mut p = PoissonArrivals::new(1000.0, SimTime::ZERO, 7);
+        let arrivals = p.take_until(SimTime::ZERO + SimDuration::from_secs(10));
+        // 10k expected; Poisson sd = 100.
+        let n = arrivals.len() as f64;
+        assert!((9_500.0..10_500.0).contains(&n), "{n} arrivals for rate 1000");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut p = PoissonArrivals::new(100.0, SimTime::ZERO, 8);
+        let arrivals = p.take_until(SimTime::ZERO + SimDuration::from_secs(5));
+        for w in arrivals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = PoissonArrivals::new(500.0, SimTime::ZERO, 9)
+            .take_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let b: Vec<_> = PoissonArrivals::new(500.0, SimTime::ZERO, 9)
+            .take_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,254 @@
+//! End-to-end fabric behavior across `sda-core`, `sda-lisp`,
+//! `sda-policy` and `sda-simnet`: the full §3 lifecycle on one fabric —
+//! onboarding, reactive resolution, segmentation, mobility with SMR,
+//! and L2 ARP conversion.
+
+use sda_core::controller::{BorderHandle, EdgeHandle, FabricBuilder};
+use sda_core::Fabric;
+use sda_core::EndpointIdentity;
+use sda_simnet::{SimDuration, SimTime};
+use sda_types::{Eid, GroupId, Ipv4Prefix, PortId, VnId};
+use std::net::Ipv4Addr;
+
+const USERS: GroupId = GroupId(10);
+const SERVERS: GroupId = GroupId(20);
+
+struct World {
+    fabric: Fabric,
+    edges: Vec<EdgeHandle>,
+    border: BorderHandle,
+    vn: VnId,
+    users: Vec<EndpointIdentity>,
+    server: EndpointIdentity,
+}
+
+fn world(seed: u64, n_edges: usize, n_users: usize) -> World {
+    let mut b = FabricBuilder::new(seed);
+    let vn = b.add_vn(100, Ipv4Prefix::new(Ipv4Addr::new(10, 100, 0, 0), 16).unwrap());
+    b.allow(vn, USERS, USERS);
+    b.allow(vn, USERS, SERVERS);
+    b.allow(vn, SERVERS, USERS);
+    let edges: Vec<EdgeHandle> = (0..n_edges).map(|i| b.add_edge(format!("e{i}"))).collect();
+    let border = b.add_border(
+        "border",
+        vec![Ipv4Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0).unwrap()],
+    );
+    let users: Vec<EndpointIdentity> = (0..n_users).map(|_| b.mint_endpoint(vn, USERS)).collect();
+    let server = b.mint_endpoint(vn, SERVERS);
+    World { fabric: b.build(), edges, border, vn, users, server }
+}
+
+fn ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(n)
+}
+
+#[test]
+fn onboarding_registers_all_eids_and_arp_pairs() {
+    let mut w = world(1, 3, 6);
+    for (i, u) in w.users.iter().enumerate() {
+        w.fabric.attach_at(ms(0), w.edges[i % 3], *u, PortId(i as u16));
+    }
+    w.fabric.attach_at(ms(0), w.edges[0], w.server, PortId(99));
+    w.fabric.run_until(ms(100));
+
+    // 7 endpoints × 2 EIDs (IPv4 + MAC).
+    assert_eq!(w.fabric.routing_server().server().db().len(), 14);
+    assert_eq!(w.fabric.routing_server().arp_entries(), 7);
+    let onboarded: u64 = w.edges.iter().map(|e| w.fabric.edge(*e).stats().onboarded).sum();
+    assert_eq!(onboarded, 7);
+    // Onboarding latency was recorded for every endpoint.
+    assert_eq!(
+        w.fabric.metrics().samples("fabric.onboarding_secs").len(),
+        7
+    );
+    // Border is synchronized with all mappings via pub/sub.
+    assert_eq!(w.fabric.border(w.border).fib_len(), 14);
+}
+
+#[test]
+fn reactive_resolution_first_packet_via_border_then_direct() {
+    let mut w = world(2, 2, 2);
+    let (alice, bob) = (w.users[0], w.users[1]);
+    w.fabric.attach_at(ms(0), w.edges[0], alice, PortId(1));
+    w.fabric.attach_at(ms(0), w.edges[1], bob, PortId(1));
+    w.fabric.run_until(ms(100));
+
+    for k in 0..5 {
+        w.fabric.send_at(
+            ms(200 + k * 50),
+            w.edges[0],
+            alice.mac,
+            Eid::V4(bob.ipv4),
+            800,
+            k,
+            false,
+        );
+    }
+    w.fabric.run_until(ms(600));
+
+    let e0 = w.fabric.edge(w.edges[0]).stats();
+    let e1 = w.fabric.edge(w.edges[1]).stats();
+    assert_eq!(e1.delivered, 5, "all packets delivered");
+    assert_eq!(e0.default_routed, 1, "only the cold packet took the default route");
+    assert_eq!(e0.map_requests, 1, "one resolution for the whole flow");
+    assert_eq!(w.fabric.border(w.border).stats().relayed, 1);
+}
+
+#[test]
+fn negative_resolution_deletes_cached_state() {
+    let mut w = world(3, 2, 2);
+    let (alice, bob) = (w.users[0], w.users[1]);
+    w.fabric.attach_at(ms(0), w.edges[0], alice, PortId(1));
+    w.fabric.attach_at(ms(0), w.edges[1], bob, PortId(1));
+    w.fabric.run_until(ms(100));
+    // Warm alice's cache toward bob.
+    w.fabric.send_at(ms(200), w.edges[0], alice.mac, Eid::V4(bob.ipv4), 100, 1, false);
+    w.fabric.run_until(ms(300));
+    assert_eq!(w.fabric.edge(w.edges[0]).fib_len(), 1);
+
+    // Bob leaves for the night: registration expires, server purges, and
+    // alice's next probe resolves negatively → cache entry deleted
+    // (the §4.2 building-B effect).
+    w.fabric.detach_at(ms(310), w.edges[1], bob.mac);
+    // run past TTL (2h) + purge interval
+    let after_ttl = SimTime::ZERO + SimDuration::from_hours(3);
+    w.fabric.run_until(after_ttl);
+    // Cache entry may have idled out as well; force a fresh probe which
+    // must re-resolve and get a negative.
+    w.fabric.send_at(
+        after_ttl + SimDuration::from_secs(1),
+        w.edges[0],
+        alice.mac,
+        Eid::V4(bob.ipv4),
+        100,
+        2,
+        false,
+    );
+    w.fabric.run_until(after_ttl + SimDuration::from_secs(10));
+    assert_eq!(
+        w.fabric.edge(w.edges[0]).fib_len(),
+        0,
+        "negative reply (or idle decay) must have removed the entry"
+    );
+    assert!(w.fabric.routing_server().server().stats().negative_replies >= 1);
+}
+
+#[test]
+fn mobility_triangle_old_edge_forwards_then_smr_heals() {
+    let mut w = world(4, 3, 2);
+    let (alice, bob) = (w.users[0], w.users[1]);
+    w.fabric.attach_at(ms(0), w.edges[0], alice, PortId(1));
+    w.fabric.attach_at(ms(0), w.edges[1], bob, PortId(1));
+    w.fabric.run_until(ms(100));
+    w.fabric.send_at(ms(150), w.edges[0], alice.mac, Eid::V4(bob.ipv4), 100, 1, false);
+    w.fabric.run_until(ms(250));
+
+    // Bob roams to edge 2.
+    w.fabric.detach_at(ms(300), w.edges[1], bob.mac);
+    w.fabric.attach_at(ms(301), w.edges[2], bob, PortId(5));
+    w.fabric.run_until(ms(400));
+
+    // Stale-cache packet: e1 forwards (Fig. 5/6) and SMRs e0.
+    w.fabric.send_at(ms(410), w.edges[0], alice.mac, Eid::V4(bob.ipv4), 100, 2, false);
+    w.fabric.run_until(ms(600));
+    assert_eq!(w.fabric.edge(w.edges[1]).stats().mobility_forwards, 1);
+    assert_eq!(w.fabric.edge(w.edges[1]).stats().smrs_sent, 1);
+    assert_eq!(w.fabric.edge(w.edges[2]).stats().delivered, 1);
+
+    // Healed path: direct to e2, no more forwarding.
+    w.fabric.send_at(ms(700), w.edges[0], alice.mac, Eid::V4(bob.ipv4), 100, 3, false);
+    w.fabric.run_until(ms(900));
+    assert_eq!(w.fabric.edge(w.edges[2]).stats().delivered, 2);
+    assert_eq!(w.fabric.edge(w.edges[1]).stats().mobility_forwards, 1);
+    // Server recorded exactly one move.
+    assert_eq!(w.fabric.routing_server().server().stats().moves, 2, "IPv4 + MAC EIDs both moved");
+}
+
+#[test]
+fn l2_arp_broadcast_becomes_unicast_l2_delivery() {
+    let mut w = world(5, 2, 2);
+    let (alice, bob) = (w.users[0], w.users[1]);
+    w.fabric.attach_at(ms(0), w.edges[0], alice, PortId(1));
+    w.fabric.attach_at(ms(0), w.edges[1], bob, PortId(1));
+    w.fabric.run_until(ms(100));
+
+    w.fabric.arp_at(ms(200), w.edges[0], alice.mac, bob.ipv4);
+    w.fabric.run_until(ms(400));
+    assert_eq!(w.fabric.metrics().counter("fabric.arp_converted"), 1);
+    assert_eq!(w.fabric.metrics().counter("routing_server.arp_queries"), 1);
+    // The unicast L2 frame reached bob's edge via a MAC-EID mapping.
+    assert_eq!(w.fabric.edge(w.edges[1]).stats().delivered, 1);
+
+    // ARP for an unknown address is absorbed, not flooded.
+    w.fabric.arp_at(ms(500), w.edges[0], alice.mac, Ipv4Addr::new(10, 100, 99, 99));
+    w.fabric.run_until(ms(700));
+    assert_eq!(w.fabric.metrics().counter("fabric.arp_unresolved"), 1);
+}
+
+#[test]
+fn cross_vn_traffic_is_structurally_impossible() {
+    let mut b = FabricBuilder::new(6);
+    let vn_a = b.add_vn(1, Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap());
+    let vn_b = b.add_vn(2, Ipv4Prefix::new(Ipv4Addr::new(10, 2, 0, 0), 16).unwrap());
+    let g = GroupId(1);
+    b.allow(vn_a, g, g);
+    b.allow(vn_b, g, g);
+    let e0 = b.add_edge("e0");
+    let e1 = b.add_edge("e1");
+    let border = b.add_border("border", vec![]);
+    let a = b.mint_endpoint(vn_a, g);
+    let bb = b.mint_endpoint(vn_b, g);
+    let mut f = b.build();
+    f.attach_at(ms(0), e0, a, PortId(1));
+    f.attach_at(ms(0), e1, bb, PortId(1));
+    f.run_until(ms(100));
+
+    f.send_at(ms(200), e0, a.mac, Eid::V4(bb.ipv4), 100, 1, false);
+    f.run_until(ms(500));
+    assert_eq!(f.edge(e1).stats().delivered, 0);
+    assert_eq!(f.border(border).stats().unroutable, 1);
+    // And the resolution failed inside VN A — negative reply, no leak.
+    assert!(f.routing_server().server().stats().negative_replies >= 1);
+}
+
+#[test]
+fn same_group_by_default_denied_without_rule() {
+    // Empty matrix: even same-group traffic drops (default deny).
+    let mut b = FabricBuilder::new(7);
+    let vn = b.add_vn(1, Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap());
+    let e0 = b.add_edge("e0");
+    let e1 = b.add_edge("e1");
+    b.add_border("border", vec![]);
+    let a = b.mint_endpoint(vn, USERS);
+    let c = b.mint_endpoint(vn, USERS);
+    let mut f = b.build();
+    f.attach_at(ms(0), e0, a, PortId(1));
+    f.attach_at(ms(0), e1, c, PortId(1));
+    f.run_until(ms(100));
+    f.send_at(ms(200), e0, a.mac, Eid::V4(c.ipv4), 100, 1, false);
+    f.run_until(ms(400));
+    assert_eq!(f.edge(e1).stats().delivered, 0);
+    assert_eq!(f.edge(e1).stats().policy_drops, 1);
+}
+
+#[test]
+fn endpoint_count_and_fib_accounting_consistent() {
+    let mut w = world(8, 3, 9);
+    for (i, u) in w.users.iter().enumerate() {
+        w.fabric.attach_at(ms(0), w.edges[i % 3], *u, PortId(i as u16));
+    }
+    w.fabric.run_until(ms(200));
+    let attached: usize = w.edges.iter().map(|e| w.fabric.edge(*e).attached()).sum();
+    assert_eq!(attached, 9);
+    // Everyone talks to user 0: edges 1 and 2 cache one mapping each.
+    let target = Eid::V4(w.users[0].ipv4);
+    for (i, u) in w.users.iter().enumerate().skip(1) {
+        w.fabric.send_at(ms(300 + i as u64), w.edges[i % 3], u.mac, target, 64, i as u64, false);
+    }
+    w.fabric.run_until(ms(800));
+    assert_eq!(w.fabric.edge(w.edges[1]).fib_len_v4(), 1);
+    assert_eq!(w.fabric.edge(w.edges[2]).fib_len_v4(), 1);
+    // Edge 0 hosts the target: local deliveries, no cache entry needed.
+    assert_eq!(w.fabric.edge(w.edges[0]).fib_len_v4(), 0);
+    let _ = w.vn;
+}

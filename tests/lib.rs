@@ -1,0 +1,4 @@
+//! Integration-test package: the tests live in sibling files
+//! (`end_to_end.rs`, `lessons_learned.rs`, `wire_interop.rs`,
+//! `determinism.rs`, `scaling.rs`), each exercising multiple crates
+//! together. This library target exists only to anchor the package.
