@@ -1,0 +1,465 @@
+//! The LPM hot path benchmark: trie longest-prefix match and map-cache
+//! lookup, new (inline-key, zero-allocation) vs. the frozen seed
+//! implementation (Vec-backed bit strings, remove + insert refresh).
+//!
+//! Run with: `cargo bench -p sda-bench --bench lpm_hot_path`
+//!
+//! Emits `BENCH_lpm.json` at the workspace root — the machine-readable
+//! baseline every later perf PR is compared against (see ROADMAP.md
+//! "Benchmarks"). Schema: `[{group, id, median_ns, mean_ns, p95_ns,
+//! iterations}]`.
+//!
+//! The `seed_baseline` module below is a faithful, frozen copy of the
+//! pre-refactor algorithms: `slice()` materializing a fresh `Vec<u8>` on
+//! every trie step, and a cache lookup that refreshes `last_used` by
+//! removing and re-inserting the entry. Keeping it in the bench (not the
+//! library) lets the speedup claim stay reproducible from one command.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sda_lisp::MapCache;
+use sda_simnet::{SimDuration, SimTime};
+use sda_trie::EidTrie;
+use sda_types::{Eid, EidPrefix, Rloc, VnId};
+use std::net::Ipv4Addr;
+
+const ROUTE_COUNTS: [u32; 3] = [1_000, 10_000, 100_000];
+const CACHE_ROUTES: u32 = 10_000;
+
+fn vn() -> VnId {
+    VnId::new(7).unwrap()
+}
+
+/// Deterministic, distinct IPv4 EIDs.
+fn eid(i: u32) -> Eid {
+    Eid::V4(Ipv4Addr::from(0x0A00_0000 | (i & 0x00FF_FFFF)))
+}
+
+/// The seed (pre-refactor) trie + cache-lookup algorithms, frozen for
+/// comparison.
+mod seed_baseline {
+    use super::*;
+
+    /// Vec-backed bit string, as the seed had it.
+    #[derive(Clone, PartialEq, Eq, Default)]
+    pub struct VecBits {
+        bytes: Vec<u8>,
+        len: usize,
+    }
+
+    impl VecBits {
+        pub fn empty() -> Self {
+            VecBits::default()
+        }
+
+        pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+            assert!(len <= bytes.len() * 8);
+            let nbytes = len.div_ceil(8);
+            let mut v = bytes[..nbytes].to_vec();
+            let spare = nbytes * 8 - len;
+            if spare > 0 {
+                if let Some(last) = v.last_mut() {
+                    *last &= 0xffu8 << spare;
+                }
+            }
+            VecBits { bytes: v, len }
+        }
+
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        pub fn bit(&self, i: usize) -> bool {
+            (self.bytes[i / 8] >> (7 - (i % 8))) & 1 == 1
+        }
+
+        /// The seed's bit-at-a-time slice: a fresh heap Vec per call.
+        pub fn slice(&self, start: usize, end: usize) -> VecBits {
+            let mut out = VecBits {
+                bytes: Vec::with_capacity((end - start).div_ceil(8)),
+                len: 0,
+            };
+            for i in start..end {
+                out.push(self.bit(i));
+            }
+            out
+        }
+
+        pub fn push(&mut self, bit: bool) {
+            if self.len.is_multiple_of(8) {
+                self.bytes.push(0);
+            }
+            if bit {
+                let idx = self.len / 8;
+                self.bytes[idx] |= 1 << (7 - (self.len % 8));
+            }
+            self.len += 1;
+        }
+
+        /// The seed's comparison, including its byte-at-a-time fast path
+        /// (the seed was not bit-at-a-time here — only `slice` was).
+        pub fn common_prefix_len(&self, other: &VecBits) -> usize {
+            let max = self.len.min(other.len);
+            let full_bytes = max / 8;
+            let mut i = 0;
+            while i < full_bytes {
+                let x = self.bytes[i] ^ other.bytes[i];
+                if x != 0 {
+                    return i * 8 + x.leading_zeros() as usize;
+                }
+                i += 1;
+            }
+            let mut bits = full_bytes * 8;
+            while bits < max && self.bit(bits) == other.bit(bits) {
+                bits += 1;
+            }
+            bits
+        }
+
+        pub fn is_prefix_of(&self, other: &VecBits) -> bool {
+            self.len <= other.len && self.common_prefix_len(other) == self.len
+        }
+
+        /// The seed's bit-at-a-time concatenation (used by remove's merge).
+        pub fn concat(&self, other: &VecBits) -> VecBits {
+            let mut out = self.clone();
+            for i in 0..other.len {
+                out.push(other.bit(i));
+            }
+            out
+        }
+    }
+
+    struct Node<V> {
+        label: VecBits,
+        value: Option<V>,
+        children: [Option<Box<Node<V>>>; 2],
+    }
+
+    pub struct VecTrie<V> {
+        root: Node<V>,
+    }
+
+    impl<V> VecTrie<V> {
+        pub fn new() -> Self {
+            VecTrie {
+                root: Node {
+                    label: VecBits::empty(),
+                    value: None,
+                    children: [None, None],
+                },
+            }
+        }
+
+        pub fn insert(&mut self, key: &VecBits, value: V) -> Option<V> {
+            Self::insert_at(&mut self.root, key, 0, value)
+        }
+
+        fn insert_at(node: &mut Node<V>, key: &VecBits, depth: usize, value: V) -> Option<V> {
+            let after_label = depth + node.label.len();
+            if after_label == key.len() {
+                return node.value.replace(value);
+            }
+            let next_bit = key.bit(after_label) as usize;
+            match &mut node.children[next_bit] {
+                None => {
+                    let label = key.slice(after_label, key.len());
+                    node.children[next_bit] = Some(Box::new(Node {
+                        label,
+                        value: Some(value),
+                        children: [None, None],
+                    }));
+                    None
+                }
+                Some(child) => {
+                    let rest = key.slice(after_label, key.len());
+                    let common = child.label.common_prefix_len(&rest);
+                    if common == child.label.len() {
+                        Self::insert_at(child, key, after_label, value)
+                    } else {
+                        let mut old = node.children[next_bit].take().unwrap();
+                        let parent_label = old.label.slice(0, common);
+                        let child_label = old.label.slice(common, old.label.len());
+                        let bit = child_label.bit(0) as usize;
+                        old.label = child_label;
+                        let mut split = Box::new(Node {
+                            label: parent_label,
+                            value: None,
+                            children: [None, None],
+                        });
+                        split.children[bit] = Some(old);
+                        if common == rest.len() {
+                            split.value = Some(value);
+                        } else {
+                            let b = rest.bit(common) as usize;
+                            let label = rest.slice(common, rest.len());
+                            split.children[b] = Some(Box::new(Node {
+                                label,
+                                value: Some(value),
+                                children: [None, None],
+                            }));
+                        }
+                        node.children[next_bit] = Some(split);
+                        None
+                    }
+                }
+            }
+        }
+
+        /// The seed's longest_match: a heap-allocating `slice()` per step.
+        pub fn longest_match(&self, key: &VecBits) -> Option<(usize, &V)> {
+            let mut node = &self.root;
+            let mut depth = 0usize;
+            let mut best: Option<(usize, &V)> = node.value.as_ref().map(|v| (0, v));
+            loop {
+                if depth == key.len() {
+                    return best;
+                }
+                let bit = key.bit(depth) as usize;
+                let Some(child) = node.children[bit].as_ref() else {
+                    return best;
+                };
+                let rest = key.slice(depth, key.len());
+                if !child.label.is_prefix_of(&rest) {
+                    return best;
+                }
+                depth += child.label.len();
+                node = child;
+                if let Some(v) = node.value.as_ref() {
+                    best = Some((depth, v));
+                }
+            }
+        }
+
+        pub fn remove(&mut self, key: &VecBits) -> Option<V> {
+            Self::remove_at(&mut self.root, key, 0)
+        }
+
+        fn remove_at(node: &mut Node<V>, key: &VecBits, depth: usize) -> Option<V> {
+            if depth == key.len() {
+                return node.value.take();
+            }
+            let bit = key.bit(depth) as usize;
+            let child = node.children[bit].as_mut()?;
+            let rest = key.slice(depth, key.len());
+            if !child.label.is_prefix_of(&rest) {
+                return None;
+            }
+            let child_depth = depth + child.label.len();
+            let removed = Self::remove_at(child, key, child_depth)?;
+            // Re-establish compression on the way out, as the seed did:
+            // prune empty leaves AND merge single-child pass-throughs.
+            let child_ref = node.children[bit].as_mut().unwrap();
+            if child_ref.value.is_none() {
+                let child_count = child_ref.children.iter().filter(|c| c.is_some()).count();
+                match child_count {
+                    0 => {
+                        node.children[bit] = None;
+                    }
+                    1 => {
+                        let mut child_box = node.children[bit].take().unwrap();
+                        let mut gc = child_box
+                            .children
+                            .iter_mut()
+                            .find_map(Option::take)
+                            .expect("child_count said 1");
+                        gc.label = child_box.label.concat(&gc.label);
+                        node.children[bit] = Some(gc);
+                    }
+                    _ => {}
+                }
+            }
+            Some(removed)
+        }
+    }
+
+    /// Seed-style cache entry. `last_used` is written on every refresh
+    /// (the whole point of the remove + insert dance being measured) but
+    /// never read back in the bench.
+    #[derive(Clone, Copy)]
+    pub struct SeedEntry {
+        pub rloc: Rloc,
+        pub expires_at: SimTime,
+        #[allow(dead_code)]
+        pub last_used: SimTime,
+        pub stale: bool,
+    }
+
+    pub fn v4_key(e: &Eid) -> VecBits {
+        match e {
+            Eid::V4(a) => VecBits::from_bytes(&a.octets(), 32),
+            _ => unreachable!("bench uses IPv4 EIDs only"),
+        }
+    }
+
+    /// The seed `MapCache::lookup` dance: find, copy out, remove,
+    /// re-insert with the refreshed `last_used`. Returns the RLOC and the
+    /// stale flag (the seed's Hit/Stale outcome split).
+    pub fn seed_lookup(
+        trie: &mut VecTrie<SeedEntry>,
+        e: &Eid,
+        now: SimTime,
+    ) -> Option<(Rloc, bool)> {
+        let key = v4_key(e);
+        let (len, entry) = trie.longest_match(&key).map(|(l, v)| (l, *v))?;
+        let prefix = key.slice(0, len);
+        if now >= entry.expires_at {
+            trie.remove(&prefix);
+            return None;
+        }
+        let updated = SeedEntry {
+            last_used: now,
+            ..entry
+        };
+        trie.remove(&prefix);
+        trie.insert(&prefix, updated);
+        Some((entry.rloc, entry.stale))
+    }
+}
+
+fn bench_trie_lpm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie_lpm");
+    for routes in ROUTE_COUNTS {
+        let mut trie: EidTrie<u32> = EidTrie::new();
+        for i in 0..routes {
+            trie.insert(EidPrefix::host(eid(i)), i);
+        }
+        let mut rng = SmallRng::seed_from_u64(11);
+        group.bench_with_input(BenchmarkId::new("new", routes), &routes, |b, _| {
+            b.iter(|| {
+                let i = rng.gen_range(0..routes);
+                black_box(trie.lookup(&eid(i)))
+            });
+        });
+    }
+    for routes in ROUTE_COUNTS {
+        let mut trie: seed_baseline::VecTrie<u32> = seed_baseline::VecTrie::new();
+        for i in 0..routes {
+            trie.insert(&seed_baseline::v4_key(&eid(i)), i);
+        }
+        let mut rng = SmallRng::seed_from_u64(11);
+        group.bench_with_input(BenchmarkId::new("seed", routes), &routes, |b, _| {
+            b.iter(|| {
+                let i = rng.gen_range(0..routes);
+                black_box(trie.longest_match(&seed_baseline::v4_key(&eid(i))))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_cache_lookup");
+    let ttl = SimDuration::from_days(365);
+    let now = SimTime::ZERO + SimDuration::from_secs(60);
+
+    // Hit: every probed EID is cached and fresh.
+    let mut cache = MapCache::new();
+    for i in 0..CACHE_ROUTES {
+        cache.install(
+            vn(),
+            EidPrefix::host(eid(i)),
+            Rloc::for_router_index((i % 200) as u16),
+            ttl,
+            SimTime::ZERO,
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(12);
+    group.bench_with_input(BenchmarkId::new("hit", CACHE_ROUTES), &(), |b, _| {
+        b.iter(|| {
+            let i = rng.gen_range(0..CACHE_ROUTES);
+            black_box(cache.lookup(vn(), eid(i), now))
+        });
+    });
+
+    // Miss: probes outside the installed range (no entry, no mutation).
+    let mut rng = SmallRng::seed_from_u64(13);
+    group.bench_with_input(BenchmarkId::new("miss", CACHE_ROUTES), &(), |b, _| {
+        b.iter(|| {
+            let i = CACHE_ROUTES + rng.gen_range(0..CACHE_ROUTES);
+            black_box(cache.lookup(vn(), eid(i), now))
+        });
+    });
+
+    // Stale: every entry SMR'd; lookups return Stale, refreshing in place.
+    let mut stale_cache = MapCache::new();
+    for i in 0..CACHE_ROUTES {
+        stale_cache.install(
+            vn(),
+            EidPrefix::host(eid(i)),
+            Rloc::for_router_index((i % 200) as u16),
+            ttl,
+            SimTime::ZERO,
+        );
+        stale_cache.mark_stale(vn(), eid(i));
+    }
+    let mut rng = SmallRng::seed_from_u64(14);
+    group.bench_with_input(BenchmarkId::new("stale", CACHE_ROUTES), &(), |b, _| {
+        b.iter(|| {
+            let i = rng.gen_range(0..CACHE_ROUTES);
+            black_box(stale_cache.lookup(vn(), eid(i), now))
+        });
+    });
+
+    // Seed baseline hit: remove + insert refresh on the Vec-backed trie.
+    let mut seed_trie: seed_baseline::VecTrie<seed_baseline::SeedEntry> =
+        seed_baseline::VecTrie::new();
+    for i in 0..CACHE_ROUTES {
+        seed_trie.insert(
+            &seed_baseline::v4_key(&eid(i)),
+            seed_baseline::SeedEntry {
+                rloc: Rloc::for_router_index((i % 200) as u16),
+                expires_at: SimTime::ZERO + ttl,
+                last_used: SimTime::ZERO,
+                stale: false,
+            },
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(12);
+    group.bench_with_input(BenchmarkId::new("seed_hit", CACHE_ROUTES), &(), |b, _| {
+        b.iter(|| {
+            let i = rng.gen_range(0..CACHE_ROUTES);
+            black_box(seed_baseline::seed_lookup(&mut seed_trie, &eid(i), now))
+        });
+    });
+
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .sample_size(40)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    bench_trie_lpm(&mut criterion);
+    bench_map_cache(&mut criterion);
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lpm.json");
+    criterion.write_json(out).expect("write BENCH_lpm.json");
+    eprintln!("wrote {out}");
+
+    // The tentpole's acceptance bar: new map-cache hit lookup at 10k
+    // routes must be at least 2x faster than the seed algorithm.
+    let results = criterion.results();
+    let median = |group: &str, id: &str| {
+        results
+            .iter()
+            .find(|r| r.group == group && r.id == id)
+            .map(|r| r.median_ns)
+            .expect("bench result present")
+    };
+    let new_hit = median("map_cache_lookup", "hit/10000");
+    let seed_hit = median("map_cache_lookup", "seed_hit/10000");
+    eprintln!(
+        "map-cache hit speedup vs seed: {:.1}x ({:.0} ns -> {:.0} ns)",
+        seed_hit / new_hit,
+        seed_hit,
+        new_hit
+    );
+    assert!(
+        seed_hit / new_hit >= 2.0,
+        "map-cache hit regressed below the 2x acceptance bar: {:.1}x",
+        seed_hit / new_hit
+    );
+}

@@ -84,15 +84,24 @@ fn main() {
 
     println!("                      │ with border sync │ without");
     println!("──────────────────────┼──────────────────┼────────");
-    println!(" packets delivered    │ {:>16} │ {:>7}", with.delivered, without.delivered);
+    println!(
+        " packets delivered    │ {:>16} │ {:>7}",
+        with.delivered, without.delivered
+    );
     println!(
         " first-packet drops   │ {:>16} │ {:>7}",
         with.first_packet_drops, without.first_packet_drops
     );
-    println!(" border relays        │ {:>16} │ {:>7}", with.border_relays, without.border_relays);
+    println!(
+        " border relays        │ {:>16} │ {:>7}",
+        with.border_relays, without.border_relays
+    );
 
     assert_eq!(with.first_packet_drops, 0, "border sync must absorb misses");
-    assert!(without.first_packet_drops > 0, "ablation must show the loss");
+    assert!(
+        without.first_packet_drops > 0,
+        "ablation must show the loss"
+    );
     assert!(with.delivered > without.delivered);
     println!(
         "\nwithout the synced border, every cold flow loses its head packets \

@@ -66,7 +66,15 @@ fn run(enforcement: EnforcementPoint) -> Outcome {
     for round in 0..20 {
         for (i, c) in clients.iter().enumerate() {
             for (g, s) in &servers {
-                f.send_at(t, edges[i], c.mac, Eid::V4(s.ipv4), 1000, (round * 100 + g) as u64, false);
+                f.send_at(
+                    t,
+                    edges[i],
+                    c.mac,
+                    Eid::V4(s.ipv4),
+                    1000,
+                    (round * 100 + g) as u64,
+                    false,
+                );
                 t += SimDuration::from_micros(200);
             }
         }

@@ -23,8 +23,10 @@ fn main() {
     // group spread over 20 edges.
     let edges = 20u32;
     println!("signaling messages (move-endpoints / rewrite-rules), group on {edges} edges:");
-    println!("
- endpoints\\rules │      5 │     20 │     80 │    320");
+    println!(
+        "
+ endpoints\\rules │      5 │     20 │     80 │    320"
+    );
     println!("─────────────────┼────────┼────────┼────────┼───────");
     for group_size in [10u32, 100, 1_000, 10_000] {
         let mut pop = Population::new();

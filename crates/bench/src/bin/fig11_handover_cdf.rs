@@ -48,10 +48,26 @@ fn main() {
     let bs = Summary::of(&bgp).expect("bgp samples");
     println!("\nabsolute handover delay:");
     println!("          │     LISP │      BGP");
-    println!(" median   │ {:7.2}ms │ {:7.2}ms", ls.p50 * 1e3, bs.p50 * 1e3);
-    println!(" mean     │ {:7.2}ms │ {:7.2}ms", ls.mean * 1e3, bs.mean * 1e3);
-    println!(" p95      │ {:7.2}ms │ {:7.2}ms", ls.p95 * 1e3, bs.p95 * 1e3);
-    println!(" max      │ {:7.2}ms │ {:7.2}ms", ls.max * 1e3, bs.max * 1e3);
+    println!(
+        " median   │ {:7.2}ms │ {:7.2}ms",
+        ls.p50 * 1e3,
+        bs.p50 * 1e3
+    );
+    println!(
+        " mean     │ {:7.2}ms │ {:7.2}ms",
+        ls.mean * 1e3,
+        bs.mean * 1e3
+    );
+    println!(
+        " p95      │ {:7.2}ms │ {:7.2}ms",
+        ls.p95 * 1e3,
+        bs.p95 * 1e3
+    );
+    println!(
+        " max      │ {:7.2}ms │ {:7.2}ms",
+        ls.max * 1e3,
+        bs.max * 1e3
+    );
     let iqr = |s: &Summary| s.p75 - s.p25;
     println!(
         "\nmean ratio (BGP/LISP): {:.1}×   (paper: ≈10×)",

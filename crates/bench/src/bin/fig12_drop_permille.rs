@@ -36,9 +36,27 @@ struct Profile {
 }
 
 const PROFILES: &[Profile] = &[
-    Profile { name: "VPN", endpoints: 3_000, flows_per_day: 40, explorer_share: 0.012, retries: 3 },
-    Profile { name: "Branch", endpoints: 3_000, flows_per_day: 60, explorer_share: 0.004, retries: 3 },
-    Profile { name: "Campus", endpoints: 5_000, flows_per_day: 80, explorer_share: 0.005, retries: 3 },
+    Profile {
+        name: "VPN",
+        endpoints: 3_000,
+        flows_per_day: 40,
+        explorer_share: 0.012,
+        retries: 3,
+    },
+    Profile {
+        name: "Branch",
+        endpoints: 3_000,
+        flows_per_day: 60,
+        explorer_share: 0.004,
+        retries: 3,
+    },
+    Profile {
+        name: "Campus",
+        endpoints: 5_000,
+        flows_per_day: 80,
+        explorer_share: 0.005,
+        retries: 3,
+    },
 ];
 
 fn vn() -> VnId {
@@ -61,9 +79,25 @@ fn main() {
         let mut acl = GroupAcl::new();
         let rules: Vec<(VnId, GroupRule)> = allowed
             .iter()
-            .map(|g| (vn(), GroupRule { src: user_group, dst: *g, action: Action::Allow }))
+            .map(|g| {
+                (
+                    vn(),
+                    GroupRule {
+                        src: user_group,
+                        dst: *g,
+                        action: Action::Allow,
+                    },
+                )
+            })
             .chain(denied.iter().map(|g| {
-                (vn(), GroupRule { src: user_group, dst: *g, action: Action::Deny })
+                (
+                    vn(),
+                    GroupRule {
+                        src: user_group,
+                        dst: *g,
+                        action: Action::Deny,
+                    },
+                )
             }))
             .collect();
         acl.install(&RuleSubset { version: 1, rules });
@@ -92,7 +126,11 @@ fn main() {
                     version: 2,
                     rules: vec![(
                         vn(),
-                        GroupRule { src: user_group, dst: GroupId(17), action: Action::Deny },
+                        GroupRule {
+                            src: user_group,
+                            dst: GroupId(17),
+                            action: Action::Deny,
+                        },
                     )],
                 });
             }
@@ -100,7 +138,9 @@ fn main() {
                 for _ in 0..profile.flows_per_day {
                     // Exploration: a poke at a denied group, while the
                     // explorer's patience lasts (~once a day).
-                    if explorer_tries[ep] > 0 && rng.gen::<f64>() < 1.0 / f64::from(profile.flows_per_day) {
+                    if explorer_tries[ep] > 0
+                        && rng.gen::<f64>() < 1.0 / f64::from(profile.flows_per_day)
+                    {
                         let dst = denied[rng.gen_range(0..denied.len())];
                         acl.enforce(vn(), user_group, dst, Action::Deny);
                         explorer_tries[ep] -= 1;
@@ -118,7 +158,11 @@ fn main() {
                         }
                         continue;
                     }
-                    let dst = if dst == GroupId(17) { allowed[(idx + 1) % 17] } else { dst };
+                    let dst = if dst == GroupId(17) {
+                        allowed[(idx + 1) % 17]
+                    } else {
+                        dst
+                    };
                     acl.enforce(vn(), user_group, dst, Action::Deny);
                 }
             }

@@ -64,7 +64,13 @@ fn run(routes: u32, rate: f64, seed: u64) -> Vec<f64> {
             SimTime::ZERO,
         );
         assert!(
-            matches!(out[0].1, Message::MapReply { negative: false, .. }),
+            matches!(
+                out[0].1,
+                Message::MapReply {
+                    negative: false,
+                    ..
+                }
+            ),
             "preloaded route must resolve"
         );
     }
@@ -87,9 +93,7 @@ fn jitter(rng: &mut SmallRng) -> f64 {
 fn main() {
     println!("Fig. 7a — route-request delay vs configured routes (800 q/s)");
     println!("values relative to the minimum delay of a 1-route server\n");
-    let baseline = run(1, 800.0, 1)
-        .into_iter()
-        .fold(f64::INFINITY, f64::min);
+    let baseline = run(1, 800.0, 1).into_iter().fold(f64::INFINITY, f64::min);
     println!("    routes │  relative delay (boxplot)");
     println!("───────────┼─────────────────────────────────────────────────");
     for routes in [10u32, 100, 1_000, 10_000] {

@@ -54,7 +54,11 @@ fn run(routes: u32, rate: f64, seed: u64) -> Vec<f64> {
             SimTime::ZERO,
         );
     }
-    assert_eq!(server.db().len() as u32, routes, "updates must not grow the table");
+    assert_eq!(
+        server.db().len() as u32,
+        routes,
+        "updates must not grow the table"
+    );
 
     let mut arrivals = sda_workloads::PoissonArrivals::new(rate, SimTime::ZERO, seed);
     let times: Vec<f64> = (0..updates)
@@ -74,9 +78,7 @@ fn jitter(rng: &mut SmallRng) -> f64 {
 fn main() {
     println!("Fig. 7b — route-update delay vs configured routes (800 u/s)");
     println!("values relative to the minimum delay of a 1-route server\n");
-    let baseline = run(1, 800.0, 2)
-        .into_iter()
-        .fold(f64::INFINITY, f64::min);
+    let baseline = run(1, 800.0, 2).into_iter().fold(f64::INFINITY, f64::min);
     println!("    routes │  relative delay (boxplot)");
     println!("───────────┼─────────────────────────────────────────────────");
     for routes in [10u32, 100, 1_000, 10_000] {

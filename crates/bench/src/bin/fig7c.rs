@@ -23,7 +23,9 @@ fn jitter(rng: &mut SmallRng) -> f64 {
 
 fn run(rate: f64, seed: u64) -> Vec<f64> {
     let mut arrivals = PoissonArrivals::new(rate, SimTime::ZERO, seed);
-    let times: Vec<f64> = (0..20_000).map(|_| arrivals.next_arrival().as_secs_f64()).collect();
+    let times: Vec<f64> = (0..20_000)
+        .map(|_| arrivals.next_arrival().as_secs_f64())
+        .collect();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0DE);
     let base = REQUEST_SERVICE.as_secs_f64();
     fifo_sojourns(&times, || base * jitter(&mut rng))

@@ -36,8 +36,8 @@ fn print_weeks(scenario: &CampusScenario, weeks: usize) {
                 .filter_map(|s| s.get(idx).map(|(_, v)| *v))
                 .sum::<f64>()
                 / edges.len() as f64;
-            let dow = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
-                [((hours / 24.0) as usize) % 7];
+            let dow =
+                ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][((hours / 24.0) as usize) % 7];
             println!(
                 "  {dow} {:02}:00 │ {b:6.0} │ {e_avg:8.1}",
                 (hours as usize) % 24

@@ -28,7 +28,9 @@ fn run(mut params: CampusParams) -> Row {
     scenario.run();
     let metrics = scenario.fabric.metrics();
     let to_hours = |s: &[(sda_simnet::SimTime, f64)]| -> Vec<(f64, f64)> {
-        s.iter().map(|(t, v)| (t.as_secs_f64() / 3600.0, *v)).collect()
+        s.iter()
+            .map(|(t, v)| (t.as_secs_f64() / 3600.0, *v))
+            .collect()
     };
     let border = day_night_split(&to_hours(metrics.series(&scenario.border_series(0))))
         .expect("border series");
@@ -38,7 +40,11 @@ fn run(mut params: CampusParams) -> Row {
         edge_samples.extend(to_hours(metrics.series(&scenario.edge_series(i))));
     }
     let edge = day_night_split(&edge_samples).expect("edge series");
-    Row { building, border, edge }
+    Row {
+        building,
+        border,
+        edge,
+    }
 }
 
 fn main() {

@@ -36,14 +36,7 @@ pub fn print_boxplot_row(label: &str, summary: &Summary, baseline: f64) {
 }
 
 /// Prints a two-series CDF table (the Fig. 11 shape), relative to `unit`.
-pub fn print_cdf_pair(
-    a_name: &str,
-    a: &[f64],
-    b_name: &str,
-    b: &[f64],
-    unit: f64,
-    points: usize,
-) {
+pub fn print_cdf_pair(a_name: &str, a: &[f64], b_name: &str, b: &[f64], unit: f64, points: usize) {
     println!(" frac │ {a_name:>8} │ {b_name:>8}");
     println!("──────┼──────────┼─────────");
     let ca = Summary::cdf(a, points);
@@ -131,7 +124,11 @@ mod tests {
         let series: Vec<(f64, f64)> = (0..48)
             .map(|h| {
                 let hour = h as f64;
-                let v = if (9.0..19.0).contains(&(hour % 24.0)) { 100.0 } else { 10.0 };
+                let v = if (9.0..19.0).contains(&(hour % 24.0)) {
+                    100.0
+                } else {
+                    10.0
+                };
                 (hour, v)
             })
             .collect();

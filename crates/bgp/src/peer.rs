@@ -81,7 +81,10 @@ impl Node<BgpMsg> for BgpEdge {
                 ctx.send_after(
                     self.dir.config.auth_delay,
                     self.dir.reflector,
-                    BgpMsg::Advertise { eid, rloc: self.rloc },
+                    BgpMsg::Advertise {
+                        eid,
+                        rloc: self.rloc,
+                    },
                 );
             }
             BgpMsg::Host(BgpHostEvent::Detach { mac }) => {
@@ -174,7 +177,9 @@ mod tests {
             config: crate::msg::BgpConfig::default(),
         });
         let mut sim = Simulator::new(seed);
-        let peers: Vec<Rloc> = (0..n).map(|i| Rloc::for_router_index(1 + i as u16)).collect();
+        let peers: Vec<Rloc> = (0..n)
+            .map(|i| Rloc::for_router_index(1 + i as u16))
+            .collect();
         let got = sim.add_node(Box::new(RouteReflector::new(dir.clone(), peers)));
         assert_eq!(got, reflector_id);
         let mut edges = Vec::new();
@@ -188,7 +193,11 @@ mod tests {
     }
 
     fn edge(sim: &Simulator<BgpMsg>, id: NodeId) -> &BgpEdge {
-        sim.node(id).as_any().unwrap().downcast_ref::<BgpEdge>().unwrap()
+        sim.node(id)
+            .as_any()
+            .unwrap()
+            .downcast_ref::<BgpEdge>()
+            .unwrap()
     }
 
     #[test]
@@ -198,7 +207,10 @@ mod tests {
         sim.inject_at(
             SimTime::ZERO,
             edges[0],
-            BgpMsg::Host(BgpHostEvent::Attach { mac: MacAddr::from_seed(1), ipv4: ip }),
+            BgpMsg::Host(BgpHostEvent::Attach {
+                mac: MacAddr::from_seed(1),
+                ipv4: ip,
+            }),
         );
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
         for (i, e) in edges.iter().enumerate() {
@@ -213,13 +225,21 @@ mod tests {
         let ip = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Eid::V4(ip);
         // Host on edge 1; converge.
-        sim.inject_at(SimTime::ZERO, edges[1], BgpMsg::Host(BgpHostEvent::Attach { mac, ipv4: ip }));
+        sim.inject_at(
+            SimTime::ZERO,
+            edges[1],
+            BgpMsg::Host(BgpHostEvent::Attach { mac, ipv4: ip }),
+        );
         sim.run_until(SimTime::ZERO + SimDuration::from_millis(200));
         // Edge 0 sends: delivered at edge 1.
         sim.inject_at(
             SimTime::ZERO + SimDuration::from_millis(210),
             edges[0],
-            BgpMsg::Host(BgpHostEvent::Send { dst, flow: 1, track: false }),
+            BgpMsg::Host(BgpHostEvent::Send {
+                dst,
+                flow: 1,
+                track: false,
+            }),
         );
         sim.run_until(SimTime::ZERO + SimDuration::from_millis(300));
         assert_eq!(edge(&sim, edges[1]).stats().delivered, 1);
@@ -239,16 +259,28 @@ mod tests {
         sim.inject_at(
             SimTime::ZERO + SimDuration::from_millis(312),
             edges[0],
-            BgpMsg::Host(BgpHostEvent::Send { dst, flow: 2, track: false }),
+            BgpMsg::Host(BgpHostEvent::Send {
+                dst,
+                flow: 2,
+                track: false,
+            }),
         );
         sim.run_until(SimTime::ZERO + SimDuration::from_millis(313));
-        assert_eq!(edge(&sim, edges[1]).stats().blackholed, 1, "pre-convergence drop");
+        assert_eq!(
+            edge(&sim, edges[1]).stats().blackholed,
+            1,
+            "pre-convergence drop"
+        );
 
         // After convergence the same send reaches edge 2.
         sim.inject_at(
             SimTime::ZERO + SimDuration::from_millis(400),
             edges[0],
-            BgpMsg::Host(BgpHostEvent::Send { dst, flow: 3, track: false }),
+            BgpMsg::Host(BgpHostEvent::Send {
+                dst,
+                flow: 3,
+                track: false,
+            }),
         );
         sim.run_until(SimTime::ZERO + SimDuration::from_millis(500));
         assert_eq!(edge(&sim, edges[2]).stats().delivered, 1);

@@ -30,7 +30,13 @@ pub struct RouteReflector {
 impl RouteReflector {
     /// Creates a reflector with its peer list.
     pub fn new(dir: Rc<BgpDirectory>, peers: Vec<Rloc>) -> Self {
-        RouteReflector { dir, peers, pending: Vec::new(), seq: 0, replicated: 0 }
+        RouteReflector {
+            dir,
+            peers,
+            pending: Vec::new(),
+            seq: 0,
+            replicated: 0,
+        }
     }
 
     /// Total peer-updates replicated so far (signaling volume).
@@ -44,7 +50,11 @@ impl Node<BgpMsg> for RouteReflector {
         match msg {
             BgpMsg::Advertise { eid, rloc } => {
                 self.seq += 1;
-                self.pending.push(RouteUpdate { eid, rloc, seq: self.seq });
+                self.pending.push(RouteUpdate {
+                    eid,
+                    rloc,
+                    seq: self.seq,
+                });
                 let _ = ctx;
             }
             other => {
@@ -70,11 +80,18 @@ impl Node<BgpMsg> for RouteReflector {
             for peer in &self.peers {
                 offset = offset + cost_per_peer;
                 self.replicated += batch.len() as u64;
-                ctx.send_after(offset, self.dir.node_of(*peer), BgpMsg::Batch(batch.clone()));
+                ctx.send_after(
+                    offset,
+                    self.dir.node_of(*peer),
+                    BgpMsg::Batch(batch.clone()),
+                );
             }
             // The reflector CPU was busy for the whole walk.
             ctx.busy(offset);
-            ctx.metrics().add("bgp.updates_replicated", (batch.len() * self.peers.len()) as u64);
+            ctx.metrics().add(
+                "bgp.updates_replicated",
+                (batch.len() * self.peers.len()) as u64,
+            );
         }
         ctx.set_timer(self.dir.config.flush_interval, TIMER_FLUSH);
     }

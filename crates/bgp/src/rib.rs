@@ -1,14 +1,17 @@
 //! The routing information base each BGP edge holds: every host route
 //! in the network (the proactive cost Fig. 9 quantifies against).
+//!
+//! Stored in the same inline-key [`EidTrie`] as the reactive map-cache,
+//! so the proactive-vs-reactive comparison measures the same lookup
+//! machinery and differs only in *how much* state each design installs.
 
-use std::collections::BTreeMap;
-
-use sda_types::{Eid, Rloc};
+use sda_trie::EidTrie;
+use sda_types::{Eid, EidPrefix, Rloc};
 
 /// A full host-route table: EID → serving edge.
 #[derive(Default, Debug, Clone)]
 pub struct Rib {
-    routes: BTreeMap<Eid, (Rloc, u64)>,
+    routes: EidTrie<(Rloc, u64)>,
 }
 
 impl Rib {
@@ -20,24 +23,30 @@ impl Rib {
     /// Installs `eid → rloc` if `seq` is newer than the stored route.
     /// Returns true when the route changed (stale reordered updates are
     /// ignored — BGP's path-selection recency, collapsed to a sequence).
+    /// One trie descent: the freshness check mutates in place.
     pub fn install(&mut self, eid: Eid, rloc: Rloc, seq: u64) -> bool {
-        match self.routes.get(&eid) {
-            Some((_, cur)) if *cur >= seq => false,
-            _ => {
-                self.routes.insert(eid, (rloc, seq));
-                true
+        if let Some((p, entry)) = self.routes.lookup_mut(&eid) {
+            // Only host routes live here; guard against a covering match.
+            if p.is_host() {
+                if entry.1 >= seq {
+                    return false;
+                }
+                *entry = (rloc, seq);
+                return true;
             }
         }
+        self.routes.insert(EidPrefix::host(eid), (rloc, seq));
+        true
     }
 
     /// Removes the route for `eid`.
     pub fn withdraw(&mut self, eid: Eid) -> bool {
-        self.routes.remove(&eid).is_some()
+        self.routes.remove(&EidPrefix::host(eid)).is_some()
     }
 
     /// Next hop for `eid`.
     pub fn lookup(&self, eid: Eid) -> Option<Rloc> {
-        self.routes.get(&eid).map(|(r, _)| *r)
+        self.routes.get(&EidPrefix::host(eid)).map(|(r, _)| *r)
     }
 
     /// Number of installed routes — every edge carries all of them,
@@ -75,8 +84,14 @@ mod tests {
     fn stale_updates_ignored() {
         let mut rib = Rib::new();
         rib.install(eid(1), Rloc::for_router_index(1), 5);
-        assert!(!rib.install(eid(1), Rloc::for_router_index(2), 4), "older seq");
-        assert!(!rib.install(eid(1), Rloc::for_router_index(2), 5), "same seq");
+        assert!(
+            !rib.install(eid(1), Rloc::for_router_index(2), 4),
+            "older seq"
+        );
+        assert!(
+            !rib.install(eid(1), Rloc::for_router_index(2), 5),
+            "same seq"
+        );
         assert_eq!(rib.lookup(eid(1)), Some(Rloc::for_router_index(1)));
         assert!(rib.install(eid(1), Rloc::for_router_index(2), 6));
         assert_eq!(rib.lookup(eid(1)), Some(Rloc::for_router_index(2)));

@@ -46,11 +46,7 @@ impl GroupAcl {
     /// The verdict for `src → dst` in `vn`, updating counters.
     /// Unmatched pairs use `default` (deny in SDA deployments).
     pub fn enforce(&mut self, vn: VnId, src: GroupId, dst: GroupId, default: Action) -> Action {
-        let action = self
-            .rules
-            .get(&(vn, src, dst))
-            .copied()
-            .unwrap_or(default);
+        let action = self.rules.get(&(vn, src, dst)).copied().unwrap_or(default);
         match action {
             Action::Allow => self.allowed += 1,
             Action::Deny => self.dropped += 1,
@@ -117,7 +113,14 @@ mod tests {
             rules: rules
                 .iter()
                 .map(|(v, s, d, a)| {
-                    (vn(*v), GroupRule { src: GroupId(*s), dst: GroupId(*d), action: *a })
+                    (
+                        vn(*v),
+                        GroupRule {
+                            src: GroupId(*s),
+                            dst: GroupId(*d),
+                            action: *a,
+                        },
+                    )
                 })
                 .collect(),
         }
@@ -126,11 +129,23 @@ mod tests {
     #[test]
     fn enforce_counts_and_respects_rules() {
         let mut acl = GroupAcl::new();
-        acl.install(&subset(1, &[(1, 1, 2, Action::Allow), (1, 3, 2, Action::Deny)]));
-        assert_eq!(acl.enforce(vn(1), GroupId(1), GroupId(2), Action::Deny), Action::Allow);
-        assert_eq!(acl.enforce(vn(1), GroupId(3), GroupId(2), Action::Deny), Action::Deny);
+        acl.install(&subset(
+            1,
+            &[(1, 1, 2, Action::Allow), (1, 3, 2, Action::Deny)],
+        ));
+        assert_eq!(
+            acl.enforce(vn(1), GroupId(1), GroupId(2), Action::Deny),
+            Action::Allow
+        );
+        assert_eq!(
+            acl.enforce(vn(1), GroupId(3), GroupId(2), Action::Deny),
+            Action::Deny
+        );
         // Unmatched → default.
-        assert_eq!(acl.enforce(vn(1), GroupId(9), GroupId(2), Action::Deny), Action::Deny);
+        assert_eq!(
+            acl.enforce(vn(1), GroupId(9), GroupId(2), Action::Deny),
+            Action::Deny
+        );
         assert_eq!(acl.counters(), (1, 2));
         let pm = acl.drop_permille().unwrap();
         assert!((pm - 666.66).abs() < 1.0);
@@ -139,7 +154,10 @@ mod tests {
     #[test]
     fn default_allow_matrix_supported() {
         let mut acl = GroupAcl::new();
-        assert_eq!(acl.enforce(vn(1), GroupId(1), GroupId(1), Action::Allow), Action::Allow);
+        assert_eq!(
+            acl.enforce(vn(1), GroupId(1), GroupId(1), Action::Allow),
+            Action::Allow
+        );
     }
 
     #[test]
@@ -151,7 +169,10 @@ mod tests {
         assert_eq!(acl.version(), 2);
         acl.replace(&subset(3, &[(1, 5, 5, Action::Allow)]));
         assert_eq!(acl.len(), 1);
-        assert_eq!(acl.check(vn(1), GroupId(1), GroupId(2), Action::Deny), Action::Deny);
+        assert_eq!(
+            acl.check(vn(1), GroupId(1), GroupId(2), Action::Deny),
+            Action::Deny
+        );
     }
 
     #[test]

@@ -180,7 +180,13 @@ impl BorderRouter {
 
     fn handle_control(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: Lisp, _now: SimTime) {
         match msg {
-            Lisp::Publish { vn, prefix, rloc, withdraw, .. } => {
+            Lisp::Publish {
+                vn,
+                prefix,
+                rloc,
+                withdraw,
+                ..
+            } => {
                 let Some(eid) = host_eid(&prefix) else {
                     return;
                 };
@@ -228,7 +234,13 @@ impl Node<FabricMsg> for BorderRouter {
                 // Border-attached endpoints (traffic sinks) do not roam;
                 // sends are processed like an edge's local sends but
                 // against the synced table.
-                if let crate::msg::HostEvent::Send { src_mac, dst, payload_len, flow, track } = ev
+                if let crate::msg::HostEvent::Send {
+                    src_mac,
+                    dst,
+                    payload_len,
+                    flow,
+                    track,
+                } = ev
                 {
                     let Some((vn, src_ep)) = self.vrf.classify(src_mac) else {
                         return;

@@ -188,13 +188,17 @@ impl FabricBuilder {
 
     /// Allows `src → dst` (one direction) in `vn`.
     pub fn allow(&mut self, vn: VnId, src: GroupId, dst: GroupId) -> &mut Self {
-        self.policy.matrix_mut().set_rule(vn, src, dst, Action::Allow);
+        self.policy
+            .matrix_mut()
+            .set_rule(vn, src, dst, Action::Allow);
         self
     }
 
     /// Denies `src → dst` explicitly in `vn`.
     pub fn deny(&mut self, vn: VnId, src: GroupId, dst: GroupId) -> &mut Self {
-        self.policy.matrix_mut().set_rule(vn, src, dst, Action::Deny);
+        self.policy
+            .matrix_mut()
+            .set_rule(vn, src, dst, Action::Deny);
         self
     }
 
@@ -238,9 +242,7 @@ impl FabricBuilder {
         let secret = u64::from(seed) * 7919;
         self.policy.enroll(mac, secret, vn, group, method);
         // Keep the §5.3 oracle in sync for ingress-mode ablations.
-        self.config
-            .dst_groups
-            .insert((vn, Eid::V4(ipv4)), group);
+        self.config.dst_groups.insert((vn, Eid::V4(ipv4)), group);
         self.config.dst_groups.insert((vn, Eid::Mac(mac)), group);
         EndpointIdentity { mac, ipv4, secret }
     }
@@ -256,7 +258,13 @@ impl FabricBuilder {
         port: PortId,
     ) -> EndpointIdentity {
         let endpoint = self.mint_endpoint(vn, group);
-        self.border_sinks.push(BorderSink { border, vn, endpoint, group, port });
+        self.border_sinks.push(BorderSink {
+            border,
+            vn,
+            endpoint,
+            group,
+            port,
+        });
         endpoint
     }
 
@@ -354,8 +362,7 @@ impl FabricBuilder {
                     .filter(|r| **r != rloc)
                     .map(|r| (underlay_id(*r), 1))
                     .collect();
-                let watch: Vec<sda_types::RouterId> =
-                    links.iter().map(|(r, _)| *r).collect();
+                let watch: Vec<sda_types::RouterId> = links.iter().map(|(r, _)| *r).collect();
                 edge = edge.with_underlay(LinkStateRouter::new(me, links), watch);
             }
             let id = sim.add_node(Box::new(edge));
@@ -373,7 +380,14 @@ impl FabricBuilder {
             sim.arm_timer_at(SimTime::ZERO, routing_id, 0);
         }
 
-        Fabric { sim, dir, policy: policy_id, routing: routing_id, borders, edges }
+        Fabric {
+            sim,
+            dir,
+            policy: policy_id,
+            routing: routing_id,
+            borders,
+            edges,
+        }
     }
 }
 
@@ -389,7 +403,13 @@ pub struct Fabric {
 
 impl Fabric {
     /// Schedules an endpoint attach at `at`.
-    pub fn attach_at(&mut self, at: SimTime, edge: EdgeHandle, endpoint: EndpointIdentity, port: PortId) {
+    pub fn attach_at(
+        &mut self,
+        at: SimTime,
+        edge: EdgeHandle,
+        endpoint: EndpointIdentity,
+        port: PortId,
+    ) {
         let vn = VnId::DEFAULT; // informational; binding comes from policy
         self.sim.inject_at(
             at,
@@ -400,8 +420,11 @@ impl Fabric {
 
     /// Schedules an endpoint detach at `at`.
     pub fn detach_at(&mut self, at: SimTime, edge: EdgeHandle, mac: MacAddr) {
-        self.sim
-            .inject_at(at, self.edges[edge.0], FabricMsg::Host(HostEvent::Detach { mac }));
+        self.sim.inject_at(
+            at,
+            self.edges[edge.0],
+            FabricMsg::Host(HostEvent::Detach { mac }),
+        );
     }
 
     /// Schedules a packet send from an endpoint attached at `edge`.
@@ -419,7 +442,13 @@ impl Fabric {
         self.sim.inject_at(
             at,
             self.edges[edge.0],
-            FabricMsg::Host(HostEvent::Send { src_mac, dst, payload_len, flow, track }),
+            FabricMsg::Host(HostEvent::Send {
+                src_mac,
+                dst,
+                payload_len,
+                flow,
+                track,
+            }),
         );
     }
 
@@ -438,7 +467,13 @@ impl Fabric {
         self.sim.inject_at(
             at,
             self.borders[border.0],
-            FabricMsg::Host(HostEvent::Send { src_mac, dst, payload_len, flow, track }),
+            FabricMsg::Host(HostEvent::Send {
+                src_mac,
+                dst,
+                payload_len,
+                flow,
+                track,
+            }),
         );
     }
 
@@ -551,14 +586,28 @@ mod tests {
     use super::*;
     use sda_types::Eid;
 
-    fn two_edge_fabric() -> (Fabric, EdgeHandle, EdgeHandle, BorderHandle, VnId, EndpointIdentity, EndpointIdentity) {
+    fn two_edge_fabric() -> (
+        Fabric,
+        EdgeHandle,
+        EdgeHandle,
+        BorderHandle,
+        VnId,
+        EndpointIdentity,
+        EndpointIdentity,
+    ) {
         let mut b = FabricBuilder::new(42);
-        let vn = b.add_vn(100, Ipv4Prefix::new(Ipv4Addr::new(10, 100, 0, 0), 16).unwrap());
+        let vn = b.add_vn(
+            100,
+            Ipv4Prefix::new(Ipv4Addr::new(10, 100, 0, 0), 16).unwrap(),
+        );
         let users = GroupId(10);
         b.allow(vn, users, users);
         let e1 = b.add_edge("edge1");
         let e2 = b.add_edge("edge2");
-        let border = b.add_border("border", vec![Ipv4Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0).unwrap()]);
+        let border = b.add_border(
+            "border",
+            vec![Ipv4Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0).unwrap()],
+        );
         let alice = b.mint_endpoint(vn, users);
         let bob = b.mint_endpoint(vn, users);
         (b.build(), e1, e2, border, vn, alice, bob)
@@ -573,7 +622,11 @@ mod tests {
 
         assert_eq!(f.edge(e1).stats().onboarded, 1);
         assert_eq!(f.edge(e2).stats().onboarded, 1);
-        assert_eq!(f.routing_server().server().db().len(), 4, "2 endpoints × 2 EIDs");
+        assert_eq!(
+            f.routing_server().server().db().len(),
+            4,
+            "2 endpoints × 2 EIDs"
+        );
 
         // First packet: cache miss → default route via border; resolution
         // follows; second packet goes direct.
@@ -613,7 +666,15 @@ mod tests {
         f.run_until(SimTime::from_nanos(100_000_000));
 
         // user → sensor must drop at egress (e2).
-        f.send_at(SimTime::from_nanos(200_000_000), e1, user.mac, Eid::V4(sensor.ipv4), 64, 1, false);
+        f.send_at(
+            SimTime::from_nanos(200_000_000),
+            e1,
+            user.mac,
+            Eid::V4(sensor.ipv4),
+            64,
+            1,
+            false,
+        );
         f.run_until(SimTime::from_nanos(400_000_000));
         assert_eq!(f.edge(e2).stats().policy_drops, 1);
         assert_eq!(f.edge(e2).stats().delivered, 0);
@@ -640,7 +701,15 @@ mod tests {
 
         // a (VN 1) → bb's address: lookup happens inside VN 1 where bb
         // is not registered → never delivered.
-        f.send_at(SimTime::from_nanos(200_000_000), e1, a.mac, Eid::V4(bb.ipv4), 64, 1, false);
+        f.send_at(
+            SimTime::from_nanos(200_000_000),
+            e1,
+            a.mac,
+            Eid::V4(bb.ipv4),
+            64,
+            1,
+            false,
+        );
         f.run_until(SimTime::from_nanos(500_000_000));
         assert_eq!(f.edge(e2).stats().delivered, 0);
         assert_eq!(f.border(BorderHandle(0)).stats().unroutable, 1);
@@ -652,7 +721,15 @@ mod tests {
         f.attach_at(SimTime::ZERO, e1, alice, PortId(1));
         f.attach_at(SimTime::ZERO, e1, bob, PortId(2));
         f.run_until(SimTime::from_nanos(100_000_000));
-        f.send_at(SimTime::from_nanos(200_000_000), e1, alice.mac, Eid::V4(bob.ipv4), 64, 1, false);
+        f.send_at(
+            SimTime::from_nanos(200_000_000),
+            e1,
+            alice.mac,
+            Eid::V4(bob.ipv4),
+            64,
+            1,
+            false,
+        );
         f.run_until(SimTime::from_nanos(300_000_000));
         let s = f.edge(e1).stats();
         assert_eq!(s.delivered, 1);
@@ -663,7 +740,10 @@ mod tests {
     #[test]
     fn mobility_forwarding_and_smr_refresh() {
         let mut b = FabricBuilder::new(42);
-        let vn = b.add_vn(100, Ipv4Prefix::new(Ipv4Addr::new(10, 100, 0, 0), 16).unwrap());
+        let vn = b.add_vn(
+            100,
+            Ipv4Prefix::new(Ipv4Addr::new(10, 100, 0, 0), 16).unwrap(),
+        );
         let users = GroupId(10);
         b.allow(vn, users, users);
         let e1 = b.add_edge("edge1");
@@ -678,7 +758,15 @@ mod tests {
         f.attach_at(SimTime::ZERO, e1, alice, PortId(1));
         f.attach_at(SimTime::ZERO, e2, bob, PortId(1));
         f.run_until(SimTime::from_nanos(100_000_000));
-        f.send_at(SimTime::from_nanos(200_000_000), e1, alice.mac, Eid::V4(bob.ipv4), 64, 1, false);
+        f.send_at(
+            SimTime::from_nanos(200_000_000),
+            e1,
+            alice.mac,
+            Eid::V4(bob.ipv4),
+            64,
+            1,
+            false,
+        );
         f.run_until(SimTime::from_nanos(300_000_000));
         assert_eq!(f.edge(e1).fib_len(), 1, "cache warmed");
 
@@ -689,15 +777,35 @@ mod tests {
 
         // alice sends with her stale cache entry (→ e2): e2 forwards to
         // e3 (Fig. 5 step 3 / Fig. 6 step 3) and SMRs e1 (Fig. 6 step 2).
-        f.send_at(SimTime::from_nanos(410_000_000), e1, alice.mac, Eid::V4(bob.ipv4), 64, 2, false);
+        f.send_at(
+            SimTime::from_nanos(410_000_000),
+            e1,
+            alice.mac,
+            Eid::V4(bob.ipv4),
+            64,
+            2,
+            false,
+        );
         f.run_until(SimTime::from_nanos(600_000_000));
         assert_eq!(f.edge(e3).stats().delivered, 1, "packet followed the move");
-        assert_eq!(f.edge(e2).stats().mobility_forwards, 1, "old edge forwarded");
+        assert_eq!(
+            f.edge(e2).stats().mobility_forwards,
+            1,
+            "old edge forwarded"
+        );
         assert_eq!(f.edge(e2).stats().smrs_sent, 1, "old edge SMR'd the source");
 
         // After the SMR-triggered re-resolution, alice's edge sends
         // directly to e3 — no more forwarding through e2.
-        f.send_at(SimTime::from_nanos(700_000_000), e1, alice.mac, Eid::V4(bob.ipv4), 64, 3, false);
+        f.send_at(
+            SimTime::from_nanos(700_000_000),
+            e1,
+            alice.mac,
+            Eid::V4(bob.ipv4),
+            64,
+            3,
+            false,
+        );
         f.run_until(SimTime::from_nanos(900_000_000));
         assert_eq!(f.edge(e3).stats().delivered, 2);
         assert_eq!(f.edge(e2).stats().mobility_forwards, 1, "no second detour");

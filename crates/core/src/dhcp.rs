@@ -19,7 +19,9 @@ pub struct DhcpPool {
 impl DhcpPool {
     /// Creates an allocator with no pools.
     pub fn new() -> Self {
-        DhcpPool { pools: BTreeMap::new() }
+        DhcpPool {
+            pools: BTreeMap::new(),
+        }
     }
 
     /// Declares the overlay subnet of `vn`.
@@ -74,7 +76,10 @@ mod tests {
     #[test]
     fn sequential_unique_allocation() {
         let mut d = DhcpPool::new();
-        d.add_pool(vn(1), Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap());
+        d.add_pool(
+            vn(1),
+            Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap(),
+        );
         let a = d.allocate(vn(1)).unwrap();
         let b = d.allocate(vn(1)).unwrap();
         assert_eq!(a, Ipv4Addr::new(10, 1, 0, 1));
@@ -85,8 +90,14 @@ mod tests {
     #[test]
     fn per_vn_pools_independent() {
         let mut d = DhcpPool::new();
-        d.add_pool(vn(1), Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap());
-        d.add_pool(vn(2), Ipv4Prefix::new(Ipv4Addr::new(10, 2, 0, 0), 16).unwrap());
+        d.add_pool(
+            vn(1),
+            Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap(),
+        );
+        d.add_pool(
+            vn(2),
+            Ipv4Prefix::new(Ipv4Addr::new(10, 2, 0, 0), 16).unwrap(),
+        );
         assert_eq!(d.allocate(vn(1)).unwrap(), Ipv4Addr::new(10, 1, 0, 1));
         assert_eq!(d.allocate(vn(2)).unwrap(), Ipv4Addr::new(10, 2, 0, 1));
     }
@@ -94,7 +105,10 @@ mod tests {
     #[test]
     fn exhaustion_returns_none() {
         let mut d = DhcpPool::new();
-        d.add_pool(vn(1), Ipv4Prefix::new(Ipv4Addr::new(192, 168, 0, 0), 30).unwrap());
+        d.add_pool(
+            vn(1),
+            Ipv4Prefix::new(Ipv4Addr::new(192, 168, 0, 0), 30).unwrap(),
+        );
         assert!(d.allocate(vn(1)).is_some());
         assert!(d.allocate(vn(1)).is_some());
         assert!(d.allocate(vn(1)).is_none(), "/30 has 2 usable hosts");
@@ -112,6 +126,9 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn tiny_subnet_panics() {
         let mut d = DhcpPool::new();
-        d.add_pool(vn(1), Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 31).unwrap());
+        d.add_pool(
+            vn(1),
+            Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 31).unwrap(),
+        );
     }
 }

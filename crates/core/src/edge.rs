@@ -117,7 +117,11 @@ impl EdgeRouter {
     }
 
     /// Attaches an underlay protocol instance (dynamics mode).
-    pub fn with_underlay(mut self, router: LinkStateRouter, watch: Vec<sda_types::RouterId>) -> Self {
+    pub fn with_underlay(
+        mut self,
+        router: LinkStateRouter,
+        watch: Vec<sda_types::RouterId>,
+    ) -> Self {
         self.reach = ReachabilityTracker::new(watch);
         self.underlay = Some(router);
         self
@@ -169,11 +173,8 @@ impl EdgeRouter {
             // Fresh protocol instance with the same wiring (empty LSDB,
             // sequence restart — the §5.2 recovery path).
             let id = ls.id();
-            let links: Vec<(sda_types::RouterId, u32)> = self
-                .reach
-                .up_peers()
-                .map(|p| (p, 1))
-                .collect();
+            let links: Vec<(sda_types::RouterId, u32)> =
+                self.reach.up_peers().map(|p| (p, 1)).collect();
             let _ = links;
             // Reconstruct from the directory's full fabric set.
             let all: Vec<(sda_types::RouterId, u32)> = self
@@ -227,12 +228,7 @@ impl EdgeRouter {
         self.dir.node_of(rloc)
     }
 
-    fn send_map_request(
-        &mut self,
-        ctx: &mut Context<'_, FabricMsg>,
-        vn: VnId,
-        eid: Eid,
-    ) {
+    fn send_map_request(&mut self, ctx: &mut Context<'_, FabricMsg>, vn: VnId, eid: Eid) {
         if !self.resolving.insert((vn, eid)) {
             return; // already in flight
         }
@@ -301,12 +297,20 @@ impl EdgeRouter {
 
     fn handle_host_event(&mut self, ctx: &mut Context<'_, FabricMsg>, ev: HostEvent) {
         match ev {
-            HostEvent::Attach { endpoint, port, vn: _ } => {
+            HostEvent::Attach {
+                endpoint,
+                port,
+                vn: _,
+            } => {
                 // Fig. 3 step 1: authenticate against the policy server.
                 let txn = self.txn();
                 self.pending_auth.insert(
                     txn,
-                    PendingAttach { endpoint, port, started: ctx.now() },
+                    PendingAttach {
+                        endpoint,
+                        port,
+                        started: ctx.now(),
+                    },
                 );
                 ctx.send(
                     self.dir.policy_server,
@@ -323,7 +327,13 @@ impl EdgeRouter {
                 // mapping when the endpoint re-registers elsewhere
                 // (Fig. 5); a true offboard goes through the controller.
             }
-            HostEvent::Send { src_mac, dst, payload_len, flow, track } => {
+            HostEvent::Send {
+                src_mac,
+                dst,
+                payload_len,
+                flow,
+                track,
+            } => {
                 self.handle_endpoint_send(ctx, src_mac, dst, payload_len, flow, track);
             }
             HostEvent::ArpRequest { src_mac, target_ip } => {
@@ -350,7 +360,11 @@ impl EdgeRouter {
         let src_group = src_ep.group;
         let src_eid = Eid::V4(src_ep.ipv4);
         let inner = InnerPacket {
-            src: if matches!(dst, Eid::Mac(_)) { Eid::Mac(src_mac) } else { src_eid },
+            src: if matches!(dst, Eid::Mac(_)) {
+                Eid::Mac(src_mac)
+            } else {
+                src_eid
+            },
             dst,
             payload_len,
             flow,
@@ -364,7 +378,11 @@ impl EdgeRouter {
             CacheOutcome::Stale(rloc) => (Some(rloc), true, true),
         };
 
-        let hint = if stale { None } else { self.dir.params.dst_group_hint(vn, dst) };
+        let hint = if stale {
+            None
+        } else {
+            self.dir.params.dst_group_hint(vn, dst)
+        };
         let action = pipeline::ingress(
             &self.vrf,
             &mut self.acl,
@@ -395,7 +413,8 @@ impl EdgeRouter {
             IngressAction::Encap { to, packet } => {
                 let mut packet = packet;
                 packet.hops_left -= 1;
-                ctx.metrics().add("fabric.overlay_bytes", u64::from(payload_len));
+                ctx.metrics()
+                    .add("fabric.overlay_bytes", u64::from(payload_len));
                 let node = self.node_of(to);
                 ctx.send(node, FabricMsg::Data(packet));
             }
@@ -404,7 +423,8 @@ impl EdgeRouter {
                     let mut packet = packet;
                     packet.hops_left -= 1;
                     self.stats.default_routed += 1;
-                    ctx.metrics().add("fabric.overlay_bytes", u64::from(payload_len));
+                    ctx.metrics()
+                        .add("fabric.overlay_bytes", u64::from(payload_len));
                     let node = self.node_of(self.dir.border_rloc);
                     ctx.send(node, FabricMsg::Data(packet));
                 } else {
@@ -449,7 +469,11 @@ impl EdgeRouter {
         self.pending_arp.insert((vn, target_ip), src_mac);
         ctx.send(
             self.dir.routing_server,
-            FabricMsg::Arp(ArpMsg::Query { vn, ip: target_ip, reply_to: self.rloc }),
+            FabricMsg::Arp(ArpMsg::Query {
+                vn,
+                ip: target_ip,
+                reply_to: self.rloc,
+            }),
         );
     }
 
@@ -499,7 +523,11 @@ impl EdgeRouter {
     }
 
     /// Fig. 6: traffic arrived for an endpoint that is not here.
-    fn handle_not_local(&mut self, ctx: &mut Context<'_, FabricMsg>, pkt: crate::msg::OverlayPacket) {
+    fn handle_not_local(
+        &mut self,
+        ctx: &mut Context<'_, FabricMsg>,
+        pkt: crate::msg::OverlayPacket,
+    ) {
         if pkt.hops_left == 0 {
             self.stats.hop_exhausted += 1;
             ctx.metrics().incr("fabric.hop_exhausted");
@@ -572,7 +600,14 @@ impl EdgeRouter {
     fn handle_control(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: Lisp) {
         let now = ctx.now();
         match msg {
-            Lisp::MapReply { vn, prefix, rloc, negative, ttl_secs, .. } => {
+            Lisp::MapReply {
+                vn,
+                prefix,
+                rloc,
+                negative,
+                ttl_secs,
+                ..
+            } => {
                 if let Some(eid0) = prefix_eid(&prefix) {
                     self.resolving.remove(&(vn, eid0));
                 }
@@ -588,7 +623,9 @@ impl EdgeRouter {
                     );
                 }
             }
-            Lisp::MapNotify { vn, eid, new_rloc, .. } => {
+            Lisp::MapNotify {
+                vn, eid, new_rloc, ..
+            } => {
                 // Fig. 5 step 2–3: the moved endpoint's new location.
                 // Install it so in-flight traffic forwards onward.
                 self.cache.update_rloc(
@@ -600,7 +637,9 @@ impl EdgeRouter {
                 );
                 self.smr.forget_eid(vn, eid);
             }
-            Lisp::MapRequest { smr: true, vn, eid, .. } => {
+            Lisp::MapRequest {
+                smr: true, vn, eid, ..
+            } => {
                 // An SMR: our cached mapping is stale. Mark and
                 // re-resolve (Fig. 6 step 4).
                 self.cache.mark_stale(vn, eid);
@@ -614,7 +653,12 @@ impl EdgeRouter {
 
     fn handle_policy(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: PolicyMsg) {
         match msg {
-            PolicyMsg::AuthAccept { txn, mac, profile, rules } => {
+            PolicyMsg::AuthAccept {
+                txn,
+                mac,
+                profile,
+                rules,
+            } => {
                 let Some(pending) = self.pending_auth.remove(&txn) else {
                     return;
                 };
@@ -633,7 +677,8 @@ impl EdgeRouter {
                 self.register_endpoint(ctx, profile.vn, mac, pending.endpoint.ipv4);
                 self.stats.onboarded += 1;
                 let latency = ctx.now().since(pending.started);
-                ctx.metrics().observe("fabric.onboarding_secs", latency.as_secs_f64());
+                ctx.metrics()
+                    .observe("fabric.onboarding_secs", latency.as_secs_f64());
                 let name = format!("onboard.{}", mac);
                 let now = ctx.now();
                 ctx.metrics().record(&name, now, 1.0);
@@ -651,7 +696,12 @@ impl EdgeRouter {
         }
     }
 
-    fn handle_underlay(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: sda_underlay::Message, from: NodeId) {
+    fn handle_underlay(
+        &mut self,
+        ctx: &mut Context<'_, FabricMsg>,
+        msg: sda_underlay::Message,
+        from: NodeId,
+    ) {
         let Some(ls) = self.underlay.as_mut() else {
             return;
         };
@@ -694,7 +744,8 @@ impl EdgeRouter {
                 // §5.1: delete routes through the lost RLOC; traffic
                 // falls back to the border default route.
                 let purged = self.cache.purge_rloc(rloc_of_underlay(router));
-                ctx.metrics().add("fabric.reachability_purges", purged as u64);
+                ctx.metrics()
+                    .add("fabric.reachability_purges", purged as u64);
             }
         }
     }
@@ -770,9 +821,7 @@ impl Node<FabricMsg> for EdgeRouter {
         }
         match token {
             TIMER_EVICT => {
-                let evicted = self
-                    .cache
-                    .evict(ctx.now(), self.dir.params.idle_timeout);
+                let evicted = self.cache.evict(ctx.now(), self.dir.params.idle_timeout);
                 ctx.metrics().add("fabric.cache_evictions", evicted as u64);
                 ctx.set_timer(self.dir.params.eviction_interval, TIMER_EVICT);
             }

@@ -73,7 +73,10 @@ pub fn egress(
             Action::Deny => return EgressAction::DropPolicy,
         }
     }
-    EgressAction::Deliver { port: ep.port, dst_group: ep.group }
+    EgressAction::Deliver {
+        port: ep.port,
+        dst_group: ep.group,
+    }
 }
 
 /// What the ingress stage decided for a locally originated packet.
@@ -327,7 +330,14 @@ mod tests {
     fn allow_rule(v: VnId, s: u16, d: u16) -> RuleSubset {
         RuleSubset {
             version: 1,
-            rules: vec![(v, GroupRule { src: GroupId(s), dst: GroupId(d), action: Action::Allow })],
+            rules: vec![(
+                v,
+                GroupRule {
+                    src: GroupId(s),
+                    dst: GroupId(d),
+                    action: Action::Allow,
+                },
+            )],
         }
     }
 
@@ -358,8 +368,20 @@ mod tests {
         vrf.attach(vn(1), local(2, 20));
         let mut acl = GroupAcl::new();
         acl.install(&allow_rule(vn(1), 10, 20));
-        let act = egress(&vrf, &mut acl, &packet(vn(1), 10, 1, 2), EnforcementPoint::Egress, Action::Deny);
-        assert_eq!(act, EgressAction::Deliver { port: PortId(2), dst_group: GroupId(20) });
+        let act = egress(
+            &vrf,
+            &mut acl,
+            &packet(vn(1), 10, 1, 2),
+            EnforcementPoint::Egress,
+            Action::Deny,
+        );
+        assert_eq!(
+            act,
+            EgressAction::Deliver {
+                port: PortId(2),
+                dst_group: GroupId(20)
+            }
+        );
         assert_eq!(acl.counters(), (1, 0));
     }
 
@@ -368,7 +390,13 @@ mod tests {
         let mut vrf = VrfTable::new();
         vrf.attach(vn(1), local(2, 20));
         let mut acl = GroupAcl::new();
-        let act = egress(&vrf, &mut acl, &packet(vn(1), 66, 1, 2), EnforcementPoint::Egress, Action::Deny);
+        let act = egress(
+            &vrf,
+            &mut acl,
+            &packet(vn(1), 66, 1, 2),
+            EnforcementPoint::Egress,
+            Action::Deny,
+        );
         assert_eq!(act, EgressAction::DropPolicy);
         assert_eq!(acl.counters(), (0, 1));
     }
@@ -377,7 +405,13 @@ mod tests {
     fn egress_not_local_when_vrf_misses() {
         let vrf = VrfTable::new();
         let mut acl = GroupAcl::new();
-        let act = egress(&vrf, &mut acl, &packet(vn(1), 10, 1, 2), EnforcementPoint::Egress, Action::Deny);
+        let act = egress(
+            &vrf,
+            &mut acl,
+            &packet(vn(1), 10, 1, 2),
+            EnforcementPoint::Egress,
+            Action::Deny,
+        );
         assert_eq!(act, EgressAction::NotLocal);
         assert_eq!(acl.counters(), (0, 0), "ACL must not run before VRF hit");
     }
@@ -401,15 +435,31 @@ mod tests {
         let mut acl = GroupAcl::new();
         acl.install(&allow_rule(vn(1), 10, 20));
         let act = ingress(
-            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 2, false),
-            None, EnforcementPoint::Egress, None, Action::Deny, 8,
+            &vrf,
+            &mut acl,
+            vn(1),
+            GroupId(10),
+            inner(1, 2, false),
+            None,
+            EnforcementPoint::Egress,
+            None,
+            Action::Deny,
+            8,
             Rloc::for_router_index(1),
         );
         assert_eq!(act, IngressAction::DeliverLocal { port: PortId(2) });
         // Reverse direction lacks a rule: denied locally.
         let act = ingress(
-            &vrf, &mut acl, vn(1), GroupId(20), inner(2, 1, false),
-            None, EnforcementPoint::Egress, None, Action::Deny, 8,
+            &vrf,
+            &mut acl,
+            vn(1),
+            GroupId(20),
+            inner(2, 1, false),
+            None,
+            EnforcementPoint::Egress,
+            None,
+            Action::Deny,
+            8,
             Rloc::for_router_index(1),
         );
         assert_eq!(act, IngressAction::DropPolicy);
@@ -421,8 +471,16 @@ mod tests {
         let mut acl = GroupAcl::new();
         let target = Rloc::for_router_index(7);
         let act = ingress(
-            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 9, false),
-            Some(target), EnforcementPoint::Egress, None, Action::Deny, 8,
+            &vrf,
+            &mut acl,
+            vn(1),
+            GroupId(10),
+            inner(1, 9, false),
+            Some(target),
+            EnforcementPoint::Egress,
+            None,
+            Action::Deny,
+            8,
             Rloc::for_router_index(1),
         );
         match act {
@@ -440,8 +498,16 @@ mod tests {
         let vrf = VrfTable::new();
         let mut acl = GroupAcl::new();
         let act = ingress(
-            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 9, false),
-            None, EnforcementPoint::Egress, None, Action::Deny, 8,
+            &vrf,
+            &mut acl,
+            vn(1),
+            GroupId(10),
+            inner(1, 9, false),
+            None,
+            EnforcementPoint::Egress,
+            None,
+            Action::Deny,
+            8,
             Rloc::for_router_index(1),
         );
         assert!(matches!(act, IngressAction::EncapToBorder { .. }));
@@ -452,9 +518,17 @@ mod tests {
         let vrf = VrfTable::new();
         let mut acl = GroupAcl::new(); // empty → default deny
         let act = ingress(
-            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 9, false),
-            Some(Rloc::for_router_index(7)), EnforcementPoint::Ingress,
-            Some(GroupId(20)), Action::Deny, 8, Rloc::for_router_index(1),
+            &vrf,
+            &mut acl,
+            vn(1),
+            GroupId(10),
+            inner(1, 9, false),
+            Some(Rloc::for_router_index(7)),
+            EnforcementPoint::Ingress,
+            Some(GroupId(20)),
+            Action::Deny,
+            8,
+            Rloc::for_router_index(1),
         );
         assert_eq!(act, IngressAction::DropPolicy);
         assert_eq!(acl.counters(), (0, 1));
@@ -466,9 +540,17 @@ mod tests {
         let mut acl = GroupAcl::new();
         acl.install(&allow_rule(vn(1), 10, 20));
         let act = ingress(
-            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 9, false),
-            Some(Rloc::for_router_index(7)), EnforcementPoint::Ingress,
-            Some(GroupId(20)), Action::Deny, 8, Rloc::for_router_index(1),
+            &vrf,
+            &mut acl,
+            vn(1),
+            GroupId(10),
+            inner(1, 9, false),
+            Some(Rloc::for_router_index(7)),
+            EnforcementPoint::Ingress,
+            Some(GroupId(20)),
+            Action::Deny,
+            8,
+            Rloc::for_router_index(1),
         );
         match act {
             IngressAction::Encap { packet, .. } => assert!(packet.policy_applied),
@@ -481,9 +563,17 @@ mod tests {
         let vrf = VrfTable::new();
         let mut acl = GroupAcl::new();
         let act = ingress(
-            &vrf, &mut acl, vn(1), GroupId(10), inner(1, 9, false),
-            Some(Rloc::for_router_index(7)), EnforcementPoint::Ingress,
-            None, Action::Deny, 8, Rloc::for_router_index(1),
+            &vrf,
+            &mut acl,
+            vn(1),
+            GroupId(10),
+            inner(1, 9, false),
+            Some(Rloc::for_router_index(7)),
+            EnforcementPoint::Ingress,
+            None,
+            Action::Deny,
+            8,
+            Rloc::for_router_index(1),
         );
         match act {
             IngressAction::Encap { packet, .. } => assert!(!packet.policy_applied),
@@ -539,7 +629,9 @@ mod tests {
                 track: false,
             },
         };
-        assert!(encode_packet(Rloc::for_router_index(1), Rloc::for_router_index(2), &pkt).is_none());
+        assert!(
+            encode_packet(Rloc::for_router_index(1), Rloc::for_router_index(2), &pkt).is_none()
+        );
     }
 
     /// Differential: the egress decision on a packet that took the byte
@@ -558,8 +650,20 @@ mod tests {
             encode_packet(Rloc::for_router_index(1), Rloc::for_router_index(2), &pkt).unwrap();
         let (_, _, decoded) = decode_packet(&bytes).unwrap();
 
-        let a = egress(&vrf, &mut acl1, &pkt, EnforcementPoint::Egress, Action::Deny);
-        let b = egress(&vrf, &mut acl2, &decoded, EnforcementPoint::Egress, Action::Deny);
+        let a = egress(
+            &vrf,
+            &mut acl1,
+            &pkt,
+            EnforcementPoint::Egress,
+            Action::Deny,
+        );
+        let b = egress(
+            &vrf,
+            &mut acl2,
+            &decoded,
+            EnforcementPoint::Egress,
+            Action::Deny,
+        );
         assert_eq!(a, b);
     }
 }

@@ -73,7 +73,11 @@ pub struct RoutingServerNode {
 impl RoutingServerNode {
     /// Wraps `server` with fabric wiring.
     pub fn new(server: MapServer, dir: Rc<Directory>) -> Self {
-        RoutingServerNode { server, dir, arp_db: BTreeMap::new() }
+        RoutingServerNode {
+            server,
+            dir,
+            arp_db: BTreeMap::new(),
+        }
     }
 
     /// Read access for post-run assertions.
@@ -174,7 +178,10 @@ impl Node<FabricMsg> for PolicyServerNode {
         };
         match pm {
             PolicyMsg::AuthRequest { mac, secret, txn } => {
-                let cred = sda_policy::Credential { identity: mac, secret };
+                let cred = sda_policy::Credential {
+                    identity: mac,
+                    secret,
+                };
                 match self.server.onboard(&cred) {
                     Some(grant) => {
                         // EAP methods cost extra round trips; charge them

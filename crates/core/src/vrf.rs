@@ -5,11 +5,17 @@
 //! GroupId)` association created during onboarding that the egress
 //! pipeline's second stage reads (§3.3.2). Entries are keyed by all the
 //! endpoint's EIDs (IPv4 and MAC point at the same record).
+//!
+//! The per-VN tables are [`EidTrie`]s (host routes), so the data-plane
+//! lookup on the egress pipeline's first stage shares the inline-key,
+//! allocation-free trie machinery with the map-cache, and gains subnet
+//! (covering-prefix) capability for free if the VRF ever needs it.
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
-use sda_types::{Eid, GroupId, MacAddr, PortId, VnId};
+use sda_trie::EidTrie;
+use sda_types::{Eid, EidPrefix, GroupId, MacAddr, PortId, VnId};
 
 /// A locally attached endpoint as the VRF sees it.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -28,8 +34,8 @@ pub struct LocalEndpoint {
 /// The per-VN local tables of one edge router.
 #[derive(Default, Debug)]
 pub struct VrfTable {
-    /// (vn, eid) → endpoint. Both the IPv4 and MAC EIDs key the record.
-    entries: BTreeMap<(VnId, Eid), LocalEndpoint>,
+    /// vn → host-route trie. Both the IPv4 and MAC EIDs key the record.
+    vns: BTreeMap<VnId, EidTrie<LocalEndpoint>>,
     /// mac → vn reverse index (detach only gives us the MAC).
     by_mac: BTreeMap<MacAddr, VnId>,
 }
@@ -43,43 +49,38 @@ impl VrfTable {
     /// Installs an endpoint into `vn` (onboarding step 4 wrote the
     /// `(Overlay IP, GroupId)` association).
     pub fn attach(&mut self, vn: VnId, ep: LocalEndpoint) {
-        self.entries.insert((vn, Eid::V4(ep.ipv4)), ep);
-        self.entries.insert((vn, Eid::Mac(ep.mac)), ep);
+        let trie = self.vns.entry(vn).or_default();
+        trie.insert(EidPrefix::host(Eid::V4(ep.ipv4)), ep);
+        trie.insert(EidPrefix::host(Eid::Mac(ep.mac)), ep);
         self.by_mac.insert(ep.mac, vn);
     }
 
     /// Removes the endpoint with `mac`, returning its record.
     pub fn detach(&mut self, mac: MacAddr) -> Option<(VnId, LocalEndpoint)> {
         let vn = self.by_mac.remove(&mac)?;
-        let ep = self.entries.remove(&(vn, Eid::Mac(mac)))?;
-        self.entries.remove(&(vn, Eid::V4(ep.ipv4)));
+        let trie = self.vns.get_mut(&vn)?;
+        let ep = trie.remove(&EidPrefix::host(Eid::Mac(mac)))?;
+        trie.remove(&EidPrefix::host(Eid::V4(ep.ipv4)));
         Some((vn, ep))
     }
 
-    /// Looks up a destination EID in `vn` (egress stage 1).
+    /// Looks up a destination EID in `vn` (egress stage 1). Exact host
+    /// match on the trie — allocation-free.
     pub fn lookup(&self, vn: VnId, eid: Eid) -> Option<&LocalEndpoint> {
-        self.entries.get(&(vn, eid))
+        self.vns.get(&vn)?.get(&EidPrefix::host(eid))
     }
 
     /// Finds the attached endpoint by MAC regardless of VN (ingress
     /// classification: the port/MAC tells us who is sending).
     pub fn classify(&self, mac: MacAddr) -> Option<(VnId, &LocalEndpoint)> {
         let vn = self.by_mac.get(&mac)?;
-        self.entries.get(&(*vn, Eid::Mac(mac))).map(|ep| (*vn, ep))
+        self.lookup(*vn, Eid::Mac(mac)).map(|ep| (*vn, ep))
     }
 
     /// All `(vn, group)` pairs currently attached — the input to SXP
     /// rule-subset computation (deduped).
     pub fn local_bindings(&self) -> Vec<(VnId, GroupId)> {
-        let mut v: Vec<(VnId, GroupId)> = self
-            .by_mac
-            .iter()
-            .filter_map(|(mac, vn)| {
-                self.entries
-                    .get(&(*vn, Eid::Mac(*mac)))
-                    .map(|ep| (*vn, ep.group))
-            })
-            .collect();
+        let mut v: Vec<(VnId, GroupId)> = self.iter().map(|(vn, ep)| (vn, ep.group)).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -97,15 +98,15 @@ impl VrfTable {
 
     /// Clears everything (edge reboot).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.vns.clear();
         self.by_mac.clear();
     }
 
     /// Iterates attached endpoints as `(vn, endpoint)`.
     pub fn iter(&self) -> impl Iterator<Item = (VnId, &LocalEndpoint)> {
-        self.by_mac.iter().filter_map(move |(mac, vn)| {
-            self.entries.get(&(*vn, Eid::Mac(*mac))).map(|ep| (*vn, ep))
-        })
+        self.by_mac
+            .iter()
+            .filter_map(move |(mac, vn)| self.lookup(*vn, Eid::Mac(*mac)).map(|ep| (*vn, ep)))
     }
 }
 
@@ -177,7 +178,11 @@ mod tests {
         t.attach(vn(2), ep(4, 5));
         assert_eq!(
             t.local_bindings(),
-            vec![(vn(1), GroupId(5)), (vn(1), GroupId(6)), (vn(2), GroupId(5))]
+            vec![
+                (vn(1), GroupId(5)),
+                (vn(1), GroupId(6)),
+                (vn(2), GroupId(5))
+            ]
         );
     }
 

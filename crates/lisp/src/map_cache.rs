@@ -50,6 +50,10 @@ pub enum CacheOutcome {
 #[derive(Default)]
 pub struct MapCache {
     vns: BTreeMap<VnId, EidTrie<CacheEntry>>,
+    /// Maintained entry count, so [`MapCache::len`] is O(1) instead of a
+    /// sum over every per-VN trie. Invariant: always equals
+    /// [`MapCache::recount`] (checked by the property tests).
+    total: usize,
 }
 
 impl MapCache {
@@ -67,108 +71,114 @@ impl MapCache {
         ttl: SimDuration,
         now: SimTime,
     ) {
-        self.vns.entry(vn).or_default().insert(
+        let prev = self.vns.entry(vn).or_default().insert(
             prefix,
-            CacheEntry { rloc, expires_at: now + ttl, last_used: now, stale: false },
+            CacheEntry {
+                rloc,
+                expires_at: now + ttl,
+                last_used: now,
+                stale: false,
+            },
         );
+        if prev.is_none() {
+            self.total += 1;
+        }
     }
 
     /// Applies a negative Map-Reply: the covered entry is *deleted*.
     /// Returns true if something was removed.
     pub fn apply_negative(&mut self, vn: VnId, prefix: EidPrefix) -> bool {
-        self.vns
+        let removed = self
+            .vns
             .get_mut(&vn)
             .map(|t| t.remove(&prefix).is_some())
-            .unwrap_or(false)
+            .unwrap_or(false);
+        if removed {
+            self.total -= 1;
+        }
+        removed
     }
 
     /// Looks up `eid`, refreshing `last_used` on a hit.
+    ///
+    /// Hot path: one trie descent, `last_used`/`stale` read and written
+    /// through the in-place mutable match — zero heap allocations (the
+    /// seed implementation did a full remove + insert round trip here).
     pub fn lookup(&mut self, vn: VnId, eid: Eid, now: SimTime) -> CacheOutcome {
         let Some(trie) = self.vns.get_mut(&vn) else {
             return CacheOutcome::Miss;
         };
-        // Find the covering prefix first (immutable), then update.
-        let Some((prefix, entry)) = trie.lookup(&eid).map(|(p, e)| (p, *e)) else {
-            return CacheOutcome::Miss;
+        let expired_prefix = match trie.lookup_mut(&eid) {
+            None => return CacheOutcome::Miss,
+            Some((prefix, entry)) => {
+                if now < entry.expires_at {
+                    entry.last_used = now;
+                    return if entry.stale {
+                        CacheOutcome::Stale(entry.rloc)
+                    } else {
+                        CacheOutcome::Hit(entry.rloc)
+                    };
+                }
+                // Expired: fall through to remove once the borrow ends.
+                prefix
+            }
         };
-        if now >= entry.expires_at {
-            trie.remove(&prefix);
-            return CacheOutcome::Miss;
-        }
-        let updated = CacheEntry { last_used: now, ..entry };
-        trie.insert(prefix, updated);
-        if entry.stale {
-            CacheOutcome::Stale(entry.rloc)
-        } else {
-            CacheOutcome::Hit(entry.rloc)
-        }
+        trie.remove(&expired_prefix);
+        self.total -= 1;
+        CacheOutcome::Miss
     }
 
     /// Marks the entry covering `eid` stale (SMR received).
     /// Returns the current RLOC if an entry existed.
     pub fn mark_stale(&mut self, vn: VnId, eid: Eid) -> Option<Rloc> {
-        let trie = self.vns.get_mut(&vn)?;
-        let (prefix, entry) = trie.lookup(&eid).map(|(p, e)| (p, *e))?;
-        trie.insert(prefix, CacheEntry { stale: true, ..entry });
+        let (_, entry) = self.vns.get_mut(&vn)?.lookup_mut(&eid)?;
+        entry.stale = true;
         Some(entry.rloc)
     }
 
     /// Replaces the mapping for `eid` (Map-Notify / refreshed Map-Reply
     /// after SMR).
-    pub fn update_rloc(
-        &mut self,
-        vn: VnId,
-        eid: Eid,
-        rloc: Rloc,
-        ttl: SimDuration,
-        now: SimTime,
-    ) {
+    pub fn update_rloc(&mut self, vn: VnId, eid: Eid, rloc: Rloc, ttl: SimDuration, now: SimTime) {
         self.install(vn, EidPrefix::host(eid), rloc, ttl, now);
     }
 
     /// Drops every entry pointing at `rloc` (underlay declared it down).
-    /// Returns how many entries were removed.
+    /// Returns how many entries were removed — a single traversal per VN
+    /// via [`EidTrie::retain`], not a collect-then-remove-each loop.
     pub fn purge_rloc(&mut self, rloc: Rloc) -> usize {
         let mut removed = 0;
         for trie in self.vns.values_mut() {
-            let victims: Vec<EidPrefix> = trie
-                .iter()
-                .filter(|(_, e)| e.rloc == rloc)
-                .map(|(p, _)| p)
-                .collect();
-            for p in victims {
-                trie.remove(&p);
-                removed += 1;
-            }
+            removed += trie.retain(|_, e| e.rloc != rloc);
         }
+        self.total -= removed;
         removed
     }
 
     /// Drops entries expired at `now` or idle longer than `idle_timeout`.
-    /// Returns how many were evicted. This is the slow decay §4.2
-    /// observes: "edge routers cache routes learned on demand and may
-    /// retain them during longer periods".
+    /// Returns how many were evicted, in a single traversal per VN. This
+    /// is the slow decay §4.2 observes: "edge routers cache routes learned
+    /// on demand and may retain them during longer periods".
     pub fn evict(&mut self, now: SimTime, idle_timeout: SimDuration) -> usize {
         let mut removed = 0;
         for trie in self.vns.values_mut() {
-            let victims: Vec<EidPrefix> = trie
-                .iter()
-                .filter(|(_, e)| {
-                    now >= e.expires_at
-                        || now.saturating_since(e.last_used) >= idle_timeout
-                })
-                .map(|(p, _)| p)
-                .collect();
-            for p in victims {
-                trie.remove(&p);
-                removed += 1;
-            }
+            removed += trie.retain(|_, e| {
+                now < e.expires_at && now.saturating_since(e.last_used) < idle_timeout
+            });
         }
+        self.total -= removed;
         removed
     }
 
-    /// Current entry count — the Fig. 9 "FIB entries" metric.
+    /// Current entry count — the Fig. 9 "FIB entries" metric. O(1): the
+    /// count is maintained across install/remove/evict, not recomputed.
     pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Recomputes the entry count from the tries (O(entries)). Exists so
+    /// tests can assert the maintained counter never drifts; production
+    /// callers should use [`MapCache::len`].
+    pub fn recount(&self) -> usize {
         self.vns.values().map(EidTrie::len).sum()
     }
 
@@ -187,6 +197,7 @@ impl MapCache {
     /// empty FIB for the overlay entries").
     pub fn clear(&mut self) {
         self.vns.clear();
+        self.total = 0;
     }
 }
 
@@ -220,7 +231,13 @@ mod tests {
     #[test]
     fn ttl_expiry_turns_hit_into_miss_and_removes() {
         let mut c = MapCache::new();
-        c.install(vn(1), EidPrefix::host(eid(1)), Rloc::for_router_index(1), TTL, SimTime::ZERO);
+        c.install(
+            vn(1),
+            EidPrefix::host(eid(1)),
+            Rloc::for_router_index(1),
+            TTL,
+            SimTime::ZERO,
+        );
         let later = SimTime::ZERO + TTL + SimDuration::from_secs(1);
         assert_eq!(c.lookup(vn(1), eid(1), later), CacheOutcome::Miss);
         assert_eq!(c.len(), 0, "expired entry removed on lookup");
@@ -229,7 +246,13 @@ mod tests {
     #[test]
     fn negative_reply_deletes() {
         let mut c = MapCache::new();
-        c.install(vn(1), EidPrefix::host(eid(1)), Rloc::for_router_index(1), TTL, SimTime::ZERO);
+        c.install(
+            vn(1),
+            EidPrefix::host(eid(1)),
+            Rloc::for_router_index(1),
+            TTL,
+            SimTime::ZERO,
+        );
         assert!(c.apply_negative(vn(1), EidPrefix::host(eid(1))));
         assert!(!c.apply_negative(vn(1), EidPrefix::host(eid(1))));
         assert_eq!(c.len(), 0);
@@ -244,9 +267,15 @@ mod tests {
         assert_eq!(c.mark_stale(vn(1), eid(1)), Some(old));
         // Stale entries keep forwarding to the old RLOC (which forwards
         // on per Fig. 6) until the re-resolution lands.
-        assert_eq!(c.lookup(vn(1), eid(1), SimTime::ZERO), CacheOutcome::Stale(old));
+        assert_eq!(
+            c.lookup(vn(1), eid(1), SimTime::ZERO),
+            CacheOutcome::Stale(old)
+        );
         c.update_rloc(vn(1), eid(1), new, TTL, SimTime::ZERO);
-        assert_eq!(c.lookup(vn(1), eid(1), SimTime::ZERO), CacheOutcome::Hit(new));
+        assert_eq!(
+            c.lookup(vn(1), eid(1), SimTime::ZERO),
+            CacheOutcome::Hit(new)
+        );
         // SMR for something not cached: no-op.
         assert_eq!(c.mark_stale(vn(1), eid(9)), None);
     }
@@ -261,15 +290,30 @@ mod tests {
         c.install(vn(1), EidPrefix::host(eid(3)), r2, TTL, SimTime::ZERO);
         assert_eq!(c.purge_rloc(r1), 2);
         assert_eq!(c.len(), 1);
-        assert_eq!(c.lookup(vn(1), eid(3), SimTime::ZERO), CacheOutcome::Hit(r2));
+        assert_eq!(
+            c.lookup(vn(1), eid(3), SimTime::ZERO),
+            CacheOutcome::Hit(r2)
+        );
     }
 
     #[test]
     fn idle_eviction() {
         let mut c = MapCache::new();
         let r = Rloc::for_router_index(1);
-        c.install(vn(1), EidPrefix::host(eid(1)), r, SimDuration::from_days(7), SimTime::ZERO);
-        c.install(vn(1), EidPrefix::host(eid(2)), r, SimDuration::from_days(7), SimTime::ZERO);
+        c.install(
+            vn(1),
+            EidPrefix::host(eid(1)),
+            r,
+            SimDuration::from_days(7),
+            SimTime::ZERO,
+        );
+        c.install(
+            vn(1),
+            EidPrefix::host(eid(2)),
+            r,
+            SimDuration::from_days(7),
+            SimTime::ZERO,
+        );
         // Keep entry 1 warm.
         let mid = SimTime::ZERO + SimDuration::from_secs(5000);
         assert_eq!(c.lookup(vn(1), eid(1), mid), CacheOutcome::Hit(r));
@@ -283,7 +327,13 @@ mod tests {
     #[test]
     fn clear_models_reboot() {
         let mut c = MapCache::new();
-        c.install(vn(1), EidPrefix::host(eid(1)), Rloc::for_router_index(1), TTL, SimTime::ZERO);
+        c.install(
+            vn(1),
+            EidPrefix::host(eid(1)),
+            Rloc::for_router_index(1),
+            TTL,
+            SimTime::ZERO,
+        );
         c.clear();
         assert!(c.is_empty());
     }

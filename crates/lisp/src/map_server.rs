@@ -103,17 +103,32 @@ impl MapServer {
     /// Handles one control message, returning messages to transmit.
     pub fn handle(&mut self, msg: Message, now: SimTime) -> Outbox {
         match msg {
-            Message::MapRequest { nonce, smr, vn, eid, itr_rloc } => {
+            Message::MapRequest {
+                nonce,
+                smr,
+                vn,
+                eid,
+                itr_rloc,
+            } => {
                 // An SMR addressed to the server is meaningless; ignore.
                 if smr {
                     return Outbox::new();
                 }
                 self.answer_request(nonce, vn, eid, itr_rloc, now)
             }
-            Message::MapRegister { nonce, vn, eid, rloc, ttl_secs, want_notify } => {
-                self.process_register(nonce, vn, eid, rloc, ttl_secs, want_notify, now)
-            }
-            Message::Subscribe { nonce: _, vn, subscriber } => self.process_subscribe(vn, subscriber),
+            Message::MapRegister {
+                nonce,
+                vn,
+                eid,
+                rloc,
+                ttl_secs,
+                want_notify,
+            } => self.process_register(nonce, vn, eid, rloc, ttl_secs, want_notify, now),
+            Message::Subscribe {
+                nonce: _,
+                vn,
+                subscriber,
+            } => self.process_subscribe(vn, subscriber),
             // Replies/notifies/publishes are never addressed to a server.
             Message::MapReply { .. } | Message::MapNotify { .. } | Message::Publish { .. } => {
                 Outbox::new()
@@ -185,12 +200,28 @@ impl MapServer {
             self.stats.moves += 1;
             // Fig. 5 step 2: tell the previous edge where the endpoint
             // went so it can forward in-flight traffic and refresh.
-            out.push((previous, Message::MapNotify { nonce: 0, vn, eid, new_rloc: rloc }));
+            out.push((
+                previous,
+                Message::MapNotify {
+                    nonce: 0,
+                    vn,
+                    eid,
+                    new_rloc: rloc,
+                },
+            ));
         }
 
         if want_notify {
             // Registration ack.
-            out.push((rloc, Message::MapNotify { nonce, vn, eid, new_rloc: rloc }));
+            out.push((
+                rloc,
+                Message::MapNotify {
+                    nonce,
+                    vn,
+                    eid,
+                    new_rloc: rloc,
+                },
+            ));
         }
 
         // Pub/sub: push the change to subscribed borders (skip refreshes —
@@ -230,7 +261,13 @@ impl MapServer {
             self.stats.publishes += 1;
             out.push((
                 subscriber,
-                Message::Publish { nonce: seq, vn: v, prefix, rloc, withdraw: false },
+                Message::Publish {
+                    nonce: seq,
+                    vn: v,
+                    prefix,
+                    rloc,
+                    withdraw: false,
+                },
             ));
         }
         out
@@ -241,27 +278,36 @@ impl MapServer {
     /// toward subscribers. This is what makes the border router's table
     /// "follow closely the presence of authenticated users" (§4.2).
     pub fn expire(&mut self, now: SimTime) -> Outbox {
-        let dead: Vec<(VnId, Eid)> = self
-            .db
-            .iter()
-            .filter(|(_, _, rec)| rec.expired(now))
-            .filter_map(|(vn, prefix, _)| host_eid_of(&prefix).map(|e| (vn, e)))
-            .collect();
+        // Single traversal: prune expired host registrations in place and
+        // collect what was removed for the withdraw publishes (the seed
+        // collected victims, then re-descended once per victim to remove).
+        let mut dead: Vec<(VnId, Eid, Rloc)> = Vec::new();
+        self.db.retain(|vn, prefix, rec| {
+            if !rec.expired(now) {
+                return true;
+            }
+            match host_eid_of(prefix) {
+                Some(eid) => {
+                    dead.push((vn, eid, rec.rloc));
+                    false
+                }
+                // Non-host registrations are out of scope for expiry
+                // withdrawal (matches the previous behavior).
+                None => true,
+            }
+        });
         let mut out = Outbox::new();
-        for (vn, eid) in dead {
-            out.extend(self.withdraw(vn, eid));
+        for (vn, eid, old_rloc) in dead {
+            self.publish_withdraw(vn, eid, old_rloc, &mut out);
         }
         out
     }
 
-    /// Explicit withdraw (endpoint offboarded or edge died); publishes
-    /// the removal to subscribers.
-    pub fn withdraw(&mut self, vn: VnId, eid: Eid) -> Outbox {
-        let Some(old) = self.db.withdraw(vn, eid) else {
-            return Outbox::new();
-        };
+    /// Streams a withdrawal of `eid` (last at `old_rloc`) to `vn`'s
+    /// subscribers — the shared tail of [`MapServer::withdraw`] and
+    /// [`MapServer::expire`].
+    fn publish_withdraw(&mut self, vn: VnId, eid: Eid, old_rloc: Rloc, out: &mut Outbox) {
         let subscribers: Vec<Rloc> = self.subs.subscribers(vn).to_vec();
-        let mut out = Outbox::new();
         for sub in subscribers {
             let seq = self.subs.next_seq();
             self.stats.publishes += 1;
@@ -271,11 +317,21 @@ impl MapServer {
                     nonce: seq,
                     vn,
                     prefix: EidPrefix::host(eid),
-                    rloc: old.rloc,
+                    rloc: old_rloc,
                     withdraw: true,
                 },
             ));
         }
+    }
+
+    /// Explicit withdraw (endpoint offboarded or edge died); publishes
+    /// the removal to subscribers.
+    pub fn withdraw(&mut self, vn: VnId, eid: Eid) -> Outbox {
+        let Some(old) = self.db.withdraw(vn, eid) else {
+            return Outbox::new();
+        };
+        let mut out = Outbox::new();
+        self.publish_withdraw(vn, eid, old.rloc, &mut out);
         out
     }
 }
@@ -337,7 +393,13 @@ mod tests {
         let (to, msg) = &out[0];
         assert_eq!(*to, Rloc::for_router_index(2));
         match msg {
-            Message::MapReply { nonce, rloc, negative, ttl_secs, .. } => {
+            Message::MapReply {
+                nonce,
+                rloc,
+                negative,
+                ttl_secs,
+                ..
+            } => {
                 assert_eq!(*nonce, 7);
                 assert_eq!(*rloc, Some(edge));
                 assert!(!negative);
@@ -361,7 +423,12 @@ mod tests {
             SimTime::ZERO,
         );
         match &out[0].1 {
-            Message::MapReply { negative, rloc, ttl_secs, .. } => {
+            Message::MapReply {
+                negative,
+                rloc,
+                ttl_secs,
+                ..
+            } => {
                 assert!(*negative);
                 assert_eq!(*rloc, None);
                 assert_eq!(*ttl_secs, NEGATIVE_TTL_SECS);
@@ -382,7 +449,9 @@ mod tests {
         let (to, msg) = &out[0];
         assert_eq!(*to, old_edge, "notify goes to the previous edge");
         match msg {
-            Message::MapNotify { eid: e, new_rloc, .. } => {
+            Message::MapNotify {
+                eid: e, new_rloc, ..
+            } => {
                 assert_eq!(*e, eid(1));
                 assert_eq!(*new_rloc, new_edge);
             }
@@ -421,12 +490,22 @@ mod tests {
 
         // Subscribe: snapshot of 2 mappings.
         let out = s.handle(
-            Message::Subscribe { nonce: 0, vn: vn(1), subscriber: border },
+            Message::Subscribe {
+                nonce: 0,
+                vn: vn(1),
+                subscriber: border,
+            },
             SimTime::ZERO,
         );
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|(to, m)| *to == border
-            && matches!(m, Message::Publish { withdraw: false, .. })));
+            && matches!(
+                m,
+                Message::Publish {
+                    withdraw: false,
+                    ..
+                }
+            )));
 
         // New registration streams one publish.
         let out = s.handle(register(vn(1), eid(3), edge), SimTime::ZERO);
@@ -446,12 +525,19 @@ mod tests {
         let mut s = server();
         let border = Rloc::for_router_index(9);
         s.handle(
-            Message::Subscribe { nonce: 0, vn: vn(1), subscriber: border },
+            Message::Subscribe {
+                nonce: 0,
+                vn: vn(1),
+                subscriber: border,
+            },
             SimTime::ZERO,
         );
         let mut last = 0;
         for i in 1..=5u8 {
-            let out = s.handle(register(vn(1), eid(i), Rloc::for_router_index(1)), SimTime::ZERO);
+            let out = s.handle(
+                register(vn(1), eid(i), Rloc::for_router_index(1)),
+                SimTime::ZERO,
+            );
             for (_, m) in out {
                 if let Message::Publish { nonce, .. } = m {
                     assert!(nonce > last);
@@ -465,9 +551,16 @@ mod tests {
     fn withdraw_publishes_removal() {
         let mut s = server();
         let border = Rloc::for_router_index(9);
-        s.handle(register(vn(1), eid(1), Rloc::for_router_index(1)), SimTime::ZERO);
         s.handle(
-            Message::Subscribe { nonce: 0, vn: vn(1), subscriber: border },
+            register(vn(1), eid(1), Rloc::for_router_index(1)),
+            SimTime::ZERO,
+        );
+        s.handle(
+            Message::Subscribe {
+                nonce: 0,
+                vn: vn(1),
+                subscriber: border,
+            },
             SimTime::ZERO,
         );
         let out = s.withdraw(vn(1), eid(1));
@@ -509,11 +602,17 @@ mod tests {
             SimTime::ZERO,
         );
         s.handle(
-            Message::Subscribe { nonce: 0, vn: vn(1), subscriber: border },
+            Message::Subscribe {
+                nonce: 0,
+                vn: vn(1),
+                subscriber: border,
+            },
             SimTime::ZERO,
         );
         // Before expiry: nothing.
-        assert!(s.expire(SimTime::ZERO + SimDuration::from_secs(30)).is_empty());
+        assert!(s
+            .expire(SimTime::ZERO + SimDuration::from_secs(30))
+            .is_empty());
         // After expiry: withdraw published, DB emptied.
         let out = s.expire(SimTime::ZERO + SimDuration::from_secs(61));
         assert_eq!(out.len(), 1);

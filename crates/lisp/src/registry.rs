@@ -126,21 +126,23 @@ impl MappingDb {
             .flat_map(|(vn, trie)| trie.iter().map(move |(p, r)| (*vn, p, r)))
     }
 
-    /// Drops expired registrations, returning how many were purged.
-    pub fn purge_expired(&mut self, now: SimTime) -> usize {
-        let mut purged = 0;
-        for trie in self.vns.values_mut() {
-            let dead: Vec<EidPrefix> = trie
-                .iter()
-                .filter(|(_, r)| r.expired(now))
-                .map(|(p, _)| p)
-                .collect();
-            for p in dead {
-                trie.remove(&p);
-                purged += 1;
-            }
+    /// Keeps only registrations for which `f` returns true, in one
+    /// traversal per VN. Returns how many were removed.
+    pub fn retain<F: FnMut(VnId, &EidPrefix, &mut MappingRecord) -> bool>(
+        &mut self,
+        mut f: F,
+    ) -> usize {
+        let mut removed = 0;
+        for (vn, trie) in self.vns.iter_mut() {
+            removed += trie.retain(|p, r| f(*vn, p, r));
         }
-        purged
+        removed
+    }
+
+    /// Drops expired registrations, returning how many were purged — a
+    /// single traversal per VN via [`EidTrie::retain`].
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        self.retain(|_, _, r| !r.expired(now))
     }
 }
 
@@ -251,7 +253,13 @@ mod tests {
             TTL,
             SimTime::ZERO,
         );
-        db.register(vn(1), Eid::Mac(sda_types::MacAddr::from_seed(1)), r, TTL, SimTime::ZERO);
+        db.register(
+            vn(1),
+            Eid::Mac(sda_types::MacAddr::from_seed(1)),
+            r,
+            TTL,
+            SimTime::ZERO,
+        );
         assert_eq!(db.len(), 3);
         assert_eq!(db.live_count(vn(1), SimTime::ZERO), 3);
     }

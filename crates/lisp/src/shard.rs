@@ -48,17 +48,17 @@ impl ShardedMapServer {
         match &msg {
             // Updates fan to ALL shards so any shard can answer any EID.
             Message::MapRegister { .. } => {
-                let mut out = Outbox::new();
-                let last = self.shards.len() - 1;
-                for (i, shard) in self.shards.iter_mut().enumerate() {
-                    let produced = shard.handle(msg.clone(), now);
-                    // Only one shard's side effects (notify/publish) are
-                    // transmitted, or every subscriber would see N copies.
-                    if i == last {
-                        out = produced;
-                    }
+                let (last, rest) = self
+                    .shards
+                    .split_last_mut()
+                    .expect("constructor guarantees at least one shard");
+                for shard in rest {
+                    shard.handle(msg.clone(), now);
                 }
-                out
+                // The message moves into the final shard (no clone), and
+                // only that shard's side effects (notify/publish) are
+                // transmitted, or every subscriber would see N copies.
+                last.handle(msg, now)
             }
             Message::MapRequest { itr_rloc, .. } => {
                 let idx = self.shard_for(*itr_rloc);
@@ -128,7 +128,13 @@ mod tests {
     }
 
     fn request(e: Eid, requester: Rloc) -> Message {
-        Message::MapRequest { nonce: 1, smr: false, vn: vn(), eid: e, itr_rloc: requester }
+        Message::MapRequest {
+            nonce: 1,
+            smr: false,
+            vn: vn(),
+            eid: e,
+            itr_rloc: requester,
+        }
     }
 
     #[test]
@@ -143,7 +149,13 @@ mod tests {
             let out = s.handle(request(eid(1), requester), SimTime::ZERO);
             assert_eq!(out.len(), 1);
             assert!(
-                matches!(out[0].1, Message::MapReply { negative: false, .. }),
+                matches!(
+                    out[0].1,
+                    Message::MapReply {
+                        negative: false,
+                        ..
+                    }
+                ),
                 "shard must know the EID"
             );
         }

@@ -51,7 +51,8 @@ impl SmrTracker {
 
     /// Clears state for an EID once its move has been re-resolved.
     pub fn forget_eid(&mut self, vn: VnId, eid: Eid) {
-        self.last_sent.retain(|(v, e, _), _| !(*v == vn && *e == eid));
+        self.last_sent
+            .retain(|(v, e, _), _| !(*v == vn && *e == eid));
     }
 
     /// (sent, suppressed) counters.
@@ -87,7 +88,12 @@ mod tests {
         let mut t = SmrTracker::new(WINDOW);
         let src = Rloc::for_router_index(1);
         assert!(t.should_send(vn(1), eid(1), src, SimTime::ZERO));
-        assert!(!t.should_send(vn(1), eid(1), src, SimTime::ZERO + SimDuration::from_secs(1)));
+        assert!(!t.should_send(
+            vn(1),
+            eid(1),
+            src,
+            SimTime::ZERO + SimDuration::from_secs(1)
+        ));
         assert!(t.should_send(vn(1), eid(1), src, SimTime::ZERO + WINDOW));
         assert_eq!(t.stats(), (2, 1));
     }

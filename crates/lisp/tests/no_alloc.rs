@@ -1,0 +1,78 @@
+//! Proof, not promise: `MapCache::lookup` on hit, stale and miss paths
+//! performs **zero heap allocations** (the seed implementation allocated
+//! on every trie step and did a remove + insert per hit).
+//!
+//! This file deliberately holds a single `#[test]` — the counter is
+//! process-global, and a concurrently running test would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sda_lisp::{CacheOutcome, MapCache};
+use sda_simnet::{SimDuration, SimTime};
+use sda_types::{Eid, EidPrefix, Rloc, VnId};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn map_cache_lookup_allocates_nothing() {
+    let vn = VnId::new(1).unwrap();
+    let eid = |i: u32| Eid::V4(Ipv4Addr::from(0x0A00_0000 | i));
+    let ttl = SimDuration::from_secs(3600);
+
+    let mut cache = MapCache::new();
+    for i in 0..10_000u32 {
+        cache.install(
+            vn,
+            EidPrefix::host(eid(i)),
+            Rloc::for_router_index((i % 200) as u16),
+            ttl,
+            SimTime::ZERO,
+        );
+    }
+    for i in 0..5_000u32 {
+        cache.mark_stale(vn, eid(i));
+    }
+
+    let now = SimTime::ZERO + SimDuration::from_secs(1);
+    let before = allocations();
+
+    let (mut hits, mut stales, mut misses) = (0u64, 0u64, 0u64);
+    for i in 0..20_000u32 {
+        match cache.lookup(vn, eid(i), now) {
+            CacheOutcome::Hit(_) => hits += 1,
+            CacheOutcome::Stale(_) => stales += 1,
+            CacheOutcome::Miss => misses += 1,
+        }
+    }
+
+    let after = allocations();
+    assert_eq!((hits, stales, misses), (5_000, 5_000, 10_000));
+    assert_eq!(
+        after - before,
+        0,
+        "map-cache lookup performed {} heap allocations",
+        after - before
+    );
+}

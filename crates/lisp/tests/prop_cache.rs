@@ -134,7 +134,50 @@ proptest! {
                 }
             }
             prop_assert_eq!(cache.len(), model.len());
+            // The maintained counter must never drift from the true
+            // per-trie sum, whatever the operation mix.
+            prop_assert_eq!(cache.len(), cache.recount());
         }
+    }
+
+    /// The O(1) maintained counter equals the recomputed per-trie sum
+    /// across multiple VNs and address families (install/remove paths in
+    /// every VN, not just the single-VN model test above).
+    #[test]
+    fn len_counter_matches_recount_across_vns(
+        ops in proptest::collection::vec(
+            (1u32..4, 0u8..12, 0u16..3, 0u8..3, 1u32..300), 1..80),
+        idle in 60u32..600,
+    ) {
+        let mut cache = MapCache::new();
+        let mut now = SimTime::ZERO;
+        for (v, e, r, action, dt) in ops {
+            let vn = VnId::new(v).unwrap();
+            match action {
+                0 => cache.install(
+                    vn,
+                    EidPrefix::host(eid(e)),
+                    Rloc::for_router_index(r),
+                    SimDuration::from_secs(u64::from(dt)),
+                    now,
+                ),
+                1 => {
+                    cache.apply_negative(vn, EidPrefix::host(eid(e)));
+                }
+                _ => {
+                    now += SimDuration::from_secs(u64::from(dt));
+                    cache.lookup(vn, eid(e), now);
+                }
+            }
+            prop_assert_eq!(cache.len(), cache.recount());
+        }
+        cache.evict(now, SimDuration::from_secs(u64::from(idle)));
+        prop_assert_eq!(cache.len(), cache.recount());
+        cache.purge_rloc(Rloc::for_router_index(0));
+        prop_assert_eq!(cache.len(), cache.recount());
+        cache.clear();
+        prop_assert_eq!(cache.len(), 0);
+        prop_assert_eq!(cache.recount(), 0);
     }
 
     /// A hit can never return an expired entry's RLOC.

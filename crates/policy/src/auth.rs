@@ -88,8 +88,15 @@ impl AuthServer {
         group: GroupId,
         method: AuthMethod,
     ) {
-        self.enrolled
-            .insert(identity, Enrollment { secret, vn, group, method });
+        self.enrolled.insert(
+            identity,
+            Enrollment {
+                secret,
+                vn,
+                group,
+                method,
+            },
+        );
     }
 
     /// Removes an endpoint entirely (offboarding).
@@ -110,7 +117,10 @@ impl AuthServer {
         match self.enrolled.get(&cred.identity) {
             Some(e) if e.secret == cred.secret => {
                 self.accepts += 1;
-                AuthOutcome::Accept { vn: e.vn, group: e.group }
+                AuthOutcome::Accept {
+                    vn: e.vn,
+                    group: e.group,
+                }
             }
             _ => {
                 self.rejects += 1;
@@ -163,8 +173,17 @@ mod tests {
         let mut s = AuthServer::new();
         let mac = MacAddr::from_seed(1);
         s.enroll(mac, 42, vn(10), GroupId(5), AuthMethod::Simple);
-        let out = s.authenticate(&Credential { identity: mac, secret: 42 });
-        assert_eq!(out, AuthOutcome::Accept { vn: vn(10), group: GroupId(5) });
+        let out = s.authenticate(&Credential {
+            identity: mac,
+            secret: 42,
+        });
+        assert_eq!(
+            out,
+            AuthOutcome::Accept {
+                vn: vn(10),
+                group: GroupId(5)
+            }
+        );
         assert_eq!(s.stats(), (1, 0));
     }
 
@@ -174,11 +193,17 @@ mod tests {
         let mac = MacAddr::from_seed(1);
         s.enroll(mac, 42, vn(10), GroupId(5), AuthMethod::Simple);
         assert_eq!(
-            s.authenticate(&Credential { identity: mac, secret: 41 }),
+            s.authenticate(&Credential {
+                identity: mac,
+                secret: 41
+            }),
             AuthOutcome::Reject
         );
         assert_eq!(
-            s.authenticate(&Credential { identity: MacAddr::from_seed(2), secret: 42 }),
+            s.authenticate(&Credential {
+                identity: MacAddr::from_seed(2),
+                secret: 42
+            }),
             AuthOutcome::Reject
         );
         assert_eq!(s.stats(), (0, 2));
@@ -190,8 +215,17 @@ mod tests {
         let mac = MacAddr::from_seed(3);
         s.enroll(mac, 7, vn(1), GroupId(10), AuthMethod::Eap);
         assert_eq!(s.reassign_group(mac, GroupId(20)), Some(GroupId(10)));
-        let out = s.authenticate(&Credential { identity: mac, secret: 7 });
-        assert_eq!(out, AuthOutcome::Accept { vn: vn(1), group: GroupId(20) });
+        let out = s.authenticate(&Credential {
+            identity: mac,
+            secret: 7,
+        });
+        assert_eq!(
+            out,
+            AuthOutcome::Accept {
+                vn: vn(1),
+                group: GroupId(20)
+            }
+        );
         assert_eq!(s.reassign_group(MacAddr::from_seed(9), GroupId(1)), None);
     }
 
@@ -203,7 +237,10 @@ mod tests {
         assert!(s.revoke(mac));
         assert!(!s.revoke(mac));
         assert_eq!(
-            s.authenticate(&Credential { identity: mac, secret: 1 }),
+            s.authenticate(&Credential {
+                identity: mac,
+                secret: 1
+            }),
             AuthOutcome::Reject
         );
     }

@@ -58,7 +58,10 @@ impl ConnectivityMatrix {
 
     /// An empty matrix with an explicit default action.
     pub fn with_default(default_action: Action) -> Self {
-        ConnectivityMatrix { default_action, ..Self::default() }
+        ConnectivityMatrix {
+            default_action,
+            ..Self::default()
+        }
     }
 
     /// The default action for unmatched pairs.
@@ -100,7 +103,11 @@ impl ConnectivityMatrix {
     /// All explicit rules of `vn`, ascending by (src, dst).
     pub fn rules_of(&self, vn: VnId) -> impl Iterator<Item = GroupRule> + '_ {
         self.rules.get(&vn).into_iter().flat_map(|m| {
-            m.iter().map(|((s, d), a)| GroupRule { src: *s, dst: *d, action: *a })
+            m.iter().map(|((s, d), a)| GroupRule {
+                src: *s,
+                dst: *d,
+                action: *a,
+            })
         })
     }
 
@@ -113,7 +120,8 @@ impl ConnectivityMatrix {
         vn: VnId,
         dst_groups: &'a [GroupId],
     ) -> impl Iterator<Item = GroupRule> + 'a {
-        self.rules_of(vn).filter(move |r| dst_groups.contains(&r.dst))
+        self.rules_of(vn)
+            .filter(move |r| dst_groups.contains(&r.dst))
     }
 
     /// Total number of explicit cells across VNs.
@@ -177,7 +185,10 @@ mod tests {
         let mut m = ConnectivityMatrix::with_default(Action::Allow);
         m.set_rule(vn(1), GroupId(1), GroupId(2), Action::Deny);
         assert_eq!(m.check(vn(1), GroupId(1), GroupId(2)), Action::Deny);
-        assert_eq!(m.clear_rule(vn(1), GroupId(1), GroupId(2)), Some(Action::Deny));
+        assert_eq!(
+            m.clear_rule(vn(1), GroupId(1), GroupId(2)),
+            Some(Action::Deny)
+        );
         assert_eq!(m.check(vn(1), GroupId(1), GroupId(2)), Action::Allow);
         assert_eq!(m.clear_rule(vn(1), GroupId(1), GroupId(2)), None);
     }

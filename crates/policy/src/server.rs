@@ -135,17 +135,31 @@ mod tests {
         let mut s = PolicyServer::new();
         let mac = MacAddr::from_seed(1);
         s.enroll(mac, 99, vn(1), GroupId(2), AuthMethod::Simple);
-        s.matrix_mut().set_rule(vn(1), GroupId(1), GroupId(2), Action::Allow);
-        s.matrix_mut().set_rule(vn(1), GroupId(3), GroupId(2), Action::Deny);
-        s.matrix_mut().set_rule(vn(1), GroupId(2), GroupId(9), Action::Allow);
+        s.matrix_mut()
+            .set_rule(vn(1), GroupId(1), GroupId(2), Action::Allow);
+        s.matrix_mut()
+            .set_rule(vn(1), GroupId(3), GroupId(2), Action::Deny);
+        s.matrix_mut()
+            .set_rule(vn(1), GroupId(2), GroupId(9), Action::Allow);
         (s, mac)
     }
 
     #[test]
     fn onboarding_returns_binding_and_destination_rules() {
         let (mut s, mac) = server_with_one_endpoint();
-        let grant = s.onboard(&Credential { identity: mac, secret: 99 }).unwrap();
-        assert_eq!(grant.profile, EndpointProfile { vn: vn(1), group: GroupId(2) });
+        let grant = s
+            .onboard(&Credential {
+                identity: mac,
+                secret: 99,
+            })
+            .unwrap();
+        assert_eq!(
+            grant.profile,
+            EndpointProfile {
+                vn: vn(1),
+                group: GroupId(2)
+            }
+        );
         assert_eq!(grant.auth_round_trips, 1);
         // Exactly the rules whose destination is group 2.
         assert_eq!(grant.rules.len(), 2);
@@ -155,7 +169,12 @@ mod tests {
     #[test]
     fn onboarding_rejects_bad_secret() {
         let (mut s, mac) = server_with_one_endpoint();
-        assert!(s.onboard(&Credential { identity: mac, secret: 0 }).is_none());
+        assert!(s
+            .onboard(&Credential {
+                identity: mac,
+                secret: 0
+            })
+            .is_none());
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub fn egress_subset(matrix: &ConnectivityMatrix, local: &[(VnId, GroupId)]) -> 
             rules.push((vn, r));
         }
     }
-    RuleSubset { version: matrix.version(), rules }
+    RuleSubset {
+        version: matrix.version(),
+        rules,
+    }
 }
 
 /// Computes the ingress-enforcement subset: every rule whose *source*
@@ -72,7 +75,10 @@ pub fn ingress_subset(matrix: &ConnectivityMatrix, local: &[(VnId, GroupId)]) ->
             }
         }
     }
-    RuleSubset { version: matrix.version(), rules }
+    RuleSubset {
+        version: matrix.version(),
+        rules,
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +108,10 @@ mod tests {
         // Edge hosts endpoints of group 2 in VN 1.
         let s = egress_subset(&m, &[(vn(1), GroupId(2))]);
         assert_eq!(s.len(), 2, "both rules toward group 2");
-        assert!(s.rules.iter().all(|(v, r)| *v == vn(1) && r.dst == GroupId(2)));
+        assert!(s
+            .rules
+            .iter()
+            .all(|(v, r)| *v == vn(1) && r.dst == GroupId(2)));
         assert_eq!(s.version, m.version());
     }
 

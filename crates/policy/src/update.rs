@@ -150,7 +150,10 @@ mod tests {
         p.add(RouterId(2), vn(1), GroupId(10), 3);
         p.add(RouterId(2), vn(1), GroupId(20), 7);
         assert_eq!(p.group_size(vn(1), GroupId(10)), 8);
-        assert_eq!(p.edges_hosting(vn(1), GroupId(10)), vec![RouterId(1), RouterId(2)]);
+        assert_eq!(
+            p.edges_hosting(vn(1), GroupId(10)),
+            vec![RouterId(1), RouterId(2)]
+        );
         assert_eq!(p.total(), 15);
         assert_eq!(p.group_size(vn(2), GroupId(10)), 0);
     }
@@ -167,11 +170,14 @@ mod tests {
         let mv = plan.signaling_messages(UpdateStrategy::MoveEndpoints, &p);
         let rw = plan.signaling_messages(UpdateStrategy::RewriteRules, &p);
         assert!(mv > 0 && rw > 0);
-        assert_eq!(plan.cheaper_strategy(&p), if mv <= rw {
-            UpdateStrategy::MoveEndpoints
-        } else {
-            UpdateStrategy::RewriteRules
-        });
+        assert_eq!(
+            plan.cheaper_strategy(&p),
+            if mv <= rw {
+                UpdateStrategy::MoveEndpoints
+            } else {
+                UpdateStrategy::RewriteRules
+            }
+        );
     }
 
     #[test]

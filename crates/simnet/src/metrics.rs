@@ -40,7 +40,10 @@ impl Metrics {
 
     /// Records one observation into sample set `name`.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.samples.entry(name.to_string()).or_default().push(value);
+        self.samples
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
     }
 
     /// All observations of sample set `name`.
@@ -50,7 +53,10 @@ impl Metrics {
 
     /// Appends a `(time, value)` point to series `name`.
     pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
-        self.series.entry(name.to_string()).or_default().push((at, value));
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push((at, value));
     }
 
     /// The points of series `name`.

@@ -216,7 +216,14 @@ impl<M> Simulator<M> {
     /// (workload drivers use this; `from` is [`NodeId::EXTERNAL`]).
     pub fn inject_at(&mut self, at: SimTime, to: NodeId, msg: M) {
         assert!(at >= self.now, "cannot inject into the past");
-        self.push(at, EventKind::Deliver { from: NodeId::EXTERNAL, to, msg });
+        self.push(
+            at,
+            EventKind::Deliver {
+                from: NodeId::EXTERNAL,
+                to,
+                msg,
+            },
+        );
     }
 
     /// Arms a timer on `node` externally (scenario setup: nodes can only
@@ -265,10 +272,10 @@ impl<M> Simulator<M> {
     }
 
     fn link(&self, from: NodeId, to: NodeId) -> LinkParams {
-        self.links
-            .get(&(from, to))
-            .copied()
-            .unwrap_or(LinkParams { latency: self.default_latency, loss: 0.0 })
+        self.links.get(&(from, to)).copied().unwrap_or(LinkParams {
+            latency: self.default_latency,
+            loss: 0.0,
+        })
     }
 
     /// Processes a single event. Returns false when the queue is empty.
@@ -315,14 +322,17 @@ impl<M> Simulator<M> {
             metrics: &mut self.metrics,
         };
         // Temporarily move the node out so we can pass &mut self pieces.
-        let mut node = std::mem::replace(
-            &mut self.nodes[idx],
-            Box::new(NullNode) as Box<dyn Node<M>>,
-        );
+        let mut node =
+            std::mem::replace(&mut self.nodes[idx], Box::new(NullNode) as Box<dyn Node<M>>);
         f(node.as_mut(), &mut ctx);
         self.nodes[idx] = node;
 
-        let Context { outbox, timers, busy_for, .. } = ctx;
+        let Context {
+            outbox,
+            timers,
+            busy_for,
+            ..
+        } = ctx;
         if busy_for > SimDuration::ZERO {
             self.busy_until[idx] = self.now + busy_for;
         }
@@ -427,7 +437,11 @@ mod tests {
                 ctx.send(from, msg - 1);
             } else if from == NodeId::EXTERNAL {
                 // Start the exchange with the other node (id 1 - self).
-                let peer = if ctx.self_id() == NodeId(0) { NodeId(1) } else { NodeId(0) };
+                let peer = if ctx.self_id() == NodeId(0) {
+                    NodeId(1)
+                } else {
+                    NodeId(0)
+                };
                 ctx.send(peer, msg);
             }
         }
@@ -459,7 +473,9 @@ mod tests {
     fn busy_cpu_serializes_deliveries() {
         let mut sim = Simulator::new(2);
         let served = Rc::new(RefCell::new(Vec::new()));
-        let n = sim.add_node(Box::new(Busy { served_at: served.clone() }));
+        let n = sim.add_node(Box::new(Busy {
+            served_at: served.clone(),
+        }));
         // Three messages injected at the same instant.
         for _ in 0..3 {
             sim.inject_at(SimTime::ZERO, n, 1);
@@ -490,7 +506,9 @@ mod tests {
     fn timers_fire_in_order_with_tokens() {
         let mut sim = Simulator::new(3);
         let fired = Rc::new(RefCell::new(Vec::new()));
-        let n = sim.add_node(Box::new(TimerNode { fired: fired.clone() }));
+        let n = sim.add_node(Box::new(TimerNode {
+            fired: fired.clone(),
+        }));
         sim.inject_at(SimTime::ZERO, n, 0);
         sim.run_to_completion(100);
         let fired = fired.borrow();

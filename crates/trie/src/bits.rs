@@ -1,24 +1,77 @@
-//! Bit-string keys for the Patricia trie.
+//! Bit-string keys for the Patricia trie — inline 128-bit representation.
 //!
-//! A [`BitStr`] is an immutable sequence of bits backed by bytes, most
-//! significant bit first — the natural order for network prefixes, where
-//! "the first `len` bits of the address" is exactly the CIDR meaning.
+//! A [`BitStr`] is an immutable sequence of up to 128 bits, MSB-first —
+//! the natural order for network prefixes, where "the first `len` bits of
+//! the address" is exactly the CIDR meaning.
+//!
+//! ## Why 128 bits is enough
+//!
+//! Every key type in the system fits: IPv6 EIDs are exactly 128 bits, MAC
+//! EIDs 48, IPv4 EIDs 32, and trie *labels* (the bits between a node and
+//! its parent) are sub-slices of keys, so they can never exceed the
+//! longest key. That bound lets the whole bit string live inline as a
+//! `(u128, u8)` pair: a left-aligned word of bits plus a length.
+//!
+//! ## Why inline matters
+//!
+//! The seed implementation backed `BitStr` with a `Vec<u8>`, so every
+//! trie step in `longest_match`/`get` materialized a fresh heap-allocated
+//! copy via `slice()` — on the single hottest path in the repo (map-cache
+//! and map-server lookups, Fig. 7a/7b). With the inline representation:
+//!
+//! * `BitStr` is `Copy`; slicing is a shift + mask, concatenation a
+//!   shift + or, and prefix comparison one `XOR` + `leading_zeros` —
+//!   all word ops, **zero heap allocations** anywhere in the type.
+//! * A borrowed "view" type is unnecessary: copying the key *is* the
+//!   cheap path, so lookups simply walk a local `(u128, u8)` cursor.
+//!
+//! Bits are stored left-aligned: bit `i` of the string is bit `127 - i`
+//! of the word. Bits at positions `>= len` are always zero (canonical
+//! form), so derived `Eq`/`Ord`/`Hash` agree with logical equality.
 
 use core::fmt;
 
-/// An owned bit string (MSB-first).
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+/// Maximum key width in bits (IPv6 EIDs; see the module docs).
+pub const MAX_BITS: usize = 128;
+
+/// An inline bit string (MSB-first, at most [`MAX_BITS`] bits).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct BitStr {
-    /// Backing bytes; bits beyond `len` are zero (canonical form).
-    bytes: Vec<u8>,
-    /// Length in bits.
-    len: usize,
+    /// Left-aligned bits; everything past `len` is zero (canonical form).
+    bits: u128,
+    /// Length in bits, `0..=128`.
+    len: u8,
+}
+
+/// All-ones mask over the first `n` (left-aligned) bits.
+#[inline]
+const fn mask(n: usize) -> u128 {
+    match n {
+        0 => 0,
+        MAX_BITS.. => u128::MAX,
+        _ => u128::MAX << (MAX_BITS - n),
+    }
 }
 
 impl BitStr {
     /// The empty bit string (the trie root's label).
-    pub fn empty() -> Self {
-        BitStr::default()
+    #[inline]
+    pub const fn empty() -> Self {
+        BitStr { bits: 0, len: 0 }
+    }
+
+    /// Builds a bit string directly from a left-aligned word.
+    ///
+    /// # Panics
+    /// Panics if `len > 128` or if bits beyond `len` are set.
+    #[inline]
+    pub const fn from_raw(bits: u128, len: usize) -> Self {
+        assert!(len <= MAX_BITS, "bit length exceeds 128");
+        assert!(bits & !mask(len) == 0, "non-canonical bits past len");
+        BitStr {
+            bits,
+            len: len as u8,
+        }
     }
 
     /// Builds a bit string from the first `len` bits of `bytes`.
@@ -27,108 +80,137 @@ impl BitStr {
     /// have equal representations regardless of the source buffer.
     ///
     /// # Panics
-    /// Panics if `len > bytes.len() * 8`.
+    /// Panics if `len > bytes.len() * 8` or `len > 128`.
     pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
         assert!(len <= bytes.len() * 8, "bit length exceeds buffer");
+        assert!(len <= MAX_BITS, "bit length exceeds 128");
+        let mut bits = 0u128;
         let nbytes = len.div_ceil(8);
-        let mut v = bytes[..nbytes].to_vec();
-        let spare = nbytes * 8 - len;
-        if spare > 0 {
-            if let Some(last) = v.last_mut() {
-                *last &= 0xffu8 << spare;
-            }
+        for (i, &b) in bytes[..nbytes].iter().enumerate() {
+            bits |= u128::from(b) << (120 - 8 * i);
         }
-        BitStr { bytes: v, len }
+        BitStr {
+            bits: bits & mask(len),
+            len: len as u8,
+        }
+    }
+
+    /// The raw left-aligned word (bits past `len` are zero).
+    #[inline]
+    pub const fn raw(&self) -> u128 {
+        self.bits
+    }
+
+    /// Writes the bits back out as big-endian bytes into `out`.
+    ///
+    /// Fills `ceil(len / 8)` bytes; the rest of `out` is untouched.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `ceil(len / 8)` bytes.
+    pub fn write_bytes(&self, out: &mut [u8]) {
+        let nbytes = (self.len as usize).div_ceil(8);
+        let be = self.bits.to_be_bytes();
+        out[..nbytes].copy_from_slice(&be[..nbytes]);
     }
 
     /// Length in bits.
-    pub fn len(&self) -> usize {
-        self.len
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.len as usize
     }
 
     /// True when the string holds no bits.
-    pub fn is_empty(&self) -> bool {
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
         self.len == 0
     }
 
-    /// The bit at position `i` (0 = most significant of the first byte).
+    /// The bit at position `i` (0 = most significant).
     ///
     /// # Panics
     /// Panics if `i >= len`.
+    #[inline]
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        let byte = self.bytes[i / 8];
-        (byte >> (7 - (i % 8))) & 1 == 1
+        assert!(i < self.len(), "bit index {i} out of range {}", self.len);
+        (self.bits >> (MAX_BITS - 1 - i)) & 1 == 1
     }
 
-    /// The sub-string `[start, end)`.
+    /// The sub-string `[start, end)` — a shift and a mask, no allocation.
     ///
     /// # Panics
     /// Panics if `start > end` or `end > len`.
+    #[inline]
     pub fn slice(&self, start: usize, end: usize) -> BitStr {
-        assert!(start <= end && end <= self.len);
-        let mut out = BitStr::with_capacity(end - start);
-        for i in start..end {
-            out.push(self.bit(i));
+        assert!(start <= end && end <= self.len(), "slice out of range");
+        let n = end - start;
+        // `start == 128` implies `n == 0`; keep the shift in range.
+        let shifted = if start == 0 {
+            self.bits
+        } else if start >= MAX_BITS {
+            0
+        } else {
+            self.bits << start
+        };
+        BitStr {
+            bits: shifted & mask(n),
+            len: n as u8,
         }
-        out
-    }
-
-    fn with_capacity(bits: usize) -> BitStr {
-        BitStr { bytes: Vec::with_capacity(bits.div_ceil(8)), len: 0 }
     }
 
     /// Appends one bit.
+    ///
+    /// # Panics
+    /// Panics if the string is already 128 bits long.
+    #[inline]
     pub fn push(&mut self, bit: bool) {
-        if self.len.is_multiple_of(8) {
-            self.bytes.push(0);
-        }
+        assert!(self.len() < MAX_BITS, "bit string full (128 bits)");
         if bit {
-            let idx = self.len / 8;
-            self.bytes[idx] |= 1 << (7 - (self.len % 8));
+            self.bits |= 1 << (MAX_BITS - 1 - self.len());
         }
         self.len += 1;
     }
 
-    /// Concatenation `self ++ other`.
+    /// Concatenation `self ++ other` — a shift and an or, no allocation.
+    ///
+    /// # Panics
+    /// Panics if the combined length exceeds 128 bits.
+    #[inline]
     pub fn concat(&self, other: &BitStr) -> BitStr {
-        let mut out = self.clone();
-        for i in 0..other.len {
-            out.push(other.bit(i));
+        let total = self.len() + other.len();
+        assert!(total <= MAX_BITS, "concatenation exceeds 128 bits");
+        let tail = if self.is_empty() {
+            other.bits
+        } else if self.len() >= MAX_BITS {
+            0
+        } else {
+            other.bits >> self.len()
+        };
+        BitStr {
+            bits: self.bits | tail,
+            len: total as u8,
         }
-        out
     }
 
-    /// Number of leading bits shared with `other`.
+    /// Number of leading bits shared with `other`: one `XOR` plus
+    /// `leading_zeros`, the word-sized comparison the trie walk relies on.
+    #[inline]
     pub fn common_prefix_len(&self, other: &BitStr) -> usize {
-        let max = self.len.min(other.len);
-        // Byte-at-a-time fast path.
-        let full_bytes = max / 8;
-        let mut i = 0;
-        while i < full_bytes {
-            let x = self.bytes[i] ^ other.bytes[i];
-            if x != 0 {
-                return i * 8 + x.leading_zeros() as usize;
-            }
-            i += 1;
-        }
-        let mut bits = full_bytes * 8;
-        while bits < max && self.bit(bits) == other.bit(bits) {
-            bits += 1;
-        }
-        bits
+        let max = self.len().min(other.len());
+        let diff = self.bits ^ other.bits;
+        (diff.leading_zeros() as usize).min(max)
     }
 
     /// True when `self` is a prefix of `other`.
+    #[inline]
     pub fn is_prefix_of(&self, other: &BitStr) -> bool {
-        self.len <= other.len && self.common_prefix_len(other) == self.len
+        self.len <= other.len && (self.bits ^ other.bits) & mask(self.len()) == 0
     }
 }
 
 impl fmt::Debug for BitStr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "BitStr(")?;
-        for i in 0..self.len {
+        for i in 0..self.len() {
             write!(f, "{}", u8::from(self.bit(i)))?;
         }
         write!(f, ")")
@@ -137,7 +219,7 @@ impl fmt::Debug for BitStr {
 
 impl fmt::Display for BitStr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for i in 0..self.len {
+        for i in 0..self.len() {
             write!(f, "{}", u8::from(self.bit(i)))?;
         }
         Ok(())
@@ -214,5 +296,44 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bit_out_of_range_panics() {
         BitStr::from_bytes(&[0xff], 4).bit(4);
+    }
+
+    #[test]
+    fn full_width_128_bit_key() {
+        let bytes = [0xABu8; 16];
+        let s = BitStr::from_bytes(&bytes, 128);
+        assert_eq!(s.len(), 128);
+        assert_eq!(s.slice(0, 128), s);
+        assert_eq!(s.slice(128, 128), BitStr::empty());
+        assert_eq!(s.common_prefix_len(&s), 128);
+        assert!(s.is_prefix_of(&s));
+        assert_eq!(BitStr::empty().concat(&s), s);
+        assert_eq!(s.concat(&BitStr::empty()), s);
+        let mut out = [0u8; 16];
+        s.write_bytes(&mut out);
+        assert_eq!(out, bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 128 bits")]
+    fn concat_past_128_panics() {
+        let a = BitStr::from_bytes(&[0xFF; 16], 128);
+        let b = BitStr::from_bytes(&[0x80], 1);
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn write_bytes_roundtrip_partial_byte() {
+        let s = BitStr::from_bytes(&[0b1011_0110, 0b1100_0000], 10);
+        let mut out = [0u8; 2];
+        s.write_bytes(&mut out);
+        assert_eq!(BitStr::from_bytes(&out, 10), s);
+    }
+
+    #[test]
+    fn raw_is_canonical() {
+        let s = BitStr::from_bytes(&[0xFF, 0xFF], 10);
+        assert_eq!(s.raw() & !super::mask(10), 0);
+        assert_eq!(BitStr::from_raw(s.raw(), 10), s);
     }
 }

@@ -9,11 +9,17 @@
 //!
 //! Two layers:
 //!
-//! * [`trie::PatriciaTrie`] — the generic bit-keyed trie with exact-match
-//!   and longest-prefix-match operations.
+//! * [`trie::PatriciaTrie`] — the generic bit-keyed trie with exact-match,
+//!   longest-prefix-match (shared and mutable) and `retain` operations.
 //! * [`map::EidTrie`] — an address-family-aware wrapper keyed by
 //!   [`sda_types::EidPrefix`], with one inner trie per family so IPv4,
 //!   IPv6 and MAC keys never collide.
+//!
+//! Keys are inline `(u128, u8)` bit strings ([`bits::BitStr`]) — every
+//! key in the system is at most 128 bits (IPv6), so the lookup path is
+//! zero-allocation word arithmetic. See the `bits` module docs for the
+//! representation and `benches/lpm_hot_path.rs` in `sda-bench` for the
+//! measured effect (`BENCH_lpm.json` at the repo root).
 //!
 //! The benchmark `fig7_routing_server` measures these operations directly
 //! to reproduce Fig. 7a/7b.

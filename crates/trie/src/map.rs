@@ -12,46 +12,45 @@ use crate::bits::BitStr;
 use crate::trie::PatriciaTrie;
 
 fn prefix_key(p: &EidPrefix) -> BitStr {
-    BitStr::from_bytes(&p.addr_bytes(), p.len() as usize)
+    // Prefix construction already canonicalized (host bits zeroed), so the
+    // raw word is valid as-is — no bytes, no heap.
+    BitStr::from_raw(p.key_bits(), p.len() as usize)
 }
 
 fn eid_key(e: &Eid) -> BitStr {
-    let bytes = e.to_bytes();
-    let len = bytes.len() * 8;
-    BitStr::from_bytes(&bytes, len)
+    BitStr::from_raw(e.key_bits(), e.kind().bit_len() as usize)
 }
 
 fn prefix_from_parts(kind: EidKind, key: &BitStr) -> EidPrefix {
-    // Reconstruct canonical bytes from the bit string.
-    let width = kind.bit_len() as usize / 8;
-    let mut bytes = vec![0u8; width];
-    for i in 0..key.len() {
-        if key.bit(i) {
-            bytes[i / 8] |= 1 << (7 - (i % 8));
-        }
-    }
+    // Reconstruct canonical bytes from the bit string (stack buffer only).
+    let mut bytes = [0u8; 16];
+    key.write_bytes(&mut bytes);
     let len = key.len() as u8;
     match kind {
         EidKind::V4 => {
-            let arr: [u8; 4] = bytes.try_into().unwrap();
+            let arr: [u8; 4] = bytes[..4].try_into().unwrap();
             EidPrefix::V4(Ipv4Prefix::new(arr.into(), len).unwrap())
         }
-        EidKind::V6 => {
-            let arr: [u8; 16] = bytes.try_into().unwrap();
-            EidPrefix::V6(Ipv6Prefix::new(arr.into(), len).unwrap())
-        }
+        EidKind::V6 => EidPrefix::V6(Ipv6Prefix::new(bytes.into(), len).unwrap()),
         EidKind::Mac => {
-            let arr: [u8; 6] = bytes.try_into().unwrap();
+            let arr: [u8; 6] = bytes[..6].try_into().unwrap();
             EidPrefix::Mac(MacPrefix::new(sda_types::MacAddr(arr), len).unwrap())
         }
     }
 }
 
 /// A map from [`EidPrefix`] to `V` with longest-prefix lookup by [`Eid`].
+#[derive(Clone)]
 pub struct EidTrie<V> {
     v4: PatriciaTrie<V>,
     v6: PatriciaTrie<V>,
     mac: PatriciaTrie<V>,
+}
+
+impl<V: core::fmt::Debug> core::fmt::Debug for EidTrie<V> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
 }
 
 impl<V> Default for EidTrie<V> {
@@ -127,11 +126,47 @@ impl<V> EidTrie<V> {
         Some((prefix_from_parts(eid.kind(), &pk), v))
     }
 
+    /// Longest-prefix match for `eid` with a mutable value reference, so
+    /// callers can update entry metadata in place (no remove + insert
+    /// round trip, no heap allocation).
+    pub fn lookup_mut(&mut self, eid: &Eid) -> Option<(EidPrefix, &mut V)> {
+        let key = eid_key(eid);
+        let kind = eid.kind();
+        let (len, v) = self.family_mut(kind).longest_match_mut(&key)?;
+        Some((prefix_from_parts(kind, &key.slice(0, len)), v))
+    }
+
+    /// Keeps only entries for which `f` returns true, across all
+    /// families, in one traversal per family. Returns how many entries
+    /// were removed.
+    pub fn retain<F: FnMut(&EidPrefix, &mut V) -> bool>(&mut self, mut f: F) -> usize {
+        let mut removed = 0;
+        removed += self
+            .v4
+            .retain(|k, v| f(&prefix_from_parts(EidKind::V4, k), v));
+        removed += self
+            .v6
+            .retain(|k, v| f(&prefix_from_parts(EidKind::V6, k), v));
+        removed += self
+            .mac
+            .retain(|k, v| f(&prefix_from_parts(EidKind::Mac, k), v));
+        removed
+    }
+
     /// Iterates all `(prefix, value)` pairs, IPv4 then IPv6 then MAC.
     pub fn iter(&self) -> impl Iterator<Item = (EidPrefix, &V)> {
-        let v4 = self.v4.iter().map(|(k, v)| (prefix_from_parts(EidKind::V4, &k), v));
-        let v6 = self.v6.iter().map(|(k, v)| (prefix_from_parts(EidKind::V6, &k), v));
-        let mac = self.mac.iter().map(|(k, v)| (prefix_from_parts(EidKind::Mac, &k), v));
+        let v4 = self
+            .v4
+            .iter()
+            .map(|(k, v)| (prefix_from_parts(EidKind::V4, &k), v));
+        let v6 = self
+            .v6
+            .iter()
+            .map(|(k, v)| (prefix_from_parts(EidKind::V6, &k), v));
+        let mac = self
+            .mac
+            .iter()
+            .map(|(k, v)| (prefix_from_parts(EidKind::Mac, &k), v));
         v4.chain(v6).chain(mac)
     }
 }
@@ -161,8 +196,9 @@ mod tests {
     #[test]
     fn lookup_prefers_host_route_over_subnet() {
         let mut m = EidTrie::new();
-        let subnet: EidPrefix =
-            Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap().into();
+        let subnet: EidPrefix = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16)
+            .unwrap()
+            .into();
         let host: EidPrefix = Ipv4Prefix::host(Ipv4Addr::new(10, 1, 2, 3)).into();
         m.insert(subnet, "subnet");
         m.insert(host, "host");
@@ -178,8 +214,9 @@ mod tests {
     #[test]
     fn remove_then_lookup_falls_back() {
         let mut m = EidTrie::new();
-        let subnet: EidPrefix =
-            Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16).unwrap().into();
+        let subnet: EidPrefix = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16)
+            .unwrap()
+            .into();
         let host: EidPrefix = Ipv4Prefix::host(Ipv4Addr::new(10, 1, 2, 3)).into();
         m.insert(subnet, "subnet");
         m.insert(host, "host");
@@ -192,7 +229,9 @@ mod tests {
     fn iter_reconstructs_prefixes() {
         let mut m = EidTrie::new();
         let entries: Vec<EidPrefix> = vec![
-            Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8).unwrap().into(),
+            Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8)
+                .unwrap()
+                .into(),
             Ipv4Prefix::host(Ipv4Addr::new(10, 1, 2, 3)).into(),
             MacPrefix::host(MacAddr::from_seed(1)).into(),
         ];

@@ -11,9 +11,28 @@
 //!
 //! Lookup cost is therefore O(key bits), independent of the number of
 //! stored entries — the property Fig. 7a/7b measures.
+//!
+//! ## Inline keys and the zero-allocation lookup path
+//!
+//! Labels are [`BitStr`]s: inline `(u128, u8)` words, never heap data
+//! (every key in the system is at most 128 bits — see the `bits` module
+//! docs for why that bound holds). All label surgery during descent —
+//! slicing off matched bits, comparing a label against the remaining key —
+//! is shift/mask/`leading_zeros` arithmetic on words. Consequently
+//! [`PatriciaTrie::get`], [`PatriciaTrie::longest_match`] and
+//! [`PatriciaTrie::longest_match_mut`] perform **zero heap allocations**;
+//! only `insert` allocates (the new node), and `remove`/`retain` only
+//! free.
+//!
+//! For callers that previously did a remove + insert round trip to update
+//! a value (the map-cache's `last_used` refresh), use
+//! [`PatriciaTrie::longest_match_mut`]; for batch eviction, use
+//! [`PatriciaTrie::retain`], which prunes and re-compresses in one
+//! traversal instead of one remove per victim.
 
 use crate::bits::BitStr;
 
+#[derive(Clone)]
 struct Node<V> {
     /// Bits between the parent node and this node.
     label: BitStr,
@@ -25,7 +44,11 @@ struct Node<V> {
 
 impl<V> Node<V> {
     fn new(label: BitStr, value: Option<V>) -> Self {
-        Node { label, value, children: [None, None] }
+        Node {
+            label,
+            value,
+            children: [None, None],
+        }
     }
 
     fn child_count(&self) -> usize {
@@ -34,9 +57,16 @@ impl<V> Node<V> {
 }
 
 /// A Patricia trie mapping bit-string prefixes to values.
+#[derive(Clone)]
 pub struct PatriciaTrie<V> {
     root: Node<V>,
     len: usize,
+}
+
+impl<V: core::fmt::Debug> core::fmt::Debug for PatriciaTrie<V> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
 }
 
 impl<V> Default for PatriciaTrie<V> {
@@ -48,7 +78,10 @@ impl<V> Default for PatriciaTrie<V> {
 impl<V> PatriciaTrie<V> {
     /// Creates an empty trie.
     pub fn new() -> Self {
-        PatriciaTrie { root: Node::new(BitStr::empty(), None), len: 0 }
+        PatriciaTrie {
+            root: Node::new(BitStr::empty(), None),
+            len: 0,
+        }
     }
 
     /// Number of stored entries.
@@ -178,6 +211,91 @@ impl<V> PatriciaTrie<V> {
         }
     }
 
+    /// Longest-prefix match returning a mutable value reference, so
+    /// callers can update entry metadata (e.g. an LRU stamp) in place
+    /// instead of a remove + insert round trip.
+    ///
+    /// Zero-allocation: walks down once immutably to find the best depth,
+    /// then re-walks mutably to it (both walks are O(key bits)).
+    pub fn longest_match_mut(&mut self, key: &BitStr) -> Option<(usize, &mut V)> {
+        let (depth, _) = self.longest_match(key)?;
+        let mut node = &mut self.root;
+        let mut d = 0usize;
+        while d < depth {
+            let bit = key.bit(d) as usize;
+            let child = node.children[bit]
+                .as_mut()
+                .expect("longest_match found this path");
+            d += child.label.len();
+            node = child;
+        }
+        debug_assert_eq!(d, depth);
+        Some((
+            depth,
+            node.value
+                .as_mut()
+                .expect("longest_match found a value here"),
+        ))
+    }
+
+    /// Keeps only entries for which `f` returns true, re-compressing the
+    /// structure in a single traversal. Returns how many entries were
+    /// removed.
+    ///
+    /// This replaces the collect-victims-then-remove-each pattern: one
+    /// pass over the trie instead of one full descent per victim.
+    pub fn retain<F: FnMut(&BitStr, &mut V) -> bool>(&mut self, mut f: F) -> usize {
+        let mut removed = 0usize;
+        Self::retain_at(&mut self.root, BitStr::empty(), &mut f, &mut removed);
+        self.len -= removed;
+        removed
+    }
+
+    fn retain_at<F: FnMut(&BitStr, &mut V) -> bool>(
+        node: &mut Node<V>,
+        prefix: BitStr,
+        f: &mut F,
+        removed: &mut usize,
+    ) {
+        let here = prefix.concat(&node.label);
+        if let Some(v) = node.value.as_mut() {
+            if !f(&here, v) {
+                node.value = None;
+                *removed += 1;
+            }
+        }
+        for i in 0..2 {
+            if node.children[i].is_some() {
+                {
+                    let child = node.children[i].as_mut().unwrap();
+                    Self::retain_at(child, here, f, removed);
+                }
+                // Re-establish compression exactly as `remove` does: a
+                // valueless child with zero children disappears, with one
+                // child merges into its grandchild.
+                let child = node.children[i].as_mut().unwrap();
+                if child.value.is_none() {
+                    match child.child_count() {
+                        0 => {
+                            node.children[i] = None;
+                        }
+                        1 => {
+                            let mut child_box = node.children[i].take().unwrap();
+                            let mut gc = child_box
+                                .children
+                                .iter_mut()
+                                .find_map(Option::take)
+                                .expect("child_count said 1");
+                            gc.label = child_box.label.concat(&gc.label);
+                            node.children[i] = Some(gc);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
     /// Removes the value at `key`, returning it. Re-compresses the path.
     pub fn remove(&mut self, key: &BitStr) -> Option<V> {
         let removed = Self::remove_at(&mut self.root, key, 0);
@@ -234,10 +352,10 @@ impl<V> PatriciaTrie<V> {
     fn collect<'a>(node: &'a Node<V>, prefix: BitStr, out: &mut Vec<(BitStr, &'a V)>) {
         let here = prefix.concat(&node.label);
         if let Some(v) = node.value.as_ref() {
-            out.push((here.clone(), v));
+            out.push((here, v));
         }
         for child in node.children.iter().flatten() {
-            Self::collect(child, here.clone(), out);
+            Self::collect(child, here, out);
         }
     }
 

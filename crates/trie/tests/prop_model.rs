@@ -41,6 +41,10 @@ enum Op {
     Remove(Vec<bool>),
     Get(Vec<bool>),
     Lpm(Vec<bool>),
+    /// `longest_match_mut` + overwrite the matched value.
+    LpmMutSet(Vec<bool>, u32),
+    /// `retain` keeping only values with the given parity.
+    RetainParity(bool),
 }
 
 fn arb_key() -> impl Strategy<Value = Vec<bool>> {
@@ -53,6 +57,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
         arb_key().prop_map(Op::Remove),
         arb_key().prop_map(Op::Get),
         arb_key().prop_map(Op::Lpm),
+        (arb_key(), any::<u32>()).prop_map(|(k, v)| Op::LpmMutSet(k, v)),
+        any::<bool>().prop_map(Op::RetainParity),
     ]
 }
 
@@ -91,6 +97,35 @@ proptest! {
                         trie.longest_match(&key).map(|(l, v)| (l, *v)),
                         model.longest_match(&key)
                     );
+                }
+                Op::LpmMutSet(k, new_v) => {
+                    let key = to_bits(k);
+                    // The mutable match must find exactly what the
+                    // immutable one does, and writes through it must land.
+                    let got = trie.longest_match_mut(&key).map(|(l, v)| {
+                        let old = *v;
+                        *v = *new_v;
+                        (l, old)
+                    });
+                    let want = model.longest_match(&key);
+                    prop_assert_eq!(got, want);
+                    if let Some((l, _)) = want {
+                        let matched: String = key.to_string()[..l].to_string();
+                        model.entries.insert(matched.clone(), *new_v);
+                        let matched_bits = to_bits(
+                            &matched.chars().map(|c| c == '1').collect::<Vec<_>>(),
+                        );
+                        prop_assert_eq!(trie.get(&matched_bits), Some(new_v));
+                    }
+                }
+                Op::RetainParity(keep_odd) => {
+                    let removed =
+                        trie.retain(|_, v| (*v % 2 == 1) == *keep_odd);
+                    let before = model.entries.len();
+                    model
+                        .entries
+                        .retain(|_, v| (*v % 2 == 1) == *keep_odd);
+                    prop_assert_eq!(removed, before - model.entries.len());
                 }
             }
             prop_assert_eq!(trie.len(), model.entries.len());
@@ -141,6 +176,21 @@ proptest! {
             .map(|(p, v)| (*p, *v));
         let got = m.lookup(&eid).map(|(p, v)| (p, *v));
         prop_assert_eq!(got, expect);
+    }
+
+    /// `retain(|..| false)` is a full clear: no structural nodes survive,
+    /// and the removed count equals the former length.
+    #[test]
+    fn retain_nothing_restores_empty(keys in proptest::collection::hash_set(any::<u32>(), 1..200)) {
+        let mut trie = PatriciaTrie::new();
+        for k in &keys {
+            trie.insert(&BitStr::from_bytes(&k.to_be_bytes(), 32), *k);
+        }
+        let removed = trie.retain(|_, _| false);
+        prop_assert_eq!(removed, keys.len());
+        prop_assert!(trie.is_empty());
+        prop_assert_eq!(trie.iter().count(), 0);
+        prop_assert_eq!(trie.max_depth(), 0);
     }
 
     /// Insert-then-remove of a disjoint batch restores emptiness (no leaks

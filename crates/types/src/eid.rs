@@ -131,22 +131,42 @@ impl Eid {
     pub fn from_bytes(kind: EidKind, bytes: &[u8]) -> Result<Self> {
         match kind {
             EidKind::V4 => {
-                let arr: [u8; 4] = bytes
-                    .try_into()
-                    .map_err(|_| Error::BadEidLength { kind, len: bytes.len() })?;
+                let arr: [u8; 4] = bytes.try_into().map_err(|_| Error::BadEidLength {
+                    kind,
+                    len: bytes.len(),
+                })?;
                 Ok(Eid::V4(Ipv4Addr::from(arr)))
             }
             EidKind::V6 => {
-                let arr: [u8; 16] = bytes
-                    .try_into()
-                    .map_err(|_| Error::BadEidLength { kind, len: bytes.len() })?;
+                let arr: [u8; 16] = bytes.try_into().map_err(|_| Error::BadEidLength {
+                    kind,
+                    len: bytes.len(),
+                })?;
                 Ok(Eid::V6(Ipv6Addr::from(arr)))
             }
             EidKind::Mac => {
-                let arr: [u8; 6] = bytes
-                    .try_into()
-                    .map_err(|_| Error::BadEidLength { kind, len: bytes.len() })?;
+                let arr: [u8; 6] = bytes.try_into().map_err(|_| Error::BadEidLength {
+                    kind,
+                    len: bytes.len(),
+                })?;
                 Ok(Eid::Mac(MacAddr(arr)))
+            }
+        }
+    }
+
+    /// Left-aligned 128-bit trie key: the address occupies the top
+    /// `kind().bit_len()` bits of the word, the rest is zero.
+    ///
+    /// Allocation-free counterpart to [`Eid::to_bytes`] — this is what the
+    /// LPM hot path uses to build trie keys without touching the heap.
+    pub fn key_bits(&self) -> u128 {
+        match self {
+            Eid::V4(a) => u128::from(u32::from(*a)) << 96,
+            Eid::V6(a) => u128::from(*a),
+            Eid::Mac(m) => {
+                let mut raw = [0u8; 8];
+                raw[..6].copy_from_slice(&m.octets());
+                u128::from(u64::from_be_bytes(raw)) << 64
             }
         }
     }

@@ -55,7 +55,11 @@ mod tests {
             "VN id 16777216 exceeds 24 bits"
         );
         assert_eq!(
-            Error::BadEidLength { kind: EidKind::V4, len: 3 }.to_string(),
+            Error::BadEidLength {
+                kind: EidKind::V4,
+                len: 3
+            }
+            .to_string(),
             "3 bytes is not a valid ipv4 EID"
         );
         assert_eq!(

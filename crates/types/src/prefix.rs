@@ -26,8 +26,15 @@ impl Ipv4Prefix {
             return Err(Error::PrefixLenOutOfRange { len, max: 32 });
         }
         let raw = u32::from(addr);
-        let masked = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
-        Ok(Ipv4Prefix { addr: Ipv4Addr::from(masked), len })
+        let masked = if len == 0 {
+            0
+        } else {
+            raw & (u32::MAX << (32 - len))
+        };
+        Ok(Ipv4Prefix {
+            addr: Ipv4Addr::from(masked),
+            len,
+        })
     }
 
     /// Host route (/32) for a single address.
@@ -87,7 +94,10 @@ impl Ipv6Prefix {
         } else {
             raw & (u128::MAX << (128 - len))
         };
-        Ok(Ipv6Prefix { addr: Ipv6Addr::from(masked), len })
+        Ok(Ipv6Prefix {
+            addr: Ipv6Addr::from(masked),
+            len,
+        })
     }
 
     /// Host route (/128) for a single address.
@@ -154,7 +164,10 @@ impl MacPrefix {
         let bytes = masked.to_be_bytes();
         let mut out = [0u8; 6];
         out.copy_from_slice(&bytes[2..]);
-        Ok(MacPrefix { addr: MacAddr(out), len })
+        Ok(MacPrefix {
+            addr: MacAddr(out),
+            len,
+        })
     }
 
     /// Exact-match (/48) prefix for one MAC.
@@ -263,6 +276,25 @@ impl EidPrefix {
             EidPrefix::Mac(p) => p.addr().octets().to_vec(),
         }
     }
+
+    /// Left-aligned 128-bit trie key: the canonical network bits occupy
+    /// the top `len()` bits of the word, the rest is zero (construction
+    /// already zeroed host bits).
+    ///
+    /// Allocation-free counterpart to [`EidPrefix::addr_bytes`] — this is
+    /// what the LPM hot path uses to build trie keys without touching the
+    /// heap.
+    pub fn key_bits(&self) -> u128 {
+        match self {
+            EidPrefix::V4(p) => u128::from(u32::from(p.addr())) << 96,
+            EidPrefix::V6(p) => u128::from(p.addr()),
+            EidPrefix::Mac(p) => {
+                let mut raw = [0u8; 8];
+                raw[..6].copy_from_slice(&p.addr().octets());
+                u128::from(u64::from_be_bytes(raw)) << 64
+            }
+        }
+    }
 }
 
 impl From<Ipv4Prefix> for EidPrefix {
@@ -362,7 +394,9 @@ mod tests {
 
     #[test]
     fn displays() {
-        let p4: EidPrefix = Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8).unwrap().into();
+        let p4: EidPrefix = Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8)
+            .unwrap()
+            .into();
         assert_eq!(p4.to_string(), "10.0.0.0/8");
         let pm: EidPrefix = MacPrefix::host(MacAddr::from_seed(0)).into();
         assert_eq!(pm.to_string(), "02:00:00:00:00:00/48");

@@ -158,7 +158,13 @@ impl LinkStateRouter {
             self.last_hello_tx = Some(now);
             let seen: Vec<RouterId> = self.live_links().iter().map(|(n, _)| *n).collect();
             for n in self.configured.keys() {
-                out.push((*n, Message::Hello { from: self.id, seen: seen.clone() }));
+                out.push((
+                    *n,
+                    Message::Hello {
+                        from: self.id,
+                        seen: seen.clone(),
+                    },
+                ));
             }
         }
 
@@ -254,7 +260,10 @@ mod tests {
                 .routers()
                 .map(|r| (r, LinkStateRouter::new(r, t.neighbors(r))))
                 .collect();
-            Harness { now: SimTime::ZERO, routers }
+            Harness {
+                now: SimTime::ZERO,
+                routers,
+            }
         }
 
         fn advance(&mut self, d: SimDuration) {
@@ -331,7 +340,14 @@ mod tests {
     #[test]
     fn hello_from_stranger_ignored() {
         let mut r = LinkStateRouter::new(RouterId(1), vec![(RouterId(2), 1)]);
-        let out = r.handle(RouterId(99), Message::Hello { from: RouterId(99), seen: vec![] }, SimTime::ZERO);
+        let out = r.handle(
+            RouterId(99),
+            Message::Hello {
+                from: RouterId(99),
+                seen: vec![],
+            },
+            SimTime::ZERO,
+        );
         assert!(out.is_empty());
     }
 
@@ -339,7 +355,14 @@ mod tests {
     fn self_originated_echo_bumps_sequence() {
         let mut r = LinkStateRouter::new(RouterId(1), vec![(RouterId(2), 1)]);
         // Bring the adjacency up.
-        r.handle(RouterId(2), Message::Hello { from: RouterId(2), seen: vec![RouterId(1)] }, SimTime::ZERO);
+        r.handle(
+            RouterId(2),
+            Message::Hello {
+                from: RouterId(2),
+                seen: vec![RouterId(1)],
+            },
+            SimTime::ZERO,
+        );
         let stale = Lsa::new(RouterId(1), 50, vec![]);
         let out = r.handle(RouterId(2), Message::Flood(stale), SimTime::ZERO);
         // The router must re-originate with seq > 50.
@@ -361,12 +384,16 @@ mod tests {
 
         // Router 1 "reboots": replace with a fresh instance (empty LSDB).
         let links: Vec<(RouterId, u32)> = t.neighbors(RouterId(1)).collect();
-        h.routers.insert(RouterId(1), LinkStateRouter::new(RouterId(1), links));
+        h.routers
+            .insert(RouterId(1), LinkStateRouter::new(RouterId(1), links));
         for _ in 0..3 {
             h.advance(SimDuration::from_secs(1));
             h.settle();
         }
-        assert!(h.router(0).reaches(RouterId(2)), "recovered router must rejoin");
+        assert!(
+            h.router(0).reaches(RouterId(2)),
+            "recovered router must rejoin"
+        );
         assert!(h.router(1).reaches(RouterId(0)));
         assert!(h.router(1).reaches(RouterId(2)));
     }

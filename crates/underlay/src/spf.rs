@@ -112,12 +112,18 @@ pub fn spf(lsdb: &Lsdb, src: RouterId) -> RouteTable {
                 None => {
                     dist.insert(neigh, cand);
                     hops.insert(neigh, via);
-                    heap.push(QueueEntry { cost: cand, node: neigh });
+                    heap.push(QueueEntry {
+                        cost: cand,
+                        node: neigh,
+                    });
                 }
                 Some(cur) if cand < cur => {
                     dist.insert(neigh, cand);
                     hops.insert(neigh, via);
-                    heap.push(QueueEntry { cost: cand, node: neigh });
+                    heap.push(QueueEntry {
+                        cost: cand,
+                        node: neigh,
+                    });
                 }
                 Some(cur) if cand == cur => {
                     // Equal cost: merge next-hop sets.
@@ -222,11 +228,18 @@ mod tests {
         // rebooting router that stopped advertising.
         let mut db = Lsdb::new();
         db.install(Lsa::new(RouterId(0), 1, vec![(RouterId(1), 1)]));
-        db.install(Lsa::new(RouterId(1), 1, vec![(RouterId(0), 1), (RouterId(2), 1)]));
+        db.install(Lsa::new(
+            RouterId(1),
+            1,
+            vec![(RouterId(0), 1), (RouterId(2), 1)],
+        ));
         db.install(Lsa::new(RouterId(2), 1, vec![]));
         let table = spf(&db, RouterId(0));
         assert!(table.reaches(RouterId(1)));
-        assert!(!table.reaches(RouterId(2)), "unconfirmed link must not be used");
+        assert!(
+            !table.reaches(RouterId(2)),
+            "unconfirmed link must not be used"
+        );
     }
 
     #[test]

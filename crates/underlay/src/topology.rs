@@ -106,8 +106,14 @@ mod tests {
     fn links_are_undirected() {
         let mut t = Topology::new();
         t.add_link(RouterId(1), RouterId(2), 5);
-        assert_eq!(t.neighbors(RouterId(1)).collect::<Vec<_>>(), vec![(RouterId(2), 5)]);
-        assert_eq!(t.neighbors(RouterId(2)).collect::<Vec<_>>(), vec![(RouterId(1), 5)]);
+        assert_eq!(
+            t.neighbors(RouterId(1)).collect::<Vec<_>>(),
+            vec![(RouterId(2), 5)]
+        );
+        assert_eq!(
+            t.neighbors(RouterId(2)).collect::<Vec<_>>(),
+            vec![(RouterId(1), 5)]
+        );
     }
 
     #[test]

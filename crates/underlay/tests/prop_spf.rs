@@ -15,8 +15,7 @@ fn bellman_ford(t: &Topology, src: RouterId) -> BTreeMap<RouterId, u32> {
     let n = t.len();
     for _ in 0..n {
         let mut changed = false;
-        let snapshot: Vec<(RouterId, u32)> =
-            dist.iter().map(|(r, d)| (*r, *d)).collect();
+        let snapshot: Vec<(RouterId, u32)> = dist.iter().map(|(r, d)| (*r, *d)).collect();
         for (u, du) in snapshot {
             for (v, w) in t.neighbors(u) {
                 let cand = du + w;

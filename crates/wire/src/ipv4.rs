@@ -269,7 +269,10 @@ mod tests {
         let mut buf = vec![0u8; repr.buffer_len()];
         repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
         buf[15] ^= 0x01;
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::BadChecksum);
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadChecksum
+        );
     }
 
     #[test]

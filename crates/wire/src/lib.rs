@@ -120,6 +120,9 @@ mod tests {
     #[test]
     fn errors_display() {
         assert_eq!(Error::Truncated.to_string(), "buffer truncated");
-        assert_eq!(Error::UnknownAfi(99).to_string(), "unknown address family 99");
+        assert_eq!(
+            Error::UnknownAfi(99).to_string(),
+            "unknown address family 99"
+        );
     }
 }

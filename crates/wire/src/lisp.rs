@@ -130,20 +130,44 @@ impl Message {
     pub fn emit(&self) -> Vec<u8> {
         let mut w = Writer::default();
         match self {
-            Message::MapRequest { nonce, smr, vn, eid, itr_rloc } => {
+            Message::MapRequest {
+                nonce,
+                smr,
+                vn,
+                eid,
+                itr_rloc,
+            } => {
                 w.header(TYPE_MAP_REQUEST, if *smr { FLAG_SMR } else { 0 }, *nonce);
                 w.vn(*vn);
                 w.eid(*eid);
                 w.rloc(*itr_rloc);
             }
-            Message::MapReply { nonce, vn, prefix, rloc, negative, ttl_secs } => {
-                w.header(TYPE_MAP_REPLY, if *negative { FLAG_NEGATIVE } else { 0 }, *nonce);
+            Message::MapReply {
+                nonce,
+                vn,
+                prefix,
+                rloc,
+                negative,
+                ttl_secs,
+            } => {
+                w.header(
+                    TYPE_MAP_REPLY,
+                    if *negative { FLAG_NEGATIVE } else { 0 },
+                    *nonce,
+                );
                 w.vn(*vn);
                 w.prefix(*prefix);
                 w.opt_rloc(*rloc);
                 w.u32(*ttl_secs);
             }
-            Message::MapRegister { nonce, vn, eid, rloc, ttl_secs, want_notify } => {
+            Message::MapRegister {
+                nonce,
+                vn,
+                eid,
+                rloc,
+                ttl_secs,
+                want_notify,
+            } => {
                 w.header(
                     TYPE_MAP_REGISTER,
                     if *want_notify { FLAG_WANT_NOTIFY } else { 0 },
@@ -154,19 +178,38 @@ impl Message {
                 w.rloc(*rloc);
                 w.u32(*ttl_secs);
             }
-            Message::MapNotify { nonce, vn, eid, new_rloc } => {
+            Message::MapNotify {
+                nonce,
+                vn,
+                eid,
+                new_rloc,
+            } => {
                 w.header(TYPE_MAP_NOTIFY, 0, *nonce);
                 w.vn(*vn);
                 w.eid(*eid);
                 w.rloc(*new_rloc);
             }
-            Message::Subscribe { nonce, vn, subscriber } => {
+            Message::Subscribe {
+                nonce,
+                vn,
+                subscriber,
+            } => {
                 w.header(TYPE_SUBSCRIBE, 0, *nonce);
                 w.vn(*vn);
                 w.rloc(*subscriber);
             }
-            Message::Publish { nonce, vn, prefix, rloc, withdraw } => {
-                w.header(TYPE_PUBLISH, if *withdraw { FLAG_WITHDRAW } else { 0 }, *nonce);
+            Message::Publish {
+                nonce,
+                vn,
+                prefix,
+                rloc,
+                withdraw,
+            } => {
+                w.header(
+                    TYPE_PUBLISH,
+                    if *withdraw { FLAG_WITHDRAW } else { 0 },
+                    *nonce,
+                );
                 w.vn(*vn);
                 w.prefix(*prefix);
                 w.rloc(*rloc);
@@ -403,8 +446,20 @@ mod tests {
         let eidm = Eid::Mac(MacAddr::from_seed(5));
         let rloc = Rloc::for_router_index(3);
         vec![
-            Message::MapRequest { nonce: 1, smr: false, vn, eid: eid4, itr_rloc: rloc },
-            Message::MapRequest { nonce: 2, smr: true, vn, eid: eidm, itr_rloc: rloc },
+            Message::MapRequest {
+                nonce: 1,
+                smr: false,
+                vn,
+                eid: eid4,
+                itr_rloc: rloc,
+            },
+            Message::MapRequest {
+                nonce: 2,
+                smr: true,
+                vn,
+                eid: eidm,
+                itr_rloc: rloc,
+            },
             Message::MapReply {
                 nonce: 1,
                 vn,
@@ -429,8 +484,17 @@ mod tests {
                 ttl_secs: 300,
                 want_notify: true,
             },
-            Message::MapNotify { nonce: 0, vn, eid: eid4, new_rloc: rloc },
-            Message::Subscribe { nonce: 9, vn, subscriber: rloc },
+            Message::MapNotify {
+                nonce: 0,
+                vn,
+                eid: eid4,
+                new_rloc: rloc,
+            },
+            Message::Subscribe {
+                nonce: 9,
+                vn,
+                subscriber: rloc,
+            },
             Message::Publish {
                 nonce: 77,
                 vn,

@@ -190,7 +190,11 @@ mod tests {
 
     #[test]
     fn roundtrip_with_checksum() {
-        let repr = Repr { src_port: 4342, dst_port: 4342, payload_len: 3 };
+        let repr = Repr {
+            src_port: 4342,
+            dst_port: 4342,
+            payload_len: 3,
+        };
         let mut buf = vec![0u8; repr.buffer_len()];
         let mut pkt = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut pkt);
@@ -204,7 +208,11 @@ mod tests {
 
     #[test]
     fn corrupted_payload_fails_checksum() {
-        let repr = Repr { src_port: 1, dst_port: 2, payload_len: 4 };
+        let repr = Repr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 4,
+        };
         let mut buf = vec![0u8; repr.buffer_len()];
         let mut pkt = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut pkt);
@@ -217,7 +225,11 @@ mod tests {
 
     #[test]
     fn zero_checksum_accepted() {
-        let repr = Repr { src_port: 1, dst_port: 2, payload_len: 0 };
+        let repr = Repr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
         let mut buf = vec![0u8; repr.buffer_len()];
         repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
         let pkt = Packet::new_checked(&buf[..]).unwrap();

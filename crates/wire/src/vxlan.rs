@@ -260,7 +260,10 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(Packet::new_checked(&[0u8; 7][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Packet::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

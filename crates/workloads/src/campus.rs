@@ -163,15 +163,18 @@ impl CampusScenario {
             .map(|i| b.add_border(format!("border{}{}", params.name, i), vec![default_route]))
             .collect();
 
-        let always_on_count =
-            (params.endpoints as f64 * params.always_on_share).round() as usize;
+        let always_on_count = (params.endpoints as f64 * params.always_on_share).round() as usize;
         let mut roster = Vec::with_capacity(params.endpoints);
         for i in 0..params.endpoints {
             let always_on = i < always_on_count;
             let group = if always_on { INFRA } else { USERS };
             let identity = b.mint_endpoint(vn, group);
             let edge = edges[i % edges.len()];
-            roster.push(Member { identity, edge, always_on });
+            roster.push(Member {
+                identity,
+                edge,
+                always_on,
+            });
         }
 
         let mut scenario = CampusScenario {
@@ -200,8 +203,7 @@ impl CampusScenario {
         // Always-on endpoints attach once, staggered over the first hour.
         for (i, m) in self.roster.iter().enumerate() {
             if m.always_on {
-                let at = SimTime::ZERO
-                    + SimDuration::from_secs_f64(rng.gen::<f64>() * 3600.0);
+                let at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen::<f64>() * 3600.0);
                 self.fabric
                     .attach_at(at, m.edge, m.identity, PortId(i as u16));
             }
@@ -222,7 +224,8 @@ impl CampusScenario {
                         + SimDuration::from_secs_f64((8.0 + 2.0 * rng.gen::<f64>()) * 3600.0);
                     let leave = day_start
                         + SimDuration::from_secs_f64((17.0 + 3.0 * rng.gen::<f64>()) * 3600.0);
-                    self.fabric.attach_at(arrive, m.edge, m.identity, PortId(i as u16));
+                    self.fabric
+                        .attach_at(arrive, m.edge, m.identity, PortId(i as u16));
                     self.fabric.detach_at(leave, m.edge, m.identity.mac);
                     windows.push(Some((arrive, leave)));
                 } else {
@@ -232,7 +235,9 @@ impl CampusScenario {
 
             // Flows while present.
             for (i, m) in self.roster.iter().enumerate() {
-                let Some((from, to)) = windows[i] else { continue };
+                let Some((from, to)) = windows[i] else {
+                    continue;
+                };
                 let hours = to.since(from).as_secs_f64() / 3600.0;
                 let rate = if m.always_on && !weekday {
                     // Weekend: infrastructure chatter only.
@@ -259,8 +264,15 @@ impl CampusScenario {
                         }
                         Eid::V4(self.roster[pick].identity.ipv4)
                     };
-                    self.fabric
-                        .send_at(at, m.edge, m.identity.mac, dst, 512, (d * 100_000 + i) as u64, false);
+                    self.fabric.send_at(
+                        at,
+                        m.edge,
+                        m.identity.mac,
+                        dst,
+                        512,
+                        (d * 100_000 + i) as u64,
+                        false,
+                    );
                 }
             }
 
@@ -284,8 +296,15 @@ impl CampusScenario {
                     let always_on_count = self.roster.len() - human_count;
                     let pick = always_on_count + rng.gen_range(0..human_count);
                     let dst = Eid::V4(self.roster[pick].identity.ipv4);
-                    self.fabric
-                        .send_at(at, m.edge, m.identity.mac, dst, 256, (d * 100_000 + i) as u64, false);
+                    self.fabric.send_at(
+                        at,
+                        m.edge,
+                        m.identity.mac,
+                        dst,
+                        256,
+                        (d * 100_000 + i) as u64,
+                        false,
+                    );
                 }
             }
         }
@@ -293,8 +312,8 @@ impl CampusScenario {
 
     /// Runs the whole campaign.
     pub fn run(&mut self) {
-        let end = SimTime::ZERO
-            + SimDuration::from_hours(24).saturating_mul(self.params.days as u64 + 1);
+        let end =
+            SimTime::ZERO + SimDuration::from_hours(24).saturating_mul(self.params.days as u64 + 1);
         self.fabric.run_until(end);
     }
 

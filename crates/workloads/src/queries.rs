@@ -61,7 +61,10 @@ mod tests {
         let arrivals = p.take_until(SimTime::ZERO + SimDuration::from_secs(10));
         // 10k expected; Poisson sd = 100.
         let n = arrivals.len() as f64;
-        assert!((9_500.0..10_500.0).contains(&n), "{n} arrivals for rate 1000");
+        assert!(
+            (9_500.0..10_500.0).contains(&n),
+            "{n} arrivals for rate 1000"
+        );
     }
 
     #[test]

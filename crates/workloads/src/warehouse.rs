@@ -117,8 +117,7 @@ fn plan_moves(p: &WarehouseParams, rng: &mut SmallRng) -> Vec<PlannedMove> {
                 + SimDuration::from_secs_f64(i as f64 / p.moves_per_sec)
                 + SimDuration::from_nanos(rng.gen_range(0..100_000));
             let host = rng.gen_range(0..p.hosts);
-            let measured =
-                i >= measure_from && (i - measure_from).is_multiple_of(measure_stride);
+            let measured = i >= measure_from && (i - measure_from).is_multiple_of(measure_stride);
             PlannedMove { at, host, measured }
         })
         .collect()
@@ -139,7 +138,10 @@ fn extract_samples(
                 .iter()
                 .map(|(t, _)| *t)
                 .find(|t| t > detached_at && *t <= *detached_at + window);
-            HandoverSample { detached_at: *detached_at, restored_at }
+            HandoverSample {
+                detached_at: *detached_at,
+                restored_at,
+            }
         })
         .collect()
 }
@@ -218,14 +220,14 @@ pub fn run_lisp(p: &WarehouseParams) -> Vec<HandoverSample> {
             // Probe stream: starts before the move (warming the sender's
             // cache), continues through the window; random phase so the
             // cadence does not align with the move instant.
-            let phase = SimDuration::from_secs_f64(
-                rng.gen::<f64>() * p.probe_interval.as_secs_f64(),
-            );
+            let phase =
+                SimDuration::from_secs_f64(rng.gen::<f64>() * p.probe_interval.as_secs_f64());
             let mut t = mv.at + phase;
             let pre = 5;
             for k in 0..pre {
                 let before = p.probe_interval.saturating_mul(pre - k);
-                let send_at = SimTime::from_nanos(mv.at.as_nanos().saturating_sub(before.as_nanos()));
+                let send_at =
+                    SimTime::from_nanos(mv.at.as_nanos().saturating_sub(before.as_nanos()));
                 f.send_at(send_at, c_edge, c.mac, Eid::V4(h.ipv4), 1470, k, true);
             }
             let mut k = pre;
@@ -245,8 +247,8 @@ pub fn run_lisp(p: &WarehouseParams) -> Vec<HandoverSample> {
 /// Runs the warehouse against the **proactive** (BGP route-reflector)
 /// baseline; returns the measured handovers.
 pub fn run_bgp(p: &WarehouseParams) -> Vec<HandoverSample> {
-    use sda_bgp::{BgpConfig, BgpDirectory, BgpEdge, BgpMsg, RouteReflector};
     use sda_bgp::msg::BgpHostEvent;
+    use sda_bgp::{BgpConfig, BgpDirectory, BgpEdge, BgpMsg, RouteReflector};
     use sda_simnet::{NodeId, Simulator};
     use std::collections::BTreeMap;
     use std::rc::Rc;
@@ -299,7 +301,11 @@ pub fn run_bgp(p: &WarehouseParams) -> Vec<HandoverSample> {
         side.push(s);
         let at = SimTime::ZERO
             + SimDuration::from_secs_f64(rng.gen::<f64>() * p.warmup.as_secs_f64() * 0.8);
-        sim.inject_at(at, physical[s as usize], BgpMsg::Host(BgpHostEvent::Attach { mac, ipv4 }));
+        sim.inject_at(
+            at,
+            physical[s as usize],
+            BgpMsg::Host(BgpHostEvent::Attach { mac, ipv4 }),
+        );
     }
     // Correspondents only send; they need no attachment in this model.
 
@@ -314,7 +320,11 @@ pub fn run_bgp(p: &WarehouseParams) -> Vec<HandoverSample> {
         let detect = SimDuration::from_secs_f64(
             p.detect_delay.as_secs_f64() * (1.0 + 3.0 * rng.gen::<f64>()),
         );
-        sim.inject_at(mv.at, physical[from], BgpMsg::Host(BgpHostEvent::Detach { mac }));
+        sim.inject_at(
+            mv.at,
+            physical[from],
+            BgpMsg::Host(BgpHostEvent::Detach { mac }),
+        );
         sim.inject_at(
             mv.at + detect,
             physical[to],
@@ -326,20 +336,35 @@ pub fn run_bgp(p: &WarehouseParams) -> Vec<HandoverSample> {
             measure_idx += 1;
             let dst = Eid::V4(ipv4);
             measured.push((format!("deliver.{dst}"), mv.at));
-            let phase = SimDuration::from_secs_f64(
-                rng.gen::<f64>() * p.probe_interval.as_secs_f64(),
-            );
+            let phase =
+                SimDuration::from_secs_f64(rng.gen::<f64>() * p.probe_interval.as_secs_f64());
             let pre = 5u64;
             for k in 0..pre {
                 let before = p.probe_interval.saturating_mul(pre - k);
                 let send_at =
                     SimTime::from_nanos(mv.at.as_nanos().saturating_sub(before.as_nanos()));
-                sim.inject_at(send_at, c_edge, BgpMsg::Host(BgpHostEvent::Send { dst, flow: k, track: true }));
+                sim.inject_at(
+                    send_at,
+                    c_edge,
+                    BgpMsg::Host(BgpHostEvent::Send {
+                        dst,
+                        flow: k,
+                        track: true,
+                    }),
+                );
             }
             let mut t = mv.at + phase;
             let mut k = pre;
             while t <= mv.at + p.probe_window {
-                sim.inject_at(t, c_edge, BgpMsg::Host(BgpHostEvent::Send { dst, flow: k, track: true }));
+                sim.inject_at(
+                    t,
+                    c_edge,
+                    BgpMsg::Host(BgpHostEvent::Send {
+                        dst,
+                        flow: k,
+                        track: true,
+                    }),
+                );
                 t += p.probe_interval;
                 k += 1;
             }
@@ -393,6 +418,9 @@ mod tests {
         let a = plan_moves(&p, &mut r1);
         let b = plan_moves(&p, &mut r2);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| x.at == y.at && x.host == y.host));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.at == y.at && x.host == y.host));
     }
 }

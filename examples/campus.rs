@@ -53,8 +53,7 @@ fn main() {
         v.iter().map(|(_, x)| *x).sum::<f64>() / v.len().max(1) as f64
     };
     let border_avg = avg(border);
-    let edge_avg: f64 =
-        edge_series.iter().map(|s| avg(s)).sum::<f64>() / edge_series.len() as f64;
+    let edge_avg: f64 = edge_series.iter().map(|s| avg(s)).sum::<f64>() / edge_series.len() as f64;
     println!(
         "\nweek averages: border={border_avg:.0}  edge={edge_avg:.0}  (edge/border = {:.0}%)",
         edge_avg / border_avg * 100.0

@@ -13,7 +13,10 @@ fn main() {
     let mut builder = FabricBuilder::new(/*seed*/ 1);
 
     // One virtual network for the workforce, with its overlay subnet.
-    let corp = builder.add_vn(100, Ipv4Prefix::new(Ipv4Addr::new(10, 100, 0, 0), 16).unwrap());
+    let corp = builder.add_vn(
+        100,
+        Ipv4Prefix::new(Ipv4Addr::new(10, 100, 0, 0), 16).unwrap(),
+    );
 
     // Two groups and a connectivity matrix: employees may talk to
     // employees and to printers; printers never start conversations.
@@ -57,21 +60,51 @@ fn main() {
     // Alice prints. The first packet misses edge1's map-cache, rides the
     // default route through the border, and triggers a Map-Request; the
     // second goes straight to edge2.
-    fabric.send_at(ms(100), edge1, alice.mac, Eid::V4(printer.ipv4), 1200, 1, false);
-    fabric.send_at(ms(200), edge1, alice.mac, Eid::V4(printer.ipv4), 1200, 2, false);
+    fabric.send_at(
+        ms(100),
+        edge1,
+        alice.mac,
+        Eid::V4(printer.ipv4),
+        1200,
+        1,
+        false,
+    );
+    fabric.send_at(
+        ms(200),
+        edge1,
+        alice.mac,
+        Eid::V4(printer.ipv4),
+        1200,
+        2,
+        false,
+    );
     fabric.run_until(ms(300));
 
     let e1 = fabric.edge(edge1).stats();
     let e2 = fabric.edge(edge2).stats();
-    println!("edge1: default-routed={} map-requests={}", e1.default_routed, e1.map_requests);
+    println!(
+        "edge1: default-routed={} map-requests={}",
+        e1.default_routed, e1.map_requests
+    );
     println!("edge2: delivered={}", e2.delivered);
     println!("border relayed: {}", fabric.border(border).stats().relayed);
     println!("edge1 map-cache entries: {}", fabric.edge(edge1).fib_len());
 
     // The printer tries to phone home to Alice — denied on egress.
-    fabric.send_at(ms(400), edge2, printer.mac, Eid::V4(alice.ipv4), 64, 3, false);
+    fabric.send_at(
+        ms(400),
+        edge2,
+        printer.mac,
+        Eid::V4(alice.ipv4),
+        64,
+        3,
+        false,
+    );
     fabric.run_until(ms(500));
-    println!("edge1 policy drops: {}", fabric.edge(edge1).stats().policy_drops);
+    println!(
+        "edge1 policy drops: {}",
+        fabric.edge(edge1).stats().policy_drops
+    );
 
     // And some Internet traffic through the border's external route.
     fabric.send_at(
@@ -91,5 +124,7 @@ fn main() {
 
     assert_eq!(e2.delivered, 2);
     assert_eq!(fabric.edge(edge1).stats().policy_drops, 1);
-    println!("\nquickstart OK — reactive resolution, segmentation and default routing all exercised");
+    println!(
+        "\nquickstart OK — reactive resolution, segmentation and default routing all exercised"
+    );
 }

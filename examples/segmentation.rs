@@ -17,9 +17,18 @@ fn main() {
     let mut b = FabricBuilder::new(11);
 
     // ── Macro: three isolated VNs ─────────────────────────────────────
-    let clinical = b.add_vn(10, Ipv4Prefix::new(Ipv4Addr::new(10, 10, 0, 0), 16).unwrap());
-    let guests = b.add_vn(20, Ipv4Prefix::new(Ipv4Addr::new(10, 20, 0, 0), 16).unwrap());
-    let devices = b.add_vn(30, Ipv4Prefix::new(Ipv4Addr::new(10, 30, 0, 0), 16).unwrap());
+    let clinical = b.add_vn(
+        10,
+        Ipv4Prefix::new(Ipv4Addr::new(10, 10, 0, 0), 16).unwrap(),
+    );
+    let guests = b.add_vn(
+        20,
+        Ipv4Prefix::new(Ipv4Addr::new(10, 20, 0, 0), 16).unwrap(),
+    );
+    let devices = b.add_vn(
+        30,
+        Ipv4Prefix::new(Ipv4Addr::new(10, 30, 0, 0), 16).unwrap(),
+    );
 
     // ── Micro: groups inside the clinical VN ─────────────────────────
     let doctors = GroupId(1);
@@ -69,7 +78,9 @@ fn main() {
     println!("egress policy drops (records→nurse): {denied}");
     println!(
         "cross-VN attempts dead-ended at the border: {}",
-        f.border(sda_core::controller::BorderHandle(0)).stats().unroutable
+        f.border(sda_core::controller::BorderHandle(0))
+            .stats()
+            .unroutable
     );
     assert_eq!(delivered, 1);
     assert_eq!(denied, 1);

@@ -4,8 +4,8 @@
 //! and L2 ARP conversion.
 
 use sda_core::controller::{BorderHandle, EdgeHandle, FabricBuilder};
-use sda_core::Fabric;
 use sda_core::EndpointIdentity;
+use sda_core::Fabric;
 use sda_simnet::{SimDuration, SimTime};
 use sda_types::{Eid, GroupId, Ipv4Prefix, PortId, VnId};
 use std::net::Ipv4Addr;
@@ -24,7 +24,10 @@ struct World {
 
 fn world(seed: u64, n_edges: usize, n_users: usize) -> World {
     let mut b = FabricBuilder::new(seed);
-    let vn = b.add_vn(100, Ipv4Prefix::new(Ipv4Addr::new(10, 100, 0, 0), 16).unwrap());
+    let vn = b.add_vn(
+        100,
+        Ipv4Prefix::new(Ipv4Addr::new(10, 100, 0, 0), 16).unwrap(),
+    );
     b.allow(vn, USERS, USERS);
     b.allow(vn, USERS, SERVERS);
     b.allow(vn, SERVERS, USERS);
@@ -35,7 +38,14 @@ fn world(seed: u64, n_edges: usize, n_users: usize) -> World {
     );
     let users: Vec<EndpointIdentity> = (0..n_users).map(|_| b.mint_endpoint(vn, USERS)).collect();
     let server = b.mint_endpoint(vn, SERVERS);
-    World { fabric: b.build(), edges, border, vn, users, server }
+    World {
+        fabric: b.build(),
+        edges,
+        border,
+        vn,
+        users,
+        server,
+    }
 }
 
 fn ms(n: u64) -> SimTime {
@@ -46,7 +56,8 @@ fn ms(n: u64) -> SimTime {
 fn onboarding_registers_all_eids_and_arp_pairs() {
     let mut w = world(1, 3, 6);
     for (i, u) in w.users.iter().enumerate() {
-        w.fabric.attach_at(ms(0), w.edges[i % 3], *u, PortId(i as u16));
+        w.fabric
+            .attach_at(ms(0), w.edges[i % 3], *u, PortId(i as u16));
     }
     w.fabric.attach_at(ms(0), w.edges[0], w.server, PortId(99));
     w.fabric.run_until(ms(100));
@@ -54,7 +65,11 @@ fn onboarding_registers_all_eids_and_arp_pairs() {
     // 7 endpoints × 2 EIDs (IPv4 + MAC).
     assert_eq!(w.fabric.routing_server().server().db().len(), 14);
     assert_eq!(w.fabric.routing_server().arp_entries(), 7);
-    let onboarded: u64 = w.edges.iter().map(|e| w.fabric.edge(*e).stats().onboarded).sum();
+    let onboarded: u64 = w
+        .edges
+        .iter()
+        .map(|e| w.fabric.edge(*e).stats().onboarded)
+        .sum();
     assert_eq!(onboarded, 7);
     // Onboarding latency was recorded for every endpoint.
     assert_eq!(
@@ -89,7 +104,10 @@ fn reactive_resolution_first_packet_via_border_then_direct() {
     let e0 = w.fabric.edge(w.edges[0]).stats();
     let e1 = w.fabric.edge(w.edges[1]).stats();
     assert_eq!(e1.delivered, 5, "all packets delivered");
-    assert_eq!(e0.default_routed, 1, "only the cold packet took the default route");
+    assert_eq!(
+        e0.default_routed, 1,
+        "only the cold packet took the default route"
+    );
     assert_eq!(e0.map_requests, 1, "one resolution for the whole flow");
     assert_eq!(w.fabric.border(w.border).stats().relayed, 1);
 }
@@ -102,7 +120,15 @@ fn negative_resolution_deletes_cached_state() {
     w.fabric.attach_at(ms(0), w.edges[1], bob, PortId(1));
     w.fabric.run_until(ms(100));
     // Warm alice's cache toward bob.
-    w.fabric.send_at(ms(200), w.edges[0], alice.mac, Eid::V4(bob.ipv4), 100, 1, false);
+    w.fabric.send_at(
+        ms(200),
+        w.edges[0],
+        alice.mac,
+        Eid::V4(bob.ipv4),
+        100,
+        1,
+        false,
+    );
     w.fabric.run_until(ms(300));
     assert_eq!(w.fabric.edge(w.edges[0]).fib_len(), 1);
 
@@ -140,7 +166,15 @@ fn mobility_triangle_old_edge_forwards_then_smr_heals() {
     w.fabric.attach_at(ms(0), w.edges[0], alice, PortId(1));
     w.fabric.attach_at(ms(0), w.edges[1], bob, PortId(1));
     w.fabric.run_until(ms(100));
-    w.fabric.send_at(ms(150), w.edges[0], alice.mac, Eid::V4(bob.ipv4), 100, 1, false);
+    w.fabric.send_at(
+        ms(150),
+        w.edges[0],
+        alice.mac,
+        Eid::V4(bob.ipv4),
+        100,
+        1,
+        false,
+    );
     w.fabric.run_until(ms(250));
 
     // Bob roams to edge 2.
@@ -149,19 +183,39 @@ fn mobility_triangle_old_edge_forwards_then_smr_heals() {
     w.fabric.run_until(ms(400));
 
     // Stale-cache packet: e1 forwards (Fig. 5/6) and SMRs e0.
-    w.fabric.send_at(ms(410), w.edges[0], alice.mac, Eid::V4(bob.ipv4), 100, 2, false);
+    w.fabric.send_at(
+        ms(410),
+        w.edges[0],
+        alice.mac,
+        Eid::V4(bob.ipv4),
+        100,
+        2,
+        false,
+    );
     w.fabric.run_until(ms(600));
     assert_eq!(w.fabric.edge(w.edges[1]).stats().mobility_forwards, 1);
     assert_eq!(w.fabric.edge(w.edges[1]).stats().smrs_sent, 1);
     assert_eq!(w.fabric.edge(w.edges[2]).stats().delivered, 1);
 
     // Healed path: direct to e2, no more forwarding.
-    w.fabric.send_at(ms(700), w.edges[0], alice.mac, Eid::V4(bob.ipv4), 100, 3, false);
+    w.fabric.send_at(
+        ms(700),
+        w.edges[0],
+        alice.mac,
+        Eid::V4(bob.ipv4),
+        100,
+        3,
+        false,
+    );
     w.fabric.run_until(ms(900));
     assert_eq!(w.fabric.edge(w.edges[2]).stats().delivered, 2);
     assert_eq!(w.fabric.edge(w.edges[1]).stats().mobility_forwards, 1);
     // Server recorded exactly one move.
-    assert_eq!(w.fabric.routing_server().server().stats().moves, 2, "IPv4 + MAC EIDs both moved");
+    assert_eq!(
+        w.fabric.routing_server().server().stats().moves,
+        2,
+        "IPv4 + MAC EIDs both moved"
+    );
 }
 
 #[test]
@@ -180,7 +234,12 @@ fn l2_arp_broadcast_becomes_unicast_l2_delivery() {
     assert_eq!(w.fabric.edge(w.edges[1]).stats().delivered, 1);
 
     // ARP for an unknown address is absorbed, not flooded.
-    w.fabric.arp_at(ms(500), w.edges[0], alice.mac, Ipv4Addr::new(10, 100, 99, 99));
+    w.fabric.arp_at(
+        ms(500),
+        w.edges[0],
+        alice.mac,
+        Ipv4Addr::new(10, 100, 99, 99),
+    );
     w.fabric.run_until(ms(700));
     assert_eq!(w.fabric.metrics().counter("fabric.arp_unresolved"), 1);
 }
@@ -235,7 +294,8 @@ fn same_group_by_default_denied_without_rule() {
 fn endpoint_count_and_fib_accounting_consistent() {
     let mut w = world(8, 3, 9);
     for (i, u) in w.users.iter().enumerate() {
-        w.fabric.attach_at(ms(0), w.edges[i % 3], *u, PortId(i as u16));
+        w.fabric
+            .attach_at(ms(0), w.edges[i % 3], *u, PortId(i as u16));
     }
     w.fabric.run_until(ms(200));
     let attached: usize = w.edges.iter().map(|e| w.fabric.edge(*e).attached()).sum();
@@ -243,7 +303,15 @@ fn endpoint_count_and_fib_accounting_consistent() {
     // Everyone talks to user 0: edges 1 and 2 cache one mapping each.
     let target = Eid::V4(w.users[0].ipv4);
     for (i, u) in w.users.iter().enumerate().skip(1) {
-        w.fabric.send_at(ms(300 + i as u64), w.edges[i % 3], u.mac, target, 64, i as u64, false);
+        w.fabric.send_at(
+            ms(300 + i as u64),
+            w.edges[i % 3],
+            u.mac,
+            target,
+            64,
+            i as u64,
+            false,
+        );
     }
     w.fabric.run_until(ms(800));
     assert_eq!(w.fabric.edge(w.edges[1]).fib_len_v4(), 1);

@@ -40,7 +40,15 @@ fn underlay_outage_purges_routes_and_falls_back_to_border() {
     f.run_until(secs(5));
 
     // Warm e0's cache toward bob@e1.
-    f.send_at(secs(5) + SimDuration::from_millis(10), e0, alice.mac, Eid::V4(bob.ipv4), 100, 1, false);
+    f.send_at(
+        secs(5) + SimDuration::from_millis(10),
+        e0,
+        alice.mac,
+        Eid::V4(bob.ipv4),
+        100,
+        1,
+        false,
+    );
     f.run_until(secs(6));
     assert_eq!(f.edge(e0).fib_len(), 1);
 
@@ -104,7 +112,11 @@ fn edge_reboot_transient_loop_is_damped_and_heals() {
     f.run_until(ms(800));
     f.send_at(ms(850), e0, alice.mac, Eid::V4(bob.ipv4), 100, 3, false);
     f.run_until(ms(1000));
-    assert_eq!(f.edge(e1).stats().delivered, 2, "delivery restored after reboot");
+    assert_eq!(
+        f.edge(e1).stats().delivered,
+        2,
+        "delivery restored after reboot"
+    );
 }
 
 #[test]
@@ -133,8 +145,14 @@ fn rebooted_edge_smrs_senders_to_refresh_their_caches() {
     // recognize the traffic and SMRs e0.
     f.send_at(ms(400), e0, alice.mac, Eid::V4(bob.ipv4), 100, 2, false);
     f.run_until(ms(600));
-    assert!(f.edge(e1).stats().smrs_sent >= 1, "rebooted edge must SMR the origin");
-    assert!(f.edge(e0).stats().map_requests >= 2, "origin must re-resolve");
+    assert!(
+        f.edge(e1).stats().smrs_sent >= 1,
+        "rebooted edge must SMR the origin"
+    );
+    assert!(
+        f.edge(e0).stats().map_requests >= 2,
+        "origin must re-resolve"
+    );
 }
 
 #[test]
@@ -162,7 +180,15 @@ fn smr_is_rate_limited_per_source() {
     f.run_until(ms(350));
     // Freeze e0's re-resolution by sending the burst back-to-back.
     for k in 0..50 {
-        f.send_at(ms(360) + SimDuration::from_micros(k * 10), e0, alice.mac, Eid::V4(bob.ipv4), 100, k, false);
+        f.send_at(
+            ms(360) + SimDuration::from_micros(k * 10),
+            e0,
+            alice.mac,
+            Eid::V4(bob.ipv4),
+            100,
+            k,
+            false,
+        );
     }
     f.run_until(ms(600));
     let smrs = f.edge(e1).stats().smrs_sent;
@@ -198,7 +224,19 @@ fn failed_edge_recovers_and_rejoins_underlay() {
     f.run_until(secs(30)); // hellos resume, adjacency reforms
 
     // Traffic to bob flows directly again after a resolution.
-    f.send_at(secs(30) + SimDuration::from_millis(1), e0, alice.mac, Eid::V4(bob.ipv4), 100, 7, false);
+    f.send_at(
+        secs(30) + SimDuration::from_millis(1),
+        e0,
+        alice.mac,
+        Eid::V4(bob.ipv4),
+        100,
+        7,
+        false,
+    );
     f.run_until(secs(31));
-    assert_eq!(f.edge(e1).stats().delivered, 1, "revived edge serves traffic");
+    assert_eq!(
+        f.edge(e1).stats().delivered,
+        1,
+        "revived edge serves traffic"
+    );
 }

@@ -52,7 +52,7 @@ fn packet_conservation_and_state_reconciliation() {
         let src_i = rng.gen_range(0..n_endpoints);
         let src = endpoints[src_i];
         let dst = match rng.gen_range(0..10) {
-            0 => Eid::V4(Ipv4Addr::new(93, 184, 1, 1)), // external
+            0 => Eid::V4(Ipv4Addr::new(93, 184, 1, 1)),   // external
             1 => Eid::V4(Ipv4Addr::new(10, 1, 200, 200)), // nonexistent
             _ => Eid::V4(endpoints[rng.gen_range(0..n_endpoints)].ipv4),
         };
@@ -80,11 +80,13 @@ fn packet_conservation_and_state_reconciliation() {
         + bs.policy_drops
         + unknown
         + hop_exhausted_edges
-        + f.metrics().counter("fabric.hop_exhausted") - hop_exhausted_edges
+        + f.metrics().counter("fabric.hop_exhausted")
+        - hop_exhausted_edges
         + bs.unroutable
         + bs.external;
     assert_eq!(
-        total_terminal, n_sends,
+        total_terminal,
+        n_sends,
         "every packet must terminate exactly once \
          (delivered={delivered} borderDelivered={} policy={policy_drops}+{} \
           unknown={unknown} hops={} unroutable={} external={})",
@@ -138,7 +140,15 @@ fn reactive_state_stays_a_fraction_of_proactive_state() {
         for k in 0..3 {
             let server = &endpoints[rng.gen_range(0..12)];
             let at = start + SimDuration::from_secs_f64(rng.gen::<f64>() * 5.0);
-            f.send_at(at, edges[i % n_edges], ep.mac, Eid::V4(server.ipv4), 300, (i * 10 + k) as u64, false);
+            f.send_at(
+                at,
+                edges[i % n_edges],
+                ep.mac,
+                Eid::V4(server.ipv4),
+                300,
+                (i * 10 + k) as u64,
+                false,
+            );
         }
     }
     f.run_until(start + SimDuration::from_secs(20));
@@ -146,7 +156,10 @@ fn reactive_state_stays_a_fraction_of_proactive_state() {
     let border_fib = f.border(border).fib_len_v4();
     assert_eq!(border_fib, n_endpoints, "border carries the full table");
     let max_edge_fib = edges.iter().map(|e| f.edge(*e).fib_len_v4()).max().unwrap();
-    let avg_edge_fib: f64 = edges.iter().map(|e| f.edge(*e).fib_len_v4() as f64).sum::<f64>()
+    let avg_edge_fib: f64 = edges
+        .iter()
+        .map(|e| f.edge(*e).fib_len_v4() as f64)
+        .sum::<f64>()
         / n_edges as f64;
     assert!(
         (avg_edge_fib as usize) * 5 < border_fib,

@@ -43,7 +43,11 @@ fn scripted_control_sequence_interops() {
     let host = Eid::V4(Ipv4Addr::new(10, 7, 0, 1));
     let host_mac = Eid::Mac(MacAddr::from_seed(1));
     drive_both(vec![
-        Message::Subscribe { nonce: 1, vn: vn(), subscriber: border },
+        Message::Subscribe {
+            nonce: 1,
+            vn: vn(),
+            subscriber: border,
+        },
         Message::MapRegister {
             nonce: 2,
             vn: vn(),
@@ -60,7 +64,13 @@ fn scripted_control_sequence_interops() {
             ttl_secs: 300,
             want_notify: false,
         },
-        Message::MapRequest { nonce: 4, smr: false, vn: vn(), eid: host, itr_rloc: edge2 },
+        Message::MapRequest {
+            nonce: 4,
+            smr: false,
+            vn: vn(),
+            eid: host,
+            itr_rloc: edge2,
+        },
         // The move.
         Message::MapRegister {
             nonce: 5,
@@ -124,8 +134,8 @@ proptest! {
 /// the fabric's own VXLAN-GPO framing constants).
 #[test]
 fn vxlan_constants_match_fabric_expectations() {
-    use sda_core::{InnerPacket, OverlayPacket};
     use sda_core::pipeline::{decode_packet, encode_packet};
+    use sda_core::{InnerPacket, OverlayPacket};
     use sda_types::GroupId;
 
     let pkt = OverlayPacket {
