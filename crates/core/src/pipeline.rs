@@ -10,26 +10,19 @@
 //! packet — and the differential tests at the bottom prove it round-trips
 //! the structured [`OverlayPacket`] the simulator forwards.
 
+use sda_dataplane::encap;
 use sda_policy::Action;
 use sda_types::{Eid, GroupId, PortId, Rloc, VnId};
-use sda_wire::{ipv4, udp, vxlan};
+use sda_wire::ipv4;
 
 use crate::acl::GroupAcl;
 use crate::msg::{InnerPacket, OverlayPacket};
 use crate::vrf::VrfTable;
 
-/// Where group policy is enforced (§5.3 trade-off).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum EnforcementPoint {
-    /// At the destination edge: less data-plane state, some wasted
-    /// bandwidth on traffic that will be dropped. SDA's choice.
-    #[default]
-    Egress,
-    /// At the source edge: saves the wasted transit, but needs
-    /// destination-group knowledge everywhere (the signaling problem of
-    /// Fig. 13).
-    Ingress,
-}
+/// Where group policy is enforced (§5.3 trade-off) — now defined next to
+/// the enforcement table in [`sda_policy::enforce`]; re-exported here for
+/// the historical `sda_core::pipeline::EnforcementPoint` path.
+pub use sda_policy::enforce::EnforcementPoint;
 
 /// What the egress stage decided.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -179,13 +172,19 @@ pub fn ingress(
 }
 
 // ---------------------------------------------------------------------
-// Byte-accurate encapsulation (Fig. 2) via sda-wire.
+// Byte-accurate encapsulation (Fig. 2), delegated to the forwarding
+// engine's shared header codec in `sda_dataplane::encap`.
 // ---------------------------------------------------------------------
 
 /// Synthesizes the full on-wire bytes of `pkt` between `outer_src` and
 /// `outer_dst`: outer IPv4 / UDP(4789) / VXLAN-GPO / inner IPv4.
 /// Only IPv4-EID inner packets have a byte form (L2 flows would carry an
 /// Ethernet inner frame; the structured path covers those in-sim).
+///
+/// One allocation total: the inner packet is emitted at its final offset
+/// and [`encap::write_underlay`] frames it in place — the same single
+/// encoding the batched engine uses on pooled buffers (the seed path
+/// built each layer in its own `Vec` and copied inward three times).
 pub fn encode_packet(outer_src: Rloc, outer_dst: Rloc, pkt: &OverlayPacket) -> Option<Vec<u8>> {
     let (Eid::V4(inner_src), Eid::V4(inner_dst)) = (pkt.inner.src, pkt.inner.dst) else {
         return None;
@@ -201,84 +200,42 @@ pub fn encode_packet(outer_src: Rloc, outer_dst: Rloc, pkt: &OverlayPacket) -> O
         payload_len: inner_payload_len,
         ttl: ipv4::DEFAULT_TTL,
     };
-    let mut inner = vec![0u8; inner_repr.buffer_len()];
+    let mut bytes = vec![0u8; encap::UNDERLAY_OVERHEAD + inner_repr.buffer_len()];
     {
-        let mut p = ipv4::Packet::new_unchecked(&mut inner[..]);
+        let mut p = ipv4::Packet::new_unchecked(&mut bytes[encap::UNDERLAY_OVERHEAD..]);
         inner_repr.emit(&mut p);
         let payload = p.payload_mut();
         payload[..8].copy_from_slice(&pkt.inner.flow.to_be_bytes());
         payload[8] = u8::from(pkt.inner.track);
     }
 
-    // VXLAN-GPO.
-    let vx_repr = vxlan::Repr {
+    let params = encap::EncapParams {
+        outer_src,
+        outer_dst,
         vn: pkt.vn,
-        group: Some(pkt.src_group),
+        group: pkt.src_group,
         policy_applied: pkt.policy_applied,
-        payload_len: inner.len(),
-    };
-    let mut vx = vec![0u8; vx_repr.buffer_len()];
-    {
-        let mut p = vxlan::Packet::new_unchecked(&mut vx[..]);
-        vx_repr.emit(&mut p);
-        p.payload_mut().copy_from_slice(&inner);
-    }
-
-    // UDP.
-    let udp_repr = udp::Repr {
+        // The fabric hop budget rides the outer TTL.
+        ttl: pkt.hops_left,
         // Real encaps hash the inner flow into the source port for ECMP.
         src_port: 49152 + (pkt.inner.flow % 16384) as u16,
-        dst_port: udp::VXLAN_PORT,
-        payload_len: vx.len(),
+        // The simulator path keeps the full UDP checksum so corruption
+        // tests bite; the engine's hot path sends the (legal) zero.
+        udp_checksum: true,
     };
-    let mut dgram = vec![0u8; udp_repr.buffer_len()];
-    {
-        let mut p = udp::Packet::new_unchecked(&mut dgram[..]);
-        udp_repr.emit(&mut p);
-        p.payload_mut().copy_from_slice(&vx);
-        p.fill_checksum(outer_src.addr(), outer_dst.addr());
-    }
-
-    // Outer IPv4: the fabric hop budget rides the outer TTL.
-    let outer_repr = ipv4::Repr {
-        src: outer_src.addr(),
-        dst: outer_dst.addr(),
-        protocol: ipv4::Protocol::Udp,
-        payload_len: dgram.len(),
-        ttl: pkt.hops_left,
-    };
-    let mut outer = vec![0u8; outer_repr.buffer_len()];
-    {
-        let mut p = ipv4::Packet::new_unchecked(&mut outer[..]);
-        outer_repr.emit(&mut p);
-        p.payload_mut().copy_from_slice(&dgram);
-    }
-    Some(outer)
+    encap::write_underlay(&mut bytes, &params).ok()?;
+    Some(bytes)
 }
 
 /// Parses bytes produced by [`encode_packet`] back into
 /// `(outer_src, outer_dst, packet)`, validating every checksum and
-/// header on the way — the egress edge's decapsulation.
+/// header on the way — the egress edge's decapsulation, via the same
+/// [`encap::parse_underlay`] the batched engine runs.
 pub fn decode_packet(bytes: &[u8]) -> sda_wire::Result<(Rloc, Rloc, OverlayPacket)> {
-    let outer = ipv4::Packet::new_checked(bytes)?;
-    let outer_src = Rloc(outer.src_addr());
-    let outer_dst = Rloc(outer.dst_addr());
-    if outer.protocol() != ipv4::Protocol::Udp {
-        return Err(sda_wire::Error::Malformed);
-    }
+    let d = encap::parse_underlay(bytes)?;
+    let group = d.group.ok_or(sda_wire::Error::Malformed)?;
 
-    let dgram = udp::Packet::new_checked(outer.payload())?;
-    if !dgram.verify_checksum(outer.src_addr(), outer.dst_addr()) {
-        return Err(sda_wire::Error::BadChecksum);
-    }
-    if dgram.dst_port() != udp::VXLAN_PORT {
-        return Err(sda_wire::Error::Malformed);
-    }
-
-    let vx = vxlan::Packet::new_checked(dgram.payload())?;
-    let group = vx.group().ok_or(sda_wire::Error::Malformed)?;
-
-    let inner = ipv4::Packet::new_checked(vx.payload())?;
+    let inner = ipv4::Packet::new_checked(d.inner)?;
     let payload = inner.payload();
     if payload.len() < 9 {
         return Err(sda_wire::Error::Truncated);
@@ -287,14 +244,14 @@ pub fn decode_packet(bytes: &[u8]) -> sda_wire::Result<(Rloc, Rloc, OverlayPacke
     let track = payload[8] != 0;
 
     Ok((
-        outer_src,
-        outer_dst,
+        d.outer_src,
+        d.outer_dst,
         OverlayPacket {
-            vn: vx.vni(),
+            vn: d.vn,
             src_group: group,
-            policy_applied: vx.policy_applied(),
-            hops_left: outer.ttl(),
-            origin: outer_src,
+            policy_applied: d.policy_applied,
+            hops_left: d.outer_ttl,
+            origin: d.outer_src,
             inner: InnerPacket {
                 src: Eid::V4(inner.src_addr()),
                 dst: Eid::V4(inner.dst_addr()),

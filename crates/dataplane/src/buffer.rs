@@ -1,0 +1,229 @@
+//! Reusable packet buffers with encapsulation headroom.
+//!
+//! The whole zero-copy story rests on one layout decision: a frame is
+//! loaded at a fixed [`HEADROOM`] offset inside its buffer, so
+//! encapsulation *prepends* the outer IPv4 + UDP + VXLAN-GPO headers by
+//! moving the start pointer back ([`PacketBuf::grow_front`]) and
+//! decapsulation strips them by moving it forward
+//! ([`PacketBuf::shrink_front`]). Payload bytes never move; headers are
+//! written in place through `sda-wire` views.
+//!
+//! [`BufferPool`] recycles buffers so the steady-state forwarding path
+//! performs zero heap allocations: buffers are allocated once, then
+//! loaded, processed and released round after round.
+
+/// Bytes reserved in front of every loaded frame for in-place
+/// encapsulation: outer IPv4 (20) + UDP (8) + VXLAN-GPO (8).
+pub const HEADROOM: usize = 20 + 8 + 8;
+
+/// Largest frame a buffer accepts (inner Ethernet MTU + L2 header,
+/// rounded up).
+pub const MAX_FRAME: usize = 1600;
+
+/// Default burst size: how many packets one [`crate::Switch`] processing
+/// call handles. 32 matches the DPDK/VPP sweet spot — big enough to
+/// amortize per-batch work, small enough to stay in L1.
+pub const BATCH_SIZE: usize = 32;
+
+/// One reusable packet buffer.
+///
+/// Valid bytes live at `data[start..start + len]`; `start` begins at
+/// [`HEADROOM`] after a [`PacketBuf::load`] and moves as headers are
+/// pushed or stripped.
+#[derive(Debug)]
+pub struct PacketBuf {
+    data: Box<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl Default for PacketBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketBuf {
+    /// Allocates an empty buffer (the only allocating operation here).
+    pub fn new() -> Self {
+        PacketBuf {
+            data: vec![0u8; HEADROOM + MAX_FRAME].into_boxed_slice(),
+            start: HEADROOM,
+            len: 0,
+        }
+    }
+
+    /// Copies `frame` in at the headroom offset (the simulated RX DMA).
+    /// Fails when the frame exceeds [`MAX_FRAME`].
+    pub fn load(&mut self, frame: &[u8]) -> bool {
+        if frame.len() > MAX_FRAME {
+            return false;
+        }
+        self.start = HEADROOM;
+        self.len = frame.len();
+        self.data[HEADROOM..HEADROOM + frame.len()].copy_from_slice(frame);
+        true
+    }
+
+    /// The valid bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+
+    /// The valid bytes, mutably.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.start..self.start + self.len]
+    }
+
+    /// Current packet length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no packet is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remaining headroom in front of the packet.
+    pub fn headroom(&self) -> usize {
+        self.start
+    }
+
+    /// Extends the packet `n` bytes to the front (encapsulation) and
+    /// returns true on success. The new bytes are whatever the buffer
+    /// last held there — callers must overwrite them.
+    pub fn grow_front(&mut self, n: usize) -> bool {
+        if n > self.start {
+            return false;
+        }
+        self.start -= n;
+        self.len += n;
+        true
+    }
+
+    /// Strips `n` bytes from the front (decapsulation); true on success.
+    pub fn shrink_front(&mut self, n: usize) -> bool {
+        if n > self.len {
+            return false;
+        }
+        self.start += n;
+        self.len -= n;
+        true
+    }
+
+    /// Truncates the packet to `n` bytes (drops trailing padding).
+    pub fn truncate(&mut self, n: usize) {
+        self.len = self.len.min(n);
+    }
+
+    /// Empties the buffer and restores full headroom.
+    pub fn clear(&mut self) {
+        self.start = HEADROOM;
+        self.len = 0;
+    }
+}
+
+/// A free-list of [`PacketBuf`]s.
+///
+/// `alloc` pops a recycled buffer (or allocates a fresh one the first
+/// time); `release` returns it. After warm-up the pool reaches its
+/// high-water mark and the data path stops touching the heap.
+#[derive(Default, Debug)]
+pub struct BufferPool {
+    free: Vec<PacketBuf>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// A pool pre-warmed with `n` buffers, so even the first burst
+    /// allocates nothing.
+    pub fn with_capacity(n: usize) -> Self {
+        BufferPool {
+            free: (0..n).map(|_| PacketBuf::new()).collect(),
+        }
+    }
+
+    /// Takes a buffer (recycled when available).
+    pub fn alloc(&mut self) -> PacketBuf {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn release(&mut self, mut buf: PacketBuf) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_places_frame_at_headroom() {
+        let mut b = PacketBuf::new();
+        assert!(b.load(b"hello"));
+        assert_eq!(b.bytes(), b"hello");
+        assert_eq!(b.headroom(), HEADROOM);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn grow_and_shrink_front_roundtrip() {
+        let mut b = PacketBuf::new();
+        b.load(b"payload");
+        assert!(b.grow_front(8));
+        assert_eq!(b.len(), 15);
+        b.bytes_mut()[..8].copy_from_slice(b"HDRHDRHD");
+        assert_eq!(&b.bytes()[8..], b"payload");
+        assert!(b.shrink_front(8));
+        assert_eq!(b.bytes(), b"payload");
+    }
+
+    #[test]
+    fn grow_front_bounded_by_headroom() {
+        let mut b = PacketBuf::new();
+        b.load(b"x");
+        assert!(b.grow_front(HEADROOM));
+        assert!(!b.grow_front(1), "no headroom left");
+    }
+
+    #[test]
+    fn shrink_front_bounded_by_len() {
+        let mut b = PacketBuf::new();
+        b.load(b"abc");
+        assert!(!b.shrink_front(4));
+        assert!(b.shrink_front(3));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut b = PacketBuf::new();
+        assert!(!b.load(&vec![0u8; MAX_FRAME + 1]));
+        assert!(b.load(&vec![0u8; MAX_FRAME]));
+    }
+
+    #[test]
+    fn pool_recycles() {
+        let mut pool = BufferPool::with_capacity(2);
+        assert_eq!(pool.idle(), 2);
+        let mut a = pool.alloc();
+        a.load(b"dirty");
+        pool.release(a);
+        assert_eq!(pool.idle(), 2);
+        let b = pool.alloc();
+        assert!(b.is_empty(), "released buffers come back cleared");
+        assert_eq!(b.headroom(), HEADROOM);
+    }
+}

@@ -1,0 +1,279 @@
+//! In-place VXLAN-GPO underlay encapsulation and decapsulation.
+//!
+//! [`write_underlay`] emits the Fig. 2 header stack — outer IPv4, UDP
+//! (port 4789), VXLAN-GPO — into the [`UNDERLAY_OVERHEAD`] bytes *in
+//! front of* an inner packet that is already resident in the buffer; no
+//! payload byte moves. [`parse_underlay`] validates the same stack and
+//! hands back the header fields plus the inner packet as a subslice.
+//!
+//! Both `sda_core::pipeline` (the structured simulator path) and the
+//! batched [`crate::Switch`] delegate here, so there is exactly one
+//! encoding of the paper's packet format.
+//!
+//! The UDP checksum is optional on emit: VXLAN encapsulators
+//! conventionally send a zero (disabled) checksum over IPv4, which is
+//! what the zero-allocation hot path does; `parse_underlay` verifies a
+//! checksum whenever one is present.
+
+use sda_types::{GroupId, Rloc, VnId};
+use sda_wire::{ipv4, udp, vxlan, Error, Result};
+
+/// Bytes of underlay framing in front of the inner packet:
+/// outer IPv4 (20) + UDP (8) + VXLAN-GPO (8).
+pub const UNDERLAY_OVERHEAD: usize = ipv4::HEADER_LEN + udp::HEADER_LEN + vxlan::HEADER_LEN;
+
+/// Everything [`write_underlay`] needs to frame one packet.
+#[derive(Clone, Copy, Debug)]
+pub struct EncapParams {
+    /// This switch's RLOC (outer source).
+    pub outer_src: Rloc,
+    /// Destination fabric router (outer destination).
+    pub outer_dst: Rloc,
+    /// VN, carried in the VNI field.
+    pub vn: VnId,
+    /// Source GroupId, carried in the GPO group field.
+    pub group: GroupId,
+    /// The `A` (policy already applied) bit.
+    pub policy_applied: bool,
+    /// Outer TTL — the fabric hop budget (§5.2 loop protection).
+    pub ttl: u8,
+    /// UDP source port (ECMP entropy; see [`ecmp_src_port`]).
+    pub src_port: u16,
+    /// Compute a real UDP checksum. The hot path sends zero (legal for
+    /// UDP over IPv4, the conventional VXLAN choice).
+    pub udp_checksum: bool,
+}
+
+/// Hashes a flow identifier into the conventional VXLAN ECMP source-port
+/// range `49152..65536`.
+pub fn ecmp_src_port(flow_hash: u64) -> u16 {
+    49152 + (flow_hash % 16384) as u16
+}
+
+/// Mixes inner addresses into a flow hash for [`ecmp_src_port`].
+pub fn flow_hash(src: u32, dst: u32) -> u64 {
+    let h = src.wrapping_mul(0x9E37_79B1) ^ dst.wrapping_mul(0x85EB_CA77);
+    u64::from(h)
+}
+
+/// Emits the underlay headers into `buf[..UNDERLAY_OVERHEAD]`; the inner
+/// packet must already occupy `buf[UNDERLAY_OVERHEAD..]`. Nothing beyond
+/// the header bytes is written.
+pub fn write_underlay(buf: &mut [u8], p: &EncapParams) -> Result<()> {
+    if buf.len() < UNDERLAY_OVERHEAD {
+        return Err(Error::BufferTooSmall);
+    }
+    let inner_len = buf.len() - UNDERLAY_OVERHEAD;
+
+    let vx_repr = vxlan::Repr {
+        vn: p.vn,
+        group: Some(p.group),
+        policy_applied: p.policy_applied,
+        dont_learn: false,
+        payload_len: inner_len,
+    };
+    vx_repr.emit(&mut vxlan::Packet::new_unchecked(
+        &mut buf[ipv4::HEADER_LEN + udp::HEADER_LEN..],
+    ));
+
+    let udp_repr = udp::Repr {
+        src_port: p.src_port,
+        dst_port: udp::VXLAN_PORT,
+        payload_len: vxlan::HEADER_LEN + inner_len,
+    };
+    {
+        let mut u = udp::Packet::new_unchecked(&mut buf[ipv4::HEADER_LEN..]);
+        udp_repr.emit(&mut u);
+        if p.udp_checksum {
+            u.fill_checksum(p.outer_src.addr(), p.outer_dst.addr());
+        }
+    }
+
+    let outer_repr = ipv4::Repr {
+        src: p.outer_src.addr(),
+        dst: p.outer_dst.addr(),
+        protocol: ipv4::Protocol::Udp,
+        payload_len: udp_repr.buffer_len(),
+        ttl: p.ttl,
+    };
+    outer_repr.emit(&mut ipv4::Packet::new_unchecked(buf));
+    Ok(())
+}
+
+/// The validated underlay framing of one received packet.
+#[derive(Clone, Copy, Debug)]
+pub struct Decap<'a> {
+    /// Outer source (the ingress edge's RLOC — where SMRs go, Fig. 6).
+    pub outer_src: Rloc,
+    /// Outer destination.
+    pub outer_dst: Rloc,
+    /// Outer TTL (remaining hop budget).
+    pub outer_ttl: u8,
+    /// VN from the VNI field.
+    pub vn: VnId,
+    /// Source GroupId, when the GPO extension is present.
+    pub group: Option<GroupId>,
+    /// The `A` (policy already applied) bit.
+    pub policy_applied: bool,
+    /// The `D` (don't learn) bit.
+    pub dont_learn: bool,
+    /// The inner packet (an overlay IPv4 packet in this fabric).
+    pub inner: &'a [u8],
+    /// Offset of `inner` within the parsed bytes — what an in-place
+    /// decapsulation strips from the front.
+    pub inner_offset: usize,
+}
+
+/// Validates outer IPv4 → UDP(4789) → VXLAN-GPO and returns the header
+/// fields plus the inner packet. Every length, version and checksum is
+/// checked; malformed input is an [`Error`], never a panic.
+pub fn parse_underlay(bytes: &[u8]) -> Result<Decap<'_>> {
+    let outer = ipv4::Packet::new_checked(bytes)?;
+    if outer.protocol() != ipv4::Protocol::Udp {
+        return Err(Error::Malformed);
+    }
+    let outer_src = Rloc(outer.src_addr());
+    let outer_dst = Rloc(outer.dst_addr());
+    let outer_ttl = outer.ttl();
+    let total = outer.total_len() as usize;
+
+    let dgram = udp::Packet::new_checked(&bytes[ipv4::HEADER_LEN..total])?;
+    if !dgram.verify_checksum(outer_src.addr(), outer_dst.addr()) {
+        return Err(Error::BadChecksum);
+    }
+    if dgram.dst_port() != udp::VXLAN_PORT {
+        return Err(Error::Malformed);
+    }
+    let udp_end = ipv4::HEADER_LEN + dgram.len() as usize;
+
+    let vx = vxlan::Packet::new_checked(&bytes[ipv4::HEADER_LEN + udp::HEADER_LEN..udp_end])?;
+    let inner_offset = UNDERLAY_OVERHEAD;
+
+    Ok(Decap {
+        outer_src,
+        outer_dst,
+        outer_ttl,
+        vn: vx.vni(),
+        group: vx.group(),
+        policy_applied: vx.policy_applied(),
+        dont_learn: vx.dont_learn(),
+        inner: &bytes[inner_offset..udp_end],
+        inner_offset,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EncapParams {
+        EncapParams {
+            outer_src: Rloc::for_router_index(1),
+            outer_dst: Rloc::for_router_index(2),
+            vn: VnId::new(4097).unwrap(),
+            group: GroupId(17),
+            policy_applied: true,
+            ttl: 8,
+            src_port: ecmp_src_port(42),
+            udp_checksum: false,
+        }
+    }
+
+    fn framed(inner: &[u8], p: &EncapParams) -> Vec<u8> {
+        let mut buf = vec![0u8; UNDERLAY_OVERHEAD + inner.len()];
+        buf[UNDERLAY_OVERHEAD..].copy_from_slice(inner);
+        write_underlay(&mut buf, p).unwrap();
+        buf
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let p = params();
+        let inner = b"inner ipv4 bytes stand-in";
+        let buf = framed(inner, &p);
+        let d = parse_underlay(&buf).unwrap();
+        assert_eq!(d.outer_src, p.outer_src);
+        assert_eq!(d.outer_dst, p.outer_dst);
+        assert_eq!(d.outer_ttl, 8);
+        assert_eq!(d.vn, p.vn);
+        assert_eq!(d.group, Some(p.group));
+        assert!(d.policy_applied);
+        assert!(!d.dont_learn);
+        assert_eq!(d.inner, inner);
+        assert_eq!(d.inner_offset, UNDERLAY_OVERHEAD);
+    }
+
+    #[test]
+    fn optional_udp_checksum_verifies() {
+        let mut p = params();
+        p.udp_checksum = true;
+        let buf = framed(b"payload", &p);
+        assert!(parse_underlay(&buf).is_ok());
+        // Corrupting the inner payload must now be caught.
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert_eq!(parse_underlay(&bad).unwrap_err(), Error::BadChecksum);
+    }
+
+    #[test]
+    fn zero_checksum_skips_verification() {
+        let p = params();
+        let buf = framed(b"payload", &p);
+        let mut bent = buf.clone();
+        let last = bent.len() - 1;
+        bent[last] ^= 0xff;
+        // No checksum → payload corruption passes (by design; the paper's
+        // encap relies on inner integrity checks).
+        assert!(parse_underlay(&bent).is_ok());
+    }
+
+    #[test]
+    fn non_vxlan_port_rejected() {
+        let p = params();
+        let mut buf = framed(b"x", &p);
+        // Overwrite the UDP destination port (bytes 22..24) with 4342.
+        buf[22..24].copy_from_slice(&4342u16.to_be_bytes());
+        assert_eq!(parse_underlay(&buf).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn non_udp_protocol_rejected() {
+        let p = params();
+        let mut buf = framed(b"x", &p);
+        buf[9] = 6; // TCP
+        ipv4::Packet::new_unchecked(&mut buf[..]).fill_checksum();
+        assert_eq!(parse_underlay(&buf).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let p = params();
+        let buf = framed(b"some inner payload", &p);
+        for cut in 0..buf.len() {
+            assert!(
+                parse_underlay(&buf[..cut]).is_err(),
+                "truncation at {cut} must not parse"
+            );
+        }
+        assert!(parse_underlay(&buf).is_ok());
+    }
+
+    #[test]
+    fn trailing_padding_ignored() {
+        let p = params();
+        let mut buf = framed(b"padded", &p);
+        buf.extend_from_slice(&[0xEE; 13]); // link-layer padding
+        let d = parse_underlay(&buf).unwrap();
+        assert_eq!(d.inner, b"padded");
+    }
+
+    #[test]
+    fn buffer_too_small_on_emit() {
+        let mut buf = [0u8; UNDERLAY_OVERHEAD - 1];
+        assert_eq!(
+            write_underlay(&mut buf, &params()).unwrap_err(),
+            Error::BufferTooSmall
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # sda-dataplane
+//!
+//! The batched, zero-copy VXLAN-GPO forwarding engine — the byte-level
+//! data plane the paper's edge nodes run, built from the layers below it:
+//! `sda-wire` packet views, the PR 1 inline-key tries (`sda-trie`), the
+//! map-cache (`sda-lisp`) and per-packet policy (`sda-policy`).
+//!
+//! ## The batch model
+//!
+//! The engine is structured like smoltcp crossed with a DPDK/VPP-style
+//! burst pipeline:
+//!
+//! * **Buffers, not packets** ([`buffer`]): frames live in reusable
+//!   [`PacketBuf`]s with [`buffer::HEADROOM`] bytes reserved in front.
+//!   Encapsulation *prepends* headers by moving the start pointer;
+//!   decapsulation strips them the same way. Payload bytes never move
+//!   and nothing is allocated per packet.
+//! * **Bursts, not calls** ([`switch`]): a [`Switch`] processes frames
+//!   in batches (conventionally [`buffer::BATCH_SIZE`] = 32). A batch
+//!   makes three phased passes — parse/classify, resolve, rewrite — so
+//!   each phase's tables stay hot in cache, and consecutive same-VN
+//!   packets resolve through one [`sda_lisp::MapCache::lookup_batch`]
+//!   run instead of per-packet descents.
+//! * **One encoding** ([`encap`]): the Fig. 2 header stack (outer IPv4 /
+//!   UDP 4789 / VXLAN-GPO / inner packet) is written and parsed in
+//!   exactly one place, shared with `sda_core::pipeline`'s structured
+//!   simulator path.
+//!
+//! Misses punt Map-Requests to the control plane while the packet rides
+//! the border default route (§3.2.2); SMR'd entries keep forwarding and
+//! punt a refresh (Fig. 6); packets for departed endpoints trigger
+//! data-driven SMRs back to the ingress edge. The engine's performance
+//! contract — zero allocations per steady-state packet, and ≥2x over the
+//! per-packet Vec-assembling baseline — is enforced by
+//! `tests/no_alloc.rs` and the `dataplane_fwd` bench
+//! (`BENCH_dataplane.json`).
+
+pub mod buffer;
+pub mod encap;
+pub mod switch;
+pub mod vrf;
+
+pub use buffer::{BufferPool, PacketBuf, BATCH_SIZE, HEADROOM, MAX_FRAME};
+pub use encap::{parse_underlay, write_underlay, Decap, EncapParams, UNDERLAY_OVERHEAD};
+pub use switch::{DropReason, Punt, Switch, SwitchConfig, SwitchStats, Verdict};
+pub use vrf::{LocalEndpoint, VrfTable};

@@ -1,0 +1,203 @@
+//! Per-VN local endpoint tables (VRFs).
+//!
+//! Each edge keeps, per VN, the endpoints attached to its own ports.
+//! Every entry carries the endpoint's GroupId — the `(Overlay IP,
+//! GroupId)` association created during onboarding that the egress
+//! pipeline's second stage reads (§3.3.2). Entries are keyed by all the
+//! endpoint's EIDs (IPv4 and MAC point at the same record).
+//!
+//! The per-VN tables are [`EidTrie`]s (host routes), so the data-plane
+//! lookup on the egress pipeline's first stage shares the inline-key,
+//! allocation-free trie machinery with the map-cache, and gains subnet
+//! (covering-prefix) capability for free if the VRF ever needs it.
+//!
+//! This type moved here from `sda-core` when the batched forwarding
+//! engine landed: the [`crate::Switch`] owns a `VrfTable` directly, and
+//! the router nodes in `sda-core` re-export it.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use sda_trie::EidTrie;
+use sda_types::{Eid, EidPrefix, GroupId, MacAddr, PortId, VnId};
+
+/// A locally attached endpoint as the VRF sees it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LocalEndpoint {
+    /// Output port toward the endpoint.
+    pub port: PortId,
+    /// The endpoint's micro-segmentation group (destination group in
+    /// egress ACL checks).
+    pub group: GroupId,
+    /// The endpoint's MAC (for ARP answers and L2 flows).
+    pub mac: MacAddr,
+    /// The endpoint's IPv4 (for reverse indexing).
+    pub ipv4: Ipv4Addr,
+}
+
+/// The per-VN local tables of one edge router.
+#[derive(Default, Debug)]
+pub struct VrfTable {
+    /// vn → host-route trie. Both the IPv4 and MAC EIDs key the record.
+    vns: BTreeMap<VnId, EidTrie<LocalEndpoint>>,
+    /// mac → vn reverse index (detach only gives us the MAC).
+    by_mac: BTreeMap<MacAddr, VnId>,
+}
+
+impl VrfTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        VrfTable::default()
+    }
+
+    /// Installs an endpoint into `vn` (onboarding step 4 wrote the
+    /// `(Overlay IP, GroupId)` association).
+    pub fn attach(&mut self, vn: VnId, ep: LocalEndpoint) {
+        let trie = self.vns.entry(vn).or_default();
+        trie.insert(EidPrefix::host(Eid::V4(ep.ipv4)), ep);
+        trie.insert(EidPrefix::host(Eid::Mac(ep.mac)), ep);
+        self.by_mac.insert(ep.mac, vn);
+    }
+
+    /// Removes the endpoint with `mac`, returning its record.
+    pub fn detach(&mut self, mac: MacAddr) -> Option<(VnId, LocalEndpoint)> {
+        let vn = self.by_mac.remove(&mac)?;
+        let trie = self.vns.get_mut(&vn)?;
+        let ep = trie.remove(&EidPrefix::host(Eid::Mac(mac)))?;
+        trie.remove(&EidPrefix::host(Eid::V4(ep.ipv4)));
+        Some((vn, ep))
+    }
+
+    /// Looks up a destination EID in `vn` (egress stage 1). Exact host
+    /// match on the trie — allocation-free.
+    pub fn lookup(&self, vn: VnId, eid: Eid) -> Option<&LocalEndpoint> {
+        self.vns.get(&vn)?.get(&EidPrefix::host(eid))
+    }
+
+    /// Finds the attached endpoint by MAC regardless of VN (ingress
+    /// classification: the port/MAC tells us who is sending).
+    pub fn classify(&self, mac: MacAddr) -> Option<(VnId, &LocalEndpoint)> {
+        let vn = self.by_mac.get(&mac)?;
+        self.lookup(*vn, Eid::Mac(mac)).map(|ep| (*vn, ep))
+    }
+
+    /// All `(vn, group)` pairs currently attached — the input to SXP
+    /// rule-subset computation (deduped).
+    pub fn local_bindings(&self) -> Vec<(VnId, GroupId)> {
+        let mut v: Vec<(VnId, GroupId)> = self.iter().map(|(vn, ep)| (vn, ep.group)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of attached endpoints (not EID keys).
+    pub fn endpoint_count(&self) -> usize {
+        self.by_mac.len()
+    }
+
+    /// True when no endpoints are attached.
+    pub fn is_empty(&self) -> bool {
+        self.by_mac.is_empty()
+    }
+
+    /// Clears everything (edge reboot).
+    pub fn clear(&mut self) {
+        self.vns.clear();
+        self.by_mac.clear();
+    }
+
+    /// Iterates attached endpoints as `(vn, endpoint)`.
+    pub fn iter(&self) -> impl Iterator<Item = (VnId, &LocalEndpoint)> {
+        self.by_mac
+            .iter()
+            .filter_map(move |(mac, vn)| self.lookup(*vn, Eid::Mac(*mac)).map(|ep| (*vn, ep)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vn(n: u32) -> VnId {
+        VnId::new(n).unwrap()
+    }
+
+    fn ep(seed: u32, group: u16) -> LocalEndpoint {
+        LocalEndpoint {
+            port: PortId(seed as u16),
+            group: GroupId(group),
+            mac: MacAddr::from_seed(seed),
+            ipv4: Ipv4Addr::new(10, 0, (seed >> 8) as u8, seed as u8),
+        }
+    }
+
+    #[test]
+    fn attach_keys_both_eids() {
+        let mut t = VrfTable::new();
+        let e = ep(1, 5);
+        t.attach(vn(1), e);
+        assert_eq!(t.lookup(vn(1), Eid::V4(e.ipv4)).unwrap().group, GroupId(5));
+        assert_eq!(t.lookup(vn(1), Eid::Mac(e.mac)).unwrap().port, e.port);
+        assert_eq!(t.endpoint_count(), 1);
+    }
+
+    #[test]
+    fn vn_isolation_in_lookup() {
+        let mut t = VrfTable::new();
+        let e = ep(1, 5);
+        t.attach(vn(1), e);
+        assert!(t.lookup(vn(2), Eid::V4(e.ipv4)).is_none());
+    }
+
+    #[test]
+    fn detach_removes_both_keys() {
+        let mut t = VrfTable::new();
+        let e = ep(1, 5);
+        t.attach(vn(1), e);
+        let (v, removed) = t.detach(e.mac).unwrap();
+        assert_eq!(v, vn(1));
+        assert_eq!(removed, e);
+        assert!(t.lookup(vn(1), Eid::V4(e.ipv4)).is_none());
+        assert!(t.lookup(vn(1), Eid::Mac(e.mac)).is_none());
+        assert!(t.detach(e.mac).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn classify_by_mac() {
+        let mut t = VrfTable::new();
+        t.attach(vn(3), ep(7, 9));
+        let (v, e) = t.classify(MacAddr::from_seed(7)).unwrap();
+        assert_eq!(v, vn(3));
+        assert_eq!(e.group, GroupId(9));
+        assert!(t.classify(MacAddr::from_seed(8)).is_none());
+    }
+
+    #[test]
+    fn local_bindings_dedup() {
+        let mut t = VrfTable::new();
+        t.attach(vn(1), ep(1, 5));
+        t.attach(vn(1), ep(2, 5));
+        t.attach(vn(1), ep(3, 6));
+        t.attach(vn(2), ep(4, 5));
+        assert_eq!(
+            t.local_bindings(),
+            vec![
+                (vn(1), GroupId(5)),
+                (vn(1), GroupId(6)),
+                (vn(2), GroupId(5))
+            ]
+        );
+    }
+
+    #[test]
+    fn reattach_after_move_updates_port() {
+        let mut t = VrfTable::new();
+        let mut e = ep(1, 5);
+        t.attach(vn(1), e);
+        e.port = PortId(99);
+        t.attach(vn(1), e);
+        assert_eq!(t.endpoint_count(), 1);
+        assert_eq!(t.lookup(vn(1), Eid::Mac(e.mac)).unwrap().port, PortId(99));
+    }
+}

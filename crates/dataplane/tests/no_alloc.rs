@@ -1,0 +1,188 @@
+//! Proof, not promise: the steady-state forwarding path — batched
+//! ingress encap (hit, stale and miss→default-route) and egress decap —
+//! performs **zero heap allocations per packet** once the engine's
+//! scratch vectors and the buffer pool have warmed up.
+//!
+//! This file deliberately holds a single `#[test]` — the counter is
+//! process-global, and a concurrently running test would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sda_dataplane::{
+    encap, DropReason, LocalEndpoint, PacketBuf, Switch, SwitchConfig, Verdict, BATCH_SIZE,
+};
+use sda_simnet::{SimDuration, SimTime};
+use sda_types::{Eid, EidPrefix, GroupId, MacAddr, PortId, Rloc, VnId};
+use sda_wire::{ethernet, ipv4, EtherType};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn frame(src: &LocalEndpoint, dst_ip: Ipv4Addr, payload_len: usize) -> Vec<u8> {
+    let inner = ipv4::Repr {
+        src: src.ipv4,
+        dst: dst_ip,
+        protocol: ipv4::Protocol::Unknown(253),
+        payload_len,
+        ttl: 64,
+    };
+    let mut buf = vec![0u8; ethernet::HEADER_LEN + inner.buffer_len()];
+    ethernet::Repr {
+        dst: MacAddr::BROADCAST,
+        src: src.mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .emit(&mut ethernet::Frame::new_unchecked(&mut buf[..]));
+    inner.emit(&mut ipv4::Packet::new_unchecked(
+        &mut buf[ethernet::HEADER_LEN..],
+    ));
+    buf
+}
+
+#[test]
+fn steady_state_forwarding_allocates_nothing() {
+    const ROUTES: u32 = 10_000;
+    let vn = VnId::new(1).unwrap();
+    let remote_ip = |i: u32| Ipv4Addr::from(0x0A09_0000 | (i & 0xFFFF));
+    let ttl = SimDuration::from_secs(3600);
+    let now = SimTime::ZERO + SimDuration::from_secs(1);
+
+    let mut cfg = SwitchConfig::new(Rloc::for_router_index(1));
+    cfg.border = Some(Rloc::for_router_index(99));
+    let mut sw = Switch::new(cfg);
+    let host = LocalEndpoint {
+        port: PortId(1),
+        group: GroupId(10),
+        mac: MacAddr::from_seed(1),
+        ipv4: Ipv4Addr::new(10, 0, 0, 1),
+    };
+    sw.attach(vn, host);
+    for i in 0..ROUTES {
+        sw.install_mapping(
+            vn,
+            EidPrefix::host(Eid::V4(remote_ip(i))),
+            Rloc::for_router_index((i % 200) as u16),
+            ttl,
+            SimTime::ZERO,
+        );
+    }
+    // Half the FIB is SMR'd so the stale path is exercised too.
+    for i in 0..ROUTES / 2 {
+        sw.receive_smr(vn, Eid::V4(remote_ip(i)));
+    }
+
+    // Pre-built wire images: hits/stales, misses, and underlay packets
+    // for the egress direction (all built before measurement starts).
+    let hit_frames: Vec<Vec<u8>> = (0..BATCH_SIZE as u32)
+        .map(|i| frame(&host, remote_ip(i * 97 % ROUTES), 256))
+        .collect();
+    let miss_frames: Vec<Vec<u8>> = (0..BATCH_SIZE as u32)
+        .map(|i| frame(&host, Ipv4Addr::from(0x0AFF_0000 | i), 256))
+        .collect();
+    let egress_wire: Vec<Vec<u8>> = (0..BATCH_SIZE as u32)
+        .map(|i| {
+            let f = frame(
+                &LocalEndpoint {
+                    ipv4: remote_ip(i),
+                    ..host
+                },
+                host.ipv4,
+                256,
+            );
+            let inner = &f[ethernet::HEADER_LEN..];
+            let mut w = vec![0u8; encap::UNDERLAY_OVERHEAD + inner.len()];
+            w[encap::UNDERLAY_OVERHEAD..].copy_from_slice(inner);
+            encap::write_underlay(
+                &mut w,
+                &encap::EncapParams {
+                    outer_src: Rloc::for_router_index(7),
+                    outer_dst: Rloc::for_router_index(1),
+                    vn,
+                    group: GroupId(10),
+                    policy_applied: true,
+                    ttl: 8,
+                    src_port: 50_000,
+                    udp_checksum: false,
+                },
+            )
+            .unwrap();
+            w
+        })
+        .collect();
+
+    let mut bufs: Vec<PacketBuf> = (0..BATCH_SIZE).map(|_| PacketBuf::new()).collect();
+
+    let mut run = |sw: &mut Switch, frames: &[Vec<u8>], ingress: bool| -> (u64, u64, u64) {
+        let (mut fwd, mut deliver, mut drop) = (0u64, 0u64, 0u64);
+        for (buf, f) in bufs.iter_mut().zip(frames) {
+            assert!(buf.load(f));
+        }
+        let verdicts = if ingress {
+            sw.process_ingress(&mut bufs, now)
+        } else {
+            sw.process_egress(&mut bufs, now)
+        };
+        for v in verdicts {
+            match v {
+                Verdict::Forward { .. } => fwd += 1,
+                Verdict::Deliver { .. } => deliver += 1,
+                Verdict::Drop(r) => {
+                    assert_eq!(*r, DropReason::Policy, "only policy drops expected");
+                    drop += 1;
+                }
+            }
+        }
+        sw.clear_punts();
+        (fwd, deliver, drop)
+    };
+
+    // Warm-up: lets every scratch vector reach its high-water capacity.
+    run(&mut sw, &hit_frames, true);
+    run(&mut sw, &miss_frames, true);
+    run(&mut sw, &egress_wire, false);
+
+    const ROUNDS: u64 = 200;
+    let before = allocations();
+    let (mut fwd, mut deliver) = (0u64, 0u64);
+    for _ in 0..ROUNDS {
+        let (f, _, _) = run(&mut sw, &hit_frames, true);
+        fwd += f;
+        let (f, _, _) = run(&mut sw, &miss_frames, true);
+        fwd += f;
+        let (_, d, _) = run(&mut sw, &egress_wire, false);
+        deliver += d;
+    }
+    let after = allocations();
+
+    let batch = BATCH_SIZE as u64;
+    assert_eq!(fwd, 2 * ROUNDS * batch, "hits + misses all forwarded");
+    assert_eq!(deliver, ROUNDS * batch, "egress all delivered");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state forwarding performed {} heap allocations over {} packets",
+        after - before,
+        3 * ROUNDS * batch
+    );
+}

@@ -54,6 +54,11 @@ pub struct MapCache {
     /// sum over every per-VN trie. Invariant: always equals
     /// [`MapCache::recount`] (checked by the property tests).
     total: usize,
+    /// Scratch for [`MapCache::lookup_batch`]: `(batch index, prefix)`
+    /// of entries that expired mid-batch, removed (and their EIDs
+    /// re-resolved) after the trie traversal ends. Capacity is
+    /// retained, so batches stop allocating once warmed up.
+    expired_scratch: Vec<(usize, EidPrefix)>,
 }
 
 impl MapCache {
@@ -128,6 +133,88 @@ impl MapCache {
         CacheOutcome::Miss
     }
 
+    /// Batched lookup: resolves `vn`'s trie once, then runs every EID of
+    /// the burst through it via [`EidTrie::lookup_mut_each`], appending
+    /// one [`CacheOutcome`] per EID to `out` (which is cleared first).
+    ///
+    /// This is the data plane's batch entry point: the per-VN map access
+    /// and the trie root stay hot for the whole run instead of being
+    /// re-resolved per packet. Semantics match [`MapCache::lookup`]
+    /// exactly — `last_used` refreshes in place, expired entries answer
+    /// `Miss` and are removed. Steady state allocates nothing once `out`
+    /// and the internal expiry scratch have warmed up.
+    pub fn lookup_batch(
+        &mut self,
+        vn: VnId,
+        eids: &[Eid],
+        now: SimTime,
+        out: &mut Vec<CacheOutcome>,
+    ) {
+        out.clear();
+        let MapCache {
+            vns,
+            total,
+            expired_scratch,
+        } = self;
+        let Some(trie) = vns.get_mut(&vn) else {
+            out.extend(eids.iter().map(|_| CacheOutcome::Miss));
+            return;
+        };
+        expired_scratch.clear();
+        trie.lookup_mut_each(eids, |i, res| {
+            out.push(match res {
+                None => CacheOutcome::Miss,
+                Some((len, entry)) => {
+                    if now < entry.expires_at {
+                        entry.last_used = now;
+                        if entry.stale {
+                            CacheOutcome::Stale(entry.rloc)
+                        } else {
+                            CacheOutcome::Hit(entry.rloc)
+                        }
+                    } else {
+                        // Cold path: only expiry pays for the prefix
+                        // reconstruction the removal below needs.
+                        expired_scratch.push((i, sda_trie::covering_prefix(&eids[i], len)));
+                        CacheOutcome::Miss
+                    }
+                }
+            });
+        });
+        // Cold path: replay the expiries in batch order so the results
+        // match what sequential `lookup` calls would have produced. The
+        // first EID to hit an expired entry removes it and keeps its
+        // Miss; EIDs after it re-resolve, because the purge may have
+        // uncovered a shorter live prefix (an expired host route must
+        // not shadow a live subnet for the rest of the batch). The
+        // re-resolution loops since the next-longest match can itself
+        // be expired.
+        for &(i, prefix) in expired_scratch.iter() {
+            if trie.remove(&prefix).is_some() {
+                *total -= 1;
+                continue; // out[i] stays Miss, as in sequential lookup.
+            }
+            out[i] = loop {
+                match trie.lookup_mut(&eids[i]) {
+                    None => break CacheOutcome::Miss,
+                    Some((p, entry)) => {
+                        if now < entry.expires_at {
+                            entry.last_used = now;
+                            break if entry.stale {
+                                CacheOutcome::Stale(entry.rloc)
+                            } else {
+                                CacheOutcome::Hit(entry.rloc)
+                            };
+                        }
+                        trie.remove(&p);
+                        *total -= 1;
+                    }
+                }
+            };
+        }
+        expired_scratch.clear();
+    }
+
     /// Marks the entry covering `eid` stale (SMR received).
     /// Returns the current RLOC if an entry existed.
     pub fn mark_stale(&mut self, vn: VnId, eid: Eid) -> Option<Rloc> {
@@ -198,6 +285,119 @@ impl MapCache {
     pub fn clear(&mut self) {
         self.vns.clear();
         self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn vn(n: u32) -> VnId {
+        VnId::new(n).unwrap()
+    }
+
+    fn eid(n: u8) -> Eid {
+        Eid::V4(Ipv4Addr::new(10, 0, 0, n))
+    }
+
+    const TTL: SimDuration = SimDuration::from_secs(3600);
+
+    /// `lookup_batch` must agree with per-EID `lookup` on every outcome
+    /// and side effect (refresh, expiry removal, counter).
+    #[test]
+    fn batch_agrees_with_single_lookups() {
+        let build = || {
+            let mut c = MapCache::new();
+            c.install(
+                vn(1),
+                EidPrefix::host(eid(1)),
+                Rloc::for_router_index(1),
+                TTL,
+                SimTime::ZERO,
+            );
+            c.install(
+                vn(1),
+                EidPrefix::host(eid(2)),
+                Rloc::for_router_index(2),
+                SimDuration::from_secs(10),
+                SimTime::ZERO,
+            );
+            c.install(
+                vn(1),
+                EidPrefix::host(eid(3)),
+                Rloc::for_router_index(3),
+                TTL,
+                SimTime::ZERO,
+            );
+            c.mark_stale(vn(1), eid(3));
+            c
+        };
+        let probes = [eid(1), eid(2), eid(2), eid(3), eid(9)];
+        let now = SimTime::ZERO + SimDuration::from_secs(60); // eid(2) expired
+
+        let mut a = build();
+        let singles: Vec<CacheOutcome> = probes.iter().map(|e| a.lookup(vn(1), *e, now)).collect();
+
+        let mut b = build();
+        let mut batched = Vec::new();
+        b.lookup_batch(vn(1), &probes, now, &mut batched);
+
+        assert_eq!(batched, singles);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(b.len(), b.recount(), "expiry removal keeps the counter");
+    }
+
+    /// Regression: an expired host route must not shadow a live subnet
+    /// for later EIDs of the same batch — expiry removal re-resolves.
+    #[test]
+    fn batch_expired_host_uncovers_live_subnet() {
+        use sda_types::Ipv4Prefix;
+        use std::net::Ipv4Addr;
+        let subnet_rloc = Rloc::for_router_index(5);
+        let build = || {
+            let mut c = MapCache::new();
+            c.install(
+                vn(1),
+                Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 16)
+                    .unwrap()
+                    .into(),
+                subnet_rloc,
+                TTL,
+                SimTime::ZERO,
+            );
+            c.install(
+                vn(1),
+                EidPrefix::host(eid(3)),
+                Rloc::for_router_index(9),
+                SimDuration::from_secs(10),
+                SimTime::ZERO,
+            );
+            c
+        };
+        let probes = [eid(3), eid(3), eid(3)];
+        let now = SimTime::ZERO + SimDuration::from_secs(60); // host expired
+
+        let mut a = build();
+        let singles: Vec<CacheOutcome> = probes.iter().map(|e| a.lookup(vn(1), *e, now)).collect();
+        let mut b = build();
+        let mut batched = Vec::new();
+        b.lookup_batch(vn(1), &probes, now, &mut batched);
+        assert_eq!(batched, singles);
+        assert_eq!(
+            batched[1],
+            CacheOutcome::Hit(subnet_rloc),
+            "the live /16 must answer once the expired /32 is purged"
+        );
+        assert_eq!(b.len(), b.recount());
+    }
+
+    #[test]
+    fn batch_on_unknown_vn_is_all_misses() {
+        let mut c = MapCache::new();
+        let mut out = vec![CacheOutcome::Hit(Rloc::for_router_index(9))]; // stale junk
+        c.lookup_batch(vn(5), &[eid(1), eid(2)], SimTime::ZERO, &mut out);
+        assert_eq!(out, vec![CacheOutcome::Miss, CacheOutcome::Miss]);
     }
 }
 

@@ -52,6 +52,11 @@ pub enum RegisterOutcome {
 pub struct MappingDb {
     vns: BTreeMap<VnId, EidTrie<MappingRecord>>,
     version_counter: u64,
+    /// Maintained entry count, so [`MappingDb::len`] is O(1) instead of
+    /// a sum over every per-VN trie (the map-server answers `len` on
+    /// every Fig. 7 sample). Invariant: always equals
+    /// [`MappingDb::recount`] (checked by the property tests).
+    total: usize,
 }
 
 impl MappingDb {
@@ -78,7 +83,11 @@ impl MappingDb {
         };
         let trie = self.vns.entry(vn).or_default();
         let prefix = EidPrefix::host(eid);
-        match trie.insert(prefix, record) {
+        let prev = trie.insert(prefix, record);
+        if prev.is_none() {
+            self.total += 1;
+        }
+        match prev {
             None => RegisterOutcome::New,
             Some(old) if old.expired(now) => RegisterOutcome::New,
             Some(old) if old.rloc == rloc => RegisterOutcome::Refreshed,
@@ -88,7 +97,11 @@ impl MappingDb {
 
     /// Removes the registration of `eid` in `vn`.
     pub fn withdraw(&mut self, vn: VnId, eid: Eid) -> Option<MappingRecord> {
-        self.vns.get_mut(&vn)?.remove(&EidPrefix::host(eid))
+        let removed = self.vns.get_mut(&vn)?.remove(&EidPrefix::host(eid));
+        if removed.is_some() {
+            self.total -= 1;
+        }
+        removed
     }
 
     /// Longest-prefix lookup of `eid` in `vn`; expired records answer
@@ -109,8 +122,17 @@ impl MappingDb {
             .unwrap_or(0)
     }
 
-    /// Total registrations (live or expired) across VNs.
+    /// Total registrations (live or expired) across VNs. O(1): the
+    /// count is maintained across register/withdraw/retain, not
+    /// recomputed.
     pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Recomputes the entry count from the tries (O(entries)). Exists so
+    /// tests can assert the maintained counter never drifts; production
+    /// callers should use [`MappingDb::len`].
+    pub fn recount(&self) -> usize {
         self.vns.values().map(EidTrie::len).sum()
     }
 
@@ -136,6 +158,7 @@ impl MappingDb {
         for (vn, trie) in self.vns.iter_mut() {
             removed += trie.retain(|p, r| f(*vn, p, r));
         }
+        self.total -= removed;
         removed
     }
 
@@ -239,6 +262,23 @@ mod tests {
         assert!(db.withdraw(vn(1), eid(1)).is_some());
         assert!(db.withdraw(vn(1), eid(1)).is_none());
         assert!(db.lookup(vn(1), eid(1), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn len_is_maintained_not_recomputed() {
+        let mut db = MappingDb::new();
+        db.register(vn(1), eid(1), Rloc::for_router_index(1), TTL, SimTime::ZERO);
+        db.register(vn(2), eid(1), Rloc::for_router_index(1), TTL, SimTime::ZERO);
+        db.register(vn(1), eid(1), Rloc::for_router_index(2), TTL, SimTime::ZERO); // move
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.len(), db.recount());
+        db.withdraw(vn(1), eid(1));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.len(), db.recount());
+        let later = SimTime::ZERO + TTL + SimDuration::from_secs(1);
+        db.purge_expired(later);
+        assert_eq!(db.len(), 0);
+        assert_eq!(db.len(), db.recount());
     }
 
     #[test]

@@ -17,17 +17,22 @@
 //! * **Policy updates** ([`update`]) — the two operational strategies of
 //!   §5.4 (move endpoints between groups vs. rewrite the matrix), with
 //!   signaling-cost accounting so the trade-off is measurable.
+//! * **Per-packet enforcement** ([`enforce`]) — the group ACL the data
+//!   plane consults once per packet, and the §5.3 enforcement-point
+//!   choice (ingress vs. egress).
 //!
 //! [`server::PolicyServer`] ties these together behind the message-level
 //! API the fabric speaks.
 
 pub mod auth;
+pub mod enforce;
 pub mod matrix;
 pub mod server;
 pub mod sxp;
 pub mod update;
 
 pub use auth::{AuthMethod, AuthOutcome, AuthServer, Credential};
+pub use enforce::{EnforcementPoint, GroupAcl};
 pub use matrix::{Action, ConnectivityMatrix, GroupRule};
 pub use server::{EndpointProfile, PolicyServer};
 pub use sxp::RuleSubset;

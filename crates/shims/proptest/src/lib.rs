@@ -9,12 +9,18 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case reports its deterministic case seed;
-//!   re-running reproduces it exactly, which is what matters in CI.
+//! * **Halving shrink only.** When a case fails, the runner repeatedly
+//!   re-runs the body with each input halved toward its strategy's
+//!   minimum (integer ranges and collection lengths shrink; `prop_map`
+//!   and friends cannot invert their mapping and do not), reporting the
+//!   minimized counterexample. Real proptest explores a richer shrink
+//!   tree; halving already turns "failed with `Vec` of 97 ops" into a
+//!   handful.
 //! * **Determinism.** Case seeds derive from the test name and case index,
 //!   so every run explores the same inputs. `PROPTEST_CASES` (env) scales
 //!   the case count.
 
+pub mod runner;
 pub mod strategy;
 
 pub mod test_runner {
@@ -151,11 +157,21 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let n = self.size.pick(rng);
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+            // Halve the length toward the size range's lower bound —
+            // the "length strategy" shrink: a failing 97-op sequence
+            // minimizes to the shortest prefix that still fails.
+            let lo = self.size.lo;
+            (value.len() > lo).then(|| value[..lo + (value.len() - lo) / 2].to_vec())
         }
     }
 
@@ -274,7 +290,8 @@ macro_rules! prop_oneof {
 }
 
 /// The property-test entry macro. Each `fn name(pat in strategy, ...)`
-/// becomes a `#[test]` running `cases` deterministic random cases.
+/// becomes a `#[test]` running `cases` deterministic random cases via
+/// [`runner::run`], which minimizes failing inputs by halving shrink.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -297,62 +314,18 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
-            let base = $crate::test_runner::name_seed(concat!(
-                module_path!(), "::", stringify!($name)
-            ));
-            for case in 0..config.effective_cases() {
-                let case_seed = base ^ (u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D));
-                let mut __rng = $crate::test_runner::TestRng::from_seed(case_seed);
-                let guard = $crate::CaseGuard::new(stringify!($name), case, case_seed);
-                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
-                // Proptest bodies may `return Ok(())` early; run them in a
-                // Result-returning closure to accept that form.
-                let __result: ::core::result::Result<(), ::std::string::String> =
-                    (|| {
-                        $body
-                        ::core::result::Result::Ok(())
-                    })();
-                __result.expect("property returned Err");
-                guard.disarm();
-            }
-        }
-    )*};
-}
-
-/// Prints which case was running if the test body panics (stand-in for
-/// proptest's failure persistence: the case seed reproduces the input).
-pub struct CaseGuard {
-    armed: bool,
-    name: &'static str,
-    case: u32,
-    seed: u64,
-}
-
-impl CaseGuard {
-    /// Arms the guard for one case.
-    pub fn new(name: &'static str, case: u32, seed: u64) -> Self {
-        CaseGuard {
-            armed: true,
-            name,
-            case,
-            seed,
-        }
-    }
-
-    /// Case finished cleanly; suppress the failure report.
-    pub fn disarm(mut self) {
-        self.armed = false;
-    }
-}
-
-impl Drop for CaseGuard {
-    fn drop(&mut self) {
-        if self.armed {
-            eprintln!(
-                "proptest: {} failed at case {} (seed {:#x}); seeds are \
-                 deterministic, rerun reproduces it",
-                self.name, self.case, self.seed
+            $crate::runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                config,
+                ($($strat,)+),
+                // Proptest bodies may `return Ok(())` early; run them in
+                // a Result-returning closure to accept that form.
+                |__vals| {
+                    let ($($pat,)+) = __vals;
+                    $body
+                    ::core::result::Result::Ok(())
+                },
             );
         }
-    }
+    )*};
 }

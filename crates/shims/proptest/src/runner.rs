@@ -1,0 +1,191 @@
+//! The case runner behind [`crate::proptest!`]: deterministic case
+//! generation, failure capture, and greedy halving minimization.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::strategy::TupleStrategy;
+use crate::test_runner::{name_seed, ProptestConfig, TestRng};
+
+/// Upper bound on accepted shrink steps — halving converges in ≤ 64
+/// steps per input, so this is generosity, not a tuning knob.
+const MAX_SHRINK_STEPS: usize = 512;
+
+/// Runs one property: `config.cases` deterministic cases of `strats`,
+/// each fed to `body`. On failure, greedily minimizes the inputs via
+/// each strategy's halving [`crate::strategy::Strategy::shrink`] while
+/// the body keeps failing, then panics with the minimized
+/// counterexample (and the original case seed, which still reproduces
+/// the pre-shrink input).
+pub fn run<TS: TupleStrategy>(
+    test_name: &'static str,
+    config: ProptestConfig,
+    strats: TS,
+    body: impl Fn(TS::Value) -> Result<(), String>,
+) {
+    let base = name_seed(test_name);
+    for case in 0..config.effective_cases() {
+        let case_seed = base ^ (u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut rng = TestRng::from_seed(case_seed);
+        let vals = strats.generate_tuple(&mut rng);
+        let Some(failure) = run_catching(&body, vals.clone()) else {
+            continue;
+        };
+        let (min_vals, min_failure, steps) = minimize(&strats, &body, vals, failure);
+        panic!(
+            "proptest: {test_name} failed at case {case} (seed {case_seed:#x}; seeds are \
+             deterministic, rerun reproduces it)\nminimized after {steps} shrink step(s) \
+             to:\n{min_vals:#?}\nfailure: {min_failure}"
+        );
+    }
+}
+
+/// Runs the body once, converting a panic or an `Err` into the failure
+/// message. `None` means the case passed.
+fn run_catching<V, F: Fn(V) -> Result<(), String>>(body: &F, vals: V) -> Option<String> {
+    match panic::catch_unwind(AssertUnwindSafe(|| body(vals))) {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(msg),
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string()),
+        ),
+    }
+}
+
+/// Greedy minimization: while some position's halved input still fails,
+/// adopt it and restart the position scan.
+///
+/// The default panic hook is silenced for the duration so the dozens of
+/// intermediate failing runs do not spam stderr (the hook is global: a
+/// test failing *concurrently* in another thread would also be muted
+/// during this window — an accepted shim trade-off).
+fn minimize<TS: TupleStrategy>(
+    strats: &TS,
+    body: &impl Fn(TS::Value) -> Result<(), String>,
+    mut cur: TS::Value,
+    mut failure: String,
+    // Returns (minimized inputs, their failure message, accepted steps).
+) -> (TS::Value, String, usize) {
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let mut steps = 0usize;
+    let mut candidates = Vec::new();
+    'outer: while steps < MAX_SHRINK_STEPS {
+        candidates.clear();
+        strats.shrink_candidates(&cur, &mut candidates);
+        for cand in candidates.drain(..) {
+            if let Some(f) = run_catching(body, cand.clone()) {
+                cur = cand;
+                failure = f;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    panic::set_hook(prev_hook);
+    (cur, failure, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn range_shrink_halves_toward_lo() {
+        let s = 10u32..1000;
+        assert_eq!(s.shrink(&810), Some(10 + 400));
+        assert_eq!(s.shrink(&11), Some(10));
+        assert_eq!(s.shrink(&10), None);
+        let inc = 0u8..=8;
+        assert_eq!(inc.shrink(&8), Some(4));
+        assert_eq!(inc.shrink(&0), None);
+    }
+
+    #[test]
+    fn vec_shrink_halves_length() {
+        let s = crate::collection::vec(0u32..100, 2..10);
+        let v = vec![50u32; 9];
+        let shrunk = s.shrink(&v).unwrap();
+        assert_eq!(shrunk.len(), 2 + (9 - 2) / 2);
+        assert_eq!(s.shrink(&vec![50u32; 2]), None, "at the lower bound");
+    }
+
+    #[test]
+    fn failing_property_minimizes_under_halving() {
+        // Fails for v >= 10: the minimizer must land on a value that
+        // still fails but whose next halving would pass — i.e. in
+        // [10, 19] rather than wherever generation started.
+        let result = panic::catch_unwind(|| {
+            run(
+                "shrink_demo",
+                ProptestConfig::with_cases(64),
+                (0u32..1000,),
+                |(v,)| {
+                    if v >= 10 {
+                        return Err(format!("{v} too big"));
+                    }
+                    Ok(())
+                },
+            );
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("minimized"), "{msg}");
+        let v: u32 = msg
+            .lines()
+            .find_map(|l| l.trim().trim_end_matches(',').parse().ok())
+            .expect("minimized value printed");
+        assert!((10..20).contains(&v), "not halving-minimal: {v} ({msg})");
+        assert!(msg.contains("too big"), "{msg}");
+    }
+
+    #[test]
+    fn multi_position_shrink_minimizes_each_input() {
+        // Fails when a + b >= 30; minimal failing pair under halving
+        // from any start converges with both inputs shrunk as far as
+        // the predicate allows.
+        let result = panic::catch_unwind(|| {
+            run(
+                "shrink_pair",
+                ProptestConfig::with_cases(64),
+                (0u32..1000, 0u32..1000),
+                |(a, b)| {
+                    if a + b >= 30 {
+                        return Err("sum too big".into());
+                    }
+                    Ok(())
+                },
+            );
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        // Parse the two minimized numbers back out of the Debug tuple.
+        let nums: Vec<u32> = msg
+            .lines()
+            .filter_map(|l| l.trim().trim_end_matches(',').parse().ok())
+            .collect();
+        assert_eq!(nums.len(), 2, "two inputs expected in {msg}");
+        let (a, b) = (nums[0], nums[1]);
+        assert!(a + b >= 30, "minimized pair must still fail: {msg}");
+        // Halving cannot overshoot: one more halving of either input
+        // would make the property pass.
+        for (x, y) in [(a / 2, b), (a, b / 2)] {
+            assert!(x + y < 30 || (a, b) == (x, y), "not minimal: {msg}");
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        run(
+            "always_passes",
+            ProptestConfig::with_cases(16),
+            (0u32..100,),
+            |(_v,)| Ok(()),
+        );
+    }
+}

@@ -1,7 +1,12 @@
 //! The [`Strategy`] trait and primitive strategies.
 //!
-//! A strategy is a pure generator: `generate(rng) -> Value`. There is no
-//! shrinking; see the crate docs for why that trade is acceptable here.
+//! A strategy is a pure generator: `generate(rng) -> Value`, plus an
+//! optional *halving shrink*: `shrink(&failing_value)` proposes one
+//! simpler value (half-way toward the strategy's minimum), or `None`
+//! when no simpler value exists. Integer-range and collection-length
+//! strategies shrink; combinators that cannot invert their mapping
+//! (`prop_map`, `prop_flat_map`, `prop_oneof!`) do not — their failing
+//! cases still reproduce via the deterministic case seed.
 
 use crate::test_runner::TestRng;
 
@@ -12,6 +17,16 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes one strictly simpler value (halving toward the
+    /// strategy's minimum), or `None` when `value` is already minimal
+    /// or the strategy cannot shrink. The runner applies this
+    /// repeatedly while the test keeps failing, so failing cases
+    /// minimize instead of only reporting a case seed.
+    fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+        let _ = value;
+        None
+    }
 
     /// Maps the produced value.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -59,12 +74,18 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &T) -> Option<T> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -117,6 +138,9 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
             "prop_filter rejected 1000 consecutive draws: {}",
             self.whence
         )
+    }
+    fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+        self.inner.shrink(value).filter(|v| (self.f)(v))
     }
 }
 
@@ -222,6 +246,10 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as u128 - self.start as u128) as u64;
                 self.start + rng.below(span) as $t
             }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                // Halve the distance to the lower bound.
+                (*value > self.start).then(|| self.start + (*value - self.start) / 2)
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -234,6 +262,10 @@ macro_rules! impl_range_strategy {
                     return rng.next_u64() as $t;
                 }
                 lo + rng.below(span) as $t
+            }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                let lo = *self.start();
+                (*value > lo).then(|| lo + (*value - lo) / 2)
             }
         }
     )*};
@@ -256,3 +288,51 @@ impl_tuple_strategy!(A: 0, B: 1, C: 2);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// The runner-facing view of a test's full strategy tuple: generate all
+/// inputs at once, and propose shrink candidates (one per shrinkable
+/// position, that position halved, the others kept). Implemented for
+/// strategy tuples of arity 1–8 — the shapes the [`crate::proptest!`]
+/// macro produces.
+pub trait TupleStrategy {
+    /// The generated input tuple. `Clone` so shrink attempts can re-run
+    /// the test body; `Debug` so minimized counterexamples print.
+    type Value: Clone + core::fmt::Debug;
+
+    /// Draws one full input tuple.
+    fn generate_tuple(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Pushes up to one candidate per tuple position into `out`.
+    fn shrink_candidates(&self, value: &Self::Value, out: &mut Vec<Self::Value>);
+}
+
+macro_rules! impl_tuple_runner {
+    ($($name:ident: $idx:tt),+) => {
+        impl<$($name: Strategy),+> TupleStrategy for ($($name,)+)
+        where
+            $($name::Value: Clone + core::fmt::Debug,)+
+        {
+            type Value = ($($name::Value,)+);
+            fn generate_tuple(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink_candidates(&self, value: &Self::Value, out: &mut Vec<Self::Value>) {
+                $(
+                    if let Some(s) = self.$idx.shrink(&value.$idx) {
+                        let mut c = value.clone();
+                        c.$idx = s;
+                        out.push(c);
+                    }
+                )+
+            }
+        }
+    };
+}
+impl_tuple_runner!(A: 0);
+impl_tuple_runner!(A: 0, B: 1);
+impl_tuple_runner!(A: 0, B: 1, C: 2);
+impl_tuple_runner!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_runner!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_runner!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_runner!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_runner!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);

@@ -29,5 +29,5 @@ pub mod map;
 pub mod trie;
 
 pub use bits::BitStr;
-pub use map::EidTrie;
+pub use map::{covering_prefix, EidTrie};
 pub use trie::PatriciaTrie;

@@ -211,31 +211,183 @@ impl<V> PatriciaTrie<V> {
         }
     }
 
+    /// Raw, reference-free trie step: the `bit` child of `node`, or null.
+    ///
+    /// Reads the pointer straight out of the `Option<Box<Node<V>>>`
+    /// slot: `Option<Box<T>>` is guaranteed null-pointer-optimized
+    /// (documented in the std `Option` representation notes — same
+    /// layout as a nullable pointer, `None` = null), and a raw read
+    /// preserves the stored pointer's provenance. No reference of any
+    /// kind is created, which is what keeps the interleaved multi-lane
+    /// walk in [`PatriciaTrie::longest_match_mut_each`] sound: lanes
+    /// parked on shared upper nodes never assert uniqueness over them.
+    ///
+    /// # Safety
+    /// `node` must point to a live `Node<V>` reachable from a borrow
+    /// that permits reads.
+    #[inline]
+    unsafe fn raw_child(node: *mut Node<V>, bit: usize) -> *mut Node<V> {
+        core::ptr::addr_of_mut!((*node).children[bit])
+            .cast::<*mut Node<V>>()
+            .read()
+    }
+
     /// Longest-prefix match returning a mutable value reference, so
     /// callers can update entry metadata (e.g. an LRU stamp) in place
     /// instead of a remove + insert round trip.
     ///
-    /// Zero-allocation: walks down once immutably to find the best depth,
-    /// then re-walks mutably to it (both walks are O(key bits)).
+    /// Zero-allocation and **single-pass**: one descent finds and
+    /// returns the deepest match (the first version walked down twice —
+    /// an immutable scan then a mutable re-walk — which doubled the
+    /// pointer-chasing on the forwarding hot path).
     pub fn longest_match_mut(&mut self, key: &BitStr) -> Option<(usize, &mut V)> {
-        let (depth, _) = self.longest_match(key)?;
-        let mut node = &mut self.root;
-        let mut d = 0usize;
-        while d < depth {
-            let bit = key.bit(d) as usize;
-            let child = node.children[bit]
-                .as_mut()
-                .expect("longest_match found this path");
-            d += child.label.len();
-            node = child;
+        // The descent keeps a candidate pointer to the best value seen
+        // while continuing down the nodes below it — a shape the borrow
+        // checker cannot express with references (the classic
+        // conditional-return limitation), hence the raw pointers.
+        //
+        // SAFETY: all pointers derive from the exclusive `&mut self`
+        // borrow; the walk performs only reads through them (labels and
+        // `Option` discriminants; children via the reference-free
+        // `raw_child`), the structure is not mutated meanwhile, and
+        // exactly one `&mut V` escapes, bounded by `self`'s lifetime.
+        let mut node: *mut Node<V> = &mut self.root;
+        let mut depth = 0usize;
+        unsafe {
+            let value_slot = |n: *mut Node<V>| core::ptr::addr_of_mut!((*n).value);
+            let mut best: Option<(usize, *mut Option<V>)> =
+                (*value_slot(node)).is_some().then(|| (0, value_slot(node)));
+            loop {
+                if depth == key.len() {
+                    break;
+                }
+                let bit = key.bit(depth) as usize;
+                let child = Self::raw_child(node, bit);
+                if child.is_null() {
+                    break;
+                }
+                let label: BitStr = (*child).label;
+                if !label.is_prefix_of(&key.slice(depth, key.len())) {
+                    break;
+                }
+                depth += label.len();
+                node = child;
+                if (*value_slot(node)).is_some() {
+                    best = Some((depth, value_slot(node)));
+                }
+            }
+            best.map(|(d, slot)| (d, (*slot).as_mut().expect("slot held a value")))
         }
-        debug_assert_eq!(d, depth);
-        Some((
-            depth,
-            node.value
-                .as_mut()
-                .expect("longest_match found a value here"),
-        ))
+    }
+
+    /// Batched [`PatriciaTrie::longest_match_mut`]: calls
+    /// `f(i, match)` for every key, where a match is `(prefix bit
+    /// length, &mut value)`.
+    ///
+    /// The point is not the loop — it is the **interleaved descent**:
+    /// keys advance in lockstep, one trie step per round, so the node
+    /// loads of the whole batch are independent and overlap in the
+    /// memory pipeline. A sequential descent serializes ~log(n)
+    /// dependent cache misses per key; the lockstep walk exposes them
+    /// as memory-level parallelism, which is where the batched data
+    /// plane's speedup over per-packet processing comes from (the
+    /// `dataplane_fwd` bench measures it).
+    ///
+    pub fn longest_match_mut_each<F>(&mut self, keys: &[BitStr], mut f: F)
+    where
+        F: FnMut(usize, Option<(usize, &mut V)>),
+    {
+        /// One in-flight lookup of the lockstep walk. `best` is the
+        /// `Option<V>` slot of the deepest match so far (null = none).
+        struct Lane<V> {
+            node: *mut Node<V>,
+            depth: usize,
+            best_depth: usize,
+            best: *mut Option<V>,
+            done: bool,
+        }
+        impl<V> Clone for Lane<V> {
+            fn clone(&self) -> Self {
+                *self
+            }
+        }
+        impl<V> Copy for Lane<V> {}
+
+        const LANES: usize = 32;
+        let root: *mut Node<V> = &mut self.root;
+        for (ci, chunk) in keys.chunks(LANES).enumerate() {
+            let mut lanes = [Lane::<V> {
+                node: root,
+                depth: 0,
+                best_depth: 0,
+                best: core::ptr::null_mut(),
+                done: false,
+            }; LANES];
+            // SAFETY: every pointer derives from the exclusive `&mut
+            // self`, and the descent never creates a reference: labels
+            // are copied out by raw place reads, child pointers come
+            // from the reference-free `raw_child`, and value presence is
+            // checked through `addr_of_mut!` slots. Lanes therefore
+            // never assert uniqueness over the upper nodes they share.
+            // Mutable references materialize only in the tail loop, one
+            // at a time, each ending when `f` returns — `f`'s HRTB
+            // signature prevents escape (duplicate keys in one batch
+            // simply yield the same slot twice, sequentially).
+            unsafe {
+                let root_vslot = core::ptr::addr_of_mut!((*root).value);
+                if (*root_vslot).is_some() {
+                    for lane in lanes.iter_mut().take(chunk.len()) {
+                        lane.best = root_vslot;
+                    }
+                }
+                loop {
+                    let mut active = false;
+                    for (i, lane) in lanes.iter_mut().enumerate().take(chunk.len()) {
+                        if lane.done {
+                            continue;
+                        }
+                        let key = &chunk[i];
+                        if lane.depth == key.len() {
+                            lane.done = true;
+                            continue;
+                        }
+                        let bit = key.bit(lane.depth) as usize;
+                        let child = Self::raw_child(lane.node, bit);
+                        if child.is_null() {
+                            lane.done = true;
+                            continue;
+                        }
+                        let label: BitStr = (*child).label;
+                        if !label.is_prefix_of(&key.slice(lane.depth, key.len())) {
+                            lane.done = true;
+                            continue;
+                        }
+                        lane.depth += label.len();
+                        lane.node = child;
+                        let vslot = core::ptr::addr_of_mut!((*child).value);
+                        if (*vslot).is_some() {
+                            lane.best_depth = lane.depth;
+                            lane.best = vslot;
+                        }
+                        active = true;
+                    }
+                    if !active {
+                        break;
+                    }
+                }
+                for (i, lane) in lanes.iter().enumerate().take(chunk.len()) {
+                    let res = if lane.best.is_null() {
+                        None
+                    } else {
+                        Some((
+                            lane.best_depth,
+                            (*lane.best).as_mut().expect("best slot holds a value"),
+                        ))
+                    };
+                    f(ci * LANES + i, res);
+                }
+            }
+        }
     }
 
     /// Keeps only entries for which `f` returns true, re-compressing the

@@ -210,3 +210,50 @@ proptest! {
         prop_assert_eq!(trie.max_depth(), 0);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The interleaved lockstep batch walk must agree with the
+    /// sequential `longest_match` on every key — including batches
+    /// larger than one 32-lane chunk, duplicate keys in one batch, and
+    /// writes through the returned mutable references.
+    #[test]
+    fn batch_walk_matches_sequential(
+        inserts in proptest::collection::vec((arb_key(), any::<u32>()), 1..120),
+        queries in proptest::collection::vec(arb_key(), 1..90),
+    ) {
+        let mut trie = PatriciaTrie::new();
+        for (k, v) in &inserts {
+            trie.insert(&to_bits(k), *v);
+        }
+        let keys: Vec<BitStr> = queries.iter().map(|k| to_bits(k)).collect();
+        let want: Vec<Option<(usize, u32)>> = keys
+            .iter()
+            .map(|k| trie.longest_match(k).map(|(l, v)| (l, *v)))
+            .collect();
+
+        let mut got: Vec<Option<(usize, u32)>> = vec![None; keys.len()];
+        trie.longest_match_mut_each(&keys, |i, res| {
+            got[i] = res.map(|(l, v)| (l, *v));
+        });
+        prop_assert_eq!(&got, &want);
+
+        // Writes through the batch walk land in place (last write wins
+        // for duplicate keys, same as sequential mutation would).
+        trie.longest_match_mut_each(&keys, |i, res| {
+            if let Some((_, v)) = res {
+                *v = i as u32 + 1_000_000;
+            }
+        });
+        let mut last_writer = std::collections::HashMap::new();
+        for (i, w) in want.iter().enumerate() {
+            if let Some((len, _)) = w {
+                last_writer.insert(keys[i].slice(0, *len), i as u32 + 1_000_000);
+            }
+        }
+        for (key, val) in &last_writer {
+            prop_assert_eq!(trie.get(key), Some(val));
+        }
+    }
+}

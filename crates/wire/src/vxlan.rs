@@ -169,6 +169,10 @@ pub struct Repr {
     pub group: Option<GroupId>,
     /// Policy-applied bit (`A`).
     pub policy_applied: bool,
+    /// Don't-learn bit (`D`): egress must not source-learn from this
+    /// packet. Plumbed through `Repr` so the bit survives a
+    /// parse → emit round trip (it used to be view-only and was lost).
+    pub dont_learn: bool,
     /// Encapsulated payload length.
     pub payload_len: usize,
 }
@@ -180,6 +184,7 @@ impl Repr {
             vn: packet.vni(),
             group: packet.group(),
             policy_applied: packet.policy_applied(),
+            dont_learn: packet.dont_learn(),
             payload_len: packet.payload().len(),
         }
     }
@@ -197,6 +202,7 @@ impl Repr {
             packet.set_group(g);
         }
         packet.set_policy_applied(self.policy_applied);
+        packet.set_dont_learn(self.dont_learn);
     }
 }
 
@@ -210,6 +216,7 @@ mod tests {
             vn: VnId::new(0x00AB_CDEF & VnId::MAX).unwrap(),
             group: Some(GroupId(0xBEEF)),
             policy_applied: false,
+            dont_learn: false,
             payload_len: 6,
         };
         let mut buf = vec![0u8; repr.buffer_len()];
@@ -228,6 +235,7 @@ mod tests {
             vn: VnId::new(7).unwrap(),
             group: None,
             policy_applied: true,
+            dont_learn: true,
             payload_len: 0,
         };
         let mut buf = vec![0u8; repr.buffer_len()];
@@ -250,6 +258,7 @@ mod tests {
             vn: VnId::DEFAULT,
             group: None,
             policy_applied: false,
+            dont_learn: false,
             payload_len: 0,
         };
         let mut buf = vec![0u8; repr.buffer_len()];
@@ -272,6 +281,7 @@ mod tests {
             vn: VnId::new(VnId::MAX).unwrap(),
             group: None,
             policy_applied: false,
+            dont_learn: false,
             payload_len: 0,
         };
         let mut buf = vec![0u8; repr.buffer_len()];

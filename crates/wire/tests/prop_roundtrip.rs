@@ -126,14 +126,50 @@ proptest! {
     }
 
     #[test]
-    fn vxlan_roundtrip(vn in arb_vn(), group in proptest::option::of(any::<u16>().prop_map(GroupId)), applied in any::<bool>(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
-        let repr = vxlan::Repr { vn, group, policy_applied: applied, payload_len: payload.len() };
+    fn vxlan_roundtrip(vn in arb_vn(), group in proptest::option::of(any::<u16>().prop_map(GroupId)), applied in any::<bool>(), dont_learn in any::<bool>(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let repr = vxlan::Repr { vn, group, policy_applied: applied, dont_learn, payload_len: payload.len() };
         let mut buf = vec![0u8; repr.buffer_len()];
         let mut pkt = vxlan::Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut pkt);
         pkt.payload_mut().copy_from_slice(&payload);
         let pkt = vxlan::Packet::new_checked(&buf[..]).unwrap();
         prop_assert_eq!(vxlan::Repr::parse(&pkt), repr);
+    }
+
+    /// Every strict prefix of a valid VXLAN-GPO packet must be an error
+    /// (truncation can never be mistaken for success or panic).
+    #[test]
+    fn vxlan_truncations_all_error(vn in arb_vn(), group in any::<u16>().prop_map(GroupId), payload in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let repr = vxlan::Repr { vn, group: Some(group), policy_applied: false, dont_learn: false, payload_len: payload.len() };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut vxlan::Packet::new_unchecked(&mut buf[..]));
+        for cut in 0..vxlan::HEADER_LEN {
+            prop_assert!(vxlan::Packet::new_checked(&buf[..cut]).is_err());
+        }
+        prop_assert!(vxlan::Packet::new_checked(&buf[..]).is_ok());
+    }
+
+    /// Same for every LISP control message: all strict prefixes error.
+    #[test]
+    fn lisp_truncations_all_error(nonce in any::<u64>(), vn in arb_vn(), eid in arb_eid(), prefix in arb_prefix(), rloc in arb_rloc()) {
+        let msgs = [
+            lisp::Message::MapRequest { nonce, smr: false, vn, eid, itr_rloc: rloc },
+            lisp::Message::MapReply { nonce, vn, prefix, rloc: Some(rloc), negative: false, ttl_secs: 60 },
+            lisp::Message::MapRegister { nonce, vn, eid, rloc, ttl_secs: 60, want_notify: true },
+            lisp::Message::MapNotify { nonce, vn, eid, new_rloc: rloc },
+            lisp::Message::Publish { nonce, vn, prefix, rloc, withdraw: false },
+            lisp::Message::Subscribe { nonce, vn, subscriber: rloc },
+        ];
+        for msg in msgs {
+            let bytes = msg.emit();
+            for cut in 0..bytes.len() {
+                prop_assert!(
+                    lisp::Message::parse(&bytes[..cut]).is_err(),
+                    "truncated {:?} at {} parsed", msg, cut
+                );
+            }
+            prop_assert_eq!(lisp::Message::parse(&bytes).unwrap(), msg);
+        }
     }
 
     #[test]
@@ -208,6 +244,7 @@ fn full_encapsulation_stack_roundtrip() {
         vn: VnId::new(4097).unwrap(),
         group: Some(GroupId(17)),
         policy_applied: false,
+        dont_learn: false,
         payload_len: inner.len(),
     };
     let mut vx = vec![0u8; vx_repr.buffer_len()];

@@ -1,0 +1,416 @@
+//! Frame-level traffic driver: the campus and warehouse populations
+//! pushed through the real data plane as **bytes**, not events.
+//!
+//! The simulator models in [`crate::campus`] / [`crate::warehouse`]
+//! exchange structured messages; this module mints the same populations
+//! as actual Ethernet/IPv4 frames and drives them through an
+//! [`sda_dataplane::Switch`] in [`BATCH_SIZE`] bursts, with a minimal
+//! in-loop control plane answering the engine's punts:
+//!
+//! * **Campus**: a stable population, Zipf-skewed peer selection, a
+//!   local/remote split (other buildings reachable through the
+//!   map-cache) and an external share that rides the border default
+//!   route — the Fig. 9 traffic mix at the byte level.
+//! * **Warehouse**: the same skeleton plus constant mobility — remote
+//!   endpoints keep handing over between edges, so the driver
+//!   continuously exercises the SMR → stale-forward → refresh loop of
+//!   Fig. 6 on the hot path.
+//!
+//! Deterministic (seeded) and allocation-light: frames are composed in
+//! one scratch buffer and copied into pooled [`PacketBuf`]s.
+
+use std::net::Ipv4Addr;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sda_dataplane::{
+    DropReason, LocalEndpoint, PacketBuf, Punt, Switch, SwitchConfig, Verdict, BATCH_SIZE,
+};
+use sda_simnet::{Metrics, SimDuration, SimTime};
+use sda_types::{Eid, EidPrefix, GroupId, MacAddr, PortId, Rloc, VnId};
+use sda_wire::{ethernet, ipv4, EtherType};
+
+use crate::traffic::ZipfSampler;
+
+/// The users group (humans, robots).
+pub const USERS: GroupId = GroupId(10);
+/// The infrastructure group (servers, APs, always-on devices).
+pub const INFRA: GroupId = GroupId(20);
+
+/// Parameters of a frame-level campaign.
+#[derive(Clone, Debug)]
+pub struct FramePreset {
+    /// Label in reports.
+    pub name: &'static str,
+    /// Endpoints attached to the switch under test.
+    pub local_endpoints: usize,
+    /// Endpoints on other edges, reachable through the map-cache.
+    pub remote_endpoints: usize,
+    /// Fabric edges the remote population spreads across.
+    pub remote_edges: u16,
+    /// Probability a flow targets the Internet (border default route).
+    pub external_share: f64,
+    /// Zipf exponent of destination popularity.
+    pub popularity_skew: f64,
+    /// Every `n`th flow, one remote endpoint hands over to another edge
+    /// (`None` disables mobility — the campus case).
+    pub handover_every: Option<usize>,
+    /// Inner payload bytes per frame.
+    pub payload_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FramePreset {
+    /// Campus building: stable population, no mobility.
+    pub fn campus() -> Self {
+        FramePreset {
+            name: "campus",
+            local_endpoints: 60,
+            remote_endpoints: 400,
+            remote_edges: 12,
+            external_share: 0.2,
+            popularity_skew: 1.0,
+            handover_every: None,
+            payload_len: 256,
+            seed: 0xCA,
+        }
+    }
+
+    /// Warehouse: heavy mobility — robots hand over constantly.
+    pub fn warehouse() -> Self {
+        FramePreset {
+            name: "warehouse",
+            local_endpoints: 80,
+            remote_endpoints: 800,
+            remote_edges: 40,
+            external_share: 0.02,
+            popularity_skew: 0.8,
+            handover_every: Some(24),
+            payload_len: 128,
+            seed: 0x3A,
+        }
+    }
+}
+
+/// What happened to the frames of one campaign.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Frames injected.
+    pub flows: u64,
+    /// Encapsulated toward a resolved edge.
+    pub forwarded: u64,
+    /// Encapsulated toward the border default route (misses, Internet).
+    pub forwarded_default: u64,
+    /// Delivered on a local port.
+    pub delivered: u64,
+    /// Dropped by group policy.
+    pub dropped_policy: u64,
+    /// Dropped for any other reason (should stay 0 in these campaigns).
+    pub dropped_other: u64,
+    /// Map-Request punts for cold misses.
+    pub punted_miss: u64,
+    /// Map-Request punts refreshing SMR'd entries (mobility churn).
+    pub punted_refresh: u64,
+    /// Handovers performed.
+    pub handovers: u64,
+}
+
+impl FrameStats {
+    /// Records the campaign counters into a metrics sink, one counter
+    /// per field under `prefix.`.
+    pub fn record(&self, prefix: &str, metrics: &mut Metrics) {
+        metrics.add(&format!("{prefix}.flows"), self.flows);
+        metrics.add(&format!("{prefix}.forwarded"), self.forwarded);
+        metrics.add(
+            &format!("{prefix}.forwarded_default"),
+            self.forwarded_default,
+        );
+        metrics.add(&format!("{prefix}.delivered"), self.delivered);
+        metrics.add(&format!("{prefix}.dropped_policy"), self.dropped_policy);
+        metrics.add(&format!("{prefix}.dropped_other"), self.dropped_other);
+        metrics.add(&format!("{prefix}.punted_miss"), self.punted_miss);
+        metrics.add(&format!("{prefix}.punted_refresh"), self.punted_refresh);
+        metrics.add(&format!("{prefix}.handovers"), self.handovers);
+    }
+}
+
+/// Drives one preset's traffic through a [`Switch`] in batches.
+pub struct FrameDriver {
+    switch: Switch,
+    preset: FramePreset,
+    vn: VnId,
+    local: Vec<LocalEndpoint>,
+    /// Remote endpoint addresses and their current edge.
+    remote: Vec<(Ipv4Addr, Rloc)>,
+    popularity: ZipfSampler,
+    rng: SmallRng,
+    bufs: Vec<PacketBuf>,
+    scratch: Vec<u8>,
+    now: SimTime,
+    next_handover: usize,
+    stats: FrameStats,
+}
+
+const MAPPING_TTL: SimDuration = SimDuration::from_secs(48 * 3600);
+
+impl FrameDriver {
+    /// Builds the switch, attaches the local population and installs the
+    /// remote mappings plus an open USERS/INFRA policy.
+    pub fn new(preset: FramePreset) -> Self {
+        let mut cfg = SwitchConfig::new(Rloc::for_router_index(1));
+        cfg.border = Some(Rloc::for_router_index(999));
+        let mut switch = Switch::new(cfg);
+        let vn = VnId::new(100).unwrap();
+
+        let mut matrix = sda_policy::ConnectivityMatrix::new();
+        for src in [USERS, INFRA] {
+            for dst in [USERS, INFRA] {
+                matrix.set_rule(vn, src, dst, sda_policy::Action::Allow);
+            }
+        }
+        switch.install_matrix(&matrix);
+
+        let mut local = Vec::with_capacity(preset.local_endpoints);
+        for i in 0..preset.local_endpoints {
+            let ep = LocalEndpoint {
+                port: PortId(i as u16),
+                group: if i % 5 == 0 { INFRA } else { USERS },
+                mac: MacAddr::from_seed(i as u32 + 1),
+                ipv4: Ipv4Addr::new(10, 100, (i >> 8) as u8, i as u8),
+            };
+            switch.attach(vn, ep);
+            local.push(ep);
+        }
+
+        let mut remote = Vec::with_capacity(preset.remote_endpoints);
+        for i in 0..preset.remote_endpoints {
+            let ip = Ipv4Addr::new(10, 101, (i >> 8) as u8, i as u8);
+            let rloc = Rloc::for_router_index(2 + (i as u16 % preset.remote_edges));
+            switch.install_mapping(
+                vn,
+                EidPrefix::host(Eid::V4(ip)),
+                rloc,
+                MAPPING_TTL,
+                SimTime::ZERO,
+            );
+            remote.push((ip, rloc));
+        }
+
+        let population = preset.local_endpoints + preset.remote_endpoints;
+        FrameDriver {
+            popularity: ZipfSampler::new(population, preset.popularity_skew),
+            rng: SmallRng::seed_from_u64(preset.seed),
+            bufs: (0..BATCH_SIZE).map(|_| PacketBuf::new()).collect(),
+            scratch: Vec::new(),
+            now: SimTime::ZERO + SimDuration::from_secs(1),
+            next_handover: preset.handover_every.unwrap_or(usize::MAX),
+            stats: FrameStats::default(),
+            switch,
+            preset,
+            vn,
+            local,
+            remote,
+        }
+    }
+
+    /// The switch under test.
+    pub fn switch(&self) -> &Switch {
+        &self.switch
+    }
+
+    /// Runs `flows` frames through the switch in batches and returns the
+    /// cumulative stats.
+    pub fn run(&mut self, flows: usize) -> FrameStats {
+        let mut sent = 0;
+        while sent < flows {
+            let batch = BATCH_SIZE.min(flows - sent);
+            for i in 0..batch {
+                self.compose_flow_frame(i);
+            }
+            self.process_batch(batch);
+            sent += batch;
+        }
+        self.stats
+    }
+
+    /// Cumulative stats so far.
+    pub fn stats(&self) -> FrameStats {
+        self.stats
+    }
+
+    /// Builds the `i`th frame of the current batch into `bufs[i]`.
+    fn compose_flow_frame(&mut self, i: usize) {
+        let src = self.local[self.rng.gen_range(0..self.local.len())];
+        let external = self.rng.gen::<f64>() < self.preset.external_share;
+        let dst_ip = if external {
+            Ipv4Addr::new(93, 184, 216, 34)
+        } else {
+            let mut pick = self.popularity.sample(&mut self.rng);
+            if pick < self.local.len() {
+                // Avoid self-flows: bump to a neighbour.
+                if self.local[pick].ipv4 == src.ipv4 {
+                    pick = (pick + 1) % (self.local.len() + self.remote.len());
+                }
+            }
+            if pick < self.local.len() {
+                self.local[pick].ipv4
+            } else {
+                self.remote[pick - self.local.len()].0
+            }
+        };
+
+        let inner = ipv4::Repr {
+            src: src.ipv4,
+            dst: dst_ip,
+            protocol: ipv4::Protocol::Unknown(253),
+            payload_len: self.preset.payload_len,
+            ttl: 64,
+        };
+        self.scratch
+            .resize(ethernet::HEADER_LEN + inner.buffer_len(), 0);
+        ethernet::Repr {
+            dst: MacAddr::BROADCAST,
+            src: src.mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut ethernet::Frame::new_unchecked(&mut self.scratch[..]));
+        inner.emit(&mut ipv4::Packet::new_unchecked(
+            &mut self.scratch[ethernet::HEADER_LEN..],
+        ));
+        assert!(self.bufs[i].load(&self.scratch));
+    }
+
+    /// Processes `batch` loaded buffers and runs the in-loop control
+    /// plane over the punts.
+    fn process_batch(&mut self, batch: usize) {
+        self.stats.flows += batch as u64;
+        // Mobility: hand a remote endpoint over before the burst, so the
+        // burst itself hits the stale entry (Fig. 6 order).
+        if let Some(every) = self.preset.handover_every {
+            while self.next_handover <= self.stats.flows as usize {
+                self.handover();
+                self.next_handover += every;
+            }
+        }
+
+        self.switch
+            .process_ingress(&mut self.bufs[..batch], self.now);
+        for v in self.switch.verdicts() {
+            match v {
+                Verdict::Forward { to } => {
+                    if Some(*to) == self.switch.config().border {
+                        self.stats.forwarded_default += 1;
+                    } else {
+                        self.stats.forwarded += 1;
+                    }
+                }
+                Verdict::Deliver { .. } => self.stats.delivered += 1,
+                Verdict::Drop(DropReason::Policy) => self.stats.dropped_policy += 1,
+                Verdict::Drop(_) => self.stats.dropped_other += 1,
+            }
+        }
+        // Minimal control plane: answer refresh punts with the (already
+        // updated) registry state, count the rest.
+        for k in 0..self.switch.punts().len() {
+            match self.switch.punts()[k] {
+                Punt::MapRequest { vn, eid, refresh } => {
+                    if refresh {
+                        self.stats.punted_refresh += 1;
+                        if let Eid::V4(ip) = eid {
+                            if let Some((_, rloc)) = self.remote.iter().find(|(rip, _)| *rip == ip)
+                            {
+                                self.switch.install_mapping(
+                                    vn,
+                                    EidPrefix::host(eid),
+                                    *rloc,
+                                    MAPPING_TTL,
+                                    self.now,
+                                );
+                            }
+                        }
+                    } else {
+                        self.stats.punted_miss += 1;
+                    }
+                }
+                Punt::Smr { .. } => {}
+            }
+        }
+        self.switch.clear_punts();
+        self.now += SimDuration::from_millis(1);
+    }
+
+    /// Moves one remote endpoint to the next edge (round-robin over the
+    /// remote edge pool, so every handover is a real location change)
+    /// and SMRs the switch — what the map-server's move notification
+    /// does in the full system.
+    fn handover(&mut self) {
+        let idx = self.rng.gen_range(0..self.remote.len());
+        let (ip, old) = self.remote[idx];
+        let o = old.addr().octets();
+        let old_index = (u16::from(o[2]) << 8) | u16::from(o[3]);
+        let new = Rloc::for_router_index(2 + (old_index - 2 + 1) % self.preset.remote_edges);
+        debug_assert!(self.preset.remote_edges < 2 || new != old);
+        self.remote[idx].1 = new;
+        self.switch.receive_smr(self.vn, Eid::V4(ip));
+        self.stats.handovers += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campus_mix_reaches_every_path() {
+        let mut d = FrameDriver::new(FramePreset::campus());
+        let s = d.run(2_000);
+        assert_eq!(s.flows, 2_000);
+        assert_eq!(
+            s.forwarded + s.forwarded_default + s.delivered + s.dropped_policy + s.dropped_other,
+            s.flows,
+            "every frame accounted for"
+        );
+        assert!(s.delivered > 0, "local deliveries expected");
+        assert!(s.forwarded > 0, "remote forwards expected");
+        assert!(s.forwarded_default > 0, "external share rides the border");
+        assert_eq!(s.dropped_other, 0, "no malformed frames in the mix");
+        assert_eq!(s.handovers, 0, "campus preset is immobile");
+    }
+
+    #[test]
+    fn warehouse_mobility_exercises_stale_refresh() {
+        let mut d = FrameDriver::new(FramePreset::warehouse());
+        let s = d.run(4_000);
+        assert!(s.handovers > 100, "constant churn expected: {s:?}");
+        assert!(
+            s.punted_refresh > 0,
+            "stale entries must punt refreshes: {s:?}"
+        );
+        assert_eq!(
+            s.forwarded + s.forwarded_default + s.delivered + s.dropped_policy + s.dropped_other,
+            s.flows
+        );
+        assert_eq!(s.dropped_other, 0);
+        // The switch-level counters agree with the driver's view.
+        let sw = d.switch().stats();
+        assert_eq!(sw.rx, s.flows);
+        assert_eq!(sw.delivered, s.delivered);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || FrameDriver::new(FramePreset::warehouse()).run(1_500);
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stats_record_into_metrics() {
+        let mut d = FrameDriver::new(FramePreset::campus());
+        let s = d.run(500);
+        let mut m = Metrics::default();
+        s.record("frames.campus", &mut m);
+        assert_eq!(m.counter("frames.campus.flows"), s.flows);
+        assert_eq!(m.counter("frames.campus.delivered"), s.delivered);
+    }
+}

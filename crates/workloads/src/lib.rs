@@ -14,17 +14,21 @@
 //!   two physical edges, with measured movers receiving correspondent
 //!   traffic; runs against both the reactive (`sda-core`) and proactive
 //!   (`sda-bgp`) fabrics.
+//! * [`frames`] — the same populations as real Ethernet/IPv4 frames,
+//!   batched through the `sda-dataplane` forwarding engine.
 //! * [`queries`] — Poisson arrival processes (Fig. 7c's offered load).
 //! * [`traffic`] — popularity (Zipf) samplers shared by the models.
 //!
 //! Everything is seeded and deterministic.
 
 pub mod campus;
+pub mod frames;
 pub mod queries;
 pub mod traffic;
 pub mod warehouse;
 
 pub use campus::{CampusParams, CampusScenario};
+pub use frames::{FrameDriver, FramePreset, FrameStats};
 pub use queries::PoissonArrivals;
 pub use traffic::ZipfSampler;
 pub use warehouse::{HandoverSample, WarehouseParams};

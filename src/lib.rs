@@ -12,11 +12,13 @@
 //! * [`underlay`] — underlay topology and SPF.
 //! * [`bgp`] — the proactive host-route baseline the paper compares to.
 //! * [`lisp`] — map-server, map-cache, pub/sub, SMR.
+//! * [`dataplane`] — the batched zero-copy VXLAN-GPO forwarding engine.
 //! * [`core`] — edge/border routers, pipelines, controller.
 //! * [`workloads`] — campus / warehouse traffic generators.
 
 pub use sda_bgp as bgp;
 pub use sda_core as core;
+pub use sda_dataplane as dataplane;
 pub use sda_lisp as lisp;
 pub use sda_policy as policy;
 pub use sda_simnet as simnet;
