@@ -87,6 +87,9 @@ fn build_switch(routes: u32) -> Switch {
             SimTime::ZERO,
         );
     }
+    // Population done: re-lay the table arenas in DFS order (the
+    // bulk-load hook the arena trie adds).
+    sw.compact_tables();
     sw
 }
 

@@ -44,6 +44,8 @@ fn preloaded_server(routes: u32) -> MapServer {
             SimTime::ZERO,
         );
     }
+    // Registration storm done: re-lay the trie arenas in DFS order.
+    s.compact();
     s
 }
 

@@ -42,6 +42,8 @@ fn preload(routes: u32) -> MapServer {
             SimTime::ZERO,
         );
     }
+    // Registration storm done: re-lay the trie arenas in DFS order.
+    s.compact();
     s
 }
 

@@ -49,6 +49,19 @@ impl Rib {
         self.routes.get(&EidPrefix::host(eid)).map(|(r, _)| *r)
     }
 
+    /// Re-lays the route trie arena in DFS preorder (see
+    /// [`sda_trie::PatriciaTrie::compact`]). Call after bulk route
+    /// sync (initial full-table flood) so lookups walk
+    /// nearly-sequential memory.
+    pub fn compact(&mut self) {
+        self.routes.compact();
+    }
+
+    /// Trie-arena diagnostics for the route table.
+    pub fn mem_stats(&self) -> sda_trie::MemStats {
+        self.routes.mem_stats()
+    }
+
     /// Number of installed routes — every edge carries all of them,
     /// which is exactly the state the reactive design avoids.
     pub fn len(&self) -> usize {

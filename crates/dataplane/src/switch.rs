@@ -252,6 +252,23 @@ impl Switch {
         self.acl.install_matrix(matrix);
     }
 
+    /// Re-lays the forwarding tables' trie arenas (VRF + map-cache) in
+    /// DFS preorder so descents walk nearly-sequential memory. Call
+    /// once bulk population (onboarding, FIB preload) settles; the
+    /// tries also compact themselves under churn via their free-list
+    /// threshold.
+    pub fn compact_tables(&mut self) {
+        self.vrf.compact();
+        self.cache.compact();
+    }
+
+    /// Aggregated trie-arena diagnostics for the forwarding tables.
+    pub fn table_mem_stats(&self) -> sda_trie::MemStats {
+        let mut stats = self.vrf.mem_stats();
+        stats.merge(&self.cache.mem_stats());
+        stats
+    }
+
     /// Static configuration.
     pub fn config(&self) -> &SwitchConfig {
         &self.cfg

@@ -90,6 +90,18 @@ impl VrfTable {
         v
     }
 
+    /// Re-lays every per-VN trie arena in DFS preorder (see
+    /// [`sda_trie::PatriciaTrie::compact`]). Call once onboarding
+    /// settles so egress-stage lookups walk nearly-sequential memory.
+    pub fn compact(&mut self) {
+        sda_trie::compact_each(self.vns.values_mut());
+    }
+
+    /// Aggregated trie-arena diagnostics across all VNs.
+    pub fn mem_stats(&self) -> sda_trie::MemStats {
+        sda_trie::merged_mem_stats(self.vns.values())
+    }
+
     /// Number of attached endpoints (not EID keys).
     pub fn endpoint_count(&self) -> usize {
         self.by_mac.len()

@@ -1,7 +1,11 @@
 //! Proof, not promise: the steady-state forwarding path — batched
 //! ingress encap (hit, stale and miss→default-route) and egress decap —
 //! performs **zero heap allocations per packet** once the engine's
-//! scratch vectors and the buffer pool have warmed up.
+//! scratch vectors and the buffer pool have warmed up, both on the
+//! insertion-order trie arena and after `Switch::compact_tables()`
+//! re-lays it in DFS order (compaction itself allocates the new arena;
+//! it runs between the measured windows, exactly as the bulk-load
+//! hooks do in production).
 //!
 //! This file deliberately holds a single `#[test]` — the counter is
 //! process-global, and a concurrently running test would pollute it.
@@ -163,6 +167,9 @@ fn steady_state_forwarding_allocates_nothing() {
     run(&mut sw, &egress_wire, false);
 
     const ROUNDS: u64 = 200;
+    let batch = BATCH_SIZE as u64;
+
+    // Window 1: insertion-order arena.
     let before = allocations();
     let (mut fwd, mut deliver) = (0u64, 0u64);
     for _ in 0..ROUNDS {
@@ -175,13 +182,38 @@ fn steady_state_forwarding_allocates_nothing() {
     }
     let after = allocations();
 
-    let batch = BATCH_SIZE as u64;
     assert_eq!(fwd, 2 * ROUNDS * batch, "hits + misses all forwarded");
     assert_eq!(deliver, ROUNDS * batch, "egress all delivered");
     assert_eq!(
         after - before,
         0,
         "steady-state forwarding performed {} heap allocations over {} packets",
+        after - before,
+        3 * ROUNDS * batch
+    );
+
+    // Window 2: DFS-compacted arenas (the production layout once the
+    // bulk-load hook runs). The compaction happens outside the window;
+    // forwarding afterwards must still allocate nothing.
+    sw.compact_tables();
+    let before = allocations();
+    let (mut fwd, mut deliver) = (0u64, 0u64);
+    for _ in 0..ROUNDS {
+        let (f, _, _) = run(&mut sw, &hit_frames, true);
+        fwd += f;
+        let (f, _, _) = run(&mut sw, &miss_frames, true);
+        fwd += f;
+        let (_, d, _) = run(&mut sw, &egress_wire, false);
+        deliver += d;
+    }
+    let after = allocations();
+
+    assert_eq!(fwd, 2 * ROUNDS * batch, "post-compact forwarding intact");
+    assert_eq!(deliver, ROUNDS * batch, "post-compact egress intact");
+    assert_eq!(
+        after - before,
+        0,
+        "post-compact forwarding performed {} heap allocations over {} packets",
         after - before,
         3 * ROUNDS * batch
     );

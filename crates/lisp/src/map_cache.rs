@@ -215,6 +215,20 @@ impl MapCache {
         expired_scratch.clear();
     }
 
+    /// Re-lays every per-VN trie arena in DFS preorder (see
+    /// [`sda_trie::PatriciaTrie::compact`]). Call once a bulk
+    /// population settles (the dataplane `Switch` exposes it as
+    /// `compact_tables`); steady-state churn compacts opportunistically
+    /// inside the tries themselves.
+    pub fn compact(&mut self) {
+        sda_trie::compact_each(self.vns.values_mut());
+    }
+
+    /// Aggregated trie-arena diagnostics across all VNs.
+    pub fn mem_stats(&self) -> sda_trie::MemStats {
+        sda_trie::merged_mem_stats(self.vns.values())
+    }
+
     /// Marks the entry covering `eid` stale (SMR received).
     /// Returns the current RLOC if an entry existed.
     pub fn mark_stale(&mut self, vn: VnId, eid: Eid) -> Option<Rloc> {

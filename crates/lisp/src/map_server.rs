@@ -87,6 +87,14 @@ impl MapServer {
         &self.db
     }
 
+    /// Re-lays the mapping database's trie arenas in DFS preorder (see
+    /// [`MappingDb::compact`]). Call once a registration storm (network
+    /// bring-up, bench preload) settles so Fig. 7 request lookups walk
+    /// nearly-sequential memory.
+    pub fn compact(&mut self) {
+        self.db.compact();
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> MapServerStats {
         self.stats

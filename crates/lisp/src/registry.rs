@@ -167,6 +167,19 @@ impl MappingDb {
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         self.retain(|_, _, r| !r.expired(now))
     }
+
+    /// Re-lays every per-VN trie arena in DFS preorder (see
+    /// [`sda_trie::PatriciaTrie::compact`]). Call once a registration
+    /// storm (network bring-up) settles so Fig. 7 lookups walk
+    /// nearly-sequential memory.
+    pub fn compact(&mut self) {
+        sda_trie::compact_each(self.vns.values_mut());
+    }
+
+    /// Aggregated trie-arena diagnostics across all VNs.
+    pub fn mem_stats(&self) -> sda_trie::MemStats {
+        sda_trie::merged_mem_stats(self.vns.values())
+    }
 }
 
 #[cfg(test)]

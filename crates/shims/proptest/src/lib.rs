@@ -256,7 +256,7 @@ pub mod prelude {
     /// Re-export so `proptest::collection::vec` also resolves via prelude
     /// paths used in some files.
     pub use crate::collection;
-    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }

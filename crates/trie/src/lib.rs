@@ -17,9 +17,11 @@
 //!
 //! Keys are inline `(u128, u8)` bit strings ([`bits::BitStr`]) — every
 //! key in the system is at most 128 bits (IPv6), so the lookup path is
-//! zero-allocation word arithmetic. See the `bits` module docs for the
-//! representation and `benches/lpm_hot_path.rs` in `sda-bench` for the
-//! measured effect (`BENCH_lpm.json` at the repo root).
+//! zero-allocation word arithmetic. Nodes live in a contiguous arena
+//! (`u32`-indexed, DFS-compacted after bulk loads — see the `trie`
+//! module docs for the layout rationale). See the `bits` module docs for
+//! the key representation and `benches/lpm_hot_path.rs` in `sda-bench`
+//! for the measured effect (`BENCH_lpm.json` at the repo root).
 //!
 //! The benchmark `fig7_routing_server` measures these operations directly
 //! to reproduce Fig. 7a/7b.
@@ -29,5 +31,5 @@ pub mod map;
 pub mod trie;
 
 pub use bits::BitStr;
-pub use map::{covering_prefix, EidTrie};
-pub use trie::PatriciaTrie;
+pub use map::{compact_each, covering_prefix, merged_mem_stats, EidTrie};
+pub use trie::{MemStats, PatriciaTrie};

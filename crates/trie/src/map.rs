@@ -46,6 +46,26 @@ pub fn covering_prefix(eid: &Eid, len: usize) -> EidPrefix {
     prefix_from_parts(eid.kind(), &eid_key(eid).slice(0, len))
 }
 
+/// Compacts every trie of a keyed collection (the shared body of the
+/// per-VN bulk-load hooks: map-cache, mapping DB, VRF table).
+pub fn compact_each<'a, V: 'a>(tries: impl IntoIterator<Item = &'a mut EidTrie<V>>) {
+    for trie in tries {
+        trie.compact();
+    }
+}
+
+/// Aggregates [`EidTrie::mem_stats`] across a keyed collection (counts
+/// add, depth histograms add element-wise).
+pub fn merged_mem_stats<'a, V: 'a>(
+    tries: impl IntoIterator<Item = &'a EidTrie<V>>,
+) -> crate::trie::MemStats {
+    let mut stats = crate::trie::MemStats::default();
+    for trie in tries {
+        stats.merge(&trie.mem_stats());
+    }
+    stats
+}
+
 /// A map from [`EidPrefix`] to `V` with longest-prefix lookup by [`Eid`].
 #[derive(Clone)]
 pub struct EidTrie<V> {
@@ -187,6 +207,25 @@ impl<V> EidTrie<V> {
         }
     }
 
+    /// Re-lays every family's arena in DFS preorder (see
+    /// [`PatriciaTrie::compact`]). Call once a bulk load settles — the
+    /// map-cache, RIB and VRF population paths do — so subsequent
+    /// descents walk nearly-sequential memory.
+    pub fn compact(&mut self) {
+        self.v4.compact();
+        self.v6.compact();
+        self.mac.compact();
+    }
+
+    /// Aggregated arena diagnostics across the three families (counts
+    /// add, depth histograms add element-wise).
+    pub fn mem_stats(&self) -> crate::trie::MemStats {
+        let mut stats = self.v4.mem_stats();
+        stats.merge(&self.v6.mem_stats());
+        stats.merge(&self.mac.mem_stats());
+        stats
+    }
+
     /// Keeps only entries for which `f` returns true, across all
     /// families, in one traversal per family. Returns how many entries
     /// were removed.
@@ -319,6 +358,39 @@ mod tests {
         });
         assert_eq!(seen, vec![(0, Some(subnet)), (1, None), (2, Some(subnet))]);
         assert_eq!(m.get(&subnet), Some(&2), "mutations land in place");
+    }
+
+    #[test]
+    fn compact_preserves_lookups_across_families() {
+        let mut m = EidTrie::new();
+        let subnet: EidPrefix = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16)
+            .unwrap()
+            .into();
+        let host: EidPrefix = Ipv4Prefix::host(Ipv4Addr::new(10, 1, 2, 3)).into();
+        let mac: EidPrefix = MacPrefix::host(MacAddr::from_seed(3)).into();
+        m.insert(subnet, 1);
+        m.insert(host, 2);
+        m.insert(mac, 3);
+        m.compact();
+        assert_eq!(m.len(), 3);
+        assert_eq!(
+            m.lookup(&Eid::V4(Ipv4Addr::new(10, 1, 2, 3)))
+                .map(|(p, v)| (p, *v)),
+            Some((host, 2))
+        );
+        assert_eq!(
+            m.lookup(&Eid::V4(Ipv4Addr::new(10, 1, 9, 9)))
+                .map(|(p, v)| (p, *v)),
+            Some((subnet, 1))
+        );
+        assert_eq!(
+            m.lookup(&Eid::Mac(MacAddr::from_seed(3))).map(|(_, v)| *v),
+            Some(3)
+        );
+        let stats = m.mem_stats();
+        assert_eq!(stats.free_list_len, 0);
+        // Three family roots + live structural/entry nodes.
+        assert!(stats.live_nodes >= 3 + 3);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The path-compressed binary radix (Patricia) trie.
+//! The path-compressed binary radix (Patricia) trie, arena-compacted.
 //!
 //! Structure: every node carries a *label* (the bits between its parent
 //! and itself), an optional value, and up to two children indexed by the
@@ -12,6 +12,54 @@
 //! Lookup cost is therefore O(key bits), independent of the number of
 //! stored entries — the property Fig. 7a/7b measures.
 //!
+//! ## Arena layout: contiguous nodes, index children
+//!
+//! Nodes do **not** live in individual heap boxes. The whole trie is two
+//! parallel `Vec`s:
+//!
+//! * `nodes: Vec<Node>` — the descent-critical data only: label bits
+//!   (inline `u128` word + length), two `u32` child indices ([`NONE`] =
+//!   no child) and a value-presence flag. `Node` is exactly 32 bytes, so
+//!   **two nodes share every cache line**.
+//! * `values: Vec<Option<V>>` — the payloads, touched once per lookup
+//!   (at the final best match), never during the descent.
+//!
+//! The previous layout (`Option<Box<Node<V>>>` children) made every trie
+//! step an independent cache miss into malloc-scattered memory; PR 2's
+//! interleaved lockstep batch walk proved the descent is memory-latency
+//! bound (32 overlapped lookups ran ~3x faster per packet *only* because
+//! their misses overlap). The arena attacks the same bottleneck from the
+//! layout side: child hops are `u32` loads from one slab, the hot upper
+//! levels pack densely into a few cache lines, and splitting the values
+//! out roughly halves the bytes the descent streams through. Every
+//! descent step additionally issues a prefetch for **both** children of
+//! the node it lands on — the next hop's line is in flight one hop
+//! early, overlapping what would otherwise be a strictly serial miss
+//! chain (the single-lookup analogue of the batch walk's
+//! memory-level parallelism).
+//!
+//! ## Free-list and compaction
+//!
+//! `remove`/`retain` push dead slots onto a free-list that `insert`
+//! reuses, so churn does not grow the arena. Holes cost locality, not
+//! correctness — descents simply skip them — so the trie re-lays itself
+//! two ways:
+//!
+//! * [`PatriciaTrie::compact`] rebuilds the arena in **DFS preorder**:
+//!   a node's 0-subtree immediately follows it, so a descent walks
+//!   nearly-sequential memory. Bulk-load paths (map-cache population,
+//!   RIB sync, VRF onboarding) call it once loading settles.
+//! * When the free-list exceeds [`COMPACT_FREE_MIN`] slots *and* half
+//!   the arena, `retain` compacts opportunistically — amortized O(1)
+//!   per freed slot, so bulk eviction cannot strand a mostly-dead
+//!   arena. `remove` never compacts: it runs inline on the forwarding
+//!   path (TTL-expired entries are purged by the lookup that finds
+//!   them), so it must stay O(key bits) and allocation-free.
+//!
+//! [`PatriciaTrie::mem_stats`] exposes the layout (live nodes, arena
+//! capacity, free-list length, depth histogram) so benches can print it
+//! and regressions are visible in bench output.
+//!
 //! ## Inline keys and the zero-allocation lookup path
 //!
 //! Labels are [`BitStr`]s: inline `(u128, u8)` words, never heap data
@@ -19,47 +67,205 @@
 //! docs for why that bound holds). All label surgery during descent —
 //! slicing off matched bits, comparing a label against the remaining key —
 //! is shift/mask/`leading_zeros` arithmetic on words. Consequently
-//! [`PatriciaTrie::get`], [`PatriciaTrie::longest_match`] and
-//! [`PatriciaTrie::longest_match_mut`] perform **zero heap allocations**;
-//! only `insert` allocates (the new node), and `remove`/`retain` only
-//! free.
+//! [`PatriciaTrie::get`], [`PatriciaTrie::longest_match`],
+//! [`PatriciaTrie::longest_match_mut`] and
+//! [`PatriciaTrie::longest_match_mut_each`] perform **zero heap
+//! allocations** — including after a `compact()` (proved by
+//! `tests/no_alloc.rs`); only `insert` may allocate (arena growth), and
+//! `remove`/`retain` only free or compact.
 //!
-//! For callers that previously did a remove + insert round trip to update
-//! a value (the map-cache's `last_used` refresh), use
-//! [`PatriciaTrie::longest_match_mut`]; for batch eviction, use
-//! [`PatriciaTrie::retain`], which prunes and re-compresses in one
-//! traversal instead of one remove per victim.
+//! A welcome side effect of index-based children: the lockstep batch
+//! walk ([`PatriciaTrie::longest_match_mut_each`]) needs **no `unsafe`**
+//! anymore. The old pointer-chasing version kept raw `*mut Node`
+//! candidates alive across lanes because the borrow checker cannot
+//! express "many readers now, one writer later" through references;
+//! lane state is now plain `u32` indices, and the single mutable borrow
+//! per result materializes from the index at the end.
 
 use crate::bits::BitStr;
 
-#[derive(Clone)]
-struct Node<V> {
-    /// Bits between the parent node and this node.
-    label: BitStr,
-    /// Value stored at this exact prefix, if any.
-    value: Option<V>,
-    /// Children indexed by their label's first bit.
-    children: [Option<Box<Node<V>>>; 2],
+/// Sentinel child index: no child / no best match.
+const NONE: u32 = u32::MAX;
+
+/// Root node index. The root always exists and is never freed.
+const ROOT: u32 = 0;
+
+/// Opportunistic compaction floor: below this many free slots, churn is
+/// ignored (tiny tries re-lay in nanoseconds anyway; the threshold keeps
+/// steady small-scale insert/remove cycles from compacting every call).
+const COMPACT_FREE_MIN: usize = 64;
+
+/// One arena node: the descent-critical data only (32 bytes — two nodes
+/// per cache line). Values live in the parallel `values` vec and are
+/// only touched at the end of a lookup.
+#[derive(Clone, Copy)]
+struct Node {
+    /// Label bits between the parent and this node, left-aligned.
+    bits: u128,
+    /// Children indexed by their label's first bit ([`NONE`] = absent).
+    children: [u32; 2],
+    /// Label length in bits.
+    label_len: u8,
+    /// Whether `values[this index]` holds an entry (kept in the node so
+    /// the descent never touches the values slab).
+    has_value: bool,
 }
 
-impl<V> Node<V> {
-    fn new(label: BitStr, value: Option<V>) -> Self {
+/// Hints the CPU to pull both children of `node` into cache. The
+/// descent is a chain of dependent loads — each hop's line must arrive
+/// before the next hop's address is known — so fetching both possible
+/// next lines one hop early overlaps successive misses. [`NONE`]
+/// children are skipped; a live index may still be a free-listed slot
+/// (stale line, harmless): `wrapping_add` keeps the address arithmetic
+/// defined without a bounds check, and PREFETCH never faults.
+#[inline(always)]
+fn prefetch_children(nodes: &[Node], node: &Node) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let base = nodes.as_ptr();
+        for bit in 0..2 {
+            let c = node.children[bit];
+            if c != NONE {
+                // SAFETY: prefetch is a hint; it dereferences nothing.
+                unsafe {
+                    core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                        base.wrapping_add(c as usize).cast::<i8>(),
+                    );
+                }
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (nodes, node);
+    }
+}
+
+/// One step of the descent state machine, shared by every lookup path:
+/// from `idx` at `depth` with `rem` holding the unconsumed key bits
+/// left-aligned, try to advance along `key`. Returns the child index,
+/// or [`NONE`] when the descent ends here (no child / label mismatch /
+/// label overruns the key).
+#[inline(always)]
+fn descend_step(
+    nodes: &[Node],
+    idx: u32,
+    key_len: usize,
+    depth: usize,
+    rem: u128,
+) -> (u32, usize, u128) {
+    let bit = (rem >> (crate::bits::MAX_BITS - 1)) as usize;
+    let child = nodes[idx as usize].children[bit];
+    if child == NONE {
+        return (NONE, depth, rem);
+    }
+    let node = &nodes[child as usize];
+    let ll = node.label_len as usize;
+    // Non-root labels are 1..=128 bits, so `128 - ll` is a valid shift;
+    // the XOR-shift compares exactly the label's bits against the key's
+    // next `ll` bits (both words are left-aligned).
+    if depth + ll > key_len || (node.bits ^ rem) >> (crate::bits::MAX_BITS - ll) != 0 {
+        return (NONE, depth, rem);
+    }
+    prefetch_children(nodes, node);
+    let rem = if ll >= crate::bits::MAX_BITS {
+        0
+    } else {
+        rem << ll
+    };
+    (child, depth + ll, rem)
+}
+
+impl Node {
+    fn new(label: BitStr, has_value: bool) -> Self {
         Node {
-            label,
-            value,
-            children: [None, None],
+            bits: label.raw(),
+            children: [NONE, NONE],
+            label_len: label.len() as u8,
+            has_value,
         }
     }
 
+    #[inline]
+    fn label(&self) -> BitStr {
+        // Labels only ever come from `BitStr` surgery, so the word is
+        // canonical (bits past `label_len` are zero) by construction.
+        BitStr::from_raw(self.bits, self.label_len as usize)
+    }
+
+    fn set_label(&mut self, label: BitStr) {
+        self.bits = label.raw();
+        self.label_len = label.len() as u8;
+    }
+
     fn child_count(&self) -> usize {
-        self.children.iter().filter(|c| c.is_some()).count()
+        (self.children[0] != NONE) as usize + (self.children[1] != NONE) as usize
+    }
+}
+
+/// Arena layout diagnostics — what [`PatriciaTrie::mem_stats`] reports
+/// and the `lpm_hot_path` bench prints, so layout regressions (bloated
+/// arenas, stranded free-lists, deep tries) show up in bench output.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Live nodes (including the root and valueless interior nodes).
+    pub live_nodes: usize,
+    /// Arena slots currently allocated (live + free).
+    pub arena_len: usize,
+    /// Bytes reserved by the arenas: node slab + value slab capacities.
+    pub capacity_bytes: usize,
+    /// Dead slots awaiting reuse.
+    pub free_list_len: usize,
+    /// `depth_histogram[d]` = live nodes at `d` edges from the root.
+    pub depth_histogram: Vec<usize>,
+}
+
+impl MemStats {
+    /// Merges another family's stats into this one (the [`crate::EidTrie`]
+    /// aggregate: counts add, histograms add element-wise).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.live_nodes += other.live_nodes;
+        self.arena_len += other.arena_len;
+        self.capacity_bytes += other.capacity_bytes;
+        self.free_list_len += other.free_list_len;
+        if self.depth_histogram.len() < other.depth_histogram.len() {
+            self.depth_histogram.resize(other.depth_histogram.len(), 0);
+        }
+        for (d, n) in other.depth_histogram.iter().enumerate() {
+            self.depth_histogram[d] += n;
+        }
+    }
+
+    /// Maximum node depth (edges from the root).
+    pub fn max_depth(&self) -> usize {
+        self.depth_histogram.len().saturating_sub(1)
+    }
+}
+
+impl core::fmt::Display for MemStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} live nodes / {} slots ({} free), {} KiB reserved, max depth {}",
+            self.live_nodes,
+            self.arena_len,
+            self.free_list_len,
+            self.capacity_bytes / 1024,
+            self.max_depth(),
+        )
     }
 }
 
 /// A Patricia trie mapping bit-string prefixes to values.
 #[derive(Clone)]
 pub struct PatriciaTrie<V> {
-    root: Node<V>,
+    /// The node arena. `nodes[0]` is the root (empty label, never freed).
+    nodes: Vec<Node>,
+    /// Values parallel to `nodes`: `values[i]` belongs to `nodes[i]`.
+    values: Vec<Option<V>>,
+    /// Dead arena slots available for reuse by `insert`.
+    free: Vec<u32>,
+    /// Stored entry count.
     len: usize,
 }
 
@@ -79,7 +285,9 @@ impl<V> PatriciaTrie<V> {
     /// Creates an empty trie.
     pub fn new() -> Self {
         PatriciaTrie {
-            root: Node::new(BitStr::empty(), None),
+            nodes: vec![Node::new(BitStr::empty(), false)],
+            values: vec![None],
+            free: Vec::new(),
             len: 0,
         }
     }
@@ -94,190 +302,169 @@ impl<V> PatriciaTrie<V> {
         self.len == 0
     }
 
+    /// Allocates an arena slot (reusing the free-list when possible).
+    fn alloc_node(&mut self, label: BitStr, value: Option<V>) -> u32 {
+        let has_value = value.is_some();
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Node::new(label, has_value);
+            self.values[idx as usize] = value;
+            idx
+        } else {
+            let idx = self.nodes.len();
+            assert!(idx < NONE as usize, "arena exceeds u32 index space");
+            self.nodes.push(Node::new(label, has_value));
+            self.values.push(value);
+            idx as u32
+        }
+    }
+
+    /// Returns a slot to the free-list, dropping its value.
+    fn free_node(&mut self, idx: u32) {
+        debug_assert_ne!(idx, ROOT, "the root is never freed");
+        self.nodes[idx as usize] = Node::new(BitStr::empty(), false);
+        self.values[idx as usize] = None;
+        self.free.push(idx);
+    }
+
     /// Inserts `value` at `key`, returning the previous value if any.
     pub fn insert(&mut self, key: &BitStr, value: V) -> Option<V> {
-        let (old, _) = Self::insert_at(&mut self.root, key, 0, value);
-        if old.is_none() {
-            self.len += 1;
-        }
-        old
-    }
-
-    /// Recursive insert below `node`, whose label is already matched up
-    /// to `depth` bits of `key`. Returns (old value, ()).
-    fn insert_at(node: &mut Node<V>, key: &BitStr, depth: usize, value: V) -> (Option<V>, ()) {
-        // `depth` bits of key consumed before node's label started.
-        let label_len = node.label.len();
-        debug_assert!(depth + label_len <= key.len() || label_len > 0 || depth <= key.len());
-        let after_label = depth + label_len;
-
-        if after_label == key.len() {
-            // Key ends exactly at this node.
-            return (node.value.replace(value), ());
-        }
-
-        // Key continues below this node.
-        let next_bit = key.bit(after_label) as usize;
-        match &mut node.children[next_bit] {
-            None => {
-                let label = key.slice(after_label, key.len());
-                node.children[next_bit] = Some(Box::new(Node::new(label, Some(value))));
-                (None, ())
-            }
-            Some(child) => {
-                let rest = key.slice(after_label, key.len());
-                let common = child.label.common_prefix_len(&rest);
-                if common == child.label.len() {
-                    // Child label fully matches; descend.
-                    Self::insert_at(child, key, after_label, value)
-                } else {
-                    // Split the child at `common`.
-                    let child_box = node.children[next_bit].take().unwrap();
-                    let split = Self::split_node(child_box, common);
-                    node.children[next_bit] = Some(split);
-                    let child = node.children[next_bit].as_mut().unwrap();
-                    if common == rest.len() {
-                        // Key ends exactly at the split point.
-                        (child.value.replace(value), ())
-                    } else {
-                        let bit = rest.bit(common) as usize;
-                        debug_assert!(child.children[bit].is_none());
-                        let label = rest.slice(common, rest.len());
-                        child.children[bit] = Some(Box::new(Node::new(label, Some(value))));
-                        (None, ())
-                    }
+        let mut idx = ROOT;
+        // Bits of `key` consumed up to and including `idx`'s label.
+        let mut after_label = 0usize;
+        loop {
+            if after_label == key.len() {
+                // Key ends exactly at this node.
+                let node = &mut self.nodes[idx as usize];
+                node.has_value = true;
+                let old = self.values[idx as usize].replace(value);
+                if old.is_none() {
+                    self.len += 1;
                 }
+                return old;
             }
-        }
-    }
 
-    /// Splits `node` after `at` bits of its label, returning the new
-    /// parent whose single child is the original node (with shortened
-    /// label).
-    fn split_node(mut node: Box<Node<V>>, at: usize) -> Box<Node<V>> {
-        debug_assert!(at < node.label.len());
-        let parent_label = node.label.slice(0, at);
-        let child_label = node.label.slice(at, node.label.len());
-        let bit = child_label.bit(0) as usize;
-        node.label = child_label;
-        let mut parent = Box::new(Node::new(parent_label, None));
-        parent.children[bit] = Some(node);
-        parent
+            // Key continues below this node.
+            let next_bit = key.bit(after_label) as usize;
+            let child = self.nodes[idx as usize].children[next_bit];
+            if child == NONE {
+                let label = key.slice(after_label, key.len());
+                let leaf = self.alloc_node(label, Some(value));
+                self.nodes[idx as usize].children[next_bit] = leaf;
+                self.len += 1;
+                return None;
+            }
+
+            let rest = key.slice(after_label, key.len());
+            let child_label = self.nodes[child as usize].label();
+            let common = child_label.common_prefix_len(&rest);
+            if common == child_label.len() {
+                // Child label fully matches; descend.
+                idx = child;
+                after_label += child_label.len();
+                continue;
+            }
+
+            // Split the child at `common`: a new interior node takes the
+            // shared head of the label, the old child keeps the tail.
+            let head = child_label.slice(0, common);
+            let tail = child_label.slice(common, child_label.len());
+            let tail_bit = tail.bit(0) as usize;
+            let ends_here = common == rest.len();
+            let split = self.alloc_node(head, None);
+            self.nodes[child as usize].set_label(tail);
+            self.nodes[split as usize].children[tail_bit] = child;
+            self.nodes[idx as usize].children[next_bit] = split;
+            if ends_here {
+                // Key ends exactly at the split point.
+                self.nodes[split as usize].has_value = true;
+                self.values[split as usize] = Some(value);
+            } else {
+                let bit = rest.bit(common) as usize;
+                debug_assert_ne!(bit, tail_bit);
+                let label = rest.slice(common, rest.len());
+                let leaf = self.alloc_node(label, Some(value));
+                self.nodes[split as usize].children[bit] = leaf;
+            }
+            self.len += 1;
+            return None;
+        }
     }
 
     /// Exact-match lookup.
     pub fn get(&self, key: &BitStr) -> Option<&V> {
-        let mut node = &self.root;
-        let mut depth = node.label.len(); // root label is empty
-        debug_assert_eq!(depth, 0);
+        let nodes = self.nodes.as_slice();
+        let mut idx = ROOT;
+        let mut depth = 0usize;
+        let mut rem = key.raw();
         loop {
             if depth == key.len() {
-                return node.value.as_ref();
+                return self.values[idx as usize].as_ref();
             }
-            let bit = key.bit(depth) as usize;
-            let child = node.children[bit].as_ref()?;
-            let rest = key.slice(depth, key.len());
-            if !child.label.is_prefix_of(&rest) {
+            let (child, d, r) = descend_step(nodes, idx, key.len(), depth, rem);
+            if child == NONE {
                 return None;
             }
-            depth += child.label.len();
-            node = child;
+            (idx, depth, rem) = (child, d, r);
         }
     }
 
     /// Longest-prefix match: the value of the longest stored prefix of
     /// `key`, together with its bit length.
     pub fn longest_match(&self, key: &BitStr) -> Option<(usize, &V)> {
-        let mut node = &self.root;
-        let mut depth = 0usize;
-        let mut best: Option<(usize, &V)> = node.value.as_ref().map(|v| (0, v));
-        loop {
-            if depth == key.len() {
-                return best;
-            }
-            let bit = key.bit(depth) as usize;
-            let Some(child) = node.children[bit].as_ref() else {
-                return best;
-            };
-            let rest = key.slice(depth, key.len());
-            if !child.label.is_prefix_of(&rest) {
-                return best;
-            }
-            depth += child.label.len();
-            node = child;
-            if let Some(v) = node.value.as_ref() {
-                best = Some((depth, v));
-            }
-        }
+        let (depth, idx) = self.longest_match_idx(key)?;
+        Some((
+            depth,
+            self.values[idx as usize]
+                .as_ref()
+                .expect("has_value node holds a value"),
+        ))
     }
 
-    /// Raw, reference-free trie step: the `bit` child of `node`, or null.
-    ///
-    /// Reads the pointer straight out of the `Option<Box<Node<V>>>`
-    /// slot: `Option<Box<T>>` is guaranteed null-pointer-optimized
-    /// (documented in the std `Option` representation notes — same
-    /// layout as a nullable pointer, `None` = null), and a raw read
-    /// preserves the stored pointer's provenance. No reference of any
-    /// kind is created, which is what keeps the interleaved multi-lane
-    /// walk in [`PatriciaTrie::longest_match_mut_each`] sound: lanes
-    /// parked on shared upper nodes never assert uniqueness over them.
-    ///
-    /// # Safety
-    /// `node` must point to a live `Node<V>` reachable from a borrow
-    /// that permits reads.
+    /// The shared best-candidate descent: `(matched bit length, arena
+    /// index)` of the deepest valued node on `key`'s path, or `None`.
+    /// Both `longest_match` flavors materialize their reference from
+    /// the returned index — which is also why the mutable flavor needs
+    /// no `unsafe`.
     #[inline]
-    unsafe fn raw_child(node: *mut Node<V>, bit: usize) -> *mut Node<V> {
-        core::ptr::addr_of_mut!((*node).children[bit])
-            .cast::<*mut Node<V>>()
-            .read()
+    fn longest_match_idx(&self, key: &BitStr) -> Option<(usize, u32)> {
+        let nodes = self.nodes.as_slice();
+        let mut idx = ROOT;
+        let mut depth = 0usize;
+        let mut rem = key.raw();
+        let mut best = if nodes[ROOT as usize].has_value {
+            (0usize, ROOT)
+        } else {
+            (0, NONE)
+        };
+        while depth < key.len() {
+            let (child, d, r) = descend_step(nodes, idx, key.len(), depth, rem);
+            if child == NONE {
+                break;
+            }
+            (idx, depth, rem) = (child, d, r);
+            if nodes[idx as usize].has_value {
+                best = (depth, idx);
+            }
+        }
+        (best.1 != NONE).then_some(best)
     }
 
     /// Longest-prefix match returning a mutable value reference, so
     /// callers can update entry metadata (e.g. an LRU stamp) in place
     /// instead of a remove + insert round trip.
     ///
-    /// Zero-allocation and **single-pass**: one descent finds and
-    /// returns the deepest match (the first version walked down twice —
-    /// an immutable scan then a mutable re-walk — which doubled the
-    /// pointer-chasing on the forwarding hot path).
+    /// Zero-allocation and single-pass. Entirely safe code: the descent
+    /// tracks the best candidate as an arena *index*, and the one `&mut
+    /// V` materializes from it only after the walk ends — the shape the
+    /// borrow checker rejected in the pointer-chasing layout.
     pub fn longest_match_mut(&mut self, key: &BitStr) -> Option<(usize, &mut V)> {
-        // The descent keeps a candidate pointer to the best value seen
-        // while continuing down the nodes below it — a shape the borrow
-        // checker cannot express with references (the classic
-        // conditional-return limitation), hence the raw pointers.
-        //
-        // SAFETY: all pointers derive from the exclusive `&mut self`
-        // borrow; the walk performs only reads through them (labels and
-        // `Option` discriminants; children via the reference-free
-        // `raw_child`), the structure is not mutated meanwhile, and
-        // exactly one `&mut V` escapes, bounded by `self`'s lifetime.
-        let mut node: *mut Node<V> = &mut self.root;
-        let mut depth = 0usize;
-        unsafe {
-            let value_slot = |n: *mut Node<V>| core::ptr::addr_of_mut!((*n).value);
-            let mut best: Option<(usize, *mut Option<V>)> =
-                (*value_slot(node)).is_some().then(|| (0, value_slot(node)));
-            loop {
-                if depth == key.len() {
-                    break;
-                }
-                let bit = key.bit(depth) as usize;
-                let child = Self::raw_child(node, bit);
-                if child.is_null() {
-                    break;
-                }
-                let label: BitStr = (*child).label;
-                if !label.is_prefix_of(&key.slice(depth, key.len())) {
-                    break;
-                }
-                depth += label.len();
-                node = child;
-                if (*value_slot(node)).is_some() {
-                    best = Some((depth, value_slot(node)));
-                }
-            }
-            best.map(|(d, slot)| (d, (*slot).as_mut().expect("slot held a value")))
-        }
+        let (depth, idx) = self.longest_match_idx(key)?;
+        Some((
+            depth,
+            self.values[idx as usize]
+                .as_mut()
+                .expect("has_value node holds a value"),
+        ))
     }
 
     /// Batched [`PatriciaTrie::longest_match_mut`]: calls
@@ -291,101 +478,88 @@ impl<V> PatriciaTrie<V> {
     /// dependent cache misses per key; the lockstep walk exposes them
     /// as memory-level parallelism, which is where the batched data
     /// plane's speedup over per-packet processing comes from (the
-    /// `dataplane_fwd` bench measures it).
-    ///
+    /// `dataplane_fwd` bench measures it). With the arena layout the
+    /// lanes advance by `u32` index loads from one contiguous slab —
+    /// no `unsafe`, no pointer provenance gymnastics.
     pub fn longest_match_mut_each<F>(&mut self, keys: &[BitStr], mut f: F)
     where
         F: FnMut(usize, Option<(usize, &mut V)>),
     {
         /// One in-flight lookup of the lockstep walk. `best` is the
-        /// `Option<V>` slot of the deepest match so far (null = none).
-        struct Lane<V> {
-            node: *mut Node<V>,
-            depth: usize,
-            best_depth: usize,
-            best: *mut Option<V>,
+        /// arena index of the deepest match so far ([`NONE`] = none).
+        #[derive(Clone, Copy)]
+        struct Lane {
+            node: u32,
+            best: u32,
+            rem: u128,
+            depth: u16,
+            best_depth: u16,
             done: bool,
         }
-        impl<V> Clone for Lane<V> {
-            fn clone(&self) -> Self {
-                *self
-            }
-        }
-        impl<V> Copy for Lane<V> {}
 
         const LANES: usize = 32;
-        let root: *mut Node<V> = &mut self.root;
+        let root_best = if self.nodes[ROOT as usize].has_value {
+            ROOT
+        } else {
+            NONE
+        };
         for (ci, chunk) in keys.chunks(LANES).enumerate() {
-            let mut lanes = [Lane::<V> {
-                node: root,
+            let mut lanes = [Lane {
+                node: ROOT,
+                best: root_best,
+                rem: 0,
                 depth: 0,
                 best_depth: 0,
-                best: core::ptr::null_mut(),
                 done: false,
             }; LANES];
-            // SAFETY: every pointer derives from the exclusive `&mut
-            // self`, and the descent never creates a reference: labels
-            // are copied out by raw place reads, child pointers come
-            // from the reference-free `raw_child`, and value presence is
-            // checked through `addr_of_mut!` slots. Lanes therefore
-            // never assert uniqueness over the upper nodes they share.
-            // Mutable references materialize only in the tail loop, one
-            // at a time, each ending when `f` returns — `f`'s HRTB
-            // signature prevents escape (duplicate keys in one batch
-            // simply yield the same slot twice, sequentially).
-            unsafe {
-                let root_vslot = core::ptr::addr_of_mut!((*root).value);
-                if (*root_vslot).is_some() {
-                    for lane in lanes.iter_mut().take(chunk.len()) {
-                        lane.best = root_vslot;
+            for (lane, key) in lanes.iter_mut().zip(chunk) {
+                lane.rem = key.raw();
+            }
+            let nodes = self.nodes.as_slice();
+            loop {
+                let mut active = false;
+                for (i, lane) in lanes.iter_mut().enumerate().take(chunk.len()) {
+                    if lane.done {
+                        continue;
                     }
-                }
-                loop {
-                    let mut active = false;
-                    for (i, lane) in lanes.iter_mut().enumerate().take(chunk.len()) {
-                        if lane.done {
-                            continue;
-                        }
-                        let key = &chunk[i];
-                        if lane.depth == key.len() {
-                            lane.done = true;
-                            continue;
-                        }
-                        let bit = key.bit(lane.depth) as usize;
-                        let child = Self::raw_child(lane.node, bit);
-                        if child.is_null() {
-                            lane.done = true;
-                            continue;
-                        }
-                        let label: BitStr = (*child).label;
-                        if !label.is_prefix_of(&key.slice(lane.depth, key.len())) {
-                            lane.done = true;
-                            continue;
-                        }
-                        lane.depth += label.len();
-                        lane.node = child;
-                        let vslot = core::ptr::addr_of_mut!((*child).value);
-                        if (*vslot).is_some() {
-                            lane.best_depth = lane.depth;
-                            lane.best = vslot;
-                        }
-                        active = true;
+                    let key = &chunk[i];
+                    let depth = lane.depth as usize;
+                    if depth == key.len() {
+                        lane.done = true;
+                        continue;
                     }
-                    if !active {
-                        break;
+                    let (child, d, r) = descend_step(nodes, lane.node, key.len(), depth, lane.rem);
+                    if child == NONE {
+                        lane.done = true;
+                        continue;
                     }
+                    lane.node = child;
+                    lane.depth = d as u16;
+                    lane.rem = r;
+                    if nodes[child as usize].has_value {
+                        lane.best_depth = lane.depth;
+                        lane.best = child;
+                    }
+                    active = true;
                 }
-                for (i, lane) in lanes.iter().enumerate().take(chunk.len()) {
-                    let res = if lane.best.is_null() {
-                        None
-                    } else {
-                        Some((
-                            lane.best_depth,
-                            (*lane.best).as_mut().expect("best slot holds a value"),
-                        ))
-                    };
-                    f(ci * LANES + i, res);
+                if !active {
+                    break;
                 }
+            }
+            // Results, one mutable borrow at a time (duplicate keys in
+            // one batch simply yield the same slot twice, sequentially).
+            for (i, lane) in lanes.iter().enumerate().take(chunk.len()) {
+                let res = if lane.best == NONE {
+                    None
+                } else {
+                    Some((
+                        lane.best_depth as usize,
+                        self.values[lane.best as usize]
+                            .as_mut()
+                            .expect("has_value node holds a value"),
+                    ))
+                };
+                f(ci * LANES + i, res);
             }
         }
     }
@@ -398,131 +572,220 @@ impl<V> PatriciaTrie<V> {
     /// pass over the trie instead of one full descent per victim.
     pub fn retain<F: FnMut(&BitStr, &mut V) -> bool>(&mut self, mut f: F) -> usize {
         let mut removed = 0usize;
-        Self::retain_at(&mut self.root, BitStr::empty(), &mut f, &mut removed);
+        self.retain_at(ROOT, BitStr::empty(), &mut f, &mut removed);
         self.len -= removed;
+        self.maybe_compact();
         removed
     }
 
     fn retain_at<F: FnMut(&BitStr, &mut V) -> bool>(
-        node: &mut Node<V>,
+        &mut self,
+        idx: u32,
         prefix: BitStr,
         f: &mut F,
         removed: &mut usize,
     ) {
-        let here = prefix.concat(&node.label);
-        if let Some(v) = node.value.as_mut() {
+        let here = prefix.concat(&self.nodes[idx as usize].label());
+        if let Some(v) = self.values[idx as usize].as_mut() {
             if !f(&here, v) {
-                node.value = None;
+                self.values[idx as usize] = None;
+                self.nodes[idx as usize].has_value = false;
                 *removed += 1;
             }
         }
-        for i in 0..2 {
-            if node.children[i].is_some() {
-                {
-                    let child = node.children[i].as_mut().unwrap();
-                    Self::retain_at(child, here, f, removed);
-                }
+        for bit in 0..2 {
+            let child = self.nodes[idx as usize].children[bit];
+            if child != NONE {
+                self.retain_at(child, here, f, removed);
                 // Re-establish compression exactly as `remove` does: a
                 // valueless child with zero children disappears, with one
                 // child merges into its grandchild.
-                let child = node.children[i].as_mut().unwrap();
-                if child.value.is_none() {
-                    match child.child_count() {
-                        0 => {
-                            node.children[i] = None;
-                        }
-                        1 => {
-                            let mut child_box = node.children[i].take().unwrap();
-                            let mut gc = child_box
-                                .children
-                                .iter_mut()
-                                .find_map(Option::take)
-                                .expect("child_count said 1");
-                            gc.label = child_box.label.concat(&gc.label);
-                            node.children[i] = Some(gc);
-                        }
-                        _ => {}
-                    }
-                }
+                self.fix_child(idx, bit);
             }
         }
     }
 
     /// Removes the value at `key`, returning it. Re-compresses the path.
+    ///
+    /// Never compacts: `remove` runs inline on the forwarding path
+    /// (TTL-expired map-cache entries are purged by the lookup that
+    /// finds them), so it stays O(key bits) and allocation-free. Freed
+    /// slots go to the free-list for `insert` to reuse; arena re-layout
+    /// happens in `retain` (the maintenance-path bulk operation) or an
+    /// explicit `compact()`.
     pub fn remove(&mut self, key: &BitStr) -> Option<V> {
-        let removed = Self::remove_at(&mut self.root, key, 0);
+        let removed = self.remove_at(ROOT, key, 0);
         if removed.is_some() {
             self.len -= 1;
         }
         removed
     }
 
-    fn remove_at(node: &mut Node<V>, key: &BitStr, depth: usize) -> Option<V> {
+    fn remove_at(&mut self, idx: u32, key: &BitStr, depth: usize) -> Option<V> {
         if depth == key.len() {
-            return node.value.take();
+            self.nodes[idx as usize].has_value = false;
+            return self.values[idx as usize].take();
         }
         let bit = key.bit(depth) as usize;
-        let child = node.children[bit].as_mut()?;
-        let rest = key.slice(depth, key.len());
-        if !child.label.is_prefix_of(&rest) {
+        let child = self.nodes[idx as usize].children[bit];
+        if child == NONE {
             return None;
         }
-        let child_depth = depth + child.label.len();
-        let removed = Self::remove_at(child, key, child_depth)?;
+        let label = self.nodes[child as usize].label();
+        if !label.is_prefix_of(&key.slice(depth, key.len())) {
+            return None;
+        }
+        let removed = self.remove_at(child, key, depth + label.len())?;
         // Re-establish compression on the way out.
-        let child_ref = node.children[bit].as_mut().unwrap();
-        if child_ref.value.is_none() {
-            match child_ref.child_count() {
-                0 => {
-                    node.children[bit] = None;
-                }
-                1 => {
-                    // Merge child with its single grandchild.
-                    let mut child_box = node.children[bit].take().unwrap();
-                    let gc = child_box
-                        .children
-                        .iter_mut()
-                        .find_map(Option::take)
-                        .expect("child_count said 1");
-                    let mut gc = gc;
-                    gc.label = child_box.label.concat(&gc.label);
-                    node.children[bit] = Some(gc);
-                }
-                _ => {}
+        self.fix_child(idx, bit);
+        Some(removed)
+    }
+
+    /// Restores the path-compression invariant for `parent`'s `bit`
+    /// child: a valueless child with zero children is freed, with one
+    /// child merges into its grandchild (which absorbs its label).
+    fn fix_child(&mut self, parent: u32, bit: usize) {
+        let child = self.nodes[parent as usize].children[bit];
+        let node = self.nodes[child as usize];
+        if node.has_value {
+            return;
+        }
+        match node.child_count() {
+            0 => {
+                self.nodes[parent as usize].children[bit] = NONE;
+                self.free_node(child);
+            }
+            1 => {
+                let gc = if node.children[0] != NONE {
+                    node.children[0]
+                } else {
+                    node.children[1]
+                };
+                let merged = node.label().concat(&self.nodes[gc as usize].label());
+                self.nodes[gc as usize].set_label(merged);
+                self.nodes[parent as usize].children[bit] = gc;
+                self.free_node(child);
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-lays the arena in DFS preorder so a descent walks
+    /// nearly-sequential memory, and empties the free-list.
+    ///
+    /// A node's 0-subtree immediately follows it in the new arena; the
+    /// deepest levels — where subtrees span a handful of nodes — end up
+    /// sharing cache lines, which is where the pointer-chasing layout
+    /// paid one full miss per hop. Call after bulk loads (the map-cache,
+    /// RIB and VRF population paths do); churn-heavy workloads get the
+    /// same treatment automatically via the free-list threshold in
+    /// `remove`/`retain`.
+    pub fn compact(&mut self) {
+        let live = self.nodes.len() - self.free.len();
+        let mut nodes = Vec::with_capacity(live);
+        let mut values = Vec::with_capacity(live);
+        self.compact_at(ROOT, &mut nodes, &mut values);
+        debug_assert_eq!(nodes.len(), live);
+        self.nodes = nodes;
+        self.values = values;
+        self.free.clear();
+    }
+
+    /// Moves the subtree at `idx` into `nodes`/`values` in preorder,
+    /// returning its new index.
+    fn compact_at(&mut self, idx: u32, nodes: &mut Vec<Node>, values: &mut Vec<Option<V>>) -> u32 {
+        let node = self.nodes[idx as usize];
+        let new_idx = nodes.len() as u32;
+        nodes.push(Node {
+            children: [NONE, NONE],
+            ..node
+        });
+        values.push(self.values[idx as usize].take());
+        for bit in 0..2 {
+            if node.children[bit] != NONE {
+                let c = self.compact_at(node.children[bit], nodes, values);
+                nodes[new_idx as usize].children[bit] = c;
             }
         }
-        Some(removed)
+        new_idx
+    }
+
+    /// Opportunistic re-layout once the free-list dominates the arena:
+    /// at least [`COMPACT_FREE_MIN`] dead slots *and* as many dead as
+    /// live. Amortized O(1) per freed slot (a compaction halves the
+    /// arena, so the next trigger needs that many frees again). Called
+    /// only from `retain` — the maintenance-path bulk eviction — never
+    /// from `remove`, which must stay cheap on the forwarding path.
+    fn maybe_compact(&mut self) {
+        if self.free.len() >= COMPACT_FREE_MIN && self.free.len() * 2 >= self.nodes.len() {
+            self.compact();
+        }
+    }
+
+    /// Arena layout diagnostics: live node count, slot count, reserved
+    /// bytes, free-list length and the live-nodes-per-depth histogram.
+    pub fn mem_stats(&self) -> MemStats {
+        let mut stats = MemStats {
+            live_nodes: 0,
+            arena_len: self.nodes.len(),
+            capacity_bytes: self.nodes.capacity() * core::mem::size_of::<Node>()
+                + self.values.capacity() * core::mem::size_of::<Option<V>>()
+                + self.free.capacity() * core::mem::size_of::<u32>(),
+            free_list_len: self.free.len(),
+            depth_histogram: Vec::new(),
+        };
+        self.depth_census(ROOT, 0, &mut stats);
+        stats
+    }
+
+    fn depth_census(&self, idx: u32, depth: usize, stats: &mut MemStats) {
+        stats.live_nodes += 1;
+        if stats.depth_histogram.len() <= depth {
+            stats.depth_histogram.resize(depth + 1, 0);
+        }
+        stats.depth_histogram[depth] += 1;
+        for bit in 0..2 {
+            let child = self.nodes[idx as usize].children[bit];
+            if child != NONE {
+                self.depth_census(child, depth + 1, stats);
+            }
+        }
     }
 
     /// Iterates `(prefix, value)` pairs in depth-first order.
     pub fn iter(&self) -> impl Iterator<Item = (BitStr, &V)> {
         let mut out = Vec::with_capacity(self.len);
-        Self::collect(&self.root, BitStr::empty(), &mut out);
+        self.collect_at(ROOT, BitStr::empty(), &mut out);
         out.into_iter()
     }
 
-    fn collect<'a>(node: &'a Node<V>, prefix: BitStr, out: &mut Vec<(BitStr, &'a V)>) {
-        let here = prefix.concat(&node.label);
-        if let Some(v) = node.value.as_ref() {
+    fn collect_at<'a>(&'a self, idx: u32, prefix: BitStr, out: &mut Vec<(BitStr, &'a V)>) {
+        let here = prefix.concat(&self.nodes[idx as usize].label());
+        if let Some(v) = self.values[idx as usize].as_ref() {
             out.push((here, v));
         }
-        for child in node.children.iter().flatten() {
-            Self::collect(child, here, out);
+        for bit in 0..2 {
+            let child = self.nodes[idx as usize].children[bit];
+            if child != NONE {
+                self.collect_at(child, here, out);
+            }
         }
     }
 
     /// Maximum node depth (edges from the root), a diagnostics metric:
     /// bounded by key bit-width regardless of entry count.
     pub fn max_depth(&self) -> usize {
-        fn depth_of<V>(node: &Node<V>) -> usize {
-            node.children
-                .iter()
-                .flatten()
-                .map(|c| 1 + depth_of(c))
-                .max()
-                .unwrap_or(0)
+        fn depth_of(nodes: &[Node], idx: u32) -> usize {
+            let mut max = 0;
+            for bit in 0..2 {
+                let child = nodes[idx as usize].children[bit];
+                if child != NONE {
+                    max = max.max(1 + depth_of(nodes, child));
+                }
+            }
+            max
         }
-        depth_of(&self.root)
+        depth_of(&self.nodes, ROOT)
     }
 }
 
@@ -536,6 +799,12 @@ mod tests {
             s.push(c == '1');
         }
         s
+    }
+
+    #[test]
+    fn node_is_two_per_cache_line() {
+        // The layout claim the module docs make: 32-byte nodes.
+        assert_eq!(core::mem::size_of::<Node>(), 32);
     }
 
     #[test]
@@ -645,5 +914,121 @@ mod tests {
         }
         assert!(t.max_depth() <= 32, "depth {} exceeds 32", t.max_depth());
         assert_eq!(t.len(), 2000);
+    }
+
+    #[test]
+    fn compact_preserves_everything() {
+        let mut t = PatriciaTrie::new();
+        for i in 0u32..500 {
+            let bytes = i.wrapping_mul(2_654_435_761).to_be_bytes();
+            t.insert(&BitStr::from_bytes(&bytes, 32), i);
+        }
+        // Punch holes, then compact.
+        for i in 0u32..500 {
+            if i % 3 == 0 {
+                let bytes = i.wrapping_mul(2_654_435_761).to_be_bytes();
+                t.remove(&BitStr::from_bytes(&bytes, 32));
+            }
+        }
+        let before: Vec<(String, u32)> = t.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let len = t.len();
+        t.compact();
+        assert_eq!(t.len(), len);
+        let after: Vec<(String, u32)> = t.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        assert_eq!(before, after, "compaction must not change contents");
+        let stats = t.mem_stats();
+        assert_eq!(stats.free_list_len, 0, "compaction empties the free-list");
+        assert_eq!(stats.arena_len, stats.live_nodes);
+        // Compact is idempotent.
+        t.compact();
+        let again: Vec<(String, u32)> = t.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        assert_eq!(after, again);
+        for i in 0u32..500 {
+            let bytes = i.wrapping_mul(2_654_435_761).to_be_bytes();
+            let k = BitStr::from_bytes(&bytes, 32);
+            assert_eq!(t.get(&k).copied(), (i % 3 != 0).then_some(i));
+        }
+    }
+
+    #[test]
+    fn compact_lays_preorder() {
+        // After compaction, a pure-0-bit descent touches strictly
+        // ascending, adjacent-when-possible indices: child 0 of node i
+        // is exactly i + 1 (preorder property).
+        let mut t = PatriciaTrie::new();
+        for i in 0u32..64 {
+            t.insert(&BitStr::from_bytes(&(i << 2).to_be_bytes(), 32), i);
+        }
+        t.compact();
+        let mut idx = ROOT;
+        loop {
+            let child = t.nodes[idx as usize].children[0];
+            if child == NONE {
+                break;
+            }
+            assert_eq!(child, idx + 1, "0-child must immediately follow parent");
+            idx = child;
+        }
+    }
+
+    #[test]
+    fn retain_churn_triggers_opportunistic_compaction() {
+        let mut t = PatriciaTrie::new();
+        for i in 0u32..1000 {
+            t.insert(&BitStr::from_bytes(&i.to_be_bytes(), 32), i);
+        }
+        // Evict 90% through retain (the maintenance path): far past the
+        // free-list threshold, so the arena must have re-laid itself.
+        let removed = t.retain(|_, v| *v % 10 == 0);
+        assert_eq!(removed, 900);
+        let stats = t.mem_stats();
+        assert!(
+            stats.free_list_len * 2 < stats.arena_len.max(COMPACT_FREE_MIN * 2),
+            "retain churn must have compacted: {stats}"
+        );
+        assert_eq!(t.len(), 100);
+        for i in (0u32..1000).step_by(10) {
+            assert_eq!(t.get(&BitStr::from_bytes(&i.to_be_bytes(), 32)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn remove_never_compacts() {
+        // `remove` runs inline on the forwarding path (TTL expiry), so
+        // it must only free-list its slots — the re-layout belongs to
+        // `retain`/`compact`.
+        let mut t = PatriciaTrie::new();
+        for i in 0u32..1000 {
+            t.insert(&BitStr::from_bytes(&i.to_be_bytes(), 32), i);
+        }
+        let slots = t.mem_stats().arena_len;
+        for i in 0u32..1000 {
+            if i % 10 != 0 {
+                t.remove(&BitStr::from_bytes(&i.to_be_bytes(), 32));
+            }
+        }
+        let stats = t.mem_stats();
+        assert_eq!(stats.arena_len, slots, "remove must not re-lay the arena");
+        assert!(stats.free_list_len > 0, "freed slots await reuse");
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn mem_stats_reports_layout() {
+        let mut t = PatriciaTrie::new();
+        assert_eq!(t.mem_stats().live_nodes, 1, "root only");
+        t.insert(&key("0"), 0);
+        t.insert(&key("00"), 1);
+        t.insert(&key("01"), 2);
+        let stats = t.mem_stats();
+        // root -> "0" -> {"0","1"} tails.
+        assert_eq!(stats.live_nodes, 4);
+        assert_eq!(stats.depth_histogram, vec![1, 1, 2]);
+        assert_eq!(stats.max_depth(), 2);
+        assert!(stats.capacity_bytes > 0);
+        let mut merged = stats.clone();
+        merged.merge(&t.mem_stats());
+        assert_eq!(merged.live_nodes, 8);
+        assert_eq!(merged.depth_histogram, vec![2, 2, 4]);
     }
 }

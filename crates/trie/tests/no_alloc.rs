@@ -1,7 +1,11 @@
 //! Proof, not promise: the LPM lookup paths perform **zero heap
 //! allocations**. A counting global allocator wraps the system one; the
-//! test drives `get` / `longest_match` / `longest_match_mut` over a
-//! populated trie and asserts the allocation counter does not move.
+//! test drives `get` / `longest_match` / `longest_match_mut` /
+//! `longest_match_mut_each` over a populated trie — before *and after*
+//! an arena `compact()` — and asserts the allocation counter does not
+//! move. (`compact()` itself allocates the re-laid arena; it runs
+//! outside the measured windows, as the bulk-load hooks do in
+//! production.)
 //!
 //! This file deliberately holds a single `#[test]` — the counter is
 //! process-global, and a concurrently running test would pollute it.
@@ -35,24 +39,9 @@ fn allocations() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
-#[test]
-fn lookup_paths_allocate_nothing() {
-    // -- Raw PatriciaTrie over 32-bit keys.
-    let mut trie = PatriciaTrie::new();
-    for i in 0u32..10_000 {
-        let k = i.wrapping_mul(2_654_435_761);
-        trie.insert(&BitStr::from_bytes(&k.to_be_bytes(), 32), k);
-    }
-
-    // -- EidTrie as the map layers use it.
-    let mut eids: EidTrie<u32> = EidTrie::new();
-    for i in 0u32..10_000 {
-        let e = Eid::V4(Ipv4Addr::from(0x0A00_0000 | i));
-        eids.insert(EidPrefix::host(e), i);
-    }
-
-    let before = allocations();
-
+/// Drives every lookup surface once per key and returns the hit count.
+/// Runs under the measured (must-not-allocate) windows.
+fn drive_lookups(trie: &mut PatriciaTrie<u32>, eids: &mut EidTrie<u32>) -> u64 {
     let mut hits = 0u64;
     for i in 0u32..10_000 {
         let k = i.wrapping_mul(2_654_435_761);
@@ -84,12 +73,69 @@ fn lookup_paths_allocate_nothing() {
         }
     }
 
+    // The interleaved lockstep batch walk: full 32-lane chunks plus a
+    // ragged tail, hits and misses mixed, keys staged in a stack array.
+    let mut keys = [BitStr::empty(); 48];
+    for (j, slot) in keys.iter_mut().enumerate() {
+        let k = (j as u32 % 40).wrapping_mul(2_654_435_761);
+        *slot = if j % 5 == 4 {
+            BitStr::from_bytes(&0xC0A8_0001u32.to_be_bytes(), 32) // miss
+        } else {
+            BitStr::from_bytes(&k.to_be_bytes(), 32)
+        };
+    }
+    trie.longest_match_mut_each(&keys, |_, res| {
+        if let Some((_, v)) = res {
+            *v = v.wrapping_add(1);
+            hits += 1;
+        }
+    });
+    hits
+}
+
+#[test]
+fn lookup_paths_allocate_nothing() {
+    // -- Raw PatriciaTrie over 32-bit keys.
+    let mut trie = PatriciaTrie::new();
+    for i in 0u32..10_000 {
+        let k = i.wrapping_mul(2_654_435_761);
+        trie.insert(&BitStr::from_bytes(&k.to_be_bytes(), 32), k);
+    }
+
+    // -- EidTrie as the map layers use it.
+    let mut eids: EidTrie<u32> = EidTrie::new();
+    for i in 0u32..10_000 {
+        let e = Eid::V4(Ipv4Addr::from(0x0A00_0000 | i));
+        eids.insert(EidPrefix::host(e), i);
+    }
+
+    const EXPECTED_HITS: u64 = 50_000 + 39; // per-key surfaces + batch-walk hits
+
+    // Window 1: the insertion-order arena.
+    let before = allocations();
+    let hits = drive_lookups(&mut trie, &mut eids);
     let after = allocations();
-    assert_eq!(hits, 50_000, "every present key must hit");
+    assert_eq!(hits, EXPECTED_HITS, "every present key must hit");
     assert_eq!(
         after - before,
         0,
         "lookup hot path performed {} heap allocations",
+        after - before
+    );
+
+    // Window 2: the DFS-compacted arena (the production layout after
+    // bulk-load hooks run). Compaction itself may allocate — it happens
+    // between the windows — but lookups afterwards must not.
+    trie.compact();
+    eids.compact();
+    let before = allocations();
+    let hits = drive_lookups(&mut trie, &mut eids);
+    let after = allocations();
+    assert_eq!(hits, EXPECTED_HITS, "compaction must not change results");
+    assert_eq!(
+        after - before,
+        0,
+        "post-compact lookups performed {} heap allocations",
         after - before
     );
 }

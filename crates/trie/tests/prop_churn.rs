@@ -1,0 +1,137 @@
+//! Churn property test for the arena trie: interleaved batches of
+//! insert / remove / retain / compact against a `BTreeMap` model,
+//! asserting `longest_match` and `iter` agree after **every** batch.
+//!
+//! `prop_model.rs` already checks per-operation agreement; this file
+//! targets what the arena layout specifically puts at risk — free-list
+//! reuse handing out stale slots, opportunistic compaction firing
+//! mid-churn, and explicit `compact()` calls at arbitrary points must
+//! all leave the logical contents untouched.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use sda_trie::{BitStr, PatriciaTrie};
+
+/// One batch of churn. Each variant mutates (or re-lays) the trie and
+/// the model in lockstep; agreement is asserted after every batch.
+#[derive(Clone, Debug)]
+enum Batch {
+    /// Insert all keys (values derived from the batch seed).
+    Insert(Vec<Vec<bool>>, u32),
+    /// Remove all keys (hits and misses both exercised).
+    Remove(Vec<Vec<bool>>),
+    /// Retain only entries whose value parity matches.
+    RetainParity(bool),
+    /// Explicit DFS re-layout.
+    Compact,
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), 0..24)
+}
+
+fn arb_batch() -> impl Strategy<Value = Batch> {
+    prop_oneof![
+        (proptest::collection::vec(arb_key(), 1..40), any::<u32>())
+            .prop_map(|(ks, seed)| Batch::Insert(ks, seed)),
+        proptest::collection::vec(arb_key(), 1..40).prop_map(Batch::Remove),
+        any::<bool>().prop_map(Batch::RetainParity),
+        Just(Batch::Compact),
+    ]
+}
+
+fn to_bits(k: &[bool]) -> BitStr {
+    let mut s = BitStr::empty();
+    for &b in k {
+        s.push(b);
+    }
+    s
+}
+
+/// The model keyed by the key's bit rendering ("" = empty key), which
+/// makes longest-prefix-of a `starts_with` scan.
+fn model_lpm(model: &BTreeMap<String, u32>, key: &str) -> Option<(usize, u32)> {
+    model
+        .iter()
+        .filter(|(p, _)| key.starts_with(p.as_str()))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, v)| (p.len(), *v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn churn_agrees_with_model(
+        batches in proptest::collection::vec(arb_batch(), 1..24),
+        probes in proptest::collection::vec(arb_key(), 8),
+    ) {
+        let mut trie = PatriciaTrie::new();
+        let mut model: BTreeMap<String, u32> = BTreeMap::new();
+        for (bi, batch) in batches.iter().enumerate() {
+            match batch {
+                Batch::Insert(keys, seed) => {
+                    for (ki, k) in keys.iter().enumerate() {
+                        let v = seed.wrapping_add(ki as u32);
+                        let key = to_bits(k);
+                        prop_assert_eq!(
+                            trie.insert(&key, v),
+                            model.insert(key.to_string(), v),
+                            "insert disagreement in batch {}", bi
+                        );
+                    }
+                }
+                Batch::Remove(keys) => {
+                    for k in keys {
+                        let key = to_bits(k);
+                        prop_assert_eq!(
+                            trie.remove(&key),
+                            model.remove(&key.to_string()),
+                            "remove disagreement in batch {}", bi
+                        );
+                    }
+                }
+                Batch::RetainParity(keep_odd) => {
+                    let removed = trie.retain(|_, v| (*v % 2 == 1) == *keep_odd);
+                    let before = model.len();
+                    model.retain(|_, v| (*v % 2 == 1) == *keep_odd);
+                    prop_assert_eq!(removed, before - model.len());
+                }
+                Batch::Compact => trie.compact(),
+            }
+
+            // After every batch: size, LPM on probe keys, and full
+            // iteration all agree with the model.
+            prop_assert_eq!(trie.len(), model.len(), "len drift in batch {}", bi);
+            for p in &probes {
+                let key = to_bits(p);
+                prop_assert_eq!(
+                    trie.longest_match(&key).map(|(l, v)| (l, *v)),
+                    model_lpm(&model, &key.to_string()),
+                    "LPM disagreement in batch {}", bi
+                );
+            }
+            let mut got: Vec<(String, u32)> =
+                trie.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+            got.sort();
+            let want: Vec<(String, u32)> =
+                model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            prop_assert_eq!(got, want, "iter disagreement in batch {}", bi);
+        }
+
+        // Cool-down: a final compact must be a logical no-op, and the
+        // arena must hold exactly the live structure (no stranded
+        // free slots).
+        trie.compact();
+        let stats = trie.mem_stats();
+        prop_assert_eq!(stats.free_list_len, 0);
+        prop_assert_eq!(stats.arena_len, stats.live_nodes);
+        let mut got: Vec<(String, u32)> =
+            trie.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        got.sort();
+        let want: Vec<(String, u32)> =
+            model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(got, want, "final compact changed contents");
+    }
+}

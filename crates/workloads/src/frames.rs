@@ -196,6 +196,9 @@ impl FrameDriver {
             );
             remote.push((ip, rloc));
         }
+        // Population is done: re-lay the table arenas in DFS order so
+        // the measured forwarding phase descends sequential memory.
+        switch.compact_tables();
 
         let population = preset.local_endpoints + preset.remote_endpoints;
         FrameDriver {
