@@ -8,8 +8,14 @@
 //! flat medians across the sweep.
 //!
 //! Run with: `cargo bench -p sda-bench --bench fig7_routing_server`
+//! Smoke mode (CI): `SDA_BENCH_SMOKE=1 cargo bench -p sda-bench --bench
+//! fig7_routing_server` — tiny sample sizes and JSON to `target/`, the
+//! same wiring as the other benches, so CI executes this emitter too
+//! (it was previously the only bench CI never ran). The sweep's JSON
+//! goes to `target/BENCH_fig7[.smoke].json` in both modes — it is a
+//! figure reproduction, not a committed regression baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sda_lisp::MapServer;
@@ -127,12 +133,52 @@ fn bench_trie_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(60)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_requests, bench_updates, bench_trie_lookup
+fn main() {
+    let smoke = std::env::var("SDA_BENCH_SMOKE").is_ok();
+    let mut criterion = if smoke {
+        Criterion::default()
+            .sample_size(10)
+            .measurement_time(std::time::Duration::from_millis(60))
+            .warm_up_time(std::time::Duration::from_millis(20))
+    } else {
+        Criterion::default()
+            .sample_size(60)
+            .measurement_time(std::time::Duration::from_secs(3))
+            .warm_up_time(std::time::Duration::from_secs(1))
+    };
+    bench_requests(&mut criterion);
+    bench_updates(&mut criterion);
+    bench_trie_lookup(&mut criterion);
+
+    let out = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_fig7.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_fig7.json")
+    };
+    criterion.write_json(out).expect("write BENCH_fig7.json");
+    eprintln!("wrote {out}");
+
+    // Schema guard (runs even in smoke mode): three groups, five sweep
+    // points each, so the emitter can't silently rot.
+    let results = criterion.results();
+    for group in [
+        "fig7a_map_request",
+        "fig7b_map_register",
+        "fig7_trie_lookup",
+    ] {
+        let points: Vec<&str> = results
+            .iter()
+            .filter(|r| r.group == group)
+            .map(|r| r.id.as_str())
+            .collect();
+        assert_eq!(
+            points,
+            ["10", "100", "1000", "10000", "100000"],
+            "{group} sweep drifted"
+        );
+    }
+    criterion.final_summary();
 }
-criterion_main!(benches);

@@ -431,7 +431,7 @@ fn bench_map_cache(c: &mut Criterion) {
             ttl,
             SimTime::ZERO,
         );
-        stale_cache.mark_stale(vn(), eid(i));
+        stale_cache.mark_stale(vn(), eid(i), SimTime::ZERO);
     }
     stale_cache.compact();
     let mut rng = SmallRng::seed_from_u64(14);

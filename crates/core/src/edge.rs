@@ -642,7 +642,7 @@ impl EdgeRouter {
             } => {
                 // An SMR: our cached mapping is stale. Mark and
                 // re-resolve (Fig. 6 step 4).
-                self.cache.mark_stale(vn, eid);
+                self.cache.mark_stale(vn, eid, now);
                 self.send_map_request(ctx, vn, eid);
             }
             other => {

@@ -26,21 +26,33 @@
 //!   exactly one place, shared with `sda_core::pipeline`'s structured
 //!   simulator path.
 //!
+//! * **Cores, not just batches** ([`mt`]): the pipeline is factored
+//!   into read-mostly [`SharedTables`] + per-worker [`WorkerCtx`], so
+//!   [`MtSwitch`] can fan bursts out to N worker threads by inner-flow
+//!   RSS hash over clone-and-swap epoch-published tables ([`Switch`]
+//!   is the single-threaded composition of the same parts).
+//!
 //! Misses punt Map-Requests to the control plane while the packet rides
 //! the border default route (§3.2.2); SMR'd entries keep forwarding and
 //! punt a refresh (Fig. 6); packets for departed endpoints trigger
 //! data-driven SMRs back to the ingress edge. The engine's performance
-//! contract — zero allocations per steady-state packet, and ≥2x over the
-//! per-packet Vec-assembling baseline — is enforced by
-//! `tests/no_alloc.rs` and the `dataplane_fwd` bench
-//! (`BENCH_dataplane.json`).
+//! contract — zero allocations per steady-state packet, ≥2x over the
+//! per-packet Vec-assembling baseline, and 1-worker multi-core parity
+//! within 1.15x of the single-threaded switch — is enforced by
+//! `tests/no_alloc.rs` and the `dataplane_fwd`/`mt_fwd` benches
+//! (`BENCH_dataplane.json`, `BENCH_mt.json`).
 
 pub mod buffer;
 pub mod encap;
+pub mod mt;
 pub mod switch;
 pub mod vrf;
 
 pub use buffer::{BufferPool, PacketBuf, BATCH_SIZE, HEADROOM, MAX_FRAME};
 pub use encap::{parse_underlay, write_underlay, Decap, EncapParams, UNDERLAY_OVERHEAD};
-pub use switch::{DropReason, Punt, Switch, SwitchConfig, SwitchStats, Verdict};
+pub use mt::{EpochTables, MtSwitch, TableReader};
+pub use switch::{
+    egress_batch, ingress_batch, DropReason, Punt, SharedTables, Switch, SwitchConfig, SwitchStats,
+    Verdict, WorkerCtx,
+};
 pub use vrf::{LocalEndpoint, VrfTable};

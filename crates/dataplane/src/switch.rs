@@ -1,16 +1,42 @@
 //! The batched edge-switch forwarding engine.
 //!
-//! A [`Switch`] owns the three tables of Fig. 4 — per-VRF local endpoint
-//! tries ([`VrfTable`]), the on-demand overlay FIB ([`MapCache`]) and the
-//! group ACL ([`GroupAcl`]) — and processes frames in bursts:
+//! The engine is split along the grain multi-core forwarding needs:
+//!
+//! * [`SharedTables`] — the read-mostly half: the three tables of
+//!   Fig. 4 (per-VRF local endpoint tries ([`VrfTable`]), the
+//!   on-demand overlay FIB ([`MapCache`]) and the group ACL
+//!   ([`GroupAcl`])). The per-packet pipeline touches them through
+//!   `&self` only; mutation is the owner's business (`&mut`, or
+//!   clone-and-swap behind the [`crate::mt::EpochTables`] epoch when
+//!   workers are live).
+//! * [`WorkerCtx`] — the per-worker half: verdict/meta/run scratch
+//!   vectors, the punt queue, forwarding counters and the one-entry
+//!   source-classification memo. One per forwarding thread; nothing in
+//!   it is shared, so N workers never contend.
+//! * [`ingress_batch`] / [`egress_batch`] — the pipeline itself, a free
+//!   function over `(&SwitchConfig, &SharedTables, &mut WorkerCtx)`.
+//!   [`Switch`] composes one of each for the single-threaded
+//!   deployment; [`crate::MtSwitch`] runs the same functions on N
+//!   threads.
+//!
+//! The burst pipeline (unchanged since the engine landed):
 //!
 //! 1. **Parse & classify** every frame in the batch through `sda-wire`
 //!    views (malformed input is a [`DropReason::Malformed`] verdict,
 //!    never a panic).
 //! 2. **Resolve** remote destinations through
-//!    [`MapCache::lookup_batch`]: consecutive packets of the same VN form
-//!    a *run* resolved with one cache descent setup, the batched entry
-//!    point PR 1's `longest_match_mut` machinery feeds.
+//!    [`MapCache::lookup_batch_shared`]: consecutive packets of the
+//!    same VN form a *run* resolved with one cache descent setup over
+//!    the interleaved lockstep trie walk. The shared (`&self`) flavor
+//!    treats TTL-expired entries as absent (the filtered descent keeps
+//!    a dead host route from shadowing a live covering subnet) and
+//!    refreshes `last_used`/reads `stale` through the `CacheEntry`
+//!    atomics — see that type's memory-ordering contract (everything
+//!    Relaxed: per-entry heuristic metadata only; structural
+//!    visibility rides the `Arc` publication). Expired entries are
+//!    physically removed by the owner's periodic
+//!    [`Switch::evict_expired`] / `MtSwitch::evict_expired` sweep,
+//!    not by forwarding.
 //! 3. **Rewrite in place**: hits are VXLAN-GPO-encapsulated by writing
 //!    the 36 underlay header bytes into the buffer's headroom
 //!    ([`crate::encap::write_underlay`]); misses encapsulate toward the
@@ -143,6 +169,20 @@ pub struct SwitchStats {
     pub punted: u64,
 }
 
+impl SwitchStats {
+    /// Adds another counter set into this one (the [`crate::MtSwitch`]
+    /// aggregation across workers).
+    pub fn merge(&mut self, other: &SwitchStats) {
+        self.batches += other.batches;
+        self.rx += other.rx;
+        self.forwarded += other.forwarded;
+        self.forwarded_default += other.forwarded_default;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.punted += other.punted;
+    }
+}
+
 /// Per-packet scratch state between the classify and resolve phases.
 #[derive(Clone, Copy)]
 enum IngressMeta {
@@ -157,59 +197,44 @@ enum IngressMeta {
     },
 }
 
-/// The batched zero-copy forwarding engine of one edge switch.
-pub struct Switch {
-    cfg: SwitchConfig,
-    /// The switch's own MAC (source of rewritten delivery frames).
-    mac: MacAddr,
+/// The read-mostly half of the engine: the three tables of Fig. 4 —
+/// per-VRF local endpoint tries ([`VrfTable`]), the on-demand overlay
+/// FIB ([`MapCache`]) and the group ACL ([`GroupAcl`]).
+///
+/// Everything the per-packet pipeline touches goes through `&self`: VRF
+/// and ACL lookups are plain shared reads, map-cache resolution rides
+/// [`MapCache::lookup_batch_shared`] (entry metadata refreshes through
+/// the `CacheEntry` atomics — see that type's memory-ordering contract),
+/// and ACL enforcement uses the non-counting
+/// [`sda_policy::GroupAcl::check`] (enforcement outcomes are counted in
+/// the per-worker [`SwitchStats`] instead, so shared tables carry no
+/// mutable counters). Mutation — onboarding, Map-Replies, purges,
+/// compaction — takes `&mut self` and belongs to the table owner: the
+/// single-threaded [`Switch`] mutates in place, the multi-core
+/// [`crate::MtSwitch`] mutates a working copy and publishes clones
+/// (clone-and-swap; `Clone` exists for exactly that).
+#[derive(Default, Clone)]
+pub struct SharedTables {
     vrf: VrfTable,
     cache: MapCache,
     acl: GroupAcl,
-    /// One-entry source-classification memo: frames arrive in per-host
-    /// bursts, so the previous packet's `(mac → vn, endpoint)` binding
-    /// usually answers the next one without touching the VRF maps.
-    /// Invalidated on any attach/detach.
-    src_memo: Option<(MacAddr, VnId, LocalEndpoint)>,
-    stats: SwitchStats,
-    punts: Vec<Punt>,
-    verdicts: Vec<Verdict>,
-    meta: Vec<IngressMeta>,
-    run_eids: Vec<Eid>,
-    run_idx: Vec<usize>,
-    run_out: Vec<CacheOutcome>,
 }
 
-impl Switch {
-    /// Builds an empty switch.
-    pub fn new(cfg: SwitchConfig) -> Self {
-        Switch {
-            cfg,
-            mac: MacAddr::from_seed(u32::from(cfg.rloc.addr())),
-            vrf: VrfTable::new(),
-            cache: MapCache::new(),
-            acl: GroupAcl::new(),
-            src_memo: None,
-            stats: SwitchStats::default(),
-            punts: Vec::new(),
-            verdicts: Vec::new(),
-            meta: Vec::new(),
-            run_eids: Vec::new(),
-            run_idx: Vec::new(),
-            run_out: Vec::new(),
-        }
+impl SharedTables {
+    /// Empty tables.
+    pub fn new() -> Self {
+        SharedTables::default()
     }
 
-    // --- control-plane surface -------------------------------------
+    // --- owner (mutating) surface ----------------------------------
 
     /// Attaches a local endpoint (onboarding step 4).
     pub fn attach(&mut self, vn: VnId, ep: LocalEndpoint) {
-        self.src_memo = None;
         self.vrf.attach(vn, ep);
     }
 
     /// Detaches the endpoint with `mac`.
     pub fn detach(&mut self, mac: MacAddr) -> Option<(VnId, LocalEndpoint)> {
-        self.src_memo = None;
         self.vrf.detach(mac)
     }
 
@@ -230,13 +255,6 @@ impl Switch {
         self.cache.apply_negative(vn, prefix)
     }
 
-    /// Handles a received SMR: marks the covering entry stale *in place*
-    /// (PR 1's `longest_match_mut`); the next packet toward it forwards
-    /// and punts a refresh.
-    pub fn receive_smr(&mut self, vn: VnId, eid: Eid) -> Option<Rloc> {
-        self.cache.mark_stale(vn, eid)
-    }
-
     /// Drops every cached mapping through `rloc` (underlay down, §5.1).
     pub fn purge_rloc(&mut self, rloc: Rloc) -> usize {
         self.cache.purge_rloc(rloc)
@@ -252,31 +270,51 @@ impl Switch {
         self.acl.install_matrix(matrix);
     }
 
+    /// Owner maintenance: removes map-cache entries TTL-expired at
+    /// `now` or idle longer than `idle_timeout` (see
+    /// [`MapCache::evict`]). This is the structural half of expiry
+    /// under the shared-read split — the packet path only *filters*
+    /// expired entries; removal happens here, on the owner's periodic
+    /// sweep. Returns how many entries were removed.
+    pub fn evict_expired(&mut self, now: SimTime, idle_timeout: SimDuration) -> usize {
+        self.cache.evict(now, idle_timeout)
+    }
+
+    /// Pulls newer per-entry metadata (`last_used`, `stale`) from a
+    /// published `snapshot` of these tables back into this copy — see
+    /// [`MapCache::adopt_metadata`]. The clone-and-swap owner calls
+    /// this before an idle-based [`SharedTables::evict_expired`], so
+    /// entries kept hot by the workers (who stamp the snapshot, not
+    /// the working copy) are not mistaken for idle.
+    pub fn adopt_metadata(&mut self, snapshot: &SharedTables) {
+        self.cache.adopt_metadata(&snapshot.cache);
+    }
+
     /// Re-lays the forwarding tables' trie arenas (VRF + map-cache) in
     /// DFS preorder so descents walk nearly-sequential memory. Call
     /// once bulk population (onboarding, FIB preload) settles; the
     /// tries also compact themselves under churn via their free-list
     /// threshold.
-    pub fn compact_tables(&mut self) {
+    pub fn compact(&mut self) {
         self.vrf.compact();
         self.cache.compact();
     }
 
+    // --- shared (read) surface -------------------------------------
+
+    /// Handles a received SMR through the `CacheEntry` atomics: marks
+    /// the live covering entry stale *without* mutating the table
+    /// structure, so it works on a published snapshot too (an SMR does
+    /// not force a clone-and-swap).
+    pub fn receive_smr(&self, vn: VnId, eid: Eid, now: SimTime) -> Option<Rloc> {
+        self.cache.mark_stale_shared(vn, eid, now)
+    }
+
     /// Aggregated trie-arena diagnostics for the forwarding tables.
-    pub fn table_mem_stats(&self) -> sda_trie::MemStats {
+    pub fn mem_stats(&self) -> sda_trie::MemStats {
         let mut stats = self.vrf.mem_stats();
         stats.merge(&self.cache.mem_stats());
         stats
-    }
-
-    /// Static configuration.
-    pub fn config(&self) -> &SwitchConfig {
-        &self.cfg
-    }
-
-    /// Forwarding counters.
-    pub fn stats(&self) -> SwitchStats {
-        self.stats
     }
 
     /// Current map-cache size (the Fig. 9 FIB metric).
@@ -289,14 +327,103 @@ impl Switch {
         &self.cache
     }
 
-    /// The group ACL (drop counters feed Fig. 12).
+    /// The per-VN local endpoint tables.
+    pub fn vrf(&self) -> &VrfTable {
+        &self.vrf
+    }
+
+    /// The group ACL rule table (enforcement outcomes are counted in
+    /// the per-worker [`SwitchStats`], not here).
     pub fn acl(&self) -> &GroupAcl {
         &self.acl
     }
+}
 
-    /// Punts raised since the last [`Switch::clear_punts`].
+/// The per-worker half of the engine: everything one forwarding thread
+/// mutates per packet, so N workers sharing one [`SharedTables`]
+/// snapshot never contend.
+///
+/// Holds the scratch vectors of the three-phase pipeline (capacities
+/// retained across batches — the zero-allocation story), the punt
+/// queue, the forwarding counters and the one-entry
+/// source-classification memo.
+pub struct WorkerCtx {
+    /// The switch's own MAC (source of rewritten delivery frames).
+    mac: MacAddr,
+    /// One-entry source-classification memo: frames arrive in per-host
+    /// bursts, so the previous packet's `(mac → vn, endpoint)` binding
+    /// usually answers the next one without touching the VRF maps.
+    /// Invalidated on any attach/detach.
+    src_memo: Option<(MacAddr, VnId, LocalEndpoint)>,
+    stats: SwitchStats,
+    punts: Vec<Punt>,
+    verdicts: Vec<Verdict>,
+    meta: Vec<IngressMeta>,
+    run_eids: Vec<Eid>,
+    run_idx: Vec<usize>,
+    run_out: Vec<CacheOutcome>,
+}
+
+impl WorkerCtx {
+    /// Fresh per-worker state for a switch with `cfg`.
+    pub fn new(cfg: &SwitchConfig) -> Self {
+        WorkerCtx {
+            mac: MacAddr::from_seed(u32::from(cfg.rloc.addr())),
+            src_memo: None,
+            stats: SwitchStats::default(),
+            punts: Vec::new(),
+            verdicts: Vec::new(),
+            meta: Vec::new(),
+            run_eids: Vec::new(),
+            run_idx: Vec::new(),
+            run_out: Vec::new(),
+        }
+    }
+
+    /// Forwarding counters accumulated by this worker.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Verdicts of the most recent processing call.
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// Punts raised and not yet cleared/drained.
     pub fn punts(&self) -> &[Punt] {
         &self.punts
+    }
+
+    /// Clears the punt queue (capacity is retained — drain once per
+    /// batch and the queue never reallocates).
+    pub fn clear_punts(&mut self) {
+        self.punts.clear();
+    }
+
+    /// Takes the punt queue by swap, leaving an empty one behind.
+    pub fn drain_punts(&mut self) -> Vec<Punt> {
+        std::mem::take(&mut self.punts)
+    }
+
+    /// Drains the punt queue into `out` by swap: `out` is cleared and
+    /// receives the queued punts; both vectors keep their capacities,
+    /// so a caller cycling one scratch vector never reallocates.
+    pub fn drain_punts_into(&mut self, out: &mut Vec<Punt>) {
+        out.clear();
+        std::mem::swap(&mut self.punts, out);
+    }
+
+    /// Takes the last batch's verdicts into `out` by swap (same
+    /// capacity-cycling contract as [`WorkerCtx::drain_punts_into`]).
+    pub fn drain_verdicts_into(&mut self, out: &mut Vec<Verdict>) {
+        out.clear();
+        std::mem::swap(&mut self.verdicts, out);
+    }
+
+    /// Forgets the source-classification memo (any attach/detach).
+    pub fn invalidate_memo(&mut self) {
+        self.src_memo = None;
     }
 
     /// Queues a punt, collapsing consecutive duplicates: a burst of
@@ -310,350 +437,6 @@ impl Switch {
         self.punts.push(p);
     }
 
-    /// Clears the punt queue (capacity is retained — drain once per
-    /// batch and the queue never reallocates).
-    pub fn clear_punts(&mut self) {
-        self.punts.clear();
-    }
-
-    // --- data path -------------------------------------------------
-
-    /// Processes a burst of host-side Ethernet frames (the ingress
-    /// pipeline, Fig. 4 left). On return, `verdicts()[i]` describes what
-    /// became of `bufs[i]`; `Forward` buffers hold the encapsulated
-    /// underlay packet, `Deliver` buffers the rewritten local frame.
-    pub fn process_ingress(&mut self, bufs: &mut [PacketBuf], now: SimTime) -> &[Verdict] {
-        self.stats.batches += 1;
-        self.stats.rx += bufs.len() as u64;
-        self.verdicts.clear();
-        self.meta.clear();
-
-        // Phase 1: parse, classify, local delivery.
-        for buf in bufs.iter_mut() {
-            let (verdict, meta) = self.classify_ingress(buf);
-            if matches!(meta, IngressMeta::Done) {
-                self.count(verdict, false);
-            }
-            self.verdicts.push(verdict);
-            self.meta.push(meta);
-        }
-
-        // Phase 2 + 3: resolve remote destinations in same-VN runs, then
-        // encapsulate in place.
-        let mut i = 0;
-        while i < self.meta.len() {
-            let IngressMeta::Resolve { vn: run_vn, .. } = self.meta[i] else {
-                i += 1;
-                continue;
-            };
-            self.run_eids.clear();
-            self.run_idx.clear();
-            let mut j = i;
-            while j < self.meta.len() {
-                match self.meta[j] {
-                    IngressMeta::Done => j += 1,
-                    IngressMeta::Resolve { vn, dst, .. } if vn == run_vn => {
-                        self.run_idx.push(j);
-                        self.run_eids.push(dst);
-                        j += 1;
-                    }
-                    IngressMeta::Resolve { .. } => break,
-                }
-            }
-            self.cache
-                .lookup_batch(run_vn, &self.run_eids, now, &mut self.run_out);
-            for k in 0..self.run_idx.len() {
-                let idx = self.run_idx[k];
-                let IngressMeta::Resolve {
-                    vn,
-                    src_group,
-                    dst,
-                    ecmp_port,
-                } = self.meta[idx]
-                else {
-                    unreachable!("run indices point at Resolve entries");
-                };
-                self.meta[idx] = IngressMeta::Done;
-                let default_route = matches!(self.run_out[k], CacheOutcome::Miss);
-                let verdict = match self.run_out[k] {
-                    CacheOutcome::Hit(rloc) => {
-                        Self::encap_in_place(
-                            &self.cfg,
-                            &mut bufs[idx],
-                            vn,
-                            src_group,
-                            rloc,
-                            ecmp_port,
-                            self.cfg.hop_budget,
-                            false,
-                        );
-                        Verdict::Forward { to: rloc }
-                    }
-                    CacheOutcome::Stale(rloc) => {
-                        // Forward on the stale entry (Fig. 6) and ask the
-                        // control plane to re-resolve.
-                        self.punt(Punt::MapRequest {
-                            vn,
-                            eid: dst,
-                            refresh: true,
-                        });
-                        Self::encap_in_place(
-                            &self.cfg,
-                            &mut bufs[idx],
-                            vn,
-                            src_group,
-                            rloc,
-                            ecmp_port,
-                            self.cfg.hop_budget,
-                            false,
-                        );
-                        Verdict::Forward { to: rloc }
-                    }
-                    CacheOutcome::Miss => {
-                        self.punt(Punt::MapRequest {
-                            vn,
-                            eid: dst,
-                            refresh: false,
-                        });
-                        match self.cfg.border {
-                            Some(border) => {
-                                Self::encap_in_place(
-                                    &self.cfg,
-                                    &mut bufs[idx],
-                                    vn,
-                                    src_group,
-                                    border,
-                                    ecmp_port,
-                                    self.cfg.hop_budget,
-                                    false,
-                                );
-                                Verdict::Forward { to: border }
-                            }
-                            None => Verdict::Drop(DropReason::NoRoute),
-                        }
-                    }
-                };
-                self.count(verdict, default_route);
-                self.verdicts[idx] = verdict;
-            }
-            i = j;
-        }
-
-        &self.verdicts
-    }
-
-    /// Processes a burst of underlay packets arriving from the fabric
-    /// (the egress pipeline, Fig. 4 right): validate, enforce, decap in
-    /// place and deliver — or re-forward toward a moved endpoint's new
-    /// location.
-    pub fn process_egress(&mut self, bufs: &mut [PacketBuf], now: SimTime) -> &[Verdict] {
-        self.stats.batches += 1;
-        self.stats.rx += bufs.len() as u64;
-        self.verdicts.clear();
-        for buf in bufs.iter_mut() {
-            let v = self.egress_one(buf, now);
-            self.count(v, false);
-            self.verdicts.push(v);
-        }
-        &self.verdicts
-    }
-
-    /// Verdicts of the most recent processing call.
-    pub fn verdicts(&self) -> &[Verdict] {
-        &self.verdicts
-    }
-
-    // --- internals -------------------------------------------------
-
-    /// Phase-1 work for one ingress frame.
-    fn classify_ingress(&mut self, buf: &mut PacketBuf) -> (Verdict, IngressMeta) {
-        let done = |v: Verdict| (v, IngressMeta::Done);
-        let Ok(frame) = ethernet::Frame::new_checked(buf.bytes()) else {
-            return done(Verdict::Drop(DropReason::Malformed));
-        };
-        if frame.ethertype() != EtherType::Ipv4 {
-            return done(Verdict::Drop(DropReason::Unsupported));
-        }
-        let src_mac = frame.src_addr();
-        let (vn, src_ep) = match self.src_memo {
-            Some((mac, vn, ep)) if mac == src_mac => (vn, ep),
-            _ => {
-                let Some((vn, ep)) = self.vrf.classify(src_mac).map(|(v, e)| (v, *e)) else {
-                    return done(Verdict::Drop(DropReason::UnknownSource));
-                };
-                self.src_memo = Some((src_mac, vn, ep));
-                (vn, ep)
-            }
-        };
-        let Ok(ip) = ipv4::Packet::new_checked(frame.payload()) else {
-            return done(Verdict::Drop(DropReason::Malformed));
-        };
-        if ip.src_addr() != src_ep.ipv4 {
-            // IP source guard: the inner source must match the onboarded
-            // binding (anti-spoofing, §3.2.1's authenticated identity).
-            return done(Verdict::Drop(DropReason::UnknownSource));
-        }
-        let dst = Eid::V4(ip.dst_addr());
-        let ecmp_port = encap::ecmp_src_port(encap::flow_hash(
-            u32::from(ip.src_addr()),
-            u32::from(ip.dst_addr()),
-        ));
-        let inner_len = usize::from(ip.total_len());
-
-        if let Some(dst_ep) = self.vrf.lookup(vn, dst).copied() {
-            // Same-edge delivery: the egress stages run locally, ACL
-            // included.
-            if self
-                .acl
-                .enforce(vn, src_ep.group, dst_ep.group, self.cfg.default_action)
-                == Action::Deny
-            {
-                return done(Verdict::Drop(DropReason::Policy));
-            }
-            // Drop link padding so a locally delivered frame has the
-            // same length a fabric-traversing copy would.
-            buf.truncate(ethernet::HEADER_LEN + inner_len);
-            let mut eth = ethernet::Frame::new_unchecked(buf.bytes_mut());
-            eth.set_dst_addr(dst_ep.mac);
-            eth.set_src_addr(self.mac);
-            return done(Verdict::Deliver { port: dst_ep.port });
-        }
-
-        // Remote: strip the L2 header and any link padding now so the
-        // resolve phase only has to prepend underlay headers.
-        buf.shrink_front(ethernet::HEADER_LEN);
-        buf.truncate(inner_len);
-        (
-            // Placeholder; phase 2 overwrites it.
-            Verdict::Drop(DropReason::NoRoute),
-            IngressMeta::Resolve {
-                vn,
-                src_group: src_ep.group,
-                dst,
-                ecmp_port,
-            },
-        )
-    }
-
-    /// Prepends the underlay headers around the inner packet already in
-    /// `buf` (zero-copy encapsulation).
-    #[allow(clippy::too_many_arguments)]
-    fn encap_in_place(
-        cfg: &SwitchConfig,
-        buf: &mut PacketBuf,
-        vn: VnId,
-        group: GroupId,
-        to: Rloc,
-        ecmp_port: u16,
-        ttl: u8,
-        policy_applied: bool,
-    ) {
-        let grown = buf.grow_front(UNDERLAY_OVERHEAD);
-        debug_assert!(grown, "load() guarantees {HEADROOM} bytes of headroom");
-        let params = EncapParams {
-            outer_src: cfg.rloc,
-            outer_dst: to,
-            vn,
-            group,
-            policy_applied,
-            ttl,
-            src_port: ecmp_port,
-            udp_checksum: false,
-        };
-        encap::write_underlay(buf.bytes_mut(), &params)
-            .expect("headroom covers the underlay overhead");
-    }
-
-    /// Full egress treatment of one underlay packet.
-    fn egress_one(&mut self, buf: &mut PacketBuf, now: SimTime) -> Verdict {
-        let d = match encap::parse_underlay(buf.bytes()) {
-            Ok(d) => d,
-            Err(_) => return Verdict::Drop(DropReason::Malformed),
-        };
-        if d.outer_dst != self.cfg.rloc {
-            return Verdict::Drop(DropReason::NotOurs);
-        }
-        let Some(src_group) = d.group else {
-            // The fabric always stamps the source group; its absence
-            // means a foreign encapsulator.
-            return Verdict::Drop(DropReason::Malformed);
-        };
-        let Ok(inner_ip) = ipv4::Packet::new_checked(d.inner) else {
-            return Verdict::Drop(DropReason::Malformed);
-        };
-        let dst = Eid::V4(inner_ip.dst_addr());
-        let inner_offset = d.inner_offset;
-        let inner_len = d.inner.len();
-        let vn = d.vn;
-        let policy_applied = d.policy_applied;
-        let outer_src = d.outer_src;
-        let outer_ttl = d.outer_ttl;
-        let ecmp_port = encap::ecmp_src_port(encap::flow_hash(
-            u32::from(inner_ip.src_addr()),
-            u32::from(inner_ip.dst_addr()),
-        ));
-
-        if let Some(dst_ep) = self.vrf.lookup(vn, dst).copied() {
-            if !policy_applied
-                && self
-                    .acl
-                    .enforce(vn, src_group, dst_ep.group, self.cfg.default_action)
-                    == Action::Deny
-            {
-                return Verdict::Drop(DropReason::Policy);
-            }
-            // In-place decap: strip the underlay, then dress the inner
-            // packet in a delivery Ethernet header.
-            buf.shrink_front(inner_offset);
-            buf.truncate(inner_len);
-            buf.grow_front(ethernet::HEADER_LEN);
-            let mut eth = ethernet::Frame::new_unchecked(buf.bytes_mut());
-            eth.set_dst_addr(dst_ep.mac);
-            eth.set_src_addr(self.mac);
-            eth.set_ethertype(EtherType::Ipv4);
-            return Verdict::Deliver { port: dst_ep.port };
-        }
-
-        // Not attached here (mobility / stale routing): tell the ingress
-        // edge via SMR and, when our own cache knows the new location,
-        // forward the in-flight packet there (Fig. 6).
-        self.punt(Punt::Smr {
-            to: outer_src,
-            vn,
-            eid: dst,
-        });
-        match self.cache.lookup(vn, dst, now) {
-            CacheOutcome::Hit(rloc) | CacheOutcome::Stale(rloc) => {
-                let Some(ttl) = outer_ttl.checked_sub(1).filter(|t| *t > 0) else {
-                    return Verdict::Drop(DropReason::TtlExpired);
-                };
-                buf.shrink_front(inner_offset);
-                buf.truncate(inner_len);
-                // Keep the A bit: an already-enforced packet must not be
-                // re-enforced (and double-counted) at the next edge.
-                Self::encap_in_place(
-                    &self.cfg,
-                    buf,
-                    vn,
-                    src_group,
-                    rloc,
-                    ecmp_port,
-                    ttl,
-                    policy_applied,
-                );
-                Verdict::Forward { to: rloc }
-            }
-            CacheOutcome::Miss => {
-                self.punt(Punt::MapRequest {
-                    vn,
-                    eid: dst,
-                    refresh: false,
-                });
-                Verdict::Drop(DropReason::NoRoute)
-            }
-        }
-    }
-
     /// Folds one verdict into the counters. `default_route` is true only
     /// when the packet actually missed and rode the border default — a
     /// cache *hit* whose RLOC happens to be the border still counts as
@@ -665,6 +448,538 @@ impl Switch {
             Verdict::Deliver { .. } => self.stats.delivered += 1,
             Verdict::Drop(_) => self.stats.dropped += 1,
         }
+    }
+}
+
+/// Processes a burst of host-side Ethernet frames (the ingress
+/// pipeline, Fig. 4 left) against shared tables with per-worker state.
+/// On return, `ctx.verdicts()[i]` describes what became of `bufs[i]`;
+/// `Forward` buffers hold the encapsulated underlay packet, `Deliver`
+/// buffers the rewritten local frame.
+///
+/// Takes the tables by `&` — this is the multi-core hot path: any
+/// number of workers may run it concurrently against one snapshot.
+pub fn ingress_batch(
+    cfg: &SwitchConfig,
+    tables: &SharedTables,
+    ctx: &mut WorkerCtx,
+    bufs: &mut [PacketBuf],
+    now: SimTime,
+) {
+    ctx.stats.batches += 1;
+    ctx.stats.rx += bufs.len() as u64;
+    ctx.verdicts.clear();
+    ctx.meta.clear();
+
+    // Phase 1: parse, classify, local delivery.
+    for buf in bufs.iter_mut() {
+        let (verdict, meta) = classify_ingress(cfg, tables, ctx, buf);
+        if matches!(meta, IngressMeta::Done) {
+            ctx.count(verdict, false);
+        }
+        ctx.verdicts.push(verdict);
+        ctx.meta.push(meta);
+    }
+
+    // Phase 2 + 3: resolve remote destinations in same-VN runs, then
+    // encapsulate in place.
+    let mut i = 0;
+    while i < ctx.meta.len() {
+        let IngressMeta::Resolve { vn: run_vn, .. } = ctx.meta[i] else {
+            i += 1;
+            continue;
+        };
+        ctx.run_eids.clear();
+        ctx.run_idx.clear();
+        let mut j = i;
+        while j < ctx.meta.len() {
+            match ctx.meta[j] {
+                IngressMeta::Done => j += 1,
+                IngressMeta::Resolve { vn, dst, .. } if vn == run_vn => {
+                    ctx.run_idx.push(j);
+                    ctx.run_eids.push(dst);
+                    j += 1;
+                }
+                IngressMeta::Resolve { .. } => break,
+            }
+        }
+        tables
+            .cache
+            .lookup_batch_shared(run_vn, &ctx.run_eids, now, &mut ctx.run_out);
+        for k in 0..ctx.run_idx.len() {
+            let idx = ctx.run_idx[k];
+            let IngressMeta::Resolve {
+                vn,
+                src_group,
+                dst,
+                ecmp_port,
+            } = ctx.meta[idx]
+            else {
+                unreachable!("run indices point at Resolve entries");
+            };
+            ctx.meta[idx] = IngressMeta::Done;
+            let default_route = matches!(ctx.run_out[k], CacheOutcome::Miss);
+            let verdict = match ctx.run_out[k] {
+                CacheOutcome::Hit(rloc) => {
+                    encap_in_place(
+                        cfg,
+                        &mut bufs[idx],
+                        vn,
+                        src_group,
+                        rloc,
+                        ecmp_port,
+                        cfg.hop_budget,
+                        false,
+                    );
+                    Verdict::Forward { to: rloc }
+                }
+                CacheOutcome::Stale(rloc) => {
+                    // Forward on the stale entry (Fig. 6) and ask the
+                    // control plane to re-resolve.
+                    ctx.punt(Punt::MapRequest {
+                        vn,
+                        eid: dst,
+                        refresh: true,
+                    });
+                    encap_in_place(
+                        cfg,
+                        &mut bufs[idx],
+                        vn,
+                        src_group,
+                        rloc,
+                        ecmp_port,
+                        cfg.hop_budget,
+                        false,
+                    );
+                    Verdict::Forward { to: rloc }
+                }
+                CacheOutcome::Miss => {
+                    ctx.punt(Punt::MapRequest {
+                        vn,
+                        eid: dst,
+                        refresh: false,
+                    });
+                    match cfg.border {
+                        Some(border) => {
+                            encap_in_place(
+                                cfg,
+                                &mut bufs[idx],
+                                vn,
+                                src_group,
+                                border,
+                                ecmp_port,
+                                cfg.hop_budget,
+                                false,
+                            );
+                            Verdict::Forward { to: border }
+                        }
+                        None => Verdict::Drop(DropReason::NoRoute),
+                    }
+                }
+            };
+            ctx.count(verdict, default_route);
+            ctx.verdicts[idx] = verdict;
+        }
+        i = j;
+    }
+}
+
+/// Processes a burst of underlay packets arriving from the fabric (the
+/// egress pipeline, Fig. 4 right): validate, enforce, decap in place
+/// and deliver — or re-forward toward a moved endpoint's new location.
+/// Shared-read like [`ingress_batch`].
+pub fn egress_batch(
+    cfg: &SwitchConfig,
+    tables: &SharedTables,
+    ctx: &mut WorkerCtx,
+    bufs: &mut [PacketBuf],
+    now: SimTime,
+) {
+    ctx.stats.batches += 1;
+    ctx.stats.rx += bufs.len() as u64;
+    ctx.verdicts.clear();
+    for buf in bufs.iter_mut() {
+        let v = egress_one(cfg, tables, ctx, buf, now);
+        ctx.count(v, false);
+        ctx.verdicts.push(v);
+    }
+}
+
+/// Phase-1 work for one ingress frame.
+fn classify_ingress(
+    cfg: &SwitchConfig,
+    tables: &SharedTables,
+    ctx: &mut WorkerCtx,
+    buf: &mut PacketBuf,
+) -> (Verdict, IngressMeta) {
+    let done = |v: Verdict| (v, IngressMeta::Done);
+    let Ok(frame) = ethernet::Frame::new_checked(buf.bytes()) else {
+        return done(Verdict::Drop(DropReason::Malformed));
+    };
+    if frame.ethertype() != EtherType::Ipv4 {
+        return done(Verdict::Drop(DropReason::Unsupported));
+    }
+    let src_mac = frame.src_addr();
+    let (vn, src_ep) = match ctx.src_memo {
+        Some((mac, vn, ep)) if mac == src_mac => (vn, ep),
+        _ => {
+            let Some((vn, ep)) = tables.vrf.classify(src_mac).map(|(v, e)| (v, *e)) else {
+                return done(Verdict::Drop(DropReason::UnknownSource));
+            };
+            ctx.src_memo = Some((src_mac, vn, ep));
+            (vn, ep)
+        }
+    };
+    let Ok(ip) = ipv4::Packet::new_checked(frame.payload()) else {
+        return done(Verdict::Drop(DropReason::Malformed));
+    };
+    if ip.src_addr() != src_ep.ipv4 {
+        // IP source guard: the inner source must match the onboarded
+        // binding (anti-spoofing, §3.2.1's authenticated identity).
+        return done(Verdict::Drop(DropReason::UnknownSource));
+    }
+    let dst = Eid::V4(ip.dst_addr());
+    let ecmp_port = encap::ecmp_src_port(encap::flow_hash(
+        u32::from(ip.src_addr()),
+        u32::from(ip.dst_addr()),
+    ));
+    let inner_len = usize::from(ip.total_len());
+
+    if let Some(dst_ep) = tables.vrf.lookup(vn, dst).copied() {
+        // Same-edge delivery: the egress stages run locally, ACL
+        // included (non-counting check — the Policy drop verdict is
+        // what the stats record).
+        if tables
+            .acl
+            .check(vn, src_ep.group, dst_ep.group, cfg.default_action)
+            == Action::Deny
+        {
+            return done(Verdict::Drop(DropReason::Policy));
+        }
+        // Drop link padding so a locally delivered frame has the
+        // same length a fabric-traversing copy would.
+        buf.truncate(ethernet::HEADER_LEN + inner_len);
+        let mut eth = ethernet::Frame::new_unchecked(buf.bytes_mut());
+        eth.set_dst_addr(dst_ep.mac);
+        eth.set_src_addr(ctx.mac);
+        return done(Verdict::Deliver { port: dst_ep.port });
+    }
+
+    // Remote: strip the L2 header and any link padding now so the
+    // resolve phase only has to prepend underlay headers.
+    buf.shrink_front(ethernet::HEADER_LEN);
+    buf.truncate(inner_len);
+    (
+        // Placeholder; phase 2 overwrites it.
+        Verdict::Drop(DropReason::NoRoute),
+        IngressMeta::Resolve {
+            vn,
+            src_group: src_ep.group,
+            dst,
+            ecmp_port,
+        },
+    )
+}
+
+/// Prepends the underlay headers around the inner packet already in
+/// `buf` (zero-copy encapsulation).
+#[allow(clippy::too_many_arguments)]
+fn encap_in_place(
+    cfg: &SwitchConfig,
+    buf: &mut PacketBuf,
+    vn: VnId,
+    group: GroupId,
+    to: Rloc,
+    ecmp_port: u16,
+    ttl: u8,
+    policy_applied: bool,
+) {
+    let grown = buf.grow_front(UNDERLAY_OVERHEAD);
+    debug_assert!(grown, "load() guarantees {HEADROOM} bytes of headroom");
+    let params = EncapParams {
+        outer_src: cfg.rloc,
+        outer_dst: to,
+        vn,
+        group,
+        policy_applied,
+        ttl,
+        src_port: ecmp_port,
+        udp_checksum: false,
+    };
+    encap::write_underlay(buf.bytes_mut(), &params).expect("headroom covers the underlay overhead");
+}
+
+/// Full egress treatment of one underlay packet.
+fn egress_one(
+    cfg: &SwitchConfig,
+    tables: &SharedTables,
+    ctx: &mut WorkerCtx,
+    buf: &mut PacketBuf,
+    now: SimTime,
+) -> Verdict {
+    let d = match encap::parse_underlay(buf.bytes()) {
+        Ok(d) => d,
+        Err(_) => return Verdict::Drop(DropReason::Malformed),
+    };
+    if d.outer_dst != cfg.rloc {
+        return Verdict::Drop(DropReason::NotOurs);
+    }
+    let Some(src_group) = d.group else {
+        // The fabric always stamps the source group; its absence
+        // means a foreign encapsulator.
+        return Verdict::Drop(DropReason::Malformed);
+    };
+    let Ok(inner_ip) = ipv4::Packet::new_checked(d.inner) else {
+        return Verdict::Drop(DropReason::Malformed);
+    };
+    let dst = Eid::V4(inner_ip.dst_addr());
+    let inner_offset = d.inner_offset;
+    let inner_len = d.inner.len();
+    let vn = d.vn;
+    let policy_applied = d.policy_applied;
+    let outer_src = d.outer_src;
+    let outer_ttl = d.outer_ttl;
+    let ecmp_port = encap::ecmp_src_port(encap::flow_hash(
+        u32::from(inner_ip.src_addr()),
+        u32::from(inner_ip.dst_addr()),
+    ));
+
+    if let Some(dst_ep) = tables.vrf.lookup(vn, dst).copied() {
+        if !policy_applied
+            && tables
+                .acl
+                .check(vn, src_group, dst_ep.group, cfg.default_action)
+                == Action::Deny
+        {
+            return Verdict::Drop(DropReason::Policy);
+        }
+        // In-place decap: strip the underlay, then dress the inner
+        // packet in a delivery Ethernet header.
+        buf.shrink_front(inner_offset);
+        buf.truncate(inner_len);
+        buf.grow_front(ethernet::HEADER_LEN);
+        let mut eth = ethernet::Frame::new_unchecked(buf.bytes_mut());
+        eth.set_dst_addr(dst_ep.mac);
+        eth.set_src_addr(ctx.mac);
+        eth.set_ethertype(EtherType::Ipv4);
+        return Verdict::Deliver { port: dst_ep.port };
+    }
+
+    // Not attached here (mobility / stale routing): tell the ingress
+    // edge via SMR and, when our own cache knows the new location,
+    // forward the in-flight packet there (Fig. 6).
+    ctx.punt(Punt::Smr {
+        to: outer_src,
+        vn,
+        eid: dst,
+    });
+    match tables.cache.lookup_shared(vn, dst, now) {
+        CacheOutcome::Hit(rloc) | CacheOutcome::Stale(rloc) => {
+            let Some(ttl) = outer_ttl.checked_sub(1).filter(|t| *t > 0) else {
+                return Verdict::Drop(DropReason::TtlExpired);
+            };
+            buf.shrink_front(inner_offset);
+            buf.truncate(inner_len);
+            // Keep the A bit: an already-enforced packet must not be
+            // re-enforced (and double-counted) at the next edge.
+            encap_in_place(
+                cfg,
+                buf,
+                vn,
+                src_group,
+                rloc,
+                ecmp_port,
+                ttl,
+                policy_applied,
+            );
+            Verdict::Forward { to: rloc }
+        }
+        CacheOutcome::Miss => {
+            ctx.punt(Punt::MapRequest {
+                vn,
+                eid: dst,
+                refresh: false,
+            });
+            Verdict::Drop(DropReason::NoRoute)
+        }
+    }
+}
+
+/// The batched zero-copy forwarding engine of one edge switch —
+/// the single-threaded composition of [`SharedTables`] (which it owns
+/// and mutates in place) and one [`WorkerCtx`]. The multi-core
+/// deployment of the same pipeline is [`crate::MtSwitch`].
+pub struct Switch {
+    cfg: SwitchConfig,
+    tables: SharedTables,
+    ctx: WorkerCtx,
+}
+
+impl Switch {
+    /// Builds an empty switch.
+    pub fn new(cfg: SwitchConfig) -> Self {
+        Switch {
+            cfg,
+            tables: SharedTables::new(),
+            ctx: WorkerCtx::new(&cfg),
+        }
+    }
+
+    // --- control-plane surface -------------------------------------
+
+    /// Attaches a local endpoint (onboarding step 4).
+    pub fn attach(&mut self, vn: VnId, ep: LocalEndpoint) {
+        self.ctx.invalidate_memo();
+        self.tables.attach(vn, ep);
+    }
+
+    /// Detaches the endpoint with `mac`.
+    pub fn detach(&mut self, mac: MacAddr) -> Option<(VnId, LocalEndpoint)> {
+        self.ctx.invalidate_memo();
+        self.tables.detach(mac)
+    }
+
+    /// Installs a mapping from a positive Map-Reply.
+    pub fn install_mapping(
+        &mut self,
+        vn: VnId,
+        prefix: EidPrefix,
+        rloc: Rloc,
+        ttl: SimDuration,
+        now: SimTime,
+    ) {
+        self.tables.install_mapping(vn, prefix, rloc, ttl, now);
+    }
+
+    /// Applies a negative Map-Reply (deletes the covered entry).
+    pub fn apply_negative(&mut self, vn: VnId, prefix: EidPrefix) -> bool {
+        self.tables.apply_negative(vn, prefix)
+    }
+
+    /// Handles a received SMR: marks the live covering entry stale *in
+    /// place* through the `CacheEntry` atomics; the next packet toward
+    /// it forwards and punts a refresh.
+    pub fn receive_smr(&mut self, vn: VnId, eid: Eid, now: SimTime) -> Option<Rloc> {
+        self.tables.receive_smr(vn, eid, now)
+    }
+
+    /// Drops every cached mapping through `rloc` (underlay down, §5.1).
+    pub fn purge_rloc(&mut self, rloc: Rloc) -> usize {
+        self.tables.purge_rloc(rloc)
+    }
+
+    /// Installs (merges) an SXP rule subset.
+    pub fn install_rules(&mut self, subset: &RuleSubset) {
+        self.tables.install_rules(subset);
+    }
+
+    /// Installs the full connectivity matrix (no SXP subsetting).
+    pub fn install_matrix(&mut self, matrix: &ConnectivityMatrix) {
+        self.tables.install_matrix(matrix);
+    }
+
+    /// Owner maintenance sweep: removes map-cache entries TTL-expired
+    /// at `now` or idle longer than `idle_timeout`. The data path only
+    /// *filters* expired entries (shared lookups never mutate the
+    /// structure); call this periodically — the §4.2 slow decay — to
+    /// actually reclaim them and keep [`Switch::fib_len`] honest.
+    /// Returns how many entries were removed.
+    pub fn evict_expired(&mut self, now: SimTime, idle_timeout: SimDuration) -> usize {
+        self.tables.evict_expired(now, idle_timeout)
+    }
+
+    /// Re-lays the forwarding tables' trie arenas (VRF + map-cache) in
+    /// DFS preorder so descents walk nearly-sequential memory. Call
+    /// once bulk population (onboarding, FIB preload) settles.
+    pub fn compact_tables(&mut self) {
+        self.tables.compact();
+    }
+
+    /// Aggregated trie-arena diagnostics for the forwarding tables.
+    pub fn table_mem_stats(&self) -> sda_trie::MemStats {
+        self.tables.mem_stats()
+    }
+
+    /// Static configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+
+    /// Forwarding counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.ctx.stats()
+    }
+
+    /// Current map-cache size (the Fig. 9 FIB metric).
+    pub fn fib_len(&self) -> usize {
+        self.tables.fib_len()
+    }
+
+    /// The overlay FIB (read access for harnesses).
+    pub fn map_cache(&self) -> &MapCache {
+        self.tables.map_cache()
+    }
+
+    /// The group ACL rule table (allow/deny outcomes are visible in
+    /// [`Switch::stats`] — `Policy` drops count under `dropped`).
+    pub fn acl(&self) -> &GroupAcl {
+        self.tables.acl()
+    }
+
+    /// The forwarding tables (read access; e.g. to seed an
+    /// [`crate::MtSwitch`] or publish a snapshot).
+    pub fn tables(&self) -> &SharedTables {
+        &self.tables
+    }
+
+    /// Punts raised since the last [`Switch::clear_punts`] /
+    /// [`Switch::drain_punts`].
+    pub fn punts(&self) -> &[Punt] {
+        self.ctx.punts()
+    }
+
+    /// Clears the punt queue (capacity is retained — drain once per
+    /// batch and the queue never reallocates).
+    pub fn clear_punts(&mut self) {
+        self.ctx.clear_punts();
+    }
+
+    /// Takes the accumulated punts by swap, leaving an empty queue:
+    /// the one-call replacement for the `punts()` + `clear_punts()`
+    /// pair (no slice clone, no double borrow).
+    pub fn drain_punts(&mut self) -> Vec<Punt> {
+        self.ctx.drain_punts()
+    }
+
+    /// Like [`Switch::drain_punts`], but swaps into a caller-provided
+    /// vector so a cycled scratch vector never reallocates.
+    pub fn drain_punts_into(&mut self, out: &mut Vec<Punt>) {
+        self.ctx.drain_punts_into(out);
+    }
+
+    // --- data path -------------------------------------------------
+
+    /// Processes a burst of host-side Ethernet frames (the ingress
+    /// pipeline, Fig. 4 left). On return, `verdicts()[i]` describes what
+    /// became of `bufs[i]`; `Forward` buffers hold the encapsulated
+    /// underlay packet, `Deliver` buffers the rewritten local frame.
+    pub fn process_ingress(&mut self, bufs: &mut [PacketBuf], now: SimTime) -> &[Verdict] {
+        ingress_batch(&self.cfg, &self.tables, &mut self.ctx, bufs, now);
+        self.ctx.verdicts()
+    }
+
+    /// Processes a burst of underlay packets arriving from the fabric
+    /// (the egress pipeline, Fig. 4 right): validate, enforce, decap in
+    /// place and deliver — or re-forward toward a moved endpoint's new
+    /// location.
+    pub fn process_egress(&mut self, bufs: &mut [PacketBuf], now: SimTime) -> &[Verdict] {
+        egress_batch(&self.cfg, &self.tables, &mut self.ctx, bufs, now);
+        self.ctx.verdicts()
+    }
+
+    /// Verdicts of the most recent processing call.
+    pub fn verdicts(&self) -> &[Verdict] {
+        self.ctx.verdicts()
     }
 }
 
@@ -830,7 +1145,10 @@ mod tests {
             TTL,
             SimTime::ZERO,
         );
-        assert_eq!(sw.receive_smr(vn(1), Eid::V4(remote_ip)), Some(old_rloc));
+        assert_eq!(
+            sw.receive_smr(vn(1), Eid::V4(remote_ip), SimTime::ZERO),
+            Some(old_rloc)
+        );
 
         let mut bufs = [PacketBuf::new()];
         bufs[0].load(&frame(&a, remote_ip, b"mid-flight"));
@@ -1069,6 +1387,38 @@ mod tests {
         let v = old_edge.process_egress(&mut bufs, SimTime::ZERO).to_vec();
         assert_eq!(v[0], Verdict::Drop(DropReason::NoRoute));
         assert_eq!(old_edge.punts().len(), 2);
+    }
+
+    /// The data path only filters expired entries; the owner sweep
+    /// reclaims them (review regression for the shared-read split).
+    #[test]
+    fn evict_expired_reclaims_filtered_entries() {
+        let mut sw = switch_with_border(1);
+        let a = ep(1, 10);
+        sw.attach(vn(1), a);
+        let dst = Ipv4Addr::new(10, 9, 0, 5);
+        sw.install_mapping(
+            vn(1),
+            EidPrefix::host(Eid::V4(dst)),
+            Rloc::for_router_index(7),
+            SimDuration::from_secs(10),
+            SimTime::ZERO,
+        );
+        let later = SimTime::ZERO + SimDuration::from_secs(60);
+        let mut bufs = [PacketBuf::new()];
+        bufs[0].load(&frame(&a, dst, b"late"));
+        let v = sw.process_ingress(&mut bufs, later).to_vec();
+        // Expired: rides the border default, but stays in the FIB…
+        assert_eq!(
+            v[0],
+            Verdict::Forward {
+                to: Rloc::for_router_index(99)
+            }
+        );
+        assert_eq!(sw.fib_len(), 1, "shared lookup filters, never removes");
+        // …until the owner sweep reclaims it.
+        assert_eq!(sw.evict_expired(later, SimDuration::from_days(1)), 1);
+        assert_eq!(sw.fib_len(), 0);
     }
 
     /// Mixed-VN bursts resolve in same-VN runs without cross-talk.

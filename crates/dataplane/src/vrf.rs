@@ -36,7 +36,7 @@ pub struct LocalEndpoint {
 }
 
 /// The per-VN local tables of one edge router.
-#[derive(Default, Debug)]
+#[derive(Default, Debug, Clone)]
 pub struct VrfTable {
     /// vn → host-route trie. Both the IPv4 and MAC EIDs key the record.
     vns: BTreeMap<VnId, EidTrie<LocalEndpoint>>,

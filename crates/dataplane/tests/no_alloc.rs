@@ -7,6 +7,15 @@
 //! it runs between the measured windows, exactly as the bulk-load
 //! hooks do in production).
 //!
+//! Since the multi-core split, `Switch::process_ingress`/`process_egress`
+//! *are* the per-worker path: the same `ingress_batch`/`egress_batch`
+//! over `&SharedTables` + `&mut WorkerCtx` that every `MtSwitch` worker
+//! runs — so these windows prove the shared-read lookup
+//! (`MapCache::lookup_batch_shared`, filtered `&self` trie descent,
+//! atomic metadata refresh) allocates nothing per packet. A third
+//! window below additionally measures the shared map-cache entry point
+//! in isolation.
+//!
 //! This file deliberately holds a single `#[test]` — the counter is
 //! process-global, and a concurrently running test would pollute it.
 
@@ -93,7 +102,7 @@ fn steady_state_forwarding_allocates_nothing() {
     }
     // Half the FIB is SMR'd so the stale path is exercised too.
     for i in 0..ROUTES / 2 {
-        sw.receive_smr(vn, Eid::V4(remote_ip(i)));
+        sw.receive_smr(vn, Eid::V4(remote_ip(i)), SimTime::ZERO);
     }
 
     // Pre-built wire images: hits/stales, misses, and underlay packets
@@ -216,5 +225,27 @@ fn steady_state_forwarding_allocates_nothing() {
         "post-compact forwarding performed {} heap allocations over {} packets",
         after - before,
         3 * ROUNDS * batch
+    );
+
+    // Window 3: the shared-read lookup entry point in isolation — the
+    // exact call every MtSwitch worker makes per same-VN run.
+    let probes: Vec<Eid> = (0..BATCH_SIZE as u32)
+        .map(|i| Eid::V4(remote_ip(i * 97 % ROUTES)))
+        .collect();
+    let mut out = Vec::new();
+    sw.map_cache()
+        .lookup_batch_shared(vn, &probes, now, &mut out); // warm `out`
+    let before = allocations();
+    for _ in 0..ROUNDS {
+        sw.map_cache()
+            .lookup_batch_shared(vn, &probes, now, &mut out);
+        assert_eq!(out.len(), probes.len());
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "shared-read batched lookup performed {} heap allocations",
+        after - before
     );
 }

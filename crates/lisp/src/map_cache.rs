@@ -15,23 +15,106 @@
 //!    border default route (§5.1).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use sda_simnet::{SimDuration, SimTime};
 use sda_trie::EidTrie;
 use sda_types::{Eid, EidPrefix, Rloc, VnId};
 
 /// One cached mapping.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// ## Memory-ordering contract
+///
+/// `last_used` and `stale` are interior-mutable atomics so the shared
+/// lookup paths ([`MapCache::lookup_shared`],
+/// [`MapCache::lookup_batch_shared`], [`MapCache::mark_stale_shared`])
+/// can refresh them through `&self` while other reader threads descend
+/// the same trie. All accesses use `Ordering::Relaxed` on purpose:
+///
+/// * Both fields are *per-entry heuristic metadata*, never used to
+///   synchronize access to other memory. `last_used` only feeds the
+///   idle-decay comparison in [`MapCache::evict`]; `stale` only chooses
+///   between the `Hit` and `Stale` outcomes. A reader observing a
+///   slightly stale value forwards correctly either way.
+/// * The *structure* of the cache (tries, `rloc`, `expires_at`) is
+///   never mutated while shared. Concurrent readers hold `&MapCache`
+///   (e.g. through an `Arc` snapshot under the data plane's
+///   clone-and-swap scheme); every structural mutation — install,
+///   removal, eviction, compaction — goes through `&mut MapCache` on
+///   the owner's copy, and the `Arc` publication itself provides the
+///   release/acquire edge that makes the new structure visible.
+///
+/// Races that remain are benign by design: two threads refreshing
+/// `last_used` store two monotone timestamps and either winning is a
+/// valid "recently used" answer.
+#[derive(Debug)]
 pub struct CacheEntry {
     /// Locator the prefix resolves to.
     pub rloc: Rloc,
     /// Absolute expiry instant.
     pub expires_at: SimTime,
-    /// Last time a lookup hit this entry (idle-decay input).
-    pub last_used: SimTime,
+    /// Last time a lookup hit this entry (idle-decay input), nanoseconds
+    /// since the simulation epoch. Refreshable through `&self`.
+    last_used: AtomicU64,
     /// Entry marked stale by an SMR; next lookup must re-resolve.
-    pub stale: bool,
+    /// Settable through `&self`.
+    stale: AtomicBool,
 }
+
+impl CacheEntry {
+    /// A fresh (non-stale) entry last used at `last_used`.
+    pub fn new(rloc: Rloc, expires_at: SimTime, last_used: SimTime) -> Self {
+        CacheEntry {
+            rloc,
+            expires_at,
+            last_used: AtomicU64::new(last_used.as_nanos()),
+            stale: AtomicBool::new(false),
+        }
+    }
+
+    /// Last time a lookup hit this entry.
+    pub fn last_used(&self) -> SimTime {
+        SimTime::from_nanos(self.last_used.load(Ordering::Relaxed))
+    }
+
+    /// Refreshes the idle-decay stamp (shared: `&self`, Relaxed — see
+    /// the type-level memory-ordering contract).
+    pub fn touch(&self, now: SimTime) {
+        self.last_used.store(now.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Whether an SMR marked this entry stale.
+    pub fn is_stale(&self) -> bool {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    /// Sets the stale flag (shared: `&self`, Relaxed).
+    pub fn set_stale(&self, stale: bool) {
+        self.stale.store(stale, Ordering::Relaxed);
+    }
+}
+
+impl Clone for CacheEntry {
+    fn clone(&self) -> Self {
+        CacheEntry {
+            rloc: self.rloc,
+            expires_at: self.expires_at,
+            last_used: AtomicU64::new(self.last_used.load(Ordering::Relaxed)),
+            stale: AtomicBool::new(self.is_stale()),
+        }
+    }
+}
+
+impl PartialEq for CacheEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rloc == other.rloc
+            && self.expires_at == other.expires_at
+            && self.last_used() == other.last_used()
+            && self.is_stale() == other.is_stale()
+    }
+}
+
+impl Eq for CacheEntry {}
 
 /// Result of a cache lookup.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -47,7 +130,24 @@ pub enum CacheOutcome {
 }
 
 /// The per-VN overlay FIB of one edge router.
-#[derive(Default)]
+///
+/// Two families of lookup coexist:
+///
+/// * the `&mut` flavors ([`MapCache::lookup`], [`MapCache::lookup_batch`])
+///   — the owner's path: they additionally *remove* TTL-expired entries
+///   inline, so a single-owner cache self-cleans under traffic;
+/// * the `&self` flavors ([`MapCache::lookup_shared`],
+///   [`MapCache::lookup_batch_shared`]) — the multi-core read path:
+///   expired entries are treated as absent (a dead host route never
+///   shadows a live covering subnet) but stay in the trie until the
+///   owner's [`MapCache::evict`]/[`MapCache::purge_rloc`] runs.
+///   Outcome-for-outcome the two families agree (the property tests
+///   assert it); only the structural side effects differ.
+///
+/// `Clone` supports the data plane's clone-and-swap publication: the
+/// writer clones the cache, mutates the copy and swaps it in behind an
+/// `Arc` while readers keep descending the old snapshot.
+#[derive(Default, Clone)]
 pub struct MapCache {
     vns: BTreeMap<VnId, EidTrie<CacheEntry>>,
     /// Maintained entry count, so [`MapCache::len`] is O(1) instead of a
@@ -76,15 +176,11 @@ impl MapCache {
         ttl: SimDuration,
         now: SimTime,
     ) {
-        let prev = self.vns.entry(vn).or_default().insert(
-            prefix,
-            CacheEntry {
-                rloc,
-                expires_at: now + ttl,
-                last_used: now,
-                stale: false,
-            },
-        );
+        let prev = self
+            .vns
+            .entry(vn)
+            .or_default()
+            .insert(prefix, CacheEntry::new(rloc, now + ttl, now));
         if prev.is_none() {
             self.total += 1;
         }
@@ -117,8 +213,8 @@ impl MapCache {
             None => return CacheOutcome::Miss,
             Some((prefix, entry)) => {
                 if now < entry.expires_at {
-                    entry.last_used = now;
-                    return if entry.stale {
+                    entry.touch(now);
+                    return if entry.is_stale() {
                         CacheOutcome::Stale(entry.rloc)
                     } else {
                         CacheOutcome::Hit(entry.rloc)
@@ -166,8 +262,8 @@ impl MapCache {
                 None => CacheOutcome::Miss,
                 Some((len, entry)) => {
                     if now < entry.expires_at {
-                        entry.last_used = now;
-                        if entry.stale {
+                        entry.touch(now);
+                        if entry.is_stale() {
                             CacheOutcome::Stale(entry.rloc)
                         } else {
                             CacheOutcome::Hit(entry.rloc)
@@ -199,8 +295,8 @@ impl MapCache {
                     None => break CacheOutcome::Miss,
                     Some((p, entry)) => {
                         if now < entry.expires_at {
-                            entry.last_used = now;
-                            break if entry.stale {
+                            entry.touch(now);
+                            break if entry.is_stale() {
                                 CacheOutcome::Stale(entry.rloc)
                             } else {
                                 CacheOutcome::Hit(entry.rloc)
@@ -213,6 +309,120 @@ impl MapCache {
             };
         }
         expired_scratch.clear();
+    }
+
+    /// Shared-read lookup: the `&self` flavor of [`MapCache::lookup`]
+    /// for the multi-core forwarding path. Refreshes `last_used`
+    /// through the entry's atomics (see [`CacheEntry`]'s memory-ordering
+    /// contract); expired entries are treated as absent — the filtered
+    /// trie descent keeps searching shallower covering prefixes, so the
+    /// outcome matches what [`MapCache::lookup`]'s remove-and-retry
+    /// would have produced — but structural removal is left to the
+    /// owner's [`MapCache::evict`].
+    pub fn lookup_shared(&self, vn: VnId, eid: Eid, now: SimTime) -> CacheOutcome {
+        let Some(trie) = self.vns.get(&vn) else {
+            return CacheOutcome::Miss;
+        };
+        match trie.lookup_where(&eid, |e| now < e.expires_at) {
+            None => CacheOutcome::Miss,
+            Some((_, entry)) => {
+                entry.touch(now);
+                if entry.is_stale() {
+                    CacheOutcome::Stale(entry.rloc)
+                } else {
+                    CacheOutcome::Hit(entry.rloc)
+                }
+            }
+        }
+    }
+
+    /// Batched shared-read lookup: the `&self` flavor of
+    /// [`MapCache::lookup_batch`], riding the interleaved lockstep trie
+    /// walk ([`EidTrie::lookup_each_where`]) with the same
+    /// expired-entries-are-absent filter as [`MapCache::lookup_shared`].
+    /// Appends one [`CacheOutcome`] per EID to `out` (cleared first).
+    /// Zero heap allocations once `out` has warmed up — there is no
+    /// expiry scratch here at all, because shared lookups never remove.
+    pub fn lookup_batch_shared(
+        &self,
+        vn: VnId,
+        eids: &[Eid],
+        now: SimTime,
+        out: &mut Vec<CacheOutcome>,
+    ) {
+        out.clear();
+        let Some(trie) = self.vns.get(&vn) else {
+            out.extend(eids.iter().map(|_| CacheOutcome::Miss));
+            return;
+        };
+        trie.lookup_each_where(
+            eids,
+            |e| now < e.expires_at,
+            |_, res| {
+                out.push(match res {
+                    None => CacheOutcome::Miss,
+                    Some((_, entry)) => {
+                        entry.touch(now);
+                        if entry.is_stale() {
+                            CacheOutcome::Stale(entry.rloc)
+                        } else {
+                            CacheOutcome::Hit(entry.rloc)
+                        }
+                    }
+                });
+            },
+        );
+    }
+
+    /// Shared-read SMR application: marks the deepest *live* entry
+    /// covering `eid` stale through its atomic flag (`&self` — an SMR
+    /// arriving on the control plane does not need to clone-and-swap
+    /// the whole FIB). Returns the current RLOC if a live entry existed.
+    /// Lands on exactly the entry [`MapCache::mark_stale`] would mark;
+    /// only the expired-entry removal is left to the owner.
+    pub fn mark_stale_shared(&self, vn: VnId, eid: Eid, now: SimTime) -> Option<Rloc> {
+        let trie = self.vns.get(&vn)?;
+        let (_, entry) = trie.lookup_where(&eid, |e| now < e.expires_at)?;
+        entry.set_stale(true);
+        Some(entry.rloc)
+    }
+
+    /// Adopts newer per-entry metadata from `snapshot` for every entry
+    /// present in both caches **in the same generation** — matched by
+    /// `(vn, prefix)` *and* identical `(rloc, expires_at)`: `last_used`
+    /// takes the later stamp, `stale` is sticky-OR'd.
+    ///
+    /// This is the write-back half of clone-and-swap maintenance: under
+    /// the multi-core scheme, readers refresh `last_used` on the
+    /// *published* snapshot's atomics, so before publishing over (or
+    /// idle-evicting against) a snapshot, the owner pulls those stamps
+    /// back — otherwise entries that are hot on the data path look
+    /// idle and get evicted. The generation check exists for the
+    /// refresh race: an entry just re-installed on the owner's copy
+    /// (new RLOC and/or expiry) must not re-adopt the *old*
+    /// generation's stale flag, or an SMR refresh would silently undo
+    /// itself and punt refreshes forever. O(snapshot entries).
+    pub fn adopt_metadata(&mut self, snapshot: &MapCache) {
+        for (vn, theirs) in snapshot.vns.iter() {
+            let Some(mine) = self.vns.get(vn) else {
+                continue;
+            };
+            for (prefix, entry) in theirs.iter() {
+                if let Some(me) = mine.get(&prefix) {
+                    if me.rloc != entry.rloc || me.expires_at != entry.expires_at {
+                        // Different generation: the owner re-installed
+                        // this mapping since the snapshot was taken.
+                        continue;
+                    }
+                    if me.last_used() < entry.last_used() {
+                        me.touch(entry.last_used());
+                    }
+                    if entry.is_stale() {
+                        me.set_stale(true);
+                    }
+                }
+            }
+        }
     }
 
     /// Re-lays every per-VN trie arena in DFS preorder (see
@@ -229,12 +439,33 @@ impl MapCache {
         sda_trie::merged_mem_stats(self.vns.values())
     }
 
-    /// Marks the entry covering `eid` stale (SMR received).
-    /// Returns the current RLOC if an entry existed.
-    pub fn mark_stale(&mut self, vn: VnId, eid: Eid) -> Option<Rloc> {
-        let (_, entry) = self.vns.get_mut(&vn)?.lookup_mut(&eid)?;
-        entry.stale = true;
-        Some(entry.rloc)
+    /// Marks the entry covering `eid` stale (SMR received). Returns the
+    /// current RLOC if a live entry existed.
+    ///
+    /// Follows the same lazy-purge discipline as [`MapCache::lookup`]:
+    /// TTL-expired entries on the path are removed and the SMR lands on
+    /// the deepest *live* cover — an SMR must never "mark" a mapping
+    /// that the very next lookup would purge (the invalidation would
+    /// silently miss the covering prefix actually forwarding traffic).
+    /// This also makes the owner flavor agree entry-for-entry with
+    /// [`MapCache::mark_stale_shared`], whose filtered descent reaches
+    /// the same live cover without removing anything.
+    pub fn mark_stale(&mut self, vn: VnId, eid: Eid, now: SimTime) -> Option<Rloc> {
+        let trie = self.vns.get_mut(&vn)?;
+        loop {
+            let expired = match trie.lookup_mut(&eid) {
+                None => return None,
+                Some((prefix, entry)) => {
+                    if now < entry.expires_at {
+                        entry.set_stale(true);
+                        return Some(entry.rloc);
+                    }
+                    prefix
+                }
+            };
+            trie.remove(&expired);
+            self.total -= 1;
+        }
     }
 
     /// Replaces the mapping for `eid` (Map-Notify / refreshed Map-Reply
@@ -259,11 +490,16 @@ impl MapCache {
     /// Returns how many were evicted, in a single traversal per VN. This
     /// is the slow decay §4.2 observes: "edge routers cache routes learned
     /// on demand and may retain them during longer periods".
+    ///
+    /// Reads `last_used` through the entry's atomic (Relaxed): an entry
+    /// whose stamp was refreshed by a concurrent-epoch
+    /// [`MapCache::lookup_shared`] before this owner call survives —
+    /// the regression test in `tests/shared_lookup.rs` pins that down.
     pub fn evict(&mut self, now: SimTime, idle_timeout: SimDuration) -> usize {
         let mut removed = 0;
         for trie in self.vns.values_mut() {
             removed += trie.retain(|_, e| {
-                now < e.expires_at && now.saturating_since(e.last_used) < idle_timeout
+                now < e.expires_at && now.saturating_since(e.last_used()) < idle_timeout
             });
         }
         self.total -= removed;
@@ -344,7 +580,7 @@ mod batch_tests {
                 TTL,
                 SimTime::ZERO,
             );
-            c.mark_stale(vn(1), eid(3));
+            c.mark_stale(vn(1), eid(3), SimTime::ZERO);
             c
         };
         let probes = [eid(1), eid(2), eid(2), eid(3), eid(9)];
@@ -478,7 +714,7 @@ mod tests {
         let old = Rloc::for_router_index(1);
         let new = Rloc::for_router_index(2);
         c.install(vn(1), EidPrefix::host(eid(1)), old, TTL, SimTime::ZERO);
-        assert_eq!(c.mark_stale(vn(1), eid(1)), Some(old));
+        assert_eq!(c.mark_stale(vn(1), eid(1), SimTime::ZERO), Some(old));
         // Stale entries keep forwarding to the old RLOC (which forwards
         // on per Fig. 6) until the re-resolution lands.
         assert_eq!(
@@ -491,7 +727,7 @@ mod tests {
             CacheOutcome::Hit(new)
         );
         // SMR for something not cached: no-op.
-        assert_eq!(c.mark_stale(vn(1), eid(9)), None);
+        assert_eq!(c.mark_stale(vn(1), eid(9), SimTime::ZERO), None);
     }
 
     #[test]
@@ -536,6 +772,172 @@ mod tests {
         assert_eq!(c.evict(later, IDLE), 1);
         assert_eq!(c.len(), 1);
         assert_eq!(c.lookup(vn(1), eid(1), later), CacheOutcome::Hit(r));
+    }
+
+    #[test]
+    fn shared_lookup_agrees_and_refreshes() {
+        let mut c = MapCache::new();
+        let r = Rloc::for_router_index(1);
+        c.install(vn(1), EidPrefix::host(eid(1)), r, TTL, SimTime::ZERO);
+        c.install(vn(1), EidPrefix::host(eid(2)), r, TTL, SimTime::ZERO);
+        c.mark_stale(vn(1), eid(2), SimTime::ZERO);
+        let now = SimTime::ZERO + SimDuration::from_secs(60);
+        assert_eq!(c.lookup_shared(vn(1), eid(1), now), CacheOutcome::Hit(r));
+        assert_eq!(c.lookup_shared(vn(1), eid(2), now), CacheOutcome::Stale(r));
+        assert_eq!(c.lookup_shared(vn(1), eid(9), now), CacheOutcome::Miss);
+        assert_eq!(c.lookup_shared(vn(9), eid(1), now), CacheOutcome::Miss);
+        // The shared hit refreshed last_used: the entry survives an
+        // eviction pass that would have idled it out at ZERO.
+        let idle = SimDuration::from_secs(50);
+        assert_eq!(c.evict(now, idle), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn shared_lookup_expired_host_uncovers_live_subnet_without_removal() {
+        use sda_types::Ipv4Prefix;
+        let subnet_rloc = Rloc::for_router_index(5);
+        let mut c = MapCache::new();
+        c.install(
+            vn(1),
+            Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 16)
+                .unwrap()
+                .into(),
+            subnet_rloc,
+            TTL,
+            SimTime::ZERO,
+        );
+        c.install(
+            vn(1),
+            EidPrefix::host(eid(3)),
+            Rloc::for_router_index(9),
+            SimDuration::from_secs(10),
+            SimTime::ZERO,
+        );
+        let now = SimTime::ZERO + SimDuration::from_secs(60); // host expired
+        assert_eq!(
+            c.lookup_shared(vn(1), eid(3), now),
+            CacheOutcome::Hit(subnet_rloc),
+            "expired host route must not shadow the live /16"
+        );
+        // No structural side effect: the expired entry is still there
+        // (the owner's evict removes it).
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.len(), c.recount());
+        assert_eq!(c.evict(now, SimDuration::from_days(1)), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn batch_shared_agrees_with_single_shared() {
+        let mut c = MapCache::new();
+        c.install(
+            vn(1),
+            EidPrefix::host(eid(1)),
+            Rloc::for_router_index(1),
+            TTL,
+            SimTime::ZERO,
+        );
+        c.install(
+            vn(1),
+            EidPrefix::host(eid(2)),
+            Rloc::for_router_index(2),
+            SimDuration::from_secs(10),
+            SimTime::ZERO,
+        );
+        c.install(
+            vn(1),
+            EidPrefix::host(eid(3)),
+            Rloc::for_router_index(3),
+            TTL,
+            SimTime::ZERO,
+        );
+        c.mark_stale(vn(1), eid(3), SimTime::ZERO);
+        let probes = [eid(1), eid(2), eid(2), eid(3), eid(9)];
+        let now = SimTime::ZERO + SimDuration::from_secs(60); // eid(2) expired
+        let singles: Vec<CacheOutcome> = probes
+            .iter()
+            .map(|e| c.lookup_shared(vn(1), *e, now))
+            .collect();
+        let mut batched = Vec::new();
+        c.lookup_batch_shared(vn(1), &probes, now, &mut batched);
+        assert_eq!(batched, singles);
+        // Unknown VN: all misses, output vector replaced.
+        let mut out = vec![CacheOutcome::Hit(Rloc::for_router_index(9))];
+        c.lookup_batch_shared(vn(5), &probes[..2], now, &mut out);
+        assert_eq!(out, vec![CacheOutcome::Miss, CacheOutcome::Miss]);
+    }
+
+    #[test]
+    fn mark_stale_shared_flags_through_shared_ref() {
+        let mut c = MapCache::new();
+        let r = Rloc::for_router_index(4);
+        c.install(vn(1), EidPrefix::host(eid(1)), r, TTL, SimTime::ZERO);
+        assert_eq!(c.mark_stale_shared(vn(1), eid(1), SimTime::ZERO), Some(r));
+        assert_eq!(c.mark_stale_shared(vn(1), eid(9), SimTime::ZERO), None);
+        assert_eq!(
+            c.lookup(vn(1), eid(1), SimTime::ZERO),
+            CacheOutcome::Stale(r),
+            "owner lookup observes the shared stale mark"
+        );
+    }
+
+    /// Review regression: adopting metadata from an old snapshot must
+    /// not re-stale (or re-stamp) an entry the owner re-installed
+    /// since — generations are matched by `(rloc, expires_at)`.
+    #[test]
+    fn adopt_metadata_skips_refreshed_generation() {
+        let old_rloc = Rloc::for_router_index(1);
+        let new_rloc = Rloc::for_router_index(2);
+        let mut owner = MapCache::new();
+        owner.install(vn(1), EidPrefix::host(eid(1)), old_rloc, TTL, SimTime::ZERO);
+        owner.install(vn(1), EidPrefix::host(eid(2)), old_rloc, TTL, SimTime::ZERO);
+        let snap = owner.clone();
+        // SMR lands on the snapshot (the worker-visible copy)…
+        let warm = SimTime::ZERO + SimDuration::from_secs(100);
+        snap.mark_stale_shared(vn(1), eid(1), warm);
+        assert!(matches!(
+            snap.lookup_shared(vn(1), eid(2), warm),
+            CacheOutcome::Hit(_)
+        ));
+        // …and the control plane answers the refresh on the owner copy
+        // (new RLOC = new generation).
+        owner.install(vn(1), EidPrefix::host(eid(1)), new_rloc, TTL, warm);
+
+        owner.adopt_metadata(&snap);
+        assert_eq!(
+            owner.lookup_shared(vn(1), eid(1), warm),
+            CacheOutcome::Hit(new_rloc),
+            "the refreshed generation must not re-adopt the old stale flag"
+        );
+        // Same-generation entry did adopt the worker's stamp.
+        assert_eq!(
+            owner.evict(
+                warm + SimDuration::from_secs(99),
+                SimDuration::from_secs(100)
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn clone_snapshots_entry_metadata() {
+        let mut c = MapCache::new();
+        let r = Rloc::for_router_index(1);
+        c.install(vn(1), EidPrefix::host(eid(1)), r, TTL, SimTime::ZERO);
+        let snap = c.clone();
+        // Mutating the original does not affect the snapshot.
+        c.mark_stale(vn(1), eid(1), SimTime::ZERO);
+        assert_eq!(
+            snap.lookup_shared(vn(1), eid(1), SimTime::ZERO),
+            CacheOutcome::Hit(r)
+        );
+        assert_eq!(
+            c.lookup_shared(vn(1), eid(1), SimTime::ZERO),
+            CacheOutcome::Stale(r)
+        );
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.len(), snap.recount());
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn map_cache_lookup_allocates_nothing() {
         );
     }
     for i in 0..5_000u32 {
-        cache.mark_stale(vn, eid(i));
+        cache.mark_stale(vn, eid(i), SimTime::ZERO);
     }
 
     let now = SimTime::ZERO + SimDuration::from_secs(1);
@@ -73,6 +73,34 @@ fn map_cache_lookup_allocates_nothing() {
         after - before,
         0,
         "map-cache lookup performed {} heap allocations",
+        after - before
+    );
+
+    // The shared-read flavors (the multi-core hot path): single and
+    // batched `&self` lookups allocate nothing either, once the output
+    // vector has warmed up.
+    let probes: Vec<Eid> = (0..32u32).map(|i| eid(i * 613 % 20_000)).collect();
+    let mut out = Vec::new();
+    cache.lookup_batch_shared(vn, &probes, now, &mut out); // warm `out`
+    let before = allocations();
+    let (mut hits, mut stales, mut misses) = (0u64, 0u64, 0u64);
+    for i in 0..20_000u32 {
+        match cache.lookup_shared(vn, eid(i), now) {
+            CacheOutcome::Hit(_) => hits += 1,
+            CacheOutcome::Stale(_) => stales += 1,
+            CacheOutcome::Miss => misses += 1,
+        }
+    }
+    for _ in 0..600 {
+        cache.lookup_batch_shared(vn, &probes, now, &mut out);
+        assert_eq!(out.len(), probes.len());
+    }
+    let after = allocations();
+    assert_eq!((hits, stales, misses), (5_000, 5_000, 10_000));
+    assert_eq!(
+        after - before,
+        0,
+        "shared map-cache lookup performed {} heap allocations",
         after - before
     );
 }

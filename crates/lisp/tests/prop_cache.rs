@@ -105,11 +105,20 @@ proptest! {
                     prop_assert_eq!(got, want);
                 }
                 Op::MarkStale(e) => {
-                    let got = cache.mark_stale(vn(), eid(e));
-                    let want = model.get_mut(&eid(e)).map(|entry| {
-                        entry.stale = true;
-                        entry.rloc
-                    });
+                    let got = cache.mark_stale(vn(), eid(e), now);
+                    // mark_stale follows lookup's lazy-purge discipline:
+                    // an expired entry is removed, not marked.
+                    let want = match model.get_mut(&eid(e)) {
+                        Some(entry) if now < entry.expires_at => {
+                            entry.stale = true;
+                            Some(entry.rloc)
+                        }
+                        Some(_) => {
+                            model.remove(&eid(e));
+                            None
+                        }
+                        None => None,
+                    };
                     prop_assert_eq!(got, want);
                 }
                 Op::PurgeRloc(r) => {
@@ -178,6 +187,80 @@ proptest! {
         cache.clear();
         prop_assert_eq!(cache.len(), 0);
         prop_assert_eq!(cache.recount(), 0);
+    }
+
+    /// `lookup_shared` agrees with `lookup` outcome-for-outcome on the
+    /// same operation sequence — including nested (subnet + host)
+    /// prefixes, where `lookup` removes an expired host route and
+    /// re-resolves to the covering subnet while `lookup_shared` reaches
+    /// the same answer by filtering the dead entry during its single
+    /// descent. Only the structural side effects differ (the shared
+    /// cache keeps expired entries until the owner evicts), so lengths
+    /// are *not* compared — outcomes are.
+    #[test]
+    fn lookup_shared_agrees_with_lookup(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        subnets in proptest::collection::vec((0u8..4, 0u16..4, 1u32..600), 0..4),
+    ) {
+        let mut owned = MapCache::new();
+        let mut shared = MapCache::new();
+        let mut now = SimTime::ZERO;
+
+        // Seed both caches with identical covering subnets (10.0.X.0/24)
+        // so expired host routes have something to uncover.
+        for (third, r, ttl) in subnets {
+            let prefix: EidPrefix = sda_types::Ipv4Prefix::new(
+                Ipv4Addr::new(10, 0, third, 0), 24).unwrap().into();
+            let rloc = Rloc::for_router_index(r);
+            let ttl = SimDuration::from_secs(u64::from(ttl));
+            owned.install(vn(), prefix, rloc, ttl, now);
+            shared.install(vn(), prefix, rloc, ttl, now);
+        }
+
+        for op in ops {
+            match op {
+                Op::Install(e, r, ttl) => {
+                    let rloc = Rloc::for_router_index(r);
+                    let ttl = SimDuration::from_secs(u64::from(ttl));
+                    owned.install(vn(), EidPrefix::host(eid(e)), rloc, ttl, now);
+                    shared.install(vn(), EidPrefix::host(eid(e)), rloc, ttl, now);
+                }
+                Op::Lookup(e) => {
+                    let want = owned.lookup(vn(), eid(e), now);
+                    let got = shared.lookup_shared(vn(), eid(e), now);
+                    prop_assert_eq!(got, want);
+                    // And the batched shared flavor agrees with both.
+                    let mut out = Vec::new();
+                    shared.lookup_batch_shared(vn(), &[eid(e)], now, &mut out);
+                    prop_assert_eq!(out[0], want);
+                }
+                Op::Negative(e) => {
+                    owned.apply_negative(vn(), EidPrefix::host(eid(e)));
+                    shared.apply_negative(vn(), EidPrefix::host(eid(e)));
+                }
+                Op::MarkStale(e) => {
+                    // The shared cache takes the SMR through the atomic
+                    // flag — the `&self` path the multi-core switch
+                    // uses. Both flavors land on the deepest live cover.
+                    let want = owned.mark_stale(vn(), eid(e), now);
+                    let got = shared.mark_stale_shared(vn(), eid(e), now);
+                    prop_assert_eq!(got, want);
+                }
+                Op::PurgeRloc(r) => {
+                    let rloc = Rloc::for_router_index(r);
+                    owned.purge_rloc(rloc);
+                    shared.purge_rloc(rloc);
+                }
+                Op::Advance(secs) => {
+                    now += SimDuration::from_secs(u64::from(secs));
+                }
+                Op::Evict(idle) => {
+                    let idle = SimDuration::from_secs(u64::from(idle));
+                    owned.evict(now, idle);
+                    shared.evict(now, idle);
+                }
+            }
+        }
     }
 
     /// A hit can never return an expired entry's RLOC.

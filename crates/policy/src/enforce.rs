@@ -34,7 +34,7 @@ pub enum EnforcementPoint {
 /// (§3.3.2). The table holds the SXP-distributed subset of the
 /// connectivity matrix plus hit/drop counters — the raw data behind
 /// Fig. 12's "permille hits on drop rules over all hits".
-#[derive(Default, Debug)]
+#[derive(Default, Debug, Clone)]
 pub struct GroupAcl {
     rules: BTreeMap<(VnId, GroupId, GroupId), Action>,
     /// Matrix version the rules came from (staleness detection).

@@ -163,6 +163,58 @@ impl<V> EidTrie<V> {
         Some((prefix_from_parts(kind, &key.slice(0, len)), v))
     }
 
+    /// Shared-read longest-prefix match for `eid`, **skipping entries
+    /// failing `keep`**: returns `(matched bit length, &V)` of the most
+    /// specific covering prefix whose value satisfies the predicate.
+    ///
+    /// This is the multi-core hot path's descent
+    /// ([`PatriciaTrie::longest_match_where`]): `&self`, so any number
+    /// of reader threads can resolve concurrently, treating logically
+    /// dead entries (the predicate) as absent — structural removal stays
+    /// with the owner. No [`EidPrefix`] is reconstructed; callers that
+    /// need one build it lazily via [`covering_prefix`].
+    pub fn lookup_where<F>(&self, eid: &Eid, keep: F) -> Option<(usize, &V)>
+    where
+        F: FnMut(&V) -> bool,
+    {
+        self.family(eid.kind())
+            .longest_match_where(&eid_key(eid), keep)
+    }
+
+    /// Batched shared-read longest-prefix match: the `&self` counterpart
+    /// of [`EidTrie::lookup_mut_each`], same same-family runs and
+    /// interleaved lockstep walk, filtered by `keep` as in
+    /// [`EidTrie::lookup_where`]. Allocation-free: keys stage through a
+    /// stack buffer.
+    pub fn lookup_each_where<P, F>(&self, eids: &[Eid], mut keep: P, mut f: F)
+    where
+        P: FnMut(&V) -> bool,
+        F: FnMut(usize, Option<(usize, &V)>),
+    {
+        const CHUNK: usize = 32;
+        let mut start = 0;
+        while start < eids.len() {
+            // One same-family run.
+            let kind = eids[start].kind();
+            let mut end = start + 1;
+            while end < eids.len() && eids[end].kind() == kind {
+                end += 1;
+            }
+            let trie = self.family(kind);
+            let mut keys = [BitStr::empty(); CHUNK];
+            let mut i = start;
+            while i < end {
+                let n = (end - i).min(CHUNK);
+                for (j, eid) in eids[i..i + n].iter().enumerate() {
+                    keys[j] = eid_key(eid);
+                }
+                trie.longest_match_each_where(&keys[..n], &mut keep, |j, res| f(i + j, res));
+                i += n;
+            }
+            start = end;
+        }
+    }
+
     /// Batched longest-prefix match: calls `f(i, result)` once per EID,
     /// in order, where a match is `(prefix bit length, &mut value)`.
     ///
@@ -391,6 +443,44 @@ mod tests {
         assert_eq!(stats.free_list_len, 0);
         // Three family roots + live structural/entry nodes.
         assert!(stats.live_nodes >= 3 + 3);
+    }
+
+    #[test]
+    fn shared_lookup_filters_dead_entries() {
+        let mut m = EidTrie::new();
+        let subnet: EidPrefix = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16)
+            .unwrap()
+            .into();
+        let host: EidPrefix = Ipv4Prefix::host(Ipv4Addr::new(10, 1, 2, 3)).into();
+        m.insert(subnet, 1u32);
+        m.insert(host, 2u32);
+        let probe = Eid::V4(Ipv4Addr::new(10, 1, 2, 3));
+        // Unfiltered: host route wins, length 32.
+        assert_eq!(m.lookup_where(&probe, |_| true), Some((32, &2)));
+        // Dead host route: the live /16 answers instead.
+        assert_eq!(m.lookup_where(&probe, |v| *v != 2), Some((16, &1)));
+        assert_eq!(covering_prefix(&probe, 16), subnet);
+        assert_eq!(m.lookup_where(&probe, |_| false), None);
+
+        // The batched flavor visits in order and agrees.
+        let eids = [
+            probe,
+            Eid::V4(Ipv4Addr::new(10, 1, 9, 9)),
+            Eid::V4(Ipv4Addr::new(192, 0, 2, 1)),
+            Eid::Mac(MacAddr::from_seed(5)),
+        ];
+        let mut got = Vec::new();
+        m.lookup_each_where(
+            &eids,
+            |v| *v != 2,
+            |i, res| got.push((i, res.map(|(len, v)| (len, *v)))),
+        );
+        let want: Vec<_> = eids
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, m.lookup_where(e, |v| *v != 2).map(|(len, v)| (len, *v))))
+            .collect();
+        assert_eq!(got, want);
     }
 
     #[test]

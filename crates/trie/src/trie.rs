@@ -467,6 +467,179 @@ impl<V> PatriciaTrie<V> {
         ))
     }
 
+    /// Shared-read longest-prefix match that **skips entries failing
+    /// `keep`**: the deepest valued node on `key`'s path whose value
+    /// satisfies the predicate. `longest_match` is the unfiltered
+    /// special case.
+    ///
+    /// This is the `&self` descent the multi-core forwarding path rides:
+    /// a reader thread holding only `&PatriciaTrie` can resolve a key
+    /// while treating logically dead entries (e.g. TTL-expired map-cache
+    /// mappings, which only the table *owner* may structurally remove)
+    /// as absent — so a dead host route never shadows a live covering
+    /// subnet. The predicate runs once per valued node on the path
+    /// (host-route tries: exactly one, at the final candidate), so the
+    /// filtered descent streams the same memory as the plain one plus at
+    /// most a handful of value-slab reads.
+    ///
+    /// Kept as a separate body from [`PatriciaTrie::longest_match_idx`]
+    /// on purpose: that descent backs the single-threaded benchmarks'
+    /// asserted ratios and must not grow a predicate indirection.
+    pub fn longest_match_where<F>(&self, key: &BitStr, mut keep: F) -> Option<(usize, &V)>
+    where
+        F: FnMut(&V) -> bool,
+    {
+        let nodes = self.nodes.as_slice();
+        let mut idx = ROOT;
+        let mut depth = 0usize;
+        let mut rem = key.raw();
+        let mut best = NONE;
+        let mut best_depth = 0usize;
+        if nodes[ROOT as usize].has_value
+            && keep(
+                self.values[ROOT as usize]
+                    .as_ref()
+                    .expect("root holds a value"),
+            )
+        {
+            best = ROOT;
+        }
+        while depth < key.len() {
+            let (child, d, r) = descend_step(nodes, idx, key.len(), depth, rem);
+            if child == NONE {
+                break;
+            }
+            (idx, depth, rem) = (child, d, r);
+            if nodes[idx as usize].has_value
+                && keep(
+                    self.values[idx as usize]
+                        .as_ref()
+                        .expect("has_value node holds a value"),
+                )
+            {
+                best = idx;
+                best_depth = depth;
+            }
+        }
+        (best != NONE).then(|| {
+            (
+                best_depth,
+                self.values[best as usize]
+                    .as_ref()
+                    .expect("kept node holds a value"),
+            )
+        })
+    }
+
+    /// Batched shared-read longest-prefix match: the `&self` counterpart
+    /// of [`PatriciaTrie::longest_match_mut_each`], same interleaved
+    /// lockstep walk (32 lanes, one trie step per round, node loads
+    /// overlapping as memory-level parallelism), yielding `&V` so any
+    /// number of reader threads can run it concurrently.
+    pub fn longest_match_each<F>(&self, keys: &[BitStr], f: F)
+    where
+        F: FnMut(usize, Option<(usize, &V)>),
+    {
+        self.longest_match_each_where(keys, |_| true, f)
+    }
+
+    /// [`PatriciaTrie::longest_match_each`] with the
+    /// [`PatriciaTrie::longest_match_where`] predicate: lanes only
+    /// record valued nodes whose value satisfies `keep`.
+    pub fn longest_match_each_where<P, F>(&self, keys: &[BitStr], mut keep: P, mut f: F)
+    where
+        P: FnMut(&V) -> bool,
+        F: FnMut(usize, Option<(usize, &V)>),
+    {
+        /// One in-flight shared lookup of the lockstep walk (the `&mut`
+        /// walk's `Lane`, minus nothing — the state is identical; only
+        /// the materialized reference differs).
+        #[derive(Clone, Copy)]
+        struct Lane {
+            node: u32,
+            best: u32,
+            rem: u128,
+            depth: u16,
+            best_depth: u16,
+            done: bool,
+        }
+
+        const LANES: usize = 32;
+        let nodes = self.nodes.as_slice();
+        let root_best = if nodes[ROOT as usize].has_value
+            && keep(
+                self.values[ROOT as usize]
+                    .as_ref()
+                    .expect("root holds a value"),
+            ) {
+            ROOT
+        } else {
+            NONE
+        };
+        for (ci, chunk) in keys.chunks(LANES).enumerate() {
+            let mut lanes = [Lane {
+                node: ROOT,
+                best: root_best,
+                rem: 0,
+                depth: 0,
+                best_depth: 0,
+                done: false,
+            }; LANES];
+            for (lane, key) in lanes.iter_mut().zip(chunk) {
+                lane.rem = key.raw();
+            }
+            loop {
+                let mut active = false;
+                for (i, lane) in lanes.iter_mut().enumerate().take(chunk.len()) {
+                    if lane.done {
+                        continue;
+                    }
+                    let key = &chunk[i];
+                    let depth = lane.depth as usize;
+                    if depth == key.len() {
+                        lane.done = true;
+                        continue;
+                    }
+                    let (child, d, r) = descend_step(nodes, lane.node, key.len(), depth, lane.rem);
+                    if child == NONE {
+                        lane.done = true;
+                        continue;
+                    }
+                    lane.node = child;
+                    lane.depth = d as u16;
+                    lane.rem = r;
+                    if nodes[child as usize].has_value
+                        && keep(
+                            self.values[child as usize]
+                                .as_ref()
+                                .expect("has_value node holds a value"),
+                        )
+                    {
+                        lane.best_depth = lane.depth;
+                        lane.best = child;
+                    }
+                    active = true;
+                }
+                if !active {
+                    break;
+                }
+            }
+            for (i, lane) in lanes.iter().enumerate().take(chunk.len()) {
+                let res = if lane.best == NONE {
+                    None
+                } else {
+                    Some((
+                        lane.best_depth as usize,
+                        self.values[lane.best as usize]
+                            .as_ref()
+                            .expect("kept node holds a value"),
+                    ))
+                };
+                f(ci * LANES + i, res);
+            }
+        }
+    }
+
     /// Batched [`PatriciaTrie::longest_match_mut`]: calls
     /// `f(i, match)` for every key, where a match is `(prefix bit
     /// length, &mut value)`.
@@ -848,6 +1021,76 @@ mod tests {
         assert_eq!(t.longest_match(&key("0")), None);
         // Exact length counts too.
         assert_eq!(t.longest_match(&key("1010")), Some((4, &"long")));
+    }
+
+    #[test]
+    fn longest_match_where_skips_filtered_entries() {
+        let mut t = PatriciaTrie::new();
+        t.insert(&key("10"), 1u32); // live subnet
+        t.insert(&key("1010"), 2u32); // "dead" host route
+                                      // Unfiltered: the deepest entry wins.
+        assert_eq!(
+            t.longest_match_where(&key("101011"), |_| true),
+            Some((4, &2))
+        );
+        // Filtered: the dead host route must not shadow the live subnet.
+        assert_eq!(
+            t.longest_match_where(&key("101011"), |v| *v != 2),
+            Some((2, &1))
+        );
+        // Everything filtered: no match, even though entries cover.
+        assert_eq!(t.longest_match_where(&key("101011"), |_| false), None);
+        // Filtered root default route still answers.
+        t.insert(&BitStr::empty(), 0u32);
+        assert_eq!(
+            t.longest_match_where(&key("0111"), |v| *v == 0),
+            Some((0, &0))
+        );
+    }
+
+    #[test]
+    fn longest_match_each_agrees_with_single_descent() {
+        let mut t = PatriciaTrie::new();
+        t.insert(&BitStr::empty(), 0u32);
+        t.insert(&key("10"), 1u32);
+        t.insert(&key("1010"), 2u32);
+        t.insert(&key("1111"), 3u32);
+        let keys: Vec<BitStr> = ["101011", "100111", "0", "1111", "110000", "1010"]
+            .iter()
+            .map(|s| key(s))
+            .collect();
+        let mut got = Vec::new();
+        t.longest_match_each(&keys, |i, res| {
+            got.push((i, res.map(|(d, v)| (d, *v))));
+        });
+        let want: Vec<_> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (i, t.longest_match(k).map(|(d, v)| (d, *v))))
+            .collect();
+        assert_eq!(got, want);
+
+        // The filtered flavor agrees with the filtered single descent.
+        let mut got = Vec::new();
+        t.longest_match_each_where(
+            &keys,
+            |v| *v % 2 == 0,
+            |i, res| {
+                got.push((i, res.map(|(d, v)| (d, *v))));
+            },
+        );
+        let want: Vec<_> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                (
+                    i,
+                    t.longest_match_where(k, |v| *v % 2 == 0)
+                        .map(|(d, v)| (d, *v)),
+                )
+            })
+            .collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -147,6 +147,9 @@ pub struct FrameDriver {
     rng: SmallRng,
     bufs: Vec<PacketBuf>,
     scratch: Vec<u8>,
+    /// Cycled punt-drain scratch: `drain_punts_into` swaps the switch's
+    /// queue with this vector, so neither ever reallocates.
+    punt_scratch: Vec<Punt>,
     now: SimTime,
     next_handover: usize,
     stats: FrameStats,
@@ -206,6 +209,7 @@ impl FrameDriver {
             rng: SmallRng::seed_from_u64(preset.seed),
             bufs: (0..BATCH_SIZE).map(|_| PacketBuf::new()).collect(),
             scratch: Vec::new(),
+            punt_scratch: Vec::new(),
             now: SimTime::ZERO + SimDuration::from_secs(1),
             next_handover: preset.handover_every.unwrap_or(usize::MAX),
             stats: FrameStats::default(),
@@ -314,9 +318,13 @@ impl FrameDriver {
             }
         }
         // Minimal control plane: answer refresh punts with the (already
-        // updated) registry state, count the rest.
-        for k in 0..self.switch.punts().len() {
-            match self.switch.punts()[k] {
+        // updated) registry state, count the rest. One drain call swaps
+        // the queue out (no clone, no punts()+clear_punts() pair), and
+        // the scratch vector lets the switch keep installing mappings
+        // while we walk the drained punts.
+        self.switch.drain_punts_into(&mut self.punt_scratch);
+        for &punt in &self.punt_scratch {
+            match punt {
                 Punt::MapRequest { vn, eid, refresh } => {
                     if refresh {
                         self.stats.punted_refresh += 1;
@@ -339,7 +347,6 @@ impl FrameDriver {
                 Punt::Smr { .. } => {}
             }
         }
-        self.switch.clear_punts();
         self.now += SimDuration::from_millis(1);
     }
 
@@ -355,7 +362,7 @@ impl FrameDriver {
         let new = Rloc::for_router_index(2 + (old_index - 2 + 1) % self.preset.remote_edges);
         debug_assert!(self.preset.remote_edges < 2 || new != old);
         self.remote[idx].1 = new;
-        self.switch.receive_smr(self.vn, Eid::V4(ip));
+        self.switch.receive_smr(self.vn, Eid::V4(ip), self.now);
         self.stats.handovers += 1;
     }
 }
