@@ -82,7 +82,7 @@ fn build_switch(routes: u32) -> Switch {
         sw.install_mapping(
             vn(),
             EidPrefix::host(Eid::V4(remote_ip(i))),
-            Rloc::for_router_index((i % 200) as u16),
+            Rloc::for_router_index(2 + (i % 200) as u16),
             SimDuration::from_days(365),
             SimTime::ZERO,
         );
@@ -237,7 +237,8 @@ fn bench_engine(c: &mut Criterion) {
                                 policy_applied: false,
                                 ttl: 8,
                                 src_port: 50_000,
-                                udp_checksum: false,
+                                udp_checksum: encap::OuterChecksum::Zero,
+                                inner_proto: encap::InnerProto::Ipv4,
                             },
                         )
                         .unwrap();
@@ -306,6 +307,7 @@ mod seed_baseline {
             group: Some(src_group),
             policy_applied: false,
             dont_learn: false,
+            inner_proto: vxlan::InnerProto::Ipv4,
             payload_len: inner.len(),
         };
         let mut vx = vec![0u8; vx_repr.buffer_len()];
@@ -360,7 +362,7 @@ fn bench_baseline(c: &mut Criterion) {
             cache.install(
                 vn(),
                 EidPrefix::host(Eid::V4(remote_ip(i))),
-                Rloc::for_router_index((i % 200) as u16),
+                Rloc::for_router_index(2 + (i % 200) as u16),
                 SimDuration::from_days(365),
                 SimTime::ZERO,
             );
@@ -406,7 +408,13 @@ fn bench_baseline(c: &mut Criterion) {
                         track: false,
                     },
                 };
-                encode_packet(Rloc::for_router_index(7), Rloc::for_router_index(1), &pkt).unwrap()
+                encode_packet(
+                    Rloc::for_router_index(7),
+                    Rloc::for_router_index(1),
+                    &pkt,
+                    encap::OuterChecksum::Full,
+                )
+                .unwrap()
             })
             .collect();
         let mut i = 0usize;

@@ -121,7 +121,7 @@ fn populate_st() -> Switch {
         sw.install_mapping(
             vn(),
             EidPrefix::host(Eid::V4(remote_ip(i))),
-            Rloc::for_router_index((i % 200) as u16),
+            Rloc::for_router_index(2 + (i % 200) as u16),
             SimDuration::from_days(365),
             SimTime::ZERO,
         );
@@ -137,7 +137,7 @@ fn populate_mt(workers: usize) -> MtSwitch {
         mt.install_mapping(
             vn(),
             EidPrefix::host(Eid::V4(remote_ip(i))),
-            Rloc::for_router_index((i % 200) as u16),
+            Rloc::for_router_index(2 + (i % 200) as u16),
             SimDuration::from_days(365),
             SimTime::ZERO,
         );

@@ -1,33 +1,46 @@
 //! The border router (§3.3 "Border Routers").
 //!
-//! Same functions as an edge, with two differences:
+//! Same functions as an edge — and, since the data-plane fold, the same
+//! engine: data traffic runs through this node's own
+//! [`sda_dataplane::Switch`] on real bytes. Two differences:
 //!
 //! 1. Its overlay table is **synchronized** with the routing server via
-//!    pub/sub instead of populated reactively — so it can absorb the
-//!    default-routed traffic edges send while their resolutions are in
-//!    flight.
-//! 2. It holds routes to external networks (Internet, datacenter).
+//!    pub/sub instead of populated reactively — every `Publish` installs
+//!    into (or withdraws from) the switch's map-cache with an
+//!    effectively infinite TTL — so it can absorb the default-routed
+//!    traffic edges send while their resolutions are in flight.
+//! 2. It holds routes to external networks (Internet, datacenter) in
+//!    the switch's external-prefix table, and its engine config has no
+//!    further default route (`border: None`): the border *is* the last
+//!    resort, so a miss there is unroutable.
+//!
+//! The engine's punts are drained and dropped here: arriving traffic
+//! was *default-routed*, which does not imply a stale sender (no Fig. 6
+//! SMR), and the synced table makes reactive Map-Requests pointless.
 //!
 //! It is also provisioned with a beefier control CPU in the scenarios
 //! ("the border router is usually more powerful than edge routers").
 
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use sda_simnet::{Context, Node, NodeId, SimTime};
-use sda_types::{Eid, EidPrefix, Ipv4Prefix, Rloc, VnId};
+use sda_dataplane::{DropReason, PacketBuf, Punt, Switch, SwitchConfig, Verdict};
+use sda_simnet::{Context, Node, NodeId, SimDuration, SimTime};
+use sda_types::{Eid, EidKind, EidPrefix, Ipv4Prefix, Rloc};
 use sda_wire::lisp::Message as Lisp;
 
-use crate::acl::GroupAcl;
-use crate::msg::{FabricMsg, OverlayPacket, PolicyMsg};
-use crate::pipeline::{self, EgressAction};
+use crate::msg::{FabricMsg, PolicyMsg};
+use crate::pipeline;
 use crate::servers::Directory;
-use crate::vrf::VrfTable;
+use crate::vrf::LocalEndpoint;
 
 /// Timer token for the subscription kick.
 const TIMER_SUBSCRIBE: u64 = 0;
 /// Timer token for FIB sampling.
 const TIMER_FIB_SAMPLE: u64 = 2;
+
+/// Pub/sub-synced mappings never idle out on the border; the routing
+/// server withdraws them explicitly. Far beyond any scenario horizon.
+const SYNC_TTL: SimDuration = SimDuration::from_secs(100 * 365 * 24 * 3600);
 
 /// Border counters for scenario assertions.
 #[derive(Clone, Copy, Default, Debug)]
@@ -51,34 +64,41 @@ pub struct BorderRouter {
     name: String,
     rloc: Rloc,
     dir: Rc<Directory>,
-    /// Pub/sub-synchronized full overlay table: (vn, host EID) → RLOC.
-    synced: BTreeMap<(VnId, Eid), Rloc>,
-    /// Directly attached endpoints (warehouse sinks, servers).
-    vrf: VrfTable,
-    acl: GroupAcl,
-    /// External prefixes (Internet/DC) reachable through this border.
-    external: Vec<Ipv4Prefix>,
+    /// The data plane: synced overlay table (map-cache), directly
+    /// attached endpoints (VRF), ACL and external prefixes.
+    switch: Switch,
     stats: BorderStats,
+    buf: PacketBuf,
+    frame_scratch: Vec<u8>,
+    punt_scratch: Vec<Punt>,
 }
 
 impl BorderRouter {
     /// Creates a border router serving `rloc`.
     pub fn new(name: impl Into<String>, rloc: Rloc, dir: Rc<Directory>) -> Self {
+        let mut cfg = SwitchConfig::new(rloc);
+        // The border is the default route's end of the line.
+        cfg.border = None;
+        cfg.default_action = dir.params.default_action;
+        cfg.enforcement = dir.params.enforcement;
+        cfg.hop_budget = dir.params.hop_budget;
+        let mut switch = Switch::new(cfg);
+        crate::edge::install_dst_hints(&mut switch, &dir);
         BorderRouter {
             name: name.into(),
             rloc,
             dir,
-            synced: BTreeMap::new(),
-            vrf: VrfTable::new(),
-            acl: GroupAcl::new(),
-            external: Vec::new(),
+            switch,
             stats: BorderStats::default(),
+            buf: PacketBuf::new(),
+            frame_scratch: Vec::new(),
+            punt_scratch: Vec::new(),
         }
     }
 
     /// Adds an external route (e.g. `0.0.0.0/0` for the Internet).
     pub fn add_external(&mut self, prefix: Ipv4Prefix) {
-        self.external.push(prefix);
+        self.switch.add_external(prefix);
     }
 
     /// This border's locator.
@@ -91,94 +111,100 @@ impl BorderRouter {
         self.stats
     }
 
+    /// This node's data plane (read access for harnesses and the
+    /// differential oracle).
+    pub fn switch(&self) -> &Switch {
+        &self.switch
+    }
+
     /// Synced overlay FIB size (all families).
     pub fn fib_len(&self) -> usize {
-        self.synced.len()
+        self.switch.fib_len()
     }
 
     /// IPv4 mappings only — the Fig. 9 border series.
     pub fn fib_len_v4(&self) -> usize {
-        self.synced
-            .keys()
-            .filter(|(_, eid)| matches!(eid, Eid::V4(_)))
-            .count()
+        self.switch.map_cache().len_of(EidKind::V4)
     }
 
-    /// Mutable VRF access for scenario setup (border-attached sinks are
-    /// onboarded by the controller directly — they are infrastructure,
-    /// not roaming endpoints).
-    pub fn vrf_mut(&mut self) -> &mut VrfTable {
-        &mut self.vrf
+    /// Attaches an infrastructure endpoint directly to this border
+    /// (warehouse sinks, servers — onboarded by the controller, they do
+    /// not roam or authenticate dynamically).
+    pub fn attach_sink(&mut self, vn: sda_types::VnId, ep: LocalEndpoint) {
+        self.switch.attach(vn, ep);
     }
 
-    /// Mutable ACL access for scenario setup.
-    pub fn acl_mut(&mut self) -> &mut GroupAcl {
-        &mut self.acl
+    /// Installs (merges) group rules for scenario setup.
+    pub fn install_rules(&mut self, subset: &sda_policy::RuleSubset) {
+        self.switch.install_rules(subset);
     }
 
-    fn external_match(&self, eid: Eid) -> bool {
-        match eid {
-            Eid::V4(a) => self.external.iter().any(|p| p.contains(a)),
-            _ => false,
-        }
-    }
-
-    fn handle_data(&mut self, ctx: &mut Context<'_, FabricMsg>, pkt: OverlayPacket) {
-        // Directly attached endpoints first (the warehouse traffic sink).
-        match pipeline::egress(
-            &self.vrf,
-            &mut self.acl,
-            &pkt,
-            self.dir.params.enforcement_for_egress(),
-            self.dir.params.default_action,
-        ) {
-            EgressAction::Deliver { .. } => {
+    /// Runs one packet (already loaded into `self.buf`) through the
+    /// engine and folds the verdict into the border's books. `ingress`
+    /// selects the pipeline: host frames from directly attached sinks
+    /// take ingress, fabric bytes take egress.
+    fn process_loaded(&mut self, ctx: &mut Context<'_, FabricMsg>, ingress: bool) {
+        let bufs = std::slice::from_mut(&mut self.buf);
+        let verdict = if ingress {
+            self.switch.process_ingress(bufs, ctx.now())[0]
+        } else {
+            self.switch.process_egress(bufs, ctx.now())[0]
+        };
+        match verdict {
+            Verdict::Deliver { .. } => {
                 self.stats.delivered += 1;
                 ctx.metrics().incr("fabric.delivered");
-                if pkt.inner.track {
-                    let name = format!("deliver.{}", pkt.inner.dst);
-                    let now = ctx.now();
-                    ctx.metrics().record(&name, now, pkt.inner.flow as f64);
+                if let Some(d) = pipeline::parse_delivered_frame(self.buf.bytes()) {
+                    if d.track {
+                        let name = format!("deliver.{}", d.dst);
+                        let now = ctx.now();
+                        ctx.metrics().record(&name, now, d.flow as f64);
+                    }
                 }
-                return;
             }
-            EgressAction::DropPolicy => {
+            Verdict::Forward { to } => {
+                // Every forward out of a border is a relay off the
+                // synced table (it has no further default route).
+                self.stats.relayed += 1;
+                let node = self.dir.node_of(to);
+                ctx.send(node, FabricMsg::Data(self.buf.bytes().to_vec()));
+            }
+            Verdict::DeliverExternal => {
+                self.stats.external += 1;
+                ctx.metrics().incr("fabric.external_delivered");
+            }
+            Verdict::Drop(DropReason::Policy) => {
                 self.stats.policy_drops += 1;
                 ctx.metrics().incr(&format!("acl.drops.{}", self.name));
-                return;
             }
-            EgressAction::NotLocal => {}
-        }
-
-        if pkt.hops_left == 0 {
-            ctx.metrics().incr("fabric.hop_exhausted");
-            return;
-        }
-
-        // Synced table: relay into the fabric.
-        if let Some(rloc) = self.synced.get(&(pkt.vn, pkt.inner.dst)).copied() {
-            if rloc != self.rloc {
-                self.stats.relayed += 1;
-                let mut fwd = pkt;
-                fwd.hops_left -= 1;
-                let node = self.dir.node_of(rloc);
-                ctx.send(node, FabricMsg::Data(fwd));
-                return;
+            Verdict::Drop(DropReason::TtlExpired) => {
+                ctx.metrics().incr("fabric.hop_exhausted");
+            }
+            Verdict::Drop(DropReason::NoRoute) => {
+                self.stats.unroutable += 1;
+                ctx.metrics().incr("fabric.unroutable");
+            }
+            Verdict::Drop(_) => {
+                ctx.metrics().incr("fabric.unroutable");
+                self.stats.unroutable += 1;
             }
         }
-
-        // External routes.
-        if self.external_match(pkt.inner.dst) {
-            self.stats.external += 1;
-            ctx.metrics().incr("fabric.external_delivered");
-            return;
-        }
-
-        self.stats.unroutable += 1;
-        ctx.metrics().incr("fabric.unroutable");
+        // Default-routed traffic does not imply a stale sender and the
+        // synced table needs no reactive resolution: punts are drained
+        // (cycling the scratch capacity) and intentionally dropped.
+        self.switch.drain_punts_into(&mut self.punt_scratch);
+        self.punt_scratch.clear();
     }
 
-    fn handle_control(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: Lisp, _now: SimTime) {
+    fn handle_data(&mut self, ctx: &mut Context<'_, FabricMsg>, bytes: &[u8]) {
+        if !self.buf.load(bytes) {
+            debug_assert!(false, "fabric data exceeds MAX_FRAME");
+            return;
+        }
+        self.process_loaded(ctx, false);
+    }
+
+    fn handle_control(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: Lisp, now: SimTime) {
         match msg {
             Lisp::Publish {
                 vn,
@@ -192,9 +218,10 @@ impl BorderRouter {
                 };
                 self.stats.publishes_applied += 1;
                 if withdraw {
-                    self.synced.remove(&(vn, eid));
+                    self.switch.apply_negative(vn, EidPrefix::host(eid));
                 } else {
-                    self.synced.insert((vn, eid), rloc);
+                    self.switch
+                        .install_mapping(vn, EidPrefix::host(eid), rloc, SYNC_TTL, now);
                 }
                 ctx.metrics().incr("border.publishes");
             }
@@ -219,21 +246,21 @@ fn host_eid(prefix: &EidPrefix) -> Option<Eid> {
 impl Node<FabricMsg> for BorderRouter {
     fn on_message(&mut self, ctx: &mut Context<'_, FabricMsg>, _from: NodeId, msg: FabricMsg) {
         match msg {
-            FabricMsg::Data(pkt) => {
+            FabricMsg::Data(bytes) => {
                 ctx.busy(self.dir.params.border_data_service);
-                self.handle_data(ctx, pkt);
+                self.handle_data(ctx, &bytes);
             }
             FabricMsg::Control(m) => {
                 let now = ctx.now();
                 self.handle_control(ctx, m, now);
             }
             FabricMsg::Policy(PolicyMsg::RuleRefresh { rules }) => {
-                self.acl.replace(&rules);
+                self.switch.replace_rules(&rules);
             }
             FabricMsg::Host(ev) => {
                 // Border-attached endpoints (traffic sinks) do not roam;
-                // sends are processed like an edge's local sends but
-                // against the synced table.
+                // their sends run the engine's ingress pipeline against
+                // the synced table.
                 if let crate::msg::HostEvent::Send {
                     src_mac,
                     dst,
@@ -242,24 +269,28 @@ impl Node<FabricMsg> for BorderRouter {
                     track,
                 } = ev
                 {
-                    let Some((vn, src_ep)) = self.vrf.classify(src_mac) else {
+                    let Some(src_ipv4) = self
+                        .switch
+                        .tables()
+                        .vrf()
+                        .classify(src_mac)
+                        .map(|(_, ep)| ep.ipv4)
+                    else {
                         return;
                     };
-                    let packet = OverlayPacket {
-                        vn,
-                        src_group: src_ep.group,
-                        policy_applied: false,
-                        hops_left: self.dir.params.hop_budget,
-                        origin: self.rloc,
-                        inner: crate::msg::InnerPacket {
-                            src: Eid::V4(src_ep.ipv4),
-                            dst,
-                            payload_len,
-                            flow,
-                            track,
-                        },
-                    };
-                    self.handle_data(ctx, packet);
+                    if !pipeline::compose_host_frame(
+                        &mut self.frame_scratch,
+                        src_mac,
+                        src_ipv4,
+                        dst,
+                        payload_len,
+                        flow,
+                        track,
+                    ) {
+                        return;
+                    }
+                    assert!(self.buf.load(&self.frame_scratch));
+                    self.process_loaded(ctx, true);
                 }
             }
             // Borders do not run the link-state protocol in this model;

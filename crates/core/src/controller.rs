@@ -330,7 +330,7 @@ impl FabricBuilder {
             }
             // Pre-install border sinks.
             for sink in self.border_sinks.iter().filter(|s| s.border.0 == i) {
-                border.vrf_mut().attach(
+                border.attach_sink(
                     sink.vn,
                     LocalEndpoint {
                         port: sink.port,

@@ -1,29 +1,47 @@
 //! The edge router node: the §3.3 "Edge Routers" functions.
 //!
-//! 1. Encap/decap endpoint traffic (via [`crate::pipeline`]).
-//! 2. Inter-VN isolation (VRF tables keyed by VN).
+//! 1. Encap/decap endpoint traffic — through this node's own
+//!    [`sda_dataplane::Switch`], on real bytes. The node composes each
+//!    endpoint `Send` event into an Ethernet frame
+//!    ([`pipeline::compose_host_frame`]), runs the engine's
+//!    ingress/egress batch pipeline, and transmits the rewritten
+//!    buffers as [`FabricMsg::Data`] byte packets. The engine makes
+//!    every forwarding decision; the node's job is the control plane
+//!    around it.
+//! 2. Inter-VN isolation (the switch's VRF tables keyed by VN).
 //! 3. Roaming detection and location registration.
-//! 4. Group-permission enforcement on egress.
+//! 4. Group-permission enforcement (in the switch's ACL stage).
+//!
+//! Punt-driven control: the engine queues [`Punt`]s —
+//! Map-Requests for misses and stale refreshes, data-triggered SMRs for
+//! departed endpoints (Fig. 6) — and this node drains them after every
+//! burst ([`Switch::drain_punts_into`]), deduplicating Map-Requests
+//! through its in-flight `resolving` set and rate-limiting SMRs through
+//! the [`SmrTracker`], then emits the actual LISP messages.
 //!
 //! Plus the lessons-learned machinery: default-route fallback while a
-//! resolution is in flight (§3.2.2), data-triggered SMRs for stale
-//! senders (Fig. 6), reboot recovery (§5.2), and underlay-reachability
-//! fallback (§5.1).
+//! resolution is in flight (§3.2.2), reboot recovery (§5.2), and
+//! underlay-reachability fallback (§5.1).
+//!
+//! The historical structured decision pipeline survives only as the
+//! differential oracle in [`crate::pipeline`]; this node no longer
+//! calls it on the data path.
 
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use sda_lisp::{CacheOutcome, MapCache, SmrTracker};
+use sda_dataplane::{PacketBuf, Punt, Switch, SwitchConfig, SwitchStats, Verdict};
+use sda_lisp::SmrTracker;
 use sda_simnet::{Context, Node, NodeId, SimDuration, SimTime};
-use sda_types::{Eid, MacAddr, PortId, Rloc, VnId};
+use sda_types::{Eid, EidKind, MacAddr, PortId, Rloc, VnId};
 use sda_underlay::{LinkStateRouter, ReachabilityEvent, ReachabilityTracker};
 use sda_wire::lisp::Message as Lisp;
 
 use crate::acl::GroupAcl;
-use crate::msg::{ArpMsg, EndpointIdentity, FabricMsg, HostEvent, InnerPacket, PolicyMsg};
-use crate::pipeline::{self, EgressAction, IngressAction};
+use crate::msg::{ArpMsg, EndpointIdentity, FabricMsg, HostEvent, PolicyMsg};
+use crate::pipeline::{self, EnforcementPoint};
 use crate::servers::Directory;
-use crate::vrf::{LocalEndpoint, VrfTable};
+use crate::vrf::LocalEndpoint;
 
 /// Timer tokens.
 const TIMER_EVICT: u64 = 1;
@@ -73,9 +91,8 @@ pub struct EdgeRouter {
     name: String,
     rloc: Rloc,
     dir: Rc<Directory>,
-    vrf: VrfTable,
-    cache: MapCache,
-    acl: GroupAcl,
+    /// This node's data plane: VRF, map-cache and ACL live inside.
+    switch: Switch,
     smr: SmrTracker,
     pending_auth: HashMap<u64, PendingAttach>,
     /// Resolutions in flight, to avoid duplicate Map-Requests.
@@ -91,18 +108,37 @@ pub struct EdgeRouter {
     /// Fault injection: a failed edge ignores everything (no hellos,
     /// no forwarding) — the §5.1 outage.
     failed: bool,
+    /// Reusable single-packet buffer (the simulator delivers one packet
+    /// per event; the engine still runs its batch pipeline over it).
+    buf: PacketBuf,
+    /// Frame-composition scratch, reused across sends.
+    frame_scratch: Vec<u8>,
+    /// Punt-drain scratch, swap-cycled with the switch's queue.
+    punt_scratch: Vec<Punt>,
+}
+
+/// Builds the engine configuration an edge runs with, from the
+/// fabric-wide knobs.
+fn edge_switch_config(rloc: Rloc, dir: &Directory) -> SwitchConfig {
+    let mut cfg = SwitchConfig::new(rloc);
+    cfg.border = Some(dir.border_rloc);
+    cfg.miss_default_route = dir.params.border_default_route;
+    cfg.default_action = dir.params.default_action;
+    cfg.enforcement = dir.params.enforcement;
+    cfg.hop_budget = dir.params.hop_budget;
+    cfg
 }
 
 impl EdgeRouter {
     /// Creates an edge router serving `rloc`.
     pub fn new(name: impl Into<String>, rloc: Rloc, dir: Rc<Directory>) -> Self {
+        let mut switch = Switch::new(edge_switch_config(rloc, &dir));
+        install_dst_hints(&mut switch, &dir);
         EdgeRouter {
             name: name.into(),
             rloc,
             dir,
-            vrf: VrfTable::new(),
-            cache: MapCache::new(),
-            acl: GroupAcl::new(),
+            switch,
             smr: SmrTracker::new(SimDuration::from_secs(5)),
             pending_auth: HashMap::new(),
             resolving: HashSet::new(),
@@ -113,6 +149,9 @@ impl EdgeRouter {
             underlay: None,
             reach: ReachabilityTracker::default(),
             failed: false,
+            buf: PacketBuf::new(),
+            frame_scratch: Vec::new(),
+            punt_scratch: Vec::new(),
         }
     }
 
@@ -137,35 +176,41 @@ impl EdgeRouter {
         self.stats
     }
 
+    /// This node's data plane (read access for harnesses and the
+    /// differential oracle).
+    pub fn switch(&self) -> &Switch {
+        &self.switch
+    }
+
     /// Current overlay FIB size (map-cache entries).
     pub fn fib_len(&self) -> usize {
-        self.cache.len()
+        self.switch.fib_len()
     }
 
     /// IPv4 overlay-to-underlay mappings only — the exact Fig. 9 metric
     /// ("we counted the number of overlay-to-underlay IPv4 mappings in
     /// the FIB").
     pub fn fib_len_v4(&self) -> usize {
-        self.cache.len_of(sda_types::EidKind::V4)
+        self.switch.map_cache().len_of(EidKind::V4)
     }
 
     /// Locally attached endpoints.
     pub fn attached(&self) -> usize {
-        self.vrf.endpoint_count()
+        self.switch.tables().vrf().endpoint_count()
     }
 
     /// ACL state (for the §5.3 ablation).
     pub fn acl(&self) -> &GroupAcl {
-        &self.acl
+        self.switch.acl()
     }
 
-    /// Simulates a reboot (§5.2): all volatile state is lost.
-    /// Must be followed by endpoints re-attaching (the real box
-    /// re-detects them on its ports).
+    /// Simulates a reboot (§5.2): all volatile state is lost — the
+    /// switch restarts with empty tables ("it will start with an empty
+    /// FIB for the overlay entries"). Must be followed by endpoints
+    /// re-attaching (the real box re-detects them on its ports).
     pub fn reboot(&mut self) {
-        self.vrf.clear();
-        self.cache.clear();
-        self.acl.clear();
+        self.switch = Switch::new(*self.switch.config());
+        install_dst_hints(&mut self.switch, &self.dir);
         self.pending_auth.clear();
         self.resolving.clear();
         self.pending_arp.clear();
@@ -286,7 +331,9 @@ impl EdgeRouter {
     /// registrations never expire while the endpoint is present.
     fn refresh_registrations(&mut self, ctx: &mut Context<'_, FabricMsg>) {
         let attached: Vec<(VnId, MacAddr, std::net::Ipv4Addr)> = self
-            .vrf
+            .switch
+            .tables()
+            .vrf()
             .iter()
             .map(|(vn, ep)| (vn, ep.mac, ep.ipv4))
             .collect();
@@ -322,7 +369,7 @@ impl EdgeRouter {
                 );
             }
             HostEvent::Detach { mac } => {
-                self.vrf.detach(mac);
+                self.switch.detach(mac);
                 // Deliberately no withdraw: mobility overwrites the
                 // mapping when the endpoint re-registers elsewhere
                 // (Fig. 5); a true offboard goes through the controller.
@@ -351,100 +398,70 @@ impl EdgeRouter {
         flow: u64,
         track: bool,
     ) {
-        // Ingress classification: port/MAC → (VN, GroupId) from
-        // onboarding.
-        let Some((vn, src_ep)) = self.vrf.classify(src_mac) else {
+        // Host-side frame synthesis: the `Send` event stands for a real
+        // frame the endpoint emits, so we need its bound IPv4 (the host
+        // knows its own address; the event model doesn't carry it). The
+        // engine re-classifies and enforces the binding itself.
+        let Some(src_ipv4) = self
+            .switch
+            .tables()
+            .vrf()
+            .classify(src_mac)
+            .map(|(_, ep)| ep.ipv4)
+        else {
             self.stats.unknown_source += 1;
             return;
         };
-        let src_group = src_ep.group;
-        let src_eid = Eid::V4(src_ep.ipv4);
-        let inner = InnerPacket {
-            src: if matches!(dst, Eid::Mac(_)) {
-                Eid::Mac(src_mac)
-            } else {
-                src_eid
-            },
+        if !pipeline::compose_host_frame(
+            &mut self.frame_scratch,
+            src_mac,
+            src_ipv4,
             dst,
             payload_len,
             flow,
             track,
-        };
+        ) {
+            // No byte form (IPv6 EID) — documented simplification.
+            ctx.metrics().incr("fabric.unencodable_sends");
+            return;
+        }
+        assert!(self.buf.load(&self.frame_scratch));
 
-        // Map-cache resolution (the caller-side part of the pipeline).
-        let (resolved, needs_resolution, stale) = match self.cache.lookup(vn, dst, ctx.now()) {
-            CacheOutcome::Hit(rloc) => (Some(rloc), false, false),
-            CacheOutcome::Miss => (None, true, false),
-            CacheOutcome::Stale(rloc) => (Some(rloc), true, true),
-        };
-
-        let hint = if stale {
-            None
-        } else {
-            self.dir.params.dst_group_hint(vn, dst)
-        };
-        let action = pipeline::ingress(
-            &self.vrf,
-            &mut self.acl,
-            vn,
-            src_group,
-            inner,
-            resolved,
-            self.dir.params.enforcement,
-            hint,
-            self.dir.params.default_action,
-            self.dir.params.hop_budget,
-            self.rloc,
-        );
-
-        // Resolution is only needed when the packet actually leaves this
-        // edge (a local delivery or drop must not query the server).
-        let needs_resolution = needs_resolution
-            && matches!(
-                action,
-                IngressAction::Encap { .. } | IngressAction::EncapToBorder { .. }
-            );
-
-        match action {
-            IngressAction::DeliverLocal { .. } => {
+        let before = self.switch.stats();
+        let verdict = self
+            .switch
+            .process_ingress(std::slice::from_mut(&mut self.buf), ctx.now())[0];
+        match verdict {
+            Verdict::Deliver { .. } => {
                 self.stats.delivered += 1;
-                self.record_delivery(ctx, &inner);
+                self.record_delivery(ctx);
             }
-            IngressAction::Encap { to, packet } => {
-                let mut packet = packet;
-                packet.hops_left -= 1;
+            Verdict::Forward { to } => {
+                if was_default_route(&before, &self.switch.stats()) {
+                    self.stats.default_routed += 1;
+                }
                 ctx.metrics()
                     .add("fabric.overlay_bytes", u64::from(payload_len));
                 let node = self.node_of(to);
-                ctx.send(node, FabricMsg::Data(packet));
+                ctx.send(node, FabricMsg::Data(self.buf.bytes().to_vec()));
             }
-            IngressAction::EncapToBorder { packet } => {
-                if self.dir.params.border_default_route {
-                    let mut packet = packet;
-                    packet.hops_left -= 1;
-                    self.stats.default_routed += 1;
-                    ctx.metrics()
-                        .add("fabric.overlay_bytes", u64::from(payload_len));
-                    let node = self.node_of(self.dir.border_rloc);
-                    ctx.send(node, FabricMsg::Data(packet));
-                } else {
-                    // Ablation: no border sync — the first packets of a
-                    // flow are lost while the resolution completes.
-                    self.stats.first_packet_drops += 1;
-                    ctx.metrics().incr("fabric.first_packet_drops");
-                }
-            }
-            IngressAction::DropPolicy => {
+            Verdict::Drop(sda_dataplane::DropReason::Policy) => {
                 self.stats.policy_drops += 1;
             }
-            IngressAction::DropUnknownSource => {
+            Verdict::Drop(sda_dataplane::DropReason::NoRoute) => {
+                // Ablation: no border sync — the first packets of a
+                // flow are lost while the resolution completes.
+                self.stats.first_packet_drops += 1;
+                ctx.metrics().incr("fabric.first_packet_drops");
+            }
+            Verdict::Drop(_) => {
                 self.stats.unknown_source += 1;
             }
+            Verdict::DeliverExternal => {
+                debug_assert!(false, "edges hold no external routes");
+            }
         }
-
-        if needs_resolution {
-            self.send_map_request(ctx, vn, dst);
-        }
+        self.service_punts(ctx);
     }
 
     fn handle_arp_request(
@@ -453,12 +470,12 @@ impl EdgeRouter {
         src_mac: MacAddr,
         target_ip: std::net::Ipv4Addr,
     ) {
-        let Some((vn, _)) = self.vrf.classify(src_mac) else {
+        let Some((vn, _)) = self.switch.tables().vrf().classify(src_mac) else {
             self.stats.unknown_source += 1;
             return;
         };
         // Local answer: target attached to this same edge.
-        if let Some(ep) = self.vrf.lookup(vn, Eid::V4(target_ip)) {
+        if let Some(ep) = self.switch.tables().vrf().lookup(vn, Eid::V4(target_ip)) {
             let _ = ep;
             self.stats.arp_converted += 1;
             ctx.metrics().incr("fabric.arp_local_answers");
@@ -501,99 +518,105 @@ impl EdgeRouter {
     }
 
     /// Decap + egress processing for fabric traffic arriving from the
-    /// underlay.
-    fn handle_data(&mut self, ctx: &mut Context<'_, FabricMsg>, pkt: crate::msg::OverlayPacket) {
-        match pipeline::egress(
-            &self.vrf,
-            &mut self.acl,
-            &pkt,
-            self.dir.params.enforcement_for_egress(),
-            self.dir.params.default_action,
-        ) {
-            EgressAction::Deliver { .. } => {
+    /// underlay — the engine's egress pipeline on the received bytes.
+    /// Local deliveries are rewritten in place; traffic for departed
+    /// endpoints is re-forwarded toward the cached location (Fig. 6) or
+    /// rides the border default route (§5.2 reboot recovery), with the
+    /// Fig. 6 SMR raised through the punt queue.
+    fn handle_data(&mut self, ctx: &mut Context<'_, FabricMsg>, bytes: &[u8]) {
+        if !self.buf.load(bytes) {
+            debug_assert!(false, "fabric data exceeds MAX_FRAME");
+            return;
+        }
+        let before = self.switch.stats();
+        let verdict = self
+            .switch
+            .process_egress(std::slice::from_mut(&mut self.buf), ctx.now())[0];
+        match verdict {
+            Verdict::Deliver { .. } => {
                 self.stats.delivered += 1;
-                self.record_delivery(ctx, &pkt.inner);
+                self.record_delivery(ctx);
             }
-            EgressAction::DropPolicy => {
+            Verdict::Drop(sda_dataplane::DropReason::Policy) => {
                 self.stats.policy_drops += 1;
                 ctx.metrics().incr(&format!("acl.drops.{}", self.name));
             }
-            EgressAction::NotLocal => self.handle_not_local(ctx, pkt),
-        }
-    }
-
-    /// Fig. 6: traffic arrived for an endpoint that is not here.
-    fn handle_not_local(
-        &mut self,
-        ctx: &mut Context<'_, FabricMsg>,
-        pkt: crate::msg::OverlayPacket,
-    ) {
-        if pkt.hops_left == 0 {
-            self.stats.hop_exhausted += 1;
-            ctx.metrics().incr("fabric.hop_exhausted");
-            return;
-        }
-        let vn = pkt.vn;
-        let dst = pkt.inner.dst;
-
-        // (3) forward toward the current location if we know one
-        // (Map-Notify installed it after the endpoint moved away).
-        let forward_to = match self.cache.lookup(vn, dst, ctx.now()) {
-            CacheOutcome::Hit(rloc) | CacheOutcome::Stale(rloc) if rloc != self.rloc => Some(rloc),
-            _ => None,
-        };
-
-        match forward_to {
-            Some(rloc) => {
-                self.stats.mobility_forwards += 1;
-                let mut fwd = pkt;
-                fwd.hops_left -= 1;
-                let node = self.node_of(rloc);
-                ctx.send(node, FabricMsg::Data(fwd));
+            Verdict::Drop(sda_dataplane::DropReason::TtlExpired) => {
+                // §5.2: the hop budget damped a transient loop.
+                self.stats.hop_exhausted += 1;
+                ctx.metrics().incr("fabric.hop_exhausted");
             }
-            None => {
-                // Unknown here entirely (e.g. freshly rebooted, §5.2):
-                // fall back to the border default route.
-                self.stats.default_routed += 1;
-                let mut fwd = pkt;
-                fwd.hops_left -= 1;
-                let node = self.node_of(self.dir.border_rloc);
-                ctx.send(node, FabricMsg::Data(fwd));
+            Verdict::Forward { to } => {
+                if was_default_route(&before, &self.switch.stats()) {
+                    // Unknown here entirely (e.g. freshly rebooted,
+                    // §5.2): the engine fell back to the default route.
+                    self.stats.default_routed += 1;
+                } else {
+                    // Fig. 6 step 3: forwarded onward to the moved
+                    // endpoint's current location.
+                    self.stats.mobility_forwards += 1;
+                }
+                let node = self.node_of(to);
+                ctx.send(node, FabricMsg::Data(self.buf.bytes().to_vec()));
+            }
+            Verdict::Drop(_) => {
+                debug_assert!(false, "unexpected fabric data drop: {verdict:?}");
+            }
+            Verdict::DeliverExternal => {
+                debug_assert!(false, "edges hold no external routes");
             }
         }
-
-        // (2) data-triggered SMR to the origin edge (the packet's outer
-        // source, Fig. 6 step 2) so it re-resolves — rate-limited per
-        // (eid, source).
-        let now = ctx.now();
-        let origin = pkt.origin;
-        if origin != self.rloc
-            && origin != self.dir.border_rloc
-            && self.smr.should_send(vn, dst, origin, now)
-        {
-            self.stats.smrs_sent += 1;
-            ctx.metrics().incr("fabric.smrs");
-            let nonce = self.nonce();
-            let node = self.node_of(origin);
-            ctx.send(
-                node,
-                FabricMsg::Control(Lisp::MapRequest {
-                    nonce,
-                    smr: true,
-                    vn,
-                    eid: dst,
-                    itr_rloc: self.rloc,
-                }),
-            );
-        }
+        self.service_punts(ctx);
     }
 
-    fn record_delivery(&mut self, ctx: &mut Context<'_, FabricMsg>, inner: &InnerPacket) {
+    /// Drains the switch's punt queue and runs the control plane over
+    /// it: Map-Requests are deduplicated through the `resolving` set,
+    /// data-triggered SMRs (Fig. 6 step 2) are rate-limited per
+    /// `(eid, source)` and never aimed at ourselves or the border
+    /// (default-routed traffic does not imply a stale sender).
+    fn service_punts(&mut self, ctx: &mut Context<'_, FabricMsg>) {
+        self.switch.drain_punts_into(&mut self.punt_scratch);
+        let punts = std::mem::take(&mut self.punt_scratch);
+        for &punt in &punts {
+            match punt {
+                Punt::MapRequest { vn, eid, .. } => self.send_map_request(ctx, vn, eid),
+                Punt::Smr { to, vn, eid } => {
+                    let now = ctx.now();
+                    if to != self.rloc
+                        && to != self.dir.border_rloc
+                        && self.smr.should_send(vn, eid, to, now)
+                    {
+                        self.stats.smrs_sent += 1;
+                        ctx.metrics().incr("fabric.smrs");
+                        let nonce = self.nonce();
+                        let node = self.node_of(to);
+                        ctx.send(
+                            node,
+                            FabricMsg::Control(Lisp::MapRequest {
+                                nonce,
+                                smr: true,
+                                vn,
+                                eid,
+                                itr_rloc: self.rloc,
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+        self.punt_scratch = punts;
+    }
+
+    /// Records a delivery the switch just made (the delivered frame is
+    /// still in `self.buf`, carrying the measurement meta).
+    fn record_delivery(&mut self, ctx: &mut Context<'_, FabricMsg>) {
         ctx.metrics().incr("fabric.delivered");
-        if inner.track {
-            let name = format!("deliver.{}", inner.dst);
-            let now = ctx.now();
-            ctx.metrics().record(&name, now, inner.flow as f64);
+        if let Some(d) = pipeline::parse_delivered_frame(self.buf.bytes()) {
+            if d.track {
+                let name = format!("deliver.{}", d.dst);
+                let now = ctx.now();
+                ctx.metrics().record(&name, now, d.flow as f64);
+            }
         }
     }
 
@@ -612,9 +635,9 @@ impl EdgeRouter {
                     self.resolving.remove(&(vn, eid0));
                 }
                 if negative {
-                    self.cache.apply_negative(vn, prefix);
+                    self.switch.apply_negative(vn, prefix);
                 } else if let Some(rloc) = rloc {
-                    self.cache.install(
+                    self.switch.install_mapping(
                         vn,
                         prefix,
                         rloc,
@@ -628,7 +651,7 @@ impl EdgeRouter {
             } => {
                 // Fig. 5 step 2–3: the moved endpoint's new location.
                 // Install it so in-flight traffic forwards onward.
-                self.cache.update_rloc(
+                self.switch.update_mapping(
                     vn,
                     eid,
                     new_rloc,
@@ -642,7 +665,7 @@ impl EdgeRouter {
             } => {
                 // An SMR: our cached mapping is stale. Mark and
                 // re-resolve (Fig. 6 step 4).
-                self.cache.mark_stale(vn, eid, now);
+                self.switch.receive_smr(vn, eid, now);
                 self.send_map_request(ctx, vn, eid);
             }
             other => {
@@ -664,8 +687,8 @@ impl EdgeRouter {
                 };
                 debug_assert_eq!(pending.endpoint.mac, mac);
                 // Fig. 3 steps 2–4: install binding, rules, register.
-                self.acl.install(&rules);
-                self.vrf.attach(
+                self.switch.install_rules(&rules);
+                self.switch.attach(
                     profile.vn,
                     LocalEndpoint {
                         port: pending.port,
@@ -688,7 +711,7 @@ impl EdgeRouter {
                 ctx.metrics().incr("fabric.auth_rejects");
             }
             PolicyMsg::RuleRefresh { rules } => {
-                self.acl.replace(&rules);
+                self.switch.replace_rules(&rules);
             }
             other => {
                 debug_assert!(false, "edge received server-side policy msg {other:?}");
@@ -743,10 +766,28 @@ impl EdgeRouter {
             if let ReachabilityEvent::Down(router) = event {
                 // §5.1: delete routes through the lost RLOC; traffic
                 // falls back to the border default route.
-                let purged = self.cache.purge_rloc(rloc_of_underlay(router));
+                let purged = self.switch.purge_rloc(rloc_of_underlay(router));
                 ctx.metrics()
                     .add("fabric.reachability_purges", purged as u64);
             }
+        }
+    }
+}
+
+/// Whether the engine call between the two stat snapshots rode the
+/// border default route (a miss), as opposed to a cache-directed
+/// forward. One packet is processed per call, so the delta is 0 or 1.
+pub(crate) fn was_default_route(before: &SwitchStats, after: &SwitchStats) -> bool {
+    after.forwarded_default > before.forwarded_default
+}
+
+/// Installs the §5.3 destination-group oracle into a switch's hint
+/// table (ingress-enforcement ablation only; a no-op under egress
+/// enforcement, where the engine never consults hints).
+pub(crate) fn install_dst_hints(switch: &mut Switch, dir: &Directory) {
+    if matches!(dir.params.enforcement, EnforcementPoint::Ingress) {
+        for (&(vn, eid), &group) in &dir.params.dst_groups {
+            switch.install_dst_hint(vn, eid, group);
         }
     }
 }
@@ -781,9 +822,9 @@ impl Node<FabricMsg> for EdgeRouter {
         }
         match msg {
             FabricMsg::Host(ev) => self.handle_host_event(ctx, ev),
-            FabricMsg::Data(pkt) => {
+            FabricMsg::Data(bytes) => {
                 ctx.busy(self.dir.params.data_service);
-                self.handle_data(ctx, pkt);
+                self.handle_data(ctx, &bytes);
             }
             FabricMsg::Control(m) => {
                 ctx.busy(self.dir.params.edge_control_service);
@@ -821,7 +862,9 @@ impl Node<FabricMsg> for EdgeRouter {
         }
         match token {
             TIMER_EVICT => {
-                let evicted = self.cache.evict(ctx.now(), self.dir.params.idle_timeout);
+                let evicted = self
+                    .switch
+                    .evict_expired(ctx.now(), self.dir.params.idle_timeout);
                 ctx.metrics().add("fabric.cache_evictions", evicted as u64);
                 ctx.set_timer(self.dir.params.eviction_interval, TIMER_EVICT);
             }

@@ -190,8 +190,12 @@ pub enum ArpMsg {
 /// The one message enum the whole fabric simulation speaks.
 #[derive(Clone, PartialEq, Debug)]
 pub enum FabricMsg {
-    /// Encapsulated overlay traffic between fabric routers.
-    Data(OverlayPacket),
+    /// Encapsulated overlay traffic between fabric routers: the real
+    /// underlay bytes (outer IPv4 / UDP / VXLAN-GPO / inner packet),
+    /// produced and consumed by each node's `sda_dataplane::Switch`.
+    /// The structured [`OverlayPacket`] form survives only in the
+    /// differential oracle ([`crate::pipeline`]).
+    Data(Vec<u8>),
     /// LISP control plane (requests, replies, registers, notifies,
     /// SMRs, publishes, subscribes).
     Control(lisp::Message),

@@ -202,6 +202,7 @@ proptest! {
             Rloc::for_router_index(1),
             Rloc::for_router_index(2),
             &pkt,
+            sda_dataplane::OuterChecksum::Full,
         ).expect("ipv4 inner always encodes");
         let (_, _, decoded) = pipeline::decode_packet(&bytes).expect("decode");
         prop_assert_eq!(decoded, pkt);

@@ -10,17 +10,37 @@
 //! batched [`crate::Switch`] delegate here, so there is exactly one
 //! encoding of the paper's packet format.
 //!
-//! The UDP checksum is optional on emit: VXLAN encapsulators
-//! conventionally send a zero (disabled) checksum over IPv4, which is
-//! what the zero-allocation hot path does; `parse_underlay` verifies a
-//! checksum whenever one is present.
+//! The outer UDP checksum policy is an explicit knob
+//! ([`OuterChecksum`], RFC 6935-style): encapsulators conventionally
+//! send the (legal) zero checksum over IPv4, which is the default for
+//! both the engine and the simulator nodes built on it; `parse_underlay`
+//! verifies a checksum whenever one is present, so the two policies
+//! interoperate. Before this was a config, the simulator's encoder
+//! hardcoded the full checksum while the engine wrote zero — the first
+//! divergence the differential oracle in `sda_core::pipeline` was built
+//! to flush out.
 
 use sda_types::{GroupId, Rloc, VnId};
 use sda_wire::{ipv4, udp, vxlan, Error, Result};
 
+pub use sda_wire::vxlan::InnerProto;
+
 /// Bytes of underlay framing in front of the inner packet:
 /// outer IPv4 (20) + UDP (8) + VXLAN-GPO (8).
 pub const UNDERLAY_OVERHEAD: usize = ipv4::HEADER_LEN + udp::HEADER_LEN + vxlan::HEADER_LEN;
+
+/// Outer UDP checksum policy (RFC 6935: UDP over IPv4 may send a zero
+/// checksum; tunnel protocols conventionally do).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OuterChecksum {
+    /// Send the zero (disabled) checksum — the conventional VXLAN
+    /// encapsulator choice and the zero-allocation hot-path default.
+    #[default]
+    Zero,
+    /// Compute the full checksum over pseudo-header + payload (receivers
+    /// then catch any in-flight corruption of the underlay datagram).
+    Full,
+}
 
 /// Everything [`write_underlay`] needs to frame one packet.
 #[derive(Clone, Copy, Debug)]
@@ -39,9 +59,11 @@ pub struct EncapParams {
     pub ttl: u8,
     /// UDP source port (ECMP entropy; see [`ecmp_src_port`]).
     pub src_port: u16,
-    /// Compute a real UDP checksum. The hot path sends zero (legal for
-    /// UDP over IPv4, the conventional VXLAN choice).
-    pub udp_checksum: bool,
+    /// Outer UDP checksum policy.
+    pub udp_checksum: OuterChecksum,
+    /// What the encapsulated payload is (IPv4 packet or Ethernet frame,
+    /// carried in the VXLAN-GPE next-protocol byte).
+    pub inner_proto: InnerProto,
 }
 
 /// Hashes a flow identifier into the conventional VXLAN ECMP source-port
@@ -54,6 +76,15 @@ pub fn ecmp_src_port(flow_hash: u64) -> u16 {
 pub fn flow_hash(src: u32, dst: u32) -> u64 {
     let h = src.wrapping_mul(0x9E37_79B1) ^ dst.wrapping_mul(0x85EB_CA77);
     u64::from(h)
+}
+
+/// [`flow_hash`] over L2 addresses (the inner frame of an L2 flow).
+pub fn flow_hash_mac(src: sda_types::MacAddr, dst: sda_types::MacAddr) -> u64 {
+    let fold = |m: sda_types::MacAddr| {
+        let o = m.octets();
+        u32::from_be_bytes([o[0] ^ o[4], o[1] ^ o[5], o[2], o[3]])
+    };
+    flow_hash(fold(src), fold(dst))
 }
 
 /// Emits the underlay headers into `buf[..UNDERLAY_OVERHEAD]`; the inner
@@ -70,6 +101,7 @@ pub fn write_underlay(buf: &mut [u8], p: &EncapParams) -> Result<()> {
         group: Some(p.group),
         policy_applied: p.policy_applied,
         dont_learn: false,
+        inner_proto: p.inner_proto,
         payload_len: inner_len,
     };
     vx_repr.emit(&mut vxlan::Packet::new_unchecked(
@@ -84,7 +116,7 @@ pub fn write_underlay(buf: &mut [u8], p: &EncapParams) -> Result<()> {
     {
         let mut u = udp::Packet::new_unchecked(&mut buf[ipv4::HEADER_LEN..]);
         udp_repr.emit(&mut u);
-        if p.udp_checksum {
+        if p.udp_checksum == OuterChecksum::Full {
             u.fill_checksum(p.outer_src.addr(), p.outer_dst.addr());
         }
     }
@@ -117,7 +149,9 @@ pub struct Decap<'a> {
     pub policy_applied: bool,
     /// The `D` (don't learn) bit.
     pub dont_learn: bool,
-    /// The inner packet (an overlay IPv4 packet in this fabric).
+    /// What the inner payload is (IPv4 packet or Ethernet frame).
+    pub inner_proto: InnerProto,
+    /// The inner packet (an overlay IPv4 packet or Ethernet frame).
     pub inner: &'a [u8],
     /// Offset of `inner` within the parsed bytes — what an in-place
     /// decapsulation strips from the front.
@@ -157,6 +191,7 @@ pub fn parse_underlay(bytes: &[u8]) -> Result<Decap<'_>> {
         group: vx.group(),
         policy_applied: vx.policy_applied(),
         dont_learn: vx.dont_learn(),
+        inner_proto: vx.inner_proto(),
         inner: &bytes[inner_offset..udp_end],
         inner_offset,
     })
@@ -175,7 +210,8 @@ mod tests {
             policy_applied: true,
             ttl: 8,
             src_port: ecmp_src_port(42),
-            udp_checksum: false,
+            udp_checksum: OuterChecksum::Zero,
+            inner_proto: InnerProto::Ipv4,
         }
     }
 
@@ -206,7 +242,7 @@ mod tests {
     #[test]
     fn optional_udp_checksum_verifies() {
         let mut p = params();
-        p.udp_checksum = true;
+        p.udp_checksum = OuterChecksum::Full;
         let buf = framed(b"payload", &p);
         assert!(parse_underlay(&buf).is_ok());
         // Corrupting the inner payload must now be caught.
@@ -266,6 +302,25 @@ mod tests {
         buf.extend_from_slice(&[0xEE; 13]); // link-layer padding
         let d = parse_underlay(&buf).unwrap();
         assert_eq!(d.inner, b"padded");
+    }
+
+    #[test]
+    fn inner_proto_roundtrips() {
+        let mut p = params();
+        p.inner_proto = InnerProto::Ethernet;
+        let buf = framed(b"an l2 frame stand-in", &p);
+        let d = parse_underlay(&buf).unwrap();
+        assert_eq!(d.inner_proto, InnerProto::Ethernet);
+        assert_eq!(d.inner, b"an l2 frame stand-in");
+    }
+
+    #[test]
+    fn unknown_inner_proto_rejected() {
+        let p = params();
+        let mut buf = framed(b"x", &p);
+        // The VXLAN next-protocol byte is the 8th of the VXLAN header.
+        buf[ipv4::HEADER_LEN + udp::HEADER_LEN + 7] = 0x2A;
+        assert_eq!(parse_underlay(&buf).unwrap_err(), Error::Malformed);
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub mod switch;
 pub mod vrf;
 
 pub use buffer::{BufferPool, PacketBuf, BATCH_SIZE, HEADROOM, MAX_FRAME};
-pub use encap::{parse_underlay, write_underlay, Decap, EncapParams, UNDERLAY_OVERHEAD};
+pub use encap::{
+    parse_underlay, write_underlay, Decap, EncapParams, InnerProto, OuterChecksum,
+    UNDERLAY_OVERHEAD,
+};
 pub use mt::{EpochTables, MtSwitch, TableReader};
 pub use switch::{
     egress_batch, ingress_batch, DropReason, Punt, SharedTables, Switch, SwitchConfig, SwitchStats,

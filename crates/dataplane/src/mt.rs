@@ -929,7 +929,8 @@ mod tests {
                         policy_applied: false,
                         ttl: 8,
                         src_port: 50_000,
-                        udp_checksum: false,
+                        udp_checksum: encap::OuterChecksum::Zero,
+                        inner_proto: encap::InnerProto::Ipv4,
                     },
                 )
                 .unwrap();

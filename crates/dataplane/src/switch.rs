@@ -49,14 +49,16 @@
 //! every table lookup is the inline-key, allocation-free machinery from
 //! PR 1 (proved by `tests/no_alloc.rs`).
 
+use std::collections::BTreeMap;
+
 use sda_lisp::{CacheOutcome, MapCache};
-use sda_policy::{Action, ConnectivityMatrix, GroupAcl, RuleSubset};
+use sda_policy::{Action, ConnectivityMatrix, EnforcementPoint, GroupAcl, RuleSubset};
 use sda_simnet::{SimDuration, SimTime};
-use sda_types::{Eid, EidPrefix, GroupId, MacAddr, PortId, Rloc, VnId};
+use sda_types::{Eid, EidPrefix, GroupId, Ipv4Prefix, MacAddr, PortId, Rloc, VnId};
 use sda_wire::{ethernet, ipv4, EtherType};
 
 use crate::buffer::{PacketBuf, HEADROOM};
-use crate::encap::{self, EncapParams, UNDERLAY_OVERHEAD};
+use crate::encap::{self, EncapParams, InnerProto, OuterChecksum, UNDERLAY_OVERHEAD};
 use crate::vrf::{LocalEndpoint, VrfTable};
 
 /// Static switch parameters.
@@ -64,23 +66,47 @@ use crate::vrf::{LocalEndpoint, VrfTable};
 pub struct SwitchConfig {
     /// This switch's underlay locator (outer source of encapsulations).
     pub rloc: Rloc,
-    /// Default-route target for map-cache misses (the border, §3.2.2).
-    /// `None` drops misses after punting the Map-Request.
+    /// The fabric's default-route target (the border, §3.2.2). Egress
+    /// re-forwards for unknown destinations always fall back to it when
+    /// set (the §5.2 reboot recovery); ingress-side misses additionally
+    /// honour [`SwitchConfig::miss_default_route`]. `None` means this
+    /// switch *is* the last resort (a border) — misses then try the
+    /// external table and otherwise drop as [`DropReason::NoRoute`].
     pub border: Option<Rloc>,
+    /// Forward ingress-side map-cache misses to `border` while the
+    /// punted Map-Request resolves (§3.2.2's default route). `false` is
+    /// the ablation that loses the first packets of a flow instead.
+    pub miss_default_route: bool,
     /// Matrix default for group pairs without an explicit rule.
     pub default_action: Action,
+    /// Where group policy is enforced (§5.3). With [`EnforcementPoint::
+    /// Ingress`], remote destinations are checked before transit against
+    /// the [`SharedTables`] destination-group hints and the `A` bit is
+    /// stamped; egress then trusts the bit and never re-checks. Local
+    /// (same-switch) delivery always enforces.
+    pub enforcement: EnforcementPoint,
     /// Outer TTL on encapsulation — the fabric hop budget (§5.2).
     pub hop_budget: u8,
+    /// Outer UDP checksum policy (RFC 6935-style, see
+    /// [`OuterChecksum`]). One explicit knob for the engine *and* the
+    /// simulator nodes built on it — the checksum divergence the
+    /// differential oracle flushed out.
+    pub outer_checksum: OuterChecksum,
 }
 
 impl SwitchConfig {
-    /// SDA defaults: deny-by-default egress enforcement, hop budget 8.
+    /// SDA defaults: deny-by-default egress enforcement, hop budget 8,
+    /// zero outer checksum, default route on miss (once `border` is
+    /// set).
     pub fn new(rloc: Rloc) -> Self {
         SwitchConfig {
             rloc,
             border: None,
+            miss_default_route: true,
             default_action: Action::Deny,
+            enforcement: EnforcementPoint::Egress,
             hop_budget: 8,
+            outer_checksum: OuterChecksum::Zero,
         }
     }
 }
@@ -119,6 +145,9 @@ pub enum Verdict {
         /// Output port.
         port: PortId,
     },
+    /// Handed off to an external network (Internet/DC) matched in the
+    /// [`SharedTables`] external-prefix table — a border's exit path.
+    DeliverExternal,
     /// Dropped; the buffer contents are unspecified.
     Drop(DropReason),
 }
@@ -163,6 +192,8 @@ pub struct SwitchStats {
     pub forwarded_default: u64,
     /// Delivered to a local port.
     pub delivered: u64,
+    /// Handed off to an external network (border exit).
+    pub delivered_external: u64,
     /// Dropped (all reasons).
     pub dropped: u64,
     /// Punts raised toward the control plane.
@@ -178,6 +209,7 @@ impl SwitchStats {
         self.forwarded += other.forwarded;
         self.forwarded_default += other.forwarded_default;
         self.delivered += other.delivered;
+        self.delivered_external += other.delivered_external;
         self.dropped += other.dropped;
         self.punted += other.punted;
     }
@@ -194,6 +226,9 @@ enum IngressMeta {
         src_group: GroupId,
         dst: Eid,
         ecmp_port: u16,
+        /// The buffer holds a full Ethernet frame to encapsulate whole
+        /// (an L2 flow, §3.5) rather than a bare IPv4 packet.
+        l2: bool,
     },
 }
 
@@ -218,6 +253,14 @@ pub struct SharedTables {
     vrf: VrfTable,
     cache: MapCache,
     acl: GroupAcl,
+    /// External prefixes (Internet/DC) reachable through this switch —
+    /// populated on borders only; consulted after a map-cache miss when
+    /// no default route applies.
+    externals: Vec<Ipv4Prefix>,
+    /// Destination-group hints for §5.3 ingress enforcement: `(vn, eid)
+    /// → group` as distributed by the controller's oracle. Unused (and
+    /// empty) under egress enforcement.
+    dst_hints: BTreeMap<(VnId, Eid), GroupId>,
 }
 
 impl SharedTables {
@@ -255,6 +298,30 @@ impl SharedTables {
         self.cache.apply_negative(vn, prefix)
     }
 
+    /// Replaces the mapping for `eid` (Map-Notify / refreshed Map-Reply
+    /// after SMR — Fig. 5 step 2: the moved endpoint's new location).
+    pub fn update_mapping(
+        &mut self,
+        vn: VnId,
+        eid: Eid,
+        rloc: Rloc,
+        ttl: SimDuration,
+        now: SimTime,
+    ) {
+        self.cache.update_rloc(vn, eid, rloc, ttl, now);
+    }
+
+    /// Adds an external route (e.g. `0.0.0.0/0` for the Internet) —
+    /// border provisioning.
+    pub fn add_external(&mut self, prefix: Ipv4Prefix) {
+        self.externals.push(prefix);
+    }
+
+    /// Installs a §5.3 destination-group hint for ingress enforcement.
+    pub fn install_dst_hint(&mut self, vn: VnId, eid: Eid, group: GroupId) {
+        self.dst_hints.insert((vn, eid), group);
+    }
+
     /// Drops every cached mapping through `rloc` (underlay down, §5.1).
     pub fn purge_rloc(&mut self, rloc: Rloc) -> usize {
         self.cache.purge_rloc(rloc)
@@ -263,6 +330,11 @@ impl SharedTables {
     /// Installs (merges) an SXP rule subset.
     pub fn install_rules(&mut self, subset: &RuleSubset) {
         self.acl.install(subset);
+    }
+
+    /// Replaces the whole rule table (policy-server rule refresh).
+    pub fn replace_rules(&mut self, subset: &RuleSubset) {
+        self.acl.replace(subset);
     }
 
     /// Installs the full connectivity matrix (no SXP subsetting).
@@ -320,6 +392,20 @@ impl SharedTables {
     /// Current map-cache size (the Fig. 9 FIB metric).
     pub fn fib_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Whether an external route covers `eid` (IPv4 only — external
+    /// networks are L3).
+    pub fn external_match(&self, eid: Eid) -> bool {
+        match eid {
+            Eid::V4(a) => self.externals.iter().any(|p| p.contains(a)),
+            _ => false,
+        }
+    }
+
+    /// The §5.3 destination-group hint for `eid`, if installed.
+    pub fn dst_hint(&self, vn: VnId, eid: Eid) -> Option<GroupId> {
+        self.dst_hints.get(&(vn, eid)).copied()
     }
 
     /// The overlay FIB (read access for harnesses).
@@ -446,6 +532,7 @@ impl WorkerCtx {
             Verdict::Forward { .. } if default_route => self.stats.forwarded_default += 1,
             Verdict::Forward { .. } => self.stats.forwarded += 1,
             Verdict::Deliver { .. } => self.stats.delivered += 1,
+            Verdict::DeliverExternal => self.stats.delivered_external += 1,
             Verdict::Drop(_) => self.stats.dropped += 1,
         }
     }
@@ -513,13 +600,46 @@ pub fn ingress_batch(
                 src_group,
                 dst,
                 ecmp_port,
+                l2,
             } = ctx.meta[idx]
             else {
                 unreachable!("run indices point at Resolve entries");
             };
             ctx.meta[idx] = IngressMeta::Done;
-            let default_route = matches!(ctx.run_out[k], CacheOutcome::Miss);
-            let verdict = match ctx.run_out[k] {
+            // A mapping pointing back at this switch is stale sync (the
+            // endpoint left but the table hasn't caught up): forwarding
+            // to self would loop, so treat it as a miss.
+            let outcome = match ctx.run_out[k] {
+                CacheOutcome::Hit(r) | CacheOutcome::Stale(r) if r == cfg.rloc => {
+                    CacheOutcome::Miss
+                }
+                o => o,
+            };
+            // §5.3 ingress enforcement: check before spending transit
+            // bandwidth when the destination group is known here. Stale
+            // entries defer to egress (the move may have changed the
+            // binding) — exactly the simulator's historical rule, now
+            // asserted by the differential oracle.
+            let mut policy_applied = false;
+            if matches!(cfg.enforcement, EnforcementPoint::Ingress)
+                && !matches!(outcome, CacheOutcome::Stale(_))
+            {
+                if let Some(dst_group) = tables.dst_hint(vn, dst) {
+                    if tables
+                        .acl
+                        .check(vn, src_group, dst_group, cfg.default_action)
+                        == Action::Deny
+                    {
+                        let verdict = Verdict::Drop(DropReason::Policy);
+                        ctx.count(verdict, false);
+                        ctx.verdicts[idx] = verdict;
+                        continue;
+                    }
+                    policy_applied = true;
+                }
+            }
+            let default_route = matches!(outcome, CacheOutcome::Miss);
+            let verdict = match outcome {
                 CacheOutcome::Hit(rloc) => {
                     encap_in_place(
                         cfg,
@@ -529,7 +649,8 @@ pub fn ingress_batch(
                         rloc,
                         ecmp_port,
                         cfg.hop_budget,
-                        false,
+                        policy_applied,
+                        l2,
                     );
                     Verdict::Forward { to: rloc }
                 }
@@ -549,7 +670,8 @@ pub fn ingress_batch(
                         rloc,
                         ecmp_port,
                         cfg.hop_budget,
-                        false,
+                        policy_applied,
+                        l2,
                     );
                     Verdict::Forward { to: rloc }
                 }
@@ -559,7 +681,7 @@ pub fn ingress_batch(
                         eid: dst,
                         refresh: false,
                     });
-                    match cfg.border {
+                    match cfg.border.filter(|_| cfg.miss_default_route) {
                         Some(border) => {
                             encap_in_place(
                                 cfg,
@@ -569,10 +691,12 @@ pub fn ingress_batch(
                                 border,
                                 ecmp_port,
                                 cfg.hop_budget,
-                                false,
+                                policy_applied,
+                                l2,
                             );
                             Verdict::Forward { to: border }
                         }
+                        None if tables.external_match(dst) => Verdict::DeliverExternal,
                         None => Verdict::Drop(DropReason::NoRoute),
                     }
                 }
@@ -599,8 +723,8 @@ pub fn egress_batch(
     ctx.stats.rx += bufs.len() as u64;
     ctx.verdicts.clear();
     for buf in bufs.iter_mut() {
-        let v = egress_one(cfg, tables, ctx, buf, now);
-        ctx.count(v, false);
+        let (v, default_route) = egress_one(cfg, tables, ctx, buf, now);
+        ctx.count(v, default_route);
         ctx.verdicts.push(v);
     }
 }
@@ -616,9 +740,6 @@ fn classify_ingress(
     let Ok(frame) = ethernet::Frame::new_checked(buf.bytes()) else {
         return done(Verdict::Drop(DropReason::Malformed));
     };
-    if frame.ethertype() != EtherType::Ipv4 {
-        return done(Verdict::Drop(DropReason::Unsupported));
-    }
     let src_mac = frame.src_addr();
     let (vn, src_ep) = match ctx.src_memo {
         Some((mac, vn, ep)) if mac == src_mac => (vn, ep),
@@ -630,6 +751,42 @@ fn classify_ingress(
             (vn, ep)
         }
     };
+    if frame.ethertype() != EtherType::Ipv4 {
+        // Non-IP traffic is an L2 flow (§3.5): the destination MAC is
+        // the EID and the whole frame is the overlay payload. Broadcast
+        // destinations are not forwardable — the L2 gateway absorbs
+        // broadcasts in the control plane (ARP conversion), so only
+        // unicast MACs reach the fabric.
+        let dst_mac = frame.dst_addr();
+        if dst_mac == MacAddr::BROADCAST {
+            return done(Verdict::Drop(DropReason::Unsupported));
+        }
+        let dst = Eid::Mac(dst_mac);
+        if let Some(dst_ep) = tables.vrf.lookup(vn, dst).copied() {
+            if tables
+                .acl
+                .check(vn, src_ep.group, dst_ep.group, cfg.default_action)
+                == Action::Deny
+            {
+                return done(Verdict::Drop(DropReason::Policy));
+            }
+            // Same-switch L2 delivery: the frame already carries the
+            // destination MAC; hand it to the owning port as-is.
+            return done(Verdict::Deliver { port: dst_ep.port });
+        }
+        let ecmp_port = encap::ecmp_src_port(encap::flow_hash_mac(src_mac, dst_mac));
+        return (
+            // Placeholder; phase 2 overwrites it.
+            Verdict::Drop(DropReason::NoRoute),
+            IngressMeta::Resolve {
+                vn,
+                src_group: src_ep.group,
+                dst,
+                ecmp_port,
+                l2: true,
+            },
+        );
+    }
     let Ok(ip) = ipv4::Packet::new_checked(frame.payload()) else {
         return done(Verdict::Drop(DropReason::Malformed));
     };
@@ -677,6 +834,7 @@ fn classify_ingress(
             src_group: src_ep.group,
             dst,
             ecmp_port,
+            l2: false,
         },
     )
 }
@@ -693,6 +851,7 @@ fn encap_in_place(
     ecmp_port: u16,
     ttl: u8,
     policy_applied: bool,
+    l2: bool,
 ) {
     let grown = buf.grow_front(UNDERLAY_OVERHEAD);
     debug_assert!(grown, "load() guarantees {HEADROOM} bytes of headroom");
@@ -704,65 +863,95 @@ fn encap_in_place(
         policy_applied,
         ttl,
         src_port: ecmp_port,
-        udp_checksum: false,
+        udp_checksum: cfg.outer_checksum,
+        inner_proto: if l2 {
+            InnerProto::Ethernet
+        } else {
+            InnerProto::Ipv4
+        },
     };
     encap::write_underlay(buf.bytes_mut(), &params).expect("headroom covers the underlay overhead");
 }
 
-/// Full egress treatment of one underlay packet.
+/// Full egress treatment of one underlay packet. The second return is
+/// true when the packet missed the cache and rode the border default
+/// route (the caller's `forwarded_default` accounting).
 fn egress_one(
     cfg: &SwitchConfig,
     tables: &SharedTables,
     ctx: &mut WorkerCtx,
     buf: &mut PacketBuf,
     now: SimTime,
-) -> Verdict {
+) -> (Verdict, bool) {
+    let done = |v: Verdict| (v, false);
     let d = match encap::parse_underlay(buf.bytes()) {
         Ok(d) => d,
-        Err(_) => return Verdict::Drop(DropReason::Malformed),
+        Err(_) => return done(Verdict::Drop(DropReason::Malformed)),
     };
     if d.outer_dst != cfg.rloc {
-        return Verdict::Drop(DropReason::NotOurs);
+        return done(Verdict::Drop(DropReason::NotOurs));
     }
     let Some(src_group) = d.group else {
         // The fabric always stamps the source group; its absence
         // means a foreign encapsulator.
-        return Verdict::Drop(DropReason::Malformed);
+        return done(Verdict::Drop(DropReason::Malformed));
     };
-    let Ok(inner_ip) = ipv4::Packet::new_checked(d.inner) else {
-        return Verdict::Drop(DropReason::Malformed);
+    // The inner payload names the destination EID: the IPv4 address for
+    // L3 flows, the frame's destination MAC for L2 flows (§3.5).
+    let (dst, l2, ecmp_port) = match d.inner_proto {
+        InnerProto::Ipv4 => {
+            let Ok(inner_ip) = ipv4::Packet::new_checked(d.inner) else {
+                return done(Verdict::Drop(DropReason::Malformed));
+            };
+            let ecmp = encap::ecmp_src_port(encap::flow_hash(
+                u32::from(inner_ip.src_addr()),
+                u32::from(inner_ip.dst_addr()),
+            ));
+            (Eid::V4(inner_ip.dst_addr()), false, ecmp)
+        }
+        InnerProto::Ethernet => {
+            let Ok(inner_eth) = ethernet::Frame::new_checked(d.inner) else {
+                return done(Verdict::Drop(DropReason::Malformed));
+            };
+            let ecmp = encap::ecmp_src_port(encap::flow_hash_mac(
+                inner_eth.src_addr(),
+                inner_eth.dst_addr(),
+            ));
+            (Eid::Mac(inner_eth.dst_addr()), true, ecmp)
+        }
     };
-    let dst = Eid::V4(inner_ip.dst_addr());
     let inner_offset = d.inner_offset;
     let inner_len = d.inner.len();
     let vn = d.vn;
     let policy_applied = d.policy_applied;
     let outer_src = d.outer_src;
     let outer_ttl = d.outer_ttl;
-    let ecmp_port = encap::ecmp_src_port(encap::flow_hash(
-        u32::from(inner_ip.src_addr()),
-        u32::from(inner_ip.dst_addr()),
-    ));
 
     if let Some(dst_ep) = tables.vrf.lookup(vn, dst).copied() {
-        if !policy_applied
+        // Egress-point enforcement; under §5.3 ingress enforcement the
+        // check happened (or was deliberately skipped) before transit.
+        if matches!(cfg.enforcement, EnforcementPoint::Egress)
+            && !policy_applied
             && tables
                 .acl
                 .check(vn, src_group, dst_ep.group, cfg.default_action)
                 == Action::Deny
         {
-            return Verdict::Drop(DropReason::Policy);
+            return done(Verdict::Drop(DropReason::Policy));
         }
-        // In-place decap: strip the underlay, then dress the inner
-        // packet in a delivery Ethernet header.
+        // In-place decap: strip the underlay, then (for L3) dress the
+        // inner packet in a delivery Ethernet header — an L2 inner
+        // already is one.
         buf.shrink_front(inner_offset);
         buf.truncate(inner_len);
-        buf.grow_front(ethernet::HEADER_LEN);
-        let mut eth = ethernet::Frame::new_unchecked(buf.bytes_mut());
-        eth.set_dst_addr(dst_ep.mac);
-        eth.set_src_addr(ctx.mac);
-        eth.set_ethertype(EtherType::Ipv4);
-        return Verdict::Deliver { port: dst_ep.port };
+        if !l2 {
+            buf.grow_front(ethernet::HEADER_LEN);
+            let mut eth = ethernet::Frame::new_unchecked(buf.bytes_mut());
+            eth.set_dst_addr(dst_ep.mac);
+            eth.set_src_addr(ctx.mac);
+            eth.set_ethertype(EtherType::Ipv4);
+        }
+        return done(Verdict::Deliver { port: dst_ep.port });
     }
 
     // Not attached here (mobility / stale routing): tell the ingress
@@ -773,36 +962,51 @@ fn egress_one(
         vn,
         eid: dst,
     });
-    match tables.cache.lookup_shared(vn, dst, now) {
-        CacheOutcome::Hit(rloc) | CacheOutcome::Stale(rloc) => {
-            let Some(ttl) = outer_ttl.checked_sub(1).filter(|t| *t > 0) else {
-                return Verdict::Drop(DropReason::TtlExpired);
-            };
-            buf.shrink_front(inner_offset);
-            buf.truncate(inner_len);
-            // Keep the A bit: an already-enforced packet must not be
-            // re-enforced (and double-counted) at the next edge.
-            encap_in_place(
-                cfg,
-                buf,
-                vn,
-                src_group,
-                rloc,
-                ecmp_port,
-                ttl,
-                policy_applied,
-            );
-            Verdict::Forward { to: rloc }
-        }
+    // A mapping pointing at this very switch contradicts the VRF miss
+    // (the endpoint left, the table lags): self-forwarding would loop,
+    // so treat it as a miss and fall back like a rebooted edge (§5.2).
+    let outcome = match tables.cache.lookup_shared(vn, dst, now) {
+        CacheOutcome::Hit(r) | CacheOutcome::Stale(r) if r == cfg.rloc => CacheOutcome::Miss,
+        o => o,
+    };
+    let (next_hop, default_route) = match outcome {
+        CacheOutcome::Hit(rloc) | CacheOutcome::Stale(rloc) => (rloc, false),
         CacheOutcome::Miss => {
             ctx.punt(Punt::MapRequest {
                 vn,
                 eid: dst,
                 refresh: false,
             });
-            Verdict::Drop(DropReason::NoRoute)
+            match cfg.border {
+                // Unknown here entirely (e.g. freshly rebooted, §5.2):
+                // fall back to the border default route.
+                Some(border) => (border, true),
+                None if tables.external_match(dst) => return done(Verdict::DeliverExternal),
+                None => return done(Verdict::Drop(DropReason::NoRoute)),
+            }
         }
-    }
+    };
+    // Real-router TTL semantics: decrement, and never emit a zero —
+    // the hop budget damping transient loops (§5.2).
+    let Some(ttl) = outer_ttl.checked_sub(1).filter(|t| *t > 0) else {
+        return done(Verdict::Drop(DropReason::TtlExpired));
+    };
+    buf.shrink_front(inner_offset);
+    buf.truncate(inner_len);
+    // Keep the A bit: an already-enforced packet must not be
+    // re-enforced (and double-counted) at the next edge.
+    encap_in_place(
+        cfg,
+        buf,
+        vn,
+        src_group,
+        next_hop,
+        ecmp_port,
+        ttl,
+        policy_applied,
+        l2,
+    );
+    (Verdict::Forward { to: next_hop }, default_route)
 }
 
 /// The batched zero-copy forwarding engine of one edge switch —
@@ -854,6 +1058,33 @@ impl Switch {
     /// Applies a negative Map-Reply (deletes the covered entry).
     pub fn apply_negative(&mut self, vn: VnId, prefix: EidPrefix) -> bool {
         self.tables.apply_negative(vn, prefix)
+    }
+
+    /// Replaces the mapping for `eid` (Map-Notify, Fig. 5 step 2).
+    pub fn update_mapping(
+        &mut self,
+        vn: VnId,
+        eid: Eid,
+        rloc: Rloc,
+        ttl: SimDuration,
+        now: SimTime,
+    ) {
+        self.tables.update_mapping(vn, eid, rloc, ttl, now);
+    }
+
+    /// Adds an external route (border provisioning).
+    pub fn add_external(&mut self, prefix: Ipv4Prefix) {
+        self.tables.add_external(prefix);
+    }
+
+    /// Installs a §5.3 destination-group hint for ingress enforcement.
+    pub fn install_dst_hint(&mut self, vn: VnId, eid: Eid, group: GroupId) {
+        self.tables.install_dst_hint(vn, eid, group);
+    }
+
+    /// Replaces the whole rule table (policy-server rule refresh).
+    pub fn replace_rules(&mut self, subset: &RuleSubset) {
+        self.tables.replace_rules(subset);
     }
 
     /// Handles a received SMR: marks the live covering entry stale *in
@@ -1264,7 +1495,8 @@ mod tests {
                 policy_applied: false,
                 ttl: 8,
                 src_port: 50000,
-                udp_checksum: false,
+                udp_checksum: OuterChecksum::Zero,
+                inner_proto: InnerProto::Ipv4,
             },
         )
         .unwrap();
@@ -1286,7 +1518,8 @@ mod tests {
                 policy_applied: true,
                 ttl: 8,
                 src_port: 50000,
-                udp_checksum: false,
+                udp_checksum: OuterChecksum::Zero,
+                inner_proto: InnerProto::Ipv4,
             },
         )
         .unwrap();
@@ -1307,7 +1540,8 @@ mod tests {
                 policy_applied: false,
                 ttl: 8,
                 src_port: 50000,
-                udp_checksum: false,
+                udp_checksum: OuterChecksum::Zero,
+                inner_proto: InnerProto::Ipv4,
             },
         )
         .unwrap();
@@ -1356,7 +1590,8 @@ mod tests {
                 policy_applied: false,
                 ttl: 8,
                 src_port: 50000,
-                udp_checksum: false,
+                udp_checksum: OuterChecksum::Zero,
+                inner_proto: InnerProto::Ipv4,
             },
         )
         .unwrap();
@@ -1378,15 +1613,29 @@ mod tests {
             }]
         );
 
-        // Without a cached location the packet drops and a Map-Request
-        // joins the SMR.
+        // Without a cached location the packet rides the border default
+        // route (§5.2 reboot recovery) and a Map-Request joins the SMR.
         old_edge.clear_punts();
         old_edge.purge_rloc(new_rloc);
         let mut bufs = [PacketBuf::new()];
         bufs[0].load(&wire);
         let v = old_edge.process_egress(&mut bufs, SimTime::ZERO).to_vec();
-        assert_eq!(v[0], Verdict::Drop(DropReason::NoRoute));
+        assert_eq!(
+            v[0],
+            Verdict::Forward {
+                to: Rloc::for_router_index(99)
+            }
+        );
+        assert_eq!(old_edge.stats().forwarded_default, 1);
         assert_eq!(old_edge.punts().len(), 2);
+
+        // A last-resort switch (no border — i.e. the border itself)
+        // drops the same packet as unroutable instead.
+        let mut lone = Switch::new(SwitchConfig::new(Rloc::for_router_index(2)));
+        let mut bufs = [PacketBuf::new()];
+        bufs[0].load(&wire);
+        let v = lone.process_egress(&mut bufs, SimTime::ZERO).to_vec();
+        assert_eq!(v[0], Verdict::Drop(DropReason::NoRoute));
     }
 
     /// The data path only filters expired entries; the owner sweep
@@ -1458,5 +1707,228 @@ mod tests {
         assert_eq!(v[2], Verdict::Forward { to: r1 });
         assert_eq!(v[3], Verdict::Forward { to: r2 });
         assert_eq!(sw.stats().forwarded, 4);
+    }
+
+    /// A unicast non-IP frame toward a known MAC EID: local delivery,
+    /// remote encapsulation with an Ethernet inner, and decapsulated
+    /// delivery at the far switch (§3.5 L2 flows, end to end).
+    #[test]
+    fn l2_flow_encapsulates_and_delivers() {
+        let mut a_sw = switch_with_border(1);
+        let mut b_sw = switch_with_border(2);
+        let src = ep(1, 10);
+        let dst = ep(2, 20);
+        a_sw.attach(vn(1), src);
+        b_sw.attach(vn(1), dst);
+        a_sw.install_mapping(
+            vn(1),
+            EidPrefix::host(Eid::Mac(dst.mac)),
+            b_sw.config().rloc,
+            TTL,
+            SimTime::ZERO,
+        );
+        let mut m = ConnectivityMatrix::new();
+        m.set_rule(vn(1), GroupId(10), GroupId(20), Action::Allow);
+        b_sw.install_matrix(&m);
+
+        // A unicast "ARP" frame: eth(dst.mac, src.mac, 0x0806) + payload.
+        let mut l2 = vec![0u8; ethernet::HEADER_LEN + 28];
+        ethernet::Repr {
+            dst: dst.mac,
+            src: src.mac,
+            ethertype: EtherType::Arp,
+        }
+        .emit(&mut ethernet::Frame::new_unchecked(&mut l2[..]));
+        l2[ethernet::HEADER_LEN..].copy_from_slice(&[0xAA; 28]);
+
+        let mut bufs = [PacketBuf::new()];
+        bufs[0].load(&l2);
+        let v = a_sw.process_ingress(&mut bufs, SimTime::ZERO).to_vec();
+        assert_eq!(
+            v[0],
+            Verdict::Forward {
+                to: b_sw.config().rloc
+            }
+        );
+        let d = encap::parse_underlay(bufs[0].bytes()).unwrap();
+        assert_eq!(d.inner_proto, InnerProto::Ethernet);
+        assert_eq!(d.inner, &l2[..]);
+
+        // The far switch decapsulates and hands the original frame over.
+        let wire = bufs[0].bytes().to_vec();
+        let mut rx = [PacketBuf::new()];
+        rx[0].load(&wire);
+        let v = b_sw.process_egress(&mut rx, SimTime::ZERO).to_vec();
+        assert_eq!(v[0], Verdict::Deliver { port: dst.port });
+        assert_eq!(rx[0].bytes(), &l2[..]);
+
+        // Broadcast destinations never enter the fabric.
+        let mut bcast = l2.clone();
+        bcast[..6].copy_from_slice(&MacAddr::BROADCAST.octets());
+        let mut bufs = [PacketBuf::new()];
+        bufs[0].load(&bcast);
+        let v = a_sw.process_ingress(&mut bufs, SimTime::ZERO).to_vec();
+        assert_eq!(v[0], Verdict::Drop(DropReason::Unsupported));
+    }
+
+    /// A border-flavored switch (no default route) matches misses
+    /// against its external table, ingress and egress.
+    #[test]
+    fn external_routes_absorb_misses_on_borders() {
+        let mut cfg = SwitchConfig::new(Rloc::for_router_index(30));
+        cfg.default_action = Action::Allow;
+        let mut border = Switch::new(cfg);
+        border.add_external(Ipv4Prefix::new(Ipv4Addr::new(93, 184, 0, 0), 16).unwrap());
+        let sink = ep(9, 20);
+        border.attach(vn(1), sink);
+
+        // Ingress from the attached sink toward the Internet.
+        let mut bufs = [PacketBuf::new()];
+        bufs[0].load(&frame(&sink, Ipv4Addr::new(93, 184, 216, 34), b"out"));
+        let v = border.process_ingress(&mut bufs, SimTime::ZERO).to_vec();
+        assert_eq!(v[0], Verdict::DeliverExternal);
+        // An unknown overlay address is unroutable instead.
+        let mut bufs = [PacketBuf::new()];
+        bufs[0].load(&frame(&sink, Ipv4Addr::new(10, 200, 0, 1), b"lost"));
+        let v = border.process_ingress(&mut bufs, SimTime::ZERO).to_vec();
+        assert_eq!(v[0], Verdict::Drop(DropReason::NoRoute));
+        assert_eq!(border.stats().delivered_external, 1);
+
+        // Egress: a fabric packet whose inner destination is external.
+        let inner = frame(&ep(1, 10), Ipv4Addr::new(93, 184, 9, 9), b"exit");
+        let inner_ip = &inner[ethernet::HEADER_LEN..];
+        let mut wire = vec![0u8; UNDERLAY_OVERHEAD + inner_ip.len()];
+        wire[UNDERLAY_OVERHEAD..].copy_from_slice(inner_ip);
+        encap::write_underlay(
+            &mut wire,
+            &EncapParams {
+                outer_src: Rloc::for_router_index(1),
+                outer_dst: border.config().rloc,
+                vn: vn(1),
+                group: GroupId(10),
+                policy_applied: false,
+                ttl: 8,
+                src_port: 50000,
+                udp_checksum: OuterChecksum::Zero,
+                inner_proto: InnerProto::Ipv4,
+            },
+        )
+        .unwrap();
+        let mut bufs = [PacketBuf::new()];
+        bufs[0].load(&wire);
+        let v = border.process_egress(&mut bufs, SimTime::ZERO).to_vec();
+        assert_eq!(v[0], Verdict::DeliverExternal);
+    }
+
+    /// §5.3 ingress enforcement: a known destination group is checked
+    /// before transit (stamping the A bit), an unknown one defers to
+    /// egress, and a deny drops without punting a Map-Request.
+    #[test]
+    fn ingress_enforcement_checks_before_transit() {
+        let mut cfg = SwitchConfig::new(Rloc::for_router_index(1));
+        cfg.border = Some(Rloc::for_router_index(99));
+        cfg.enforcement = EnforcementPoint::Ingress;
+        let mut sw = Switch::new(cfg);
+        let a = ep(1, 10);
+        sw.attach(vn(1), a);
+        let allowed_ip = Ipv4Addr::new(10, 9, 0, 5);
+        let denied_ip = Ipv4Addr::new(10, 9, 0, 6);
+        let unhinted_ip = Ipv4Addr::new(10, 9, 0, 7);
+        for ip in [allowed_ip, denied_ip, unhinted_ip] {
+            sw.install_mapping(
+                vn(1),
+                EidPrefix::host(Eid::V4(ip)),
+                Rloc::for_router_index(7),
+                TTL,
+                SimTime::ZERO,
+            );
+        }
+        sw.install_dst_hint(vn(1), Eid::V4(allowed_ip), GroupId(20));
+        sw.install_dst_hint(vn(1), Eid::V4(denied_ip), GroupId(30));
+        let mut m = ConnectivityMatrix::new();
+        m.set_rule(vn(1), GroupId(10), GroupId(20), Action::Allow);
+        sw.install_matrix(&m);
+
+        let mut bufs: Vec<PacketBuf> = (0..3).map(|_| PacketBuf::new()).collect();
+        bufs[0].load(&frame(&a, allowed_ip, b"ok"));
+        bufs[1].load(&frame(&a, denied_ip, b"no"));
+        bufs[2].load(&frame(&a, unhinted_ip, b"later"));
+        let v = sw.process_ingress(&mut bufs, SimTime::ZERO).to_vec();
+        assert_eq!(
+            v[0],
+            Verdict::Forward {
+                to: Rloc::for_router_index(7)
+            }
+        );
+        // The allowed packet carries the A bit.
+        let d = encap::parse_underlay(bufs[0].bytes()).unwrap();
+        assert!(d.policy_applied);
+        assert_eq!(v[1], Verdict::Drop(DropReason::Policy));
+        assert!(matches!(v[2], Verdict::Forward { .. }));
+        // The unhinted packet went unenforced.
+        let d = encap::parse_underlay(bufs[2].bytes()).unwrap();
+        assert!(!d.policy_applied);
+        // No Map-Requests: all three destinations were cache hits.
+        assert!(sw.punts().is_empty());
+    }
+
+    /// A cached mapping pointing at this very switch (stale sync after
+    /// a departure) must not self-forward — it falls back like a miss.
+    #[test]
+    fn self_mapping_treated_as_miss() {
+        let mut sw = switch_with_border(1);
+        let a = ep(1, 10);
+        sw.attach(vn(1), a);
+        let ghost = Ipv4Addr::new(10, 9, 0, 8);
+        sw.install_mapping(
+            vn(1),
+            EidPrefix::host(Eid::V4(ghost)),
+            sw.config().rloc,
+            TTL,
+            SimTime::ZERO,
+        );
+        let mut bufs = [PacketBuf::new()];
+        bufs[0].load(&frame(&a, ghost, b"ghost"));
+        let v = sw.process_ingress(&mut bufs, SimTime::ZERO).to_vec();
+        assert_eq!(
+            v[0],
+            Verdict::Forward {
+                to: Rloc::for_router_index(99)
+            }
+        );
+        assert_eq!(sw.stats().forwarded_default, 1);
+        assert_eq!(sw.punts().len(), 1, "miss punts a Map-Request");
+    }
+
+    /// Full outer checksums are honoured end to end when configured.
+    #[test]
+    fn full_outer_checksum_roundtrips() {
+        let mut cfg = SwitchConfig::new(Rloc::for_router_index(1));
+        cfg.border = Some(Rloc::for_router_index(99));
+        cfg.outer_checksum = OuterChecksum::Full;
+        let mut sw = Switch::new(cfg);
+        let a = ep(1, 10);
+        sw.attach(vn(1), a);
+        let remote_ip = Ipv4Addr::new(10, 9, 0, 5);
+        sw.install_mapping(
+            vn(1),
+            EidPrefix::host(Eid::V4(remote_ip)),
+            Rloc::for_router_index(7),
+            TTL,
+            SimTime::ZERO,
+        );
+        let mut bufs = [PacketBuf::new()];
+        bufs[0].load(&frame(&a, remote_ip, b"checksummed"));
+        let v = sw.process_ingress(&mut bufs, SimTime::ZERO).to_vec();
+        assert!(matches!(v[0], Verdict::Forward { .. }));
+        // The emitted packet verifies, and corruption is now caught.
+        assert!(encap::parse_underlay(bufs[0].bytes()).is_ok());
+        let mut bent = bufs[0].bytes().to_vec();
+        let last = bent.len() - 1;
+        bent[last] ^= 0xFF;
+        assert_eq!(
+            encap::parse_underlay(&bent).unwrap_err(),
+            sda_wire::Error::BadChecksum
+        );
     }
 }

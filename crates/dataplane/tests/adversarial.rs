@@ -65,7 +65,8 @@ fn valid_wire() -> Vec<u8> {
             policy_applied: false,
             ttl: 8,
             src_port: 50_000,
-            udp_checksum: true,
+            udp_checksum: encap::OuterChecksum::Full,
+            inner_proto: encap::InnerProto::Ipv4,
         },
     )
     .unwrap();

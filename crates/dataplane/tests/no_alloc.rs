@@ -95,7 +95,7 @@ fn steady_state_forwarding_allocates_nothing() {
         sw.install_mapping(
             vn,
             EidPrefix::host(Eid::V4(remote_ip(i))),
-            Rloc::for_router_index((i % 200) as u16),
+            Rloc::for_router_index(2 + (i % 200) as u16),
             ttl,
             SimTime::ZERO,
         );
@@ -136,7 +136,8 @@ fn steady_state_forwarding_allocates_nothing() {
                     policy_applied: true,
                     ttl: 8,
                     src_port: 50_000,
-                    udp_checksum: false,
+                    udp_checksum: encap::OuterChecksum::Zero,
+                    inner_proto: encap::InnerProto::Ipv4,
                 },
             )
             .unwrap();
@@ -160,6 +161,7 @@ fn steady_state_forwarding_allocates_nothing() {
             match v {
                 Verdict::Forward { .. } => fwd += 1,
                 Verdict::Deliver { .. } => deliver += 1,
+                Verdict::DeliverExternal => unreachable!("no external routes installed"),
                 Verdict::Drop(r) => {
                     assert_eq!(*r, DropReason::Policy, "only policy drops expected");
                     drop += 1;

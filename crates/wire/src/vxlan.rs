@@ -20,6 +20,14 @@
 //! * `I` — VNI field valid (must be set); the VNI carries the **VN**.
 //! * `A` — policy has already been applied upstream (used when an ingress
 //!   node enforced the ACL so egress must not re-drop).
+//!
+//! The trailing reserved byte doubles as a GPE-style **next-protocol**
+//! indicator so the fabric can carry both L3 and L2 payloads (the very
+//! reason the paper picked VXLAN over the native LISP data plane): `0x00`
+//! is the historical all-zero encoding and means an **IPv4** inner
+//! packet; [`PROTO_ETHERNET`] (`0x03`, the VXLAN-GPE number) means a full
+//! **Ethernet** inner frame (L2 flows, §3.5). Any other value is rejected
+//! by [`Packet::new_checked`].
 
 use sda_types::{GroupId, VnId};
 
@@ -43,6 +51,22 @@ const FLAG_I: u16 = 0x0800;
 const FLAG_D: u16 = 0x0040;
 const FLAG_A: u16 = 0x0008;
 
+/// Next-protocol value for an Ethernet inner frame (the VXLAN-GPE
+/// number). The historical `0x00` reserved byte reads as IPv4.
+pub const PROTO_ETHERNET: u8 = 0x03;
+
+/// What the encapsulated payload is (carried in the reserved byte,
+/// GPE-style).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum InnerProto {
+    /// A bare IPv4 packet (the fabric's L3 flows) — reserved byte 0.
+    #[default]
+    Ipv4,
+    /// A full Ethernet frame (L2 flows, §3.5) — reserved byte
+    /// [`PROTO_ETHERNET`].
+    Ethernet,
+}
+
 /// A read/write view of a VXLAN-GPO packet.
 #[derive(Debug, Clone)]
 pub struct Packet<T: AsRef<[u8]>> {
@@ -55,8 +79,8 @@ impl<T: AsRef<[u8]>> Packet<T> {
         Packet { buffer }
     }
 
-    /// Wraps and validates: length, the mandatory `I` flag and zero
-    /// reserved byte.
+    /// Wraps and validates: length, the mandatory `I` flag and a known
+    /// next-protocol byte (`0x00` = IPv4, [`PROTO_ETHERNET`]).
     pub fn new_checked(buffer: T) -> Result<Self> {
         if buffer.as_ref().len() < HEADER_LEN {
             return Err(Error::Truncated);
@@ -66,7 +90,7 @@ impl<T: AsRef<[u8]>> Packet<T> {
         if flags & FLAG_I == 0 {
             return Err(Error::Malformed);
         }
-        if p.buffer.as_ref()[layout::RESERVED][0] != 0 {
+        if !matches!(p.buffer.as_ref()[layout::RESERVED][0], 0 | PROTO_ETHERNET) {
             return Err(Error::Malformed);
         }
         Ok(p)
@@ -105,6 +129,17 @@ impl<T: AsRef<[u8]>> Packet<T> {
     /// The VN carried in the VNI field.
     pub fn vni(&self) -> VnId {
         VnId::new_unchecked(field::get_u24(self.buffer.as_ref(), layout::VNI))
+    }
+
+    /// What the payload is (a validated packet only carries known
+    /// values; [`Packet::new_unchecked`] views read unknown bytes as
+    /// IPv4).
+    pub fn inner_proto(&self) -> InnerProto {
+        if self.buffer.as_ref()[layout::RESERVED][0] == PROTO_ETHERNET {
+            InnerProto::Ethernet
+        } else {
+            InnerProto::Ipv4
+        }
     }
 
     /// Encapsulated payload (an Ethernet frame or IP packet).
@@ -154,6 +189,14 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
         field::set_u24(self.buffer.as_mut(), layout::VNI, vn.raw());
     }
 
+    /// Sets the next-protocol byte.
+    pub fn set_inner_proto(&mut self, proto: InnerProto) {
+        self.buffer.as_mut()[layout::RESERVED.start] = match proto {
+            InnerProto::Ipv4 => 0,
+            InnerProto::Ethernet => PROTO_ETHERNET,
+        };
+    }
+
     /// Mutable payload bytes.
     pub fn payload_mut(&mut self) -> &mut [u8] {
         &mut self.buffer.as_mut()[layout::PAYLOAD]
@@ -173,6 +216,8 @@ pub struct Repr {
     /// packet. Plumbed through `Repr` so the bit survives a
     /// parse → emit round trip (it used to be view-only and was lost).
     pub dont_learn: bool,
+    /// What the payload is (IPv4 packet or Ethernet frame).
+    pub inner_proto: InnerProto,
     /// Encapsulated payload length.
     pub payload_len: usize,
 }
@@ -185,6 +230,7 @@ impl Repr {
             group: packet.group(),
             policy_applied: packet.policy_applied(),
             dont_learn: packet.dont_learn(),
+            inner_proto: packet.inner_proto(),
             payload_len: packet.payload().len(),
         }
     }
@@ -203,6 +249,7 @@ impl Repr {
         }
         packet.set_policy_applied(self.policy_applied);
         packet.set_dont_learn(self.dont_learn);
+        packet.set_inner_proto(self.inner_proto);
     }
 }
 
@@ -217,6 +264,7 @@ mod tests {
             group: Some(GroupId(0xBEEF)),
             policy_applied: false,
             dont_learn: false,
+            inner_proto: InnerProto::Ipv4,
             payload_len: 6,
         };
         let mut buf = vec![0u8; repr.buffer_len()];
@@ -236,6 +284,7 @@ mod tests {
             group: None,
             policy_applied: true,
             dont_learn: true,
+            inner_proto: InnerProto::Ipv4,
             payload_len: 0,
         };
         let mut buf = vec![0u8; repr.buffer_len()];
@@ -259,6 +308,7 @@ mod tests {
             group: None,
             policy_applied: false,
             dont_learn: false,
+            inner_proto: InnerProto::Ipv4,
             payload_len: 0,
         };
         let mut buf = vec![0u8; repr.buffer_len()];
@@ -282,6 +332,7 @@ mod tests {
             group: None,
             policy_applied: false,
             dont_learn: false,
+            inner_proto: InnerProto::Ipv4,
             payload_len: 0,
         };
         let mut buf = vec![0u8; repr.buffer_len()];

@@ -126,8 +126,9 @@ proptest! {
     }
 
     #[test]
-    fn vxlan_roundtrip(vn in arb_vn(), group in proptest::option::of(any::<u16>().prop_map(GroupId)), applied in any::<bool>(), dont_learn in any::<bool>(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
-        let repr = vxlan::Repr { vn, group, policy_applied: applied, dont_learn, payload_len: payload.len() };
+    fn vxlan_roundtrip(vn in arb_vn(), group in proptest::option::of(any::<u16>().prop_map(GroupId)), applied in any::<bool>(), dont_learn in any::<bool>(), l2 in any::<bool>(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let inner_proto = if l2 { vxlan::InnerProto::Ethernet } else { vxlan::InnerProto::Ipv4 };
+        let repr = vxlan::Repr { vn, group, policy_applied: applied, dont_learn, inner_proto, payload_len: payload.len() };
         let mut buf = vec![0u8; repr.buffer_len()];
         let mut pkt = vxlan::Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut pkt);
@@ -140,7 +141,7 @@ proptest! {
     /// (truncation can never be mistaken for success or panic).
     #[test]
     fn vxlan_truncations_all_error(vn in arb_vn(), group in any::<u16>().prop_map(GroupId), payload in proptest::collection::vec(any::<u8>(), 0..32)) {
-        let repr = vxlan::Repr { vn, group: Some(group), policy_applied: false, dont_learn: false, payload_len: payload.len() };
+        let repr = vxlan::Repr { vn, group: Some(group), policy_applied: false, dont_learn: false, inner_proto: vxlan::InnerProto::Ipv4, payload_len: payload.len() };
         let mut buf = vec![0u8; repr.buffer_len()];
         repr.emit(&mut vxlan::Packet::new_unchecked(&mut buf[..]));
         for cut in 0..vxlan::HEADER_LEN {
@@ -245,6 +246,7 @@ fn full_encapsulation_stack_roundtrip() {
         group: Some(GroupId(17)),
         policy_applied: false,
         dont_learn: false,
+        inner_proto: vxlan::InnerProto::Ipv4,
         payload_len: inner.len(),
     };
     let mut vx = vec![0u8; vx_repr.buffer_len()];

@@ -313,6 +313,9 @@ impl FrameDriver {
                     }
                 }
                 Verdict::Deliver { .. } => self.stats.delivered += 1,
+                // No external prefixes are installed in these presets;
+                // surface it as an anomaly if one ever appears.
+                Verdict::DeliverExternal => self.stats.dropped_other += 1,
                 Verdict::Drop(DropReason::Policy) => self.stats.dropped_policy += 1,
                 Verdict::Drop(_) => self.stats.dropped_other += 1,
             }

@@ -152,7 +152,13 @@ fn vxlan_constants_match_fabric_expectations() {
             track: true,
         },
     };
-    let bytes = encode_packet(Rloc::for_router_index(1), Rloc::for_router_index(2), &pkt).unwrap();
+    let bytes = encode_packet(
+        Rloc::for_router_index(1),
+        Rloc::for_router_index(2),
+        &pkt,
+        sda_dataplane::OuterChecksum::Full,
+    )
+    .unwrap();
 
     // The outer stack is real: IPv4 proto 17, UDP dst 4789, VNI = VN.
     let outer = sda_wire::ipv4::Packet::new_checked(&bytes[..]).unwrap();
