@@ -36,8 +36,11 @@
 //! while the per-packet baseline re-copies the payload once per layer
 //! and checksums it once more.
 //!
-//! The acceptance bar asserted below: batched engine encap must be at
-//! least **2x** faster per packet than the per-packet baseline.
+//! Acceptance bars asserted below (non-smoke): batched engine encap
+//! must be at least **2x** faster per packet than the per-packet
+//! baseline, and at least **1.5x** faster than the committed PR-5
+//! median now that the LPM descent rides the stride tables and the
+//! widened lockstep window.
 
 use criterion::{black_box, BenchmarkId, Criterion};
 use sda_core::pipeline::{decode_packet, encode_packet};
@@ -54,6 +57,13 @@ const MID_ROUTES: u32 = 10_000;
 /// sweep the FIB instead of hammering one hot entry.
 const PREBUILT_BATCHES: usize = 32;
 const PAYLOAD: usize = 1400;
+
+/// The committed PR-5 `encap_batch32/10000` median (BENCH_dataplane.json
+/// as of the RSS-sharding PR) — whole-batch ns. The stride/lockstep
+/// tentpole's acceptance bar: the batched encap path must beat it by at
+/// least 1.5x, since its LPM descent now rides the stride tables and the
+/// widened lane window.
+const PR5_ENCAP_BATCH32_10K_NS: f64 = 9147.20;
 
 fn vn() -> VnId {
     VnId::new(7).unwrap()
@@ -492,15 +502,29 @@ fn main() {
         decap_baseline / decap,
     );
 
+    let pr5_ratio = PR5_ENCAP_BATCH32_10K_NS / median("encap_batch32/10000");
+    eprintln!(
+        "encap batch vs committed PR-5 median: {pr5_ratio:.2}x ({:.0} ns -> {:.0} ns)",
+        PR5_ENCAP_BATCH32_10K_NS,
+        median("encap_batch32/10000")
+    );
+
     if smoke {
-        eprintln!("smoke mode: skipping the 2x assertion");
+        eprintln!("smoke mode: skipping the perf assertions");
         return;
     }
-    // The tentpole's acceptance bar: batched engine encap at 10k routes
-    // must be at least 2x the per-packet Vec-assembling baseline.
+    // The PR-4 acceptance bar: batched engine encap at 10k routes must
+    // be at least 2x the per-packet Vec-assembling baseline.
     assert!(
         baseline / batch >= 2.0,
         "batched encap fell below the 2x acceptance bar: {:.2}x",
         baseline / batch
+    );
+    // The PR-6 acceptance bar: the stride descent + widened lockstep
+    // window must put batched encap at least 1.5x under the committed
+    // PR-5 whole-batch median.
+    assert!(
+        pr5_ratio >= 1.5,
+        "batched encap fell below the 1.5x bar vs the committed PR-5 median: {pr5_ratio:.2}x"
     );
 }

@@ -12,8 +12,13 @@
 //! Emits `BENCH_lpm.json` at the workspace root — the machine-readable
 //! baseline every later perf PR is compared against (see ROADMAP.md
 //! "Benchmarks"). Schema: `[{group, id, median_ns, mean_ns, p95_ns,
-//! iterations}]` — asserted below to carry exactly the PR-1 ids, so the
-//! PR-1 → PR-3 trajectory stays comparable.
+//! iterations}]` — asserted below to carry exactly this PR's ids with
+//! the original PR-1 rows surviving as a subsequence, so the
+//! PR-1 → PR-3 → PR-6 trajectory stays comparable. New in the stride
+//! PR: the 1M-route scale tier (trie + map-cache, with `MemStats`
+//! memory budgets asserted), the frozen PR-3 `arena3` descent (the
+//! stride speedup's in-run comparison point) and a lockstep lane sweep
+//! (32 vs. 64 lanes).
 //!
 //! The `seed_baseline` module below is a faithful, frozen copy of the
 //! pre-refactor algorithms: `slice()` materializing a fresh `Vec<u8>` on
@@ -35,19 +40,59 @@ use sda_trie::EidTrie;
 use sda_types::{Eid, EidPrefix, Rloc, VnId};
 use std::net::Ipv4Addr;
 
+/// Counts the seed baseline still runs at (building the Vec-backed seed
+/// trie at 1M routes takes minutes — not worth the wait for a baseline
+/// whose curve three committed JSONs already document).
 const ROUTE_COUNTS: [u32; 3] = [1_000, 10_000, 100_000];
+/// Counts for the stride trie, including the million-route scale tier
+/// the stride layer makes affordable.
+const NEW_ROUTE_COUNTS: [u32; 4] = [1_000, 10_000, 100_000, 1_000_000];
 const CACHE_ROUTES: u32 = 10_000;
+const CACHE_ROUTES_1M: u32 = 1_000_000;
+/// Keys per lockstep batch in the lane-sweep rows.
+const BATCH_KEYS: usize = 1_024;
 
 /// The committed PR-1 `trie_lpm new/100000` median (BENCH_lpm.json as
 /// of the pointer-chasing layout). The arena tentpole's acceptance bar:
 /// the compacted descent must beat it by at least 1.5x.
 const PR1_NEW_100K_MEDIAN_NS: f64 = 537.78;
 
-/// The exact `(group, id)` rows PR 1 committed, in emission order. The
-/// bench asserts its output still carries precisely these, so the
-/// `BENCH_lpm.json` schema (and the PR-1 → PR-3 trajectory) stays
-/// comparable.
-const EXPECTED_IDS: [(&str, &str); 10] = [
+/// Memory budget for the 1M-route trie (ROADMAP scale-tier item: ~2x a
+/// 64 MiB last-level cache). Asserted against `MemStats` even in smoke
+/// mode — layout is deterministic, no timing noise involved.
+const TRIE_1M_BUDGET_BYTES: usize = 128 * 1024 * 1024;
+
+/// Budget for the 1M-entry map-cache. Wider than the bare trie's: the
+/// value slab holds whole `CacheEntry` records (RLOC + TTL + LRU
+/// bookkeeping) instead of a `u32`, roughly doubling bytes per route.
+const CACHE_1M_BUDGET_BYTES: usize = 192 * 1024 * 1024;
+
+/// The exact `(group, id)` rows this PR commits, in emission order. The
+/// ten PR-1 rows survive as a subsequence (asserted separately below),
+/// so the PR-1 → PR-3 → PR-6 trajectory stays comparable; the stride PR
+/// adds the 1M scale tier, the frozen PR-3 arena point and the lockstep
+/// lane sweep.
+const EXPECTED_IDS: [(&str, &str); 15] = [
+    ("trie_lpm", "new/1000"),
+    ("trie_lpm", "new/10000"),
+    ("trie_lpm", "new/100000"),
+    ("trie_lpm", "new/1000000"),
+    ("trie_lpm", "arena3/100000"),
+    ("trie_lpm", "seed/1000"),
+    ("trie_lpm", "seed/10000"),
+    ("trie_lpm", "seed/100000"),
+    ("trie_lpm_batch", "lanes32/100000"),
+    ("trie_lpm_batch", "lanes64/100000"),
+    ("map_cache_lookup", "hit/10000"),
+    ("map_cache_lookup", "miss/10000"),
+    ("map_cache_lookup", "stale/10000"),
+    ("map_cache_lookup", "seed_hit/10000"),
+    ("map_cache_lookup", "hit/1000000"),
+];
+
+/// The PR-1 rows, which must survive verbatim (same group, same id) so
+/// committed BENCH_lpm.json files stay comparable across PRs.
+const PR1_IDS: [(&str, &str); 10] = [
     ("trie_lpm", "new/1000"),
     ("trie_lpm", "new/10000"),
     ("trie_lpm", "new/100000"),
@@ -351,22 +396,265 @@ mod seed_baseline {
     }
 }
 
+/// The PR-3 arena descent, frozen at commit `184a049` for comparison:
+/// identical 32-byte node layout, XOR-shift label compare and both-child
+/// prefetch, but no stride layer. The stride tentpole's in-run bar is
+/// measured against this (>= 1.8x at 100k routes), so the claim stays
+/// reproducible from one command even after the library moves on.
+/// Trimmed to the surface the bench exercises: `insert`,
+/// `longest_match`, preorder `compact` (the bench never removes, so the
+/// free-list is omitted — `insert` is bit-identical with an empty one).
+mod arena3 {
+    use sda_trie::bits::MAX_BITS;
+    use sda_trie::BitStr;
+
+    const NONE: u32 = u32::MAX;
+    const ROOT: u32 = 0;
+
+    #[derive(Clone, Copy)]
+    struct Node {
+        bits: u128,
+        children: [u32; 2],
+        label_len: u8,
+        has_value: bool,
+    }
+
+    impl Node {
+        fn new(label: BitStr, has_value: bool) -> Self {
+            Node {
+                bits: label.raw(),
+                children: [NONE, NONE],
+                label_len: label.len() as u8,
+                has_value,
+            }
+        }
+
+        fn label(&self) -> BitStr {
+            BitStr::from_raw(self.bits, self.label_len as usize)
+        }
+
+        fn set_label(&mut self, label: BitStr) {
+            self.bits = label.raw();
+            self.label_len = label.len() as u8;
+        }
+    }
+
+    fn prefetch_children(nodes: &[Node], node: &Node) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let base = nodes.as_ptr();
+            for bit in 0..2 {
+                let c = node.children[bit];
+                if c != NONE {
+                    // SAFETY: prefetch is a hint; it dereferences nothing.
+                    unsafe {
+                        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                            base.wrapping_add(c as usize).cast::<i8>(),
+                        );
+                    }
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (nodes, node);
+        }
+    }
+
+    #[inline(always)]
+    fn descend_step(
+        nodes: &[Node],
+        idx: u32,
+        key_len: usize,
+        depth: usize,
+        rem: u128,
+    ) -> (u32, usize, u128) {
+        let bit = (rem >> (MAX_BITS - 1)) as usize;
+        let child = nodes[idx as usize].children[bit];
+        if child == NONE {
+            return (NONE, depth, rem);
+        }
+        let node = &nodes[child as usize];
+        let ll = node.label_len as usize;
+        if depth + ll > key_len || (node.bits ^ rem) >> (MAX_BITS - ll) != 0 {
+            return (NONE, depth, rem);
+        }
+        prefetch_children(nodes, node);
+        let rem = if ll >= MAX_BITS { 0 } else { rem << ll };
+        (child, depth + ll, rem)
+    }
+
+    pub struct ArenaTrie<V> {
+        nodes: Vec<Node>,
+        values: Vec<Option<V>>,
+    }
+
+    impl<V> ArenaTrie<V> {
+        pub fn new() -> Self {
+            ArenaTrie {
+                nodes: vec![Node::new(BitStr::empty(), false)],
+                values: vec![None],
+            }
+        }
+
+        fn alloc_node(&mut self, label: BitStr, value: Option<V>) -> u32 {
+            let has_value = value.is_some();
+            let idx = self.nodes.len();
+            self.nodes.push(Node::new(label, has_value));
+            self.values.push(value);
+            idx as u32
+        }
+
+        pub fn insert(&mut self, key: &BitStr, value: V) {
+            let mut idx = ROOT;
+            let mut after_label = 0usize;
+            loop {
+                if after_label == key.len() {
+                    self.nodes[idx as usize].has_value = true;
+                    self.values[idx as usize] = Some(value);
+                    return;
+                }
+                let next_bit = key.bit(after_label) as usize;
+                let child = self.nodes[idx as usize].children[next_bit];
+                if child == NONE {
+                    let label = key.slice(after_label, key.len());
+                    let leaf = self.alloc_node(label, Some(value));
+                    self.nodes[idx as usize].children[next_bit] = leaf;
+                    return;
+                }
+                let rest = key.slice(after_label, key.len());
+                let child_label = self.nodes[child as usize].label();
+                let common = child_label.common_prefix_len(&rest);
+                if common == child_label.len() {
+                    idx = child;
+                    after_label += child_label.len();
+                    continue;
+                }
+                let head = child_label.slice(0, common);
+                let tail = child_label.slice(common, child_label.len());
+                let tail_bit = tail.bit(0) as usize;
+                let ends_here = common == rest.len();
+                let split = self.alloc_node(head, None);
+                self.nodes[child as usize].set_label(tail);
+                self.nodes[split as usize].children[tail_bit] = child;
+                self.nodes[idx as usize].children[next_bit] = split;
+                if ends_here {
+                    self.nodes[split as usize].has_value = true;
+                    self.values[split as usize] = Some(value);
+                } else {
+                    let bit = rest.bit(common) as usize;
+                    let label = rest.slice(common, rest.len());
+                    let leaf = self.alloc_node(label, Some(value));
+                    self.nodes[split as usize].children[bit] = leaf;
+                }
+                return;
+            }
+        }
+
+        pub fn longest_match(&self, key: &BitStr) -> Option<(usize, &V)> {
+            let nodes = self.nodes.as_slice();
+            let mut idx = ROOT;
+            let mut depth = 0usize;
+            let mut rem = key.raw();
+            let mut best = if nodes[ROOT as usize].has_value {
+                (0usize, ROOT)
+            } else {
+                (0, NONE)
+            };
+            while depth < key.len() {
+                let (child, d, r) = descend_step(nodes, idx, key.len(), depth, rem);
+                if child == NONE {
+                    break;
+                }
+                (idx, depth, rem) = (child, d, r);
+                if nodes[idx as usize].has_value {
+                    best = (depth, idx);
+                }
+            }
+            (best.1 != NONE).then(|| (best.0, self.values[best.1 as usize].as_ref().unwrap()))
+        }
+
+        pub fn compact(&mut self) {
+            let live = self.nodes.len();
+            let mut nodes = Vec::with_capacity(live);
+            let mut values = Vec::with_capacity(live);
+            self.compact_at(ROOT, &mut nodes, &mut values);
+            self.nodes = nodes;
+            self.values = values;
+        }
+
+        fn compact_at(
+            &mut self,
+            idx: u32,
+            nodes: &mut Vec<Node>,
+            values: &mut Vec<Option<V>>,
+        ) -> u32 {
+            let node = self.nodes[idx as usize];
+            let new_idx = nodes.len() as u32;
+            nodes.push(Node {
+                children: [NONE, NONE],
+                ..node
+            });
+            values.push(self.values[idx as usize].take());
+            for bit in 0..2 {
+                if node.children[bit] != NONE {
+                    let c = self.compact_at(node.children[bit], nodes, values);
+                    nodes[new_idx as usize].children[bit] = c;
+                }
+            }
+            new_idx
+        }
+    }
+}
+
 fn bench_trie_lpm(c: &mut Criterion) {
     let mut group = c.benchmark_group("trie_lpm");
-    for routes in ROUTE_COUNTS {
+    for routes in NEW_ROUTE_COUNTS {
         let mut trie: EidTrie<u32> = EidTrie::new();
         for i in 0..routes {
             trie.insert(EidPrefix::host(eid(i)), i);
         }
-        // Bulk load done: re-lay the arena in DFS order (the hook the
-        // production population paths call).
+        // Bulk load done: re-lay the arena in DFS order and promote
+        // dense levels to stride tables (the hook the production
+        // population paths call).
         trie.compact();
-        eprintln!("trie_lpm new/{routes} layout: {}", trie.mem_stats());
+        let stats = trie.mem_stats();
+        eprintln!("trie_lpm new/{routes} layout: {stats}");
+        if routes == 1_000_000 {
+            // Scale-tier budget (ROADMAP): the 1M-route trie must fit in
+            // ~2x a 64 MiB last-level cache. Deterministic — asserted
+            // even in smoke mode.
+            assert!(
+                stats.capacity_bytes <= TRIE_1M_BUDGET_BYTES,
+                "1M-route trie blew the memory budget: {} bytes > {} bytes",
+                stats.capacity_bytes,
+                TRIE_1M_BUDGET_BYTES
+            );
+        }
         let mut rng = SmallRng::seed_from_u64(11);
         group.bench_with_input(BenchmarkId::new("new", routes), &routes, |b, _| {
             b.iter(|| {
                 let i = rng.gen_range(0..routes);
                 black_box(trie.lookup(&eid(i)))
+            });
+        });
+    }
+    // The frozen PR-3 arena descent at the 100k tier — the stride
+    // tentpole's in-run comparison point.
+    {
+        let routes = 100_000u32;
+        let mut trie: arena3::ArenaTrie<u32> = arena3::ArenaTrie::new();
+        for i in 0..routes {
+            let Eid::V4(a) = eid(i) else { unreachable!() };
+            trie.insert(&sda_trie::BitStr::from_bytes(&a.octets(), 32), i);
+        }
+        trie.compact();
+        let mut rng = SmallRng::seed_from_u64(11);
+        group.bench_with_input(BenchmarkId::new("arena3", routes), &routes, |b, _| {
+            b.iter(|| {
+                let i = rng.gen_range(0..routes);
+                let Eid::V4(a) = eid(i) else { unreachable!() };
+                black_box(trie.longest_match(&sda_trie::BitStr::from_bytes(&a.octets(), 32)))
             });
         });
     }
@@ -383,6 +671,54 @@ fn bench_trie_lpm(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+}
+
+/// The lockstep lane sweep: one full [`BATCH_KEYS`]-key batch resolved
+/// per iteration through `longest_match_each_where_lanes` at 32 vs. 64
+/// lanes, on the 100k-route stride trie. Medians are **ns per batch**
+/// (divide by [`BATCH_KEYS`] for ns/key); the two rows share everything
+/// but `L`, so their ratio isolates the lane-width effect that picked
+/// [`sda_trie::DEFAULT_LANES`].
+fn bench_trie_lpm_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie_lpm_batch");
+    let routes = 100_000u32;
+    let mut trie: sda_trie::PatriciaTrie<u32> = sda_trie::PatriciaTrie::new();
+    for i in 0..routes {
+        let Eid::V4(a) = eid(i) else { unreachable!() };
+        trie.insert(&sda_trie::BitStr::from_bytes(&a.octets(), 32), i);
+    }
+    trie.compact();
+    let mut rng = SmallRng::seed_from_u64(15);
+    let keys: Vec<sda_trie::BitStr> = (0..BATCH_KEYS)
+        .map(|_| {
+            let i = rng.gen_range(0..routes);
+            let Eid::V4(a) = eid(i) else { unreachable!() };
+            sda_trie::BitStr::from_bytes(&a.octets(), 32)
+        })
+        .collect();
+    group.bench_with_input(BenchmarkId::new("lanes32", routes), &routes, |b, _| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            trie.longest_match_each_where_lanes::<32, _, _>(
+                &keys,
+                |_| true,
+                |_, m| hits += m.is_some() as usize,
+            );
+            black_box(hits)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("lanes64", routes), &routes, |b, _| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            trie.longest_match_each_where_lanes::<64, _, _>(
+                &keys,
+                |_| true,
+                |_, m| hits += m.is_some() as usize,
+            );
+            black_box(hits)
+        });
+    });
     group.finish();
 }
 
@@ -464,6 +800,36 @@ fn bench_map_cache(c: &mut Criterion) {
         });
     });
 
+    // The 1M-entry scale tier: same hit workload at two orders of
+    // magnitude more routes, with the memory budget asserted (no seed
+    // counterpart — building the Vec-backed trie at 1M takes minutes).
+    let mut big_cache = MapCache::new();
+    for i in 0..CACHE_ROUTES_1M {
+        big_cache.install(
+            vn(),
+            EidPrefix::host(eid(i)),
+            Rloc::for_router_index((i % 200) as u16),
+            ttl,
+            SimTime::ZERO,
+        );
+    }
+    big_cache.compact();
+    let big_stats = big_cache.mem_stats();
+    eprintln!("map_cache hit/{CACHE_ROUTES_1M} layout: {big_stats}");
+    assert!(
+        big_stats.capacity_bytes <= CACHE_1M_BUDGET_BYTES,
+        "1M-entry map-cache blew the memory budget: {} bytes > {} bytes",
+        big_stats.capacity_bytes,
+        CACHE_1M_BUDGET_BYTES
+    );
+    let mut rng = SmallRng::seed_from_u64(12);
+    group.bench_with_input(BenchmarkId::new("hit", CACHE_ROUTES_1M), &(), |b, _| {
+        b.iter(|| {
+            let i = rng.gen_range(0..CACHE_ROUTES_1M);
+            black_box(big_cache.lookup(vn(), eid(i), now))
+        });
+    });
+
     group.finish();
 }
 
@@ -481,6 +847,7 @@ fn main() {
             .warm_up_time(std::time::Duration::from_millis(200))
     };
     bench_trie_lpm(&mut criterion);
+    bench_trie_lpm_batch(&mut criterion);
     bench_map_cache(&mut criterion);
 
     let out = if smoke {
@@ -494,15 +861,23 @@ fn main() {
     criterion.write_json(out).expect("write BENCH_lpm.json");
     eprintln!("wrote {out}");
 
-    // Schema guard (runs even in smoke mode): exactly the PR-1 rows, in
-    // the PR-1 order, so committed BENCH_lpm.json files stay comparable
-    // across the PR-1 → PR-3 trajectory.
+    // Schema guards (run even in smoke mode): exactly this PR's rows in
+    // emission order, with the PR-1 rows surviving as a subsequence, so
+    // committed BENCH_lpm.json files stay comparable across the
+    // PR-1 → PR-3 → PR-6 trajectory.
     let results = criterion.results();
     let got: Vec<(&str, &str)> = results
         .iter()
         .map(|r| (r.group.as_str(), r.id.as_str()))
         .collect();
-    assert_eq!(got, EXPECTED_IDS, "BENCH_lpm.json schema drifted from PR 1");
+    assert_eq!(got, EXPECTED_IDS, "BENCH_lpm.json schema drifted");
+    let mut pr1 = PR1_IDS.iter().peekable();
+    for row in &got {
+        if pr1.peek() == Some(&row) {
+            pr1.next();
+        }
+    }
+    assert_eq!(pr1.peek(), None, "a PR-1 row vanished from BENCH_lpm.json");
 
     let median = |group: &str, id: &str| {
         results
@@ -514,6 +889,9 @@ fn main() {
     let new_hit = median("map_cache_lookup", "hit/10000");
     let seed_hit = median("map_cache_lookup", "seed_hit/10000");
     let new_100k = median("trie_lpm", "new/100000");
+    let arena3_100k = median("trie_lpm", "arena3/100000");
+    let lanes32 = median("trie_lpm_batch", "lanes32/100000");
+    let lanes64 = median("trie_lpm_batch", "lanes64/100000");
     eprintln!(
         "map-cache hit speedup vs seed: {:.1}x ({:.0} ns -> {:.0} ns)",
         seed_hit / new_hit,
@@ -526,10 +904,30 @@ fn main() {
         PR1_NEW_100K_MEDIAN_NS,
         new_100k
     );
+    eprintln!(
+        "trie LPM 100k stride speedup vs PR-3 arena: {:.2}x ({:.0} ns -> {:.0} ns)",
+        arena3_100k / new_100k,
+        arena3_100k,
+        new_100k
+    );
+    eprintln!(
+        "lockstep lane sweep at 100k: 32 lanes {:.2} ns/key, 64 lanes {:.2} ns/key ({:+.1}%)",
+        lanes32 / BATCH_KEYS as f64,
+        lanes64 / BATCH_KEYS as f64,
+        (lanes64 / lanes32 - 1.0) * 100.0
+    );
     if smoke {
         eprintln!("smoke mode: skipping the perf assertions");
         return;
     }
+    // The PR-6 acceptance bar: the stride descent at 100k routes must
+    // be at least 1.8x faster than the frozen PR-3 arena descent,
+    // measured in the same run on the same machine.
+    assert!(
+        arena3_100k / new_100k >= 1.8,
+        "stride trie fell below the 1.8x bar vs the PR-3 arena: {:.2}x ({new_100k:.0} ns)",
+        arena3_100k / new_100k
+    );
     // The PR-1 acceptance bar: new map-cache hit lookup at 10k routes
     // must be at least 2x faster than the seed algorithm.
     assert!(

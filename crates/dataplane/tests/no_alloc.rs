@@ -204,9 +204,16 @@ fn steady_state_forwarding_allocates_nothing() {
     );
 
     // Window 2: DFS-compacted arenas (the production layout once the
-    // bulk-load hook runs). The compaction happens outside the window;
-    // forwarding afterwards must still allocate nothing.
+    // bulk-load hook runs), with dense upper trie levels promoted to
+    // stride fanout tables — so hit, stale and miss encap all descend
+    // through the stride layer here. The compaction happens outside the
+    // window; forwarding afterwards must still allocate nothing.
     sw.compact_tables();
+    assert!(
+        sw.map_cache().mem_stats().stride_tables > 0,
+        "10k dense routes must promote stride tables, or window 2 no \
+         longer exercises the stride descent"
+    );
     let before = allocations();
     let (mut fwd, mut deliver) = (0u64, 0u64);
     for _ in 0..ROUNDS {
@@ -230,9 +237,18 @@ fn steady_state_forwarding_allocates_nothing() {
     );
 
     // Window 3: the shared-read lookup entry point in isolation — the
-    // exact call every MtSwitch worker makes per same-VN run.
-    let probes: Vec<Eid> = (0..BATCH_SIZE as u32)
-        .map(|i| Eid::V4(remote_ip(i * 97 % ROUTES)))
+    // exact call every MtSwitch worker makes per same-VN run. 96 probes
+    // (not BATCH_SIZE): one full chunk at the widened 64-lane lockstep
+    // default plus a ragged 32-key tail, with misses mixed in, so the
+    // wider walk itself is proven allocation-free.
+    let probes: Vec<Eid> = (0..96u32)
+        .map(|i| {
+            if i % 5 == 4 {
+                Eid::V4(Ipv4Addr::from(0x0AFF_0000 | i)) // miss
+            } else {
+                Eid::V4(remote_ip(i * 97 % ROUTES))
+            }
+        })
         .collect();
     let mut out = Vec::new();
     sw.map_cache()

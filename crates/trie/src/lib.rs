@@ -18,8 +18,10 @@
 //! Keys are inline `(u128, u8)` bit strings ([`bits::BitStr`]) — every
 //! key in the system is at most 128 bits (IPv6), so the lookup path is
 //! zero-allocation word arithmetic. Nodes live in a contiguous arena
-//! (`u32`-indexed, DFS-compacted after bulk loads — see the `trie`
-//! module docs for the layout rationale). See the `bits` module docs for
+//! (`u32`-indexed, DFS-compacted after bulk loads, with dense upper
+//! levels promoted to multibit stride fanout tables — see the `trie`
+//! module docs for the layout rationale and the promotion/demotion
+//! rules). See the `bits` module docs for
 //! the key representation and `benches/lpm_hot_path.rs` in `sda-bench`
 //! for the measured effect (`BENCH_lpm.json` at the repo root).
 //!
@@ -32,4 +34,4 @@ pub mod trie;
 
 pub use bits::BitStr;
 pub use map::{compact_each, covering_prefix, merged_mem_stats, EidTrie};
-pub use trie::{MemStats, PatriciaTrie};
+pub use trie::{MemStats, PatriciaTrie, DEFAULT_LANES};

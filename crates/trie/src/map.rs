@@ -191,7 +191,7 @@ impl<V> EidTrie<V> {
         P: FnMut(&V) -> bool,
         F: FnMut(usize, Option<(usize, &V)>),
     {
-        const CHUNK: usize = 32;
+        const CHUNK: usize = crate::trie::DEFAULT_LANES;
         let mut start = 0;
         while start < eids.len() {
             // One same-family run.
@@ -235,7 +235,7 @@ impl<V> EidTrie<V> {
     where
         F: FnMut(usize, Option<(usize, &mut V)>),
     {
-        const CHUNK: usize = 32;
+        const CHUNK: usize = crate::trie::DEFAULT_LANES;
         let mut start = 0;
         while start < eids.len() {
             // One same-family run.

@@ -1,4 +1,5 @@
-//! The path-compressed binary radix (Patricia) trie, arena-compacted.
+//! The path-compressed binary radix (Patricia) trie, arena-compacted,
+//! with a multibit **stride layer** over its dense upper levels.
 //!
 //! Structure: every node carries a *label* (the bits between its parent
 //! and itself), an optional value, and up to two children indexed by the
@@ -14,15 +15,18 @@
 //!
 //! ## Arena layout: contiguous nodes, index children
 //!
-//! Nodes do **not** live in individual heap boxes. The whole trie is two
-//! parallel `Vec`s:
+//! Nodes do **not** live in individual heap boxes. The whole trie is
+//! three `Vec`s:
 //!
 //! * `nodes: Vec<Node>` — the descent-critical data only: label bits
 //!   (inline `u128` word + length), two `u32` child indices ([`NONE`] =
-//!   no child) and a value-presence flag. `Node` is exactly 32 bytes, so
-//!   **two nodes share every cache line**.
+//!   no child), the stride table reference (base slot + width) and a
+//!   value-presence flag. `Node` is exactly 32 bytes, so **two nodes
+//!   share every cache line**.
 //! * `values: Vec<Option<V>>` — the payloads, touched once per lookup
 //!   (at the final best match), never during the descent.
+//! * `stride_tables: Vec<u32>` — the shared fanout-table slab (see the
+//!   stride section below).
 //!
 //! The previous layout (`Option<Box<Node<V>>>` children) made every trie
 //! step an independent cache miss into malloc-scattered memory; PR 2's
@@ -57,8 +61,49 @@
 //!   them), so it must stay O(key bits) and allocation-free.
 //!
 //! [`PatriciaTrie::mem_stats`] exposes the layout (live nodes, arena
-//! capacity, free-list length, depth histogram) so benches can print it
-//! and regressions are visible in bench output.
+//! capacity, free-list length, stride occupancy/fill, depth histogram)
+//! so benches can print it and regressions are visible in bench output.
+//!
+//! ## Stride layer: multibit fanout over the dense top
+//!
+//! At route-table scale the upper trie levels are *dense*: 100k spread
+//! keys force branching at nearly every one of the first ~17 bits, so a
+//! binary descent burns a dependent load per bit exactly where the data
+//! guarantees the fanout exists. The stride layer collapses such levels
+//! into 4- or 8-bit fanout tables, Luleå/Tree-Bitmap style: a strided
+//! node consumes `s` key bits in **one hop** — direct index extraction
+//! from the running key word, no label compare — cutting descent depth
+//! ~3-4x at 100k+ routes (18 binary hops become 2-3 table hops plus a
+//! short Patricia tail).
+//!
+//! Tables live in one shared `stride_tables: Vec<u32>` slab in the same
+//! arena spirit as the nodes. A width-`s` table is `2^s` slots of two
+//! words each:
+//!
+//! * `next` — the node whose label ends exactly `s` bits below the
+//!   strided node along that bit path ([`NONE`] = the path dies inside
+//!   the span). Valid because compaction splits every label crossing an
+//!   active span boundary, so a landing node always exists.
+//! * `best` — the deepest *valued* node strictly inside the span on
+//!   that path, packed as `(depth delta << 28) | arena index`, so the
+//!   hop records the in-span longest-prefix candidate without walking
+//!   the span. The strided node's own value and the landing node's
+//!   value are covered by the ordinary arrival checks on either side.
+//!
+//! **Promotion** happens only inside [`PatriciaTrie::compact`]: during
+//! the DFS re-layout each node sitting on a span boundary counts the
+//! label-ends in its first 4 and 8 levels; at least
+//! [`STRIDE8_MIN_ENDS`] ends promotes an 8-bit table, else
+//! [`STRIDE4_MIN_ENDS`] a 4-bit one, else the level stays Patricia — so
+//! sparse regions never pay for empty tables, and the choice is
+//! re-derived from occupancy on every compaction (a thinned-out level
+//! **demotes** the same way). **Invalidation** is conservative:
+//! `insert` and `remove` clear the tables of the nodes they descend
+//! through (the structure below them may have changed shape), and
+//! `retain` drops all tables when anything was freed — lookups fall
+//! back to plain binary steps there until the next `compact()`
+//! re-promotes. Mutators never build tables; the slab is rebuilt from
+//! scratch at each compaction, so stale-slot hazards cannot outlive it.
 //!
 //! ## Inline keys and the zero-allocation lookup path
 //!
@@ -95,6 +140,35 @@ const ROOT: u32 = 0;
 /// steady small-scale insert/remove cycles from compacting every call).
 const COMPACT_FREE_MIN: usize = 64;
 
+/// Default lockstep batch width. Stride hops touch fewer nodes per key,
+/// so more in-flight lanes fit the memory-level-parallelism window than
+/// the pre-stride 32: the `lpm_hot_path` lane sweep (32 vs 64) measures
+/// near-parity per key on the bench box, so the wider window — which
+/// halves the per-chunk staging overhead for the dataplane's larger
+/// bursts — wins on the forwarding path. The sweep stays in the bench
+/// to keep this choice honest; callers that want a different width use
+/// the `_lanes` flavors.
+pub const DEFAULT_LANES: usize = 64;
+
+/// Stride promotion floor at width 8: label-ends inside the first 8 bits
+/// below the candidate (max 510 for a full subtree). 128 ≈ 25% fill, so
+/// a 2 KiB table never backs a sparse path.
+const STRIDE8_MIN_ENDS: usize = 128;
+
+/// Stride promotion floor at width 4 (max 30 ends; 8 ≈ 27% fill for a
+/// 128-byte table).
+const STRIDE4_MIN_ENDS: usize = 8;
+
+/// `best` slot packing: bits 28.. hold the value's depth below the
+/// strided node (1..=7), bits 0..28 the arena index.
+const STRIDE_DELTA_SHIFT: u32 = 28;
+const STRIDE_IDX_MASK: u32 = (1 << STRIDE_DELTA_SHIFT) - 1;
+
+/// Promotion is skipped entirely once the arena is too large for packed
+/// slot indices (boundary splits can still grow it past this during the
+/// same compaction, hence the margin below [`STRIDE_IDX_MASK`]).
+const STRIDE_MAX_NODES: usize = 1 << 26;
+
 /// One arena node: the descent-critical data only (32 bytes — two nodes
 /// per cache line). Values live in the parallel `values` vec and are
 /// only touched at the end of a lookup.
@@ -104,8 +178,13 @@ struct Node {
     bits: u128,
     /// Children indexed by their label's first bit ([`NONE`] = absent).
     children: [u32; 2],
+    /// Base slot of this node's stride fanout table in the
+    /// `stride_tables` slab ([`NONE`] = no table).
+    table: u32,
     /// Label length in bits.
     label_len: u8,
+    /// Stride fanout width in bits (0 = plain Patricia node, else 4/8).
+    stride: u8,
     /// Whether `values[this index]` holds an entry (kept in the node so
     /// the descent never touches the values slab).
     has_value: bool,
@@ -176,12 +255,123 @@ fn descend_step(
     (child, depth + ll, rem)
 }
 
+/// Reads the stride fanout slot for the next `stride` key bits at `idx`:
+/// `Some((stride, next, best_packed))` when `idx` carries a table and the
+/// key has at least `stride` bits left, else `None` (take a binary step).
+/// `next` is the node whose label ends exactly `stride` bits below `idx`
+/// on that path ([`NONE`] = the path dies inside the span); `best_packed`
+/// is the deepest valued node strictly inside the span (depth delta in
+/// the top nibble, arena index below — see [`STRIDE_DELTA_SHIFT`]).
+#[inline(always)]
+fn stride_slot(
+    nodes: &[Node],
+    tables: &[u32],
+    idx: u32,
+    key_len: usize,
+    depth: usize,
+    rem: u128,
+) -> Option<(usize, u32, u32)> {
+    let node = &nodes[idx as usize];
+    let s = node.stride as usize;
+    if s == 0 || key_len - depth < s {
+        return None;
+    }
+    let j = (rem >> (crate::bits::MAX_BITS - s)) as usize;
+    let base = node.table as usize + 2 * j;
+    Some((s, tables[base], tables[base + 1]))
+}
+
+/// Unpacks a non-[`NONE`] `best` slot into `(depth delta, arena index)`.
+#[inline(always)]
+fn unpack_best(bp: u32) -> (usize, u32) {
+    ((bp >> STRIDE_DELTA_SHIFT) as usize, bp & STRIDE_IDX_MASK)
+}
+
+/// Fills the fanout table of a freshly laid strided node `root` by
+/// expanding every `s`-bit path below it in the **new** arena (children
+/// are already laid, and boundary-crossing labels already split, when
+/// this runs): per slot, the landing node whose label ends exactly `s`
+/// bits down (`next`) and the deepest valued node strictly inside the
+/// span (`best`, packed). Paths that die early leave `next` = [`NONE`]
+/// with the `best` accumulated to the point of death, so a jump that
+/// hits such a slot resolves the whole span in one load pair.
+fn fill_stride_table(nodes: &[Node], tables: &mut [u32], base: usize, s: usize, root: u32) {
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        nodes: &[Node],
+        tables: &mut [u32],
+        base: usize,
+        s: usize,
+        cur: u32,
+        len: usize,
+        jpfx: usize,
+        best: u32,
+    ) {
+        if len == s {
+            tables[base + 2 * jpfx] = cur;
+            tables[base + 2 * jpfx + 1] = best;
+            return;
+        }
+        let node = &nodes[cur as usize];
+        // The strided node's own value (len == 0) is the *caller's*
+        // running best at jump time, never a span entry.
+        let best = if len > 0 && node.has_value {
+            ((len as u32) << STRIDE_DELTA_SHIFT) | cur
+        } else {
+            best
+        };
+        for bit in 0..2 {
+            let c = node.children[bit];
+            if c == NONE {
+                // Path dies inside the span: `next` stays NONE, the
+                // accumulated best covers every slot under this prefix.
+                let width = s - len - 1;
+                let start = ((jpfx << 1) | bit) << width;
+                for j in start..start + (1usize << width) {
+                    tables[base + 2 * j + 1] = best;
+                }
+                continue;
+            }
+            let cnode = &nodes[c as usize];
+            let cl = cnode.label_len as usize;
+            debug_assert!(len + cl <= s, "label crosses a stride boundary");
+            let cbits = (cnode.bits >> (crate::bits::MAX_BITS - cl)) as usize;
+            // Paths diverging *inside* a multi-bit label die at the
+            // divergence point: their slots keep `next` = NONE and
+            // inherit the best accumulated above the label (the child's
+            // own value lies past the divergence and must not leak in).
+            for p in 1..cl {
+                let matched = cbits >> (cl - p);
+                let flipped = 1 ^ ((cbits >> (cl - 1 - p)) & 1);
+                let width = s - (len + p + 1);
+                let start = (((jpfx << p) | matched) << 1 | flipped) << width;
+                for j in start..start + (1usize << width) {
+                    tables[base + 2 * j + 1] = best;
+                }
+            }
+            walk(
+                nodes,
+                tables,
+                base,
+                s,
+                c,
+                len + cl,
+                (jpfx << cl) | cbits,
+                best,
+            );
+        }
+    }
+    walk(nodes, tables, base, s, root, 0, 0, NONE);
+}
+
 impl Node {
     fn new(label: BitStr, has_value: bool) -> Self {
         Node {
             bits: label.raw(),
             children: [NONE, NONE],
+            table: NONE,
             label_len: label.len() as u8,
+            stride: 0,
             has_value,
         }
     }
@@ -216,6 +406,13 @@ pub struct MemStats {
     pub capacity_bytes: usize,
     /// Dead slots awaiting reuse.
     pub free_list_len: usize,
+    /// Stride fanout tables on live nodes.
+    pub stride_tables: usize,
+    /// Total stride table slots (sum of `2^stride` over strided nodes).
+    pub stride_slots: usize,
+    /// Stride slots whose landing pointer is live — the fill measure
+    /// that makes table bloat (sparse promotions) visible in benches.
+    pub stride_filled: usize,
     /// `depth_histogram[d]` = live nodes at `d` edges from the root.
     pub depth_histogram: Vec<usize>,
 }
@@ -228,6 +425,9 @@ impl MemStats {
         self.arena_len += other.arena_len;
         self.capacity_bytes += other.capacity_bytes;
         self.free_list_len += other.free_list_len;
+        self.stride_tables += other.stride_tables;
+        self.stride_slots += other.stride_slots;
+        self.stride_filled += other.stride_filled;
         if self.depth_histogram.len() < other.depth_histogram.len() {
             self.depth_histogram.resize(other.depth_histogram.len(), 0);
         }
@@ -246,12 +446,15 @@ impl core::fmt::Display for MemStats {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "{} live nodes / {} slots ({} free), {} KiB reserved, max depth {}",
+            "{} live nodes / {} slots ({} free), {} KiB reserved, max depth {}, {} stride tables ({}/{} slots filled)",
             self.live_nodes,
             self.arena_len,
             self.free_list_len,
             self.capacity_bytes / 1024,
             self.max_depth(),
+            self.stride_tables,
+            self.stride_filled,
+            self.stride_slots,
         )
     }
 }
@@ -263,6 +466,11 @@ pub struct PatriciaTrie<V> {
     nodes: Vec<Node>,
     /// Values parallel to `nodes`: `values[i]` belongs to `nodes[i]`.
     values: Vec<Option<V>>,
+    /// Stride fanout slab: each table with width `s` is `2^s` slots of
+    /// two `u32`s (`[next, best_packed]`), built only by `compact()`.
+    /// Mutation drops tables without reclaiming their slots; the next
+    /// compaction rebuilds the slab from scratch.
+    stride_tables: Vec<u32>,
     /// Dead arena slots available for reuse by `insert`.
     free: Vec<u32>,
     /// Stored entry count.
@@ -287,6 +495,7 @@ impl<V> PatriciaTrie<V> {
         PatriciaTrie {
             nodes: vec![Node::new(BitStr::empty(), false)],
             values: vec![None],
+            stride_tables: Vec::new(),
             free: Vec::new(),
             len: 0,
         }
@@ -332,6 +541,14 @@ impl<V> PatriciaTrie<V> {
         // Bits of `key` consumed up to and including `idx`'s label.
         let mut after_label = 0usize;
         loop {
+            // A stride table on the path may reference structure or a
+            // value this insert changes — drop it (the slot leaks until
+            // the next `compact()` rebuilds the slab and re-densifies).
+            {
+                let n = &mut self.nodes[idx as usize];
+                n.stride = 0;
+                n.table = NONE;
+            }
             if after_label == key.len() {
                 // Key ends exactly at this node.
                 let node = &mut self.nodes[idx as usize];
@@ -393,12 +610,25 @@ impl<V> PatriciaTrie<V> {
     /// Exact-match lookup.
     pub fn get(&self, key: &BitStr) -> Option<&V> {
         let nodes = self.nodes.as_slice();
+        let tables = self.stride_tables.as_slice();
         let mut idx = ROOT;
         let mut depth = 0usize;
         let mut rem = key.raw();
         loop {
             if depth == key.len() {
                 return self.values[idx as usize].as_ref();
+            }
+            if let Some((s, next, _)) = stride_slot(nodes, tables, idx, key.len(), depth, rem) {
+                if next == NONE {
+                    // No node ends exactly at the boundary on this path,
+                    // so no exact match at or past it either.
+                    return None;
+                }
+                idx = next;
+                depth += s;
+                rem <<= s;
+                prefetch_children(nodes, &nodes[idx as usize]);
+                continue;
             }
             let (child, d, r) = descend_step(nodes, idx, key.len(), depth, rem);
             if child == NONE {
@@ -428,6 +658,7 @@ impl<V> PatriciaTrie<V> {
     #[inline]
     fn longest_match_idx(&self, key: &BitStr) -> Option<(usize, u32)> {
         let nodes = self.nodes.as_slice();
+        let tables = self.stride_tables.as_slice();
         let mut idx = ROOT;
         let mut depth = 0usize;
         let mut rem = key.raw();
@@ -437,6 +668,23 @@ impl<V> PatriciaTrie<V> {
             (0, NONE)
         };
         while depth < key.len() {
+            if let Some((s, next, bp)) = stride_slot(nodes, tables, idx, key.len(), depth, rem) {
+                if bp != NONE {
+                    let (delta, bidx) = unpack_best(bp);
+                    best = (depth + delta, bidx);
+                }
+                if next == NONE {
+                    break;
+                }
+                idx = next;
+                depth += s;
+                rem <<= s;
+                prefetch_children(nodes, &nodes[idx as usize]);
+                if nodes[idx as usize].has_value {
+                    best = (depth, idx);
+                }
+                continue;
+            }
             let (child, d, r) = descend_step(nodes, idx, key.len(), depth, rem);
             if child == NONE {
                 break;
@@ -490,6 +738,7 @@ impl<V> PatriciaTrie<V> {
         F: FnMut(&V) -> bool,
     {
         let nodes = self.nodes.as_slice();
+        let tables = self.stride_tables.as_slice();
         let mut idx = ROOT;
         let mut depth = 0usize;
         let mut rem = key.raw();
@@ -505,6 +754,45 @@ impl<V> PatriciaTrie<V> {
             best = ROOT;
         }
         while depth < key.len() {
+            if let Some((s, next, bp)) = stride_slot(nodes, tables, idx, key.len(), depth, rem) {
+                let mut jump = true;
+                if bp != NONE {
+                    let (delta, bidx) = unpack_best(bp);
+                    if keep(
+                        self.values[bidx as usize]
+                            .as_ref()
+                            .expect("span best holds a value"),
+                    ) {
+                        best = bidx;
+                        best_depth = depth + delta;
+                    } else {
+                        // The span's deepest value is filtered out, but a
+                        // shallower one inside the span might not be: walk
+                        // this span node-by-node instead of jumping it.
+                        jump = false;
+                    }
+                }
+                if jump {
+                    if next == NONE {
+                        break;
+                    }
+                    idx = next;
+                    depth += s;
+                    rem <<= s;
+                    prefetch_children(nodes, &nodes[idx as usize]);
+                    if nodes[idx as usize].has_value
+                        && keep(
+                            self.values[idx as usize]
+                                .as_ref()
+                                .expect("has_value node holds a value"),
+                        )
+                    {
+                        best = idx;
+                        best_depth = depth;
+                    }
+                    continue;
+                }
+            }
             let (child, d, r) = descend_step(nodes, idx, key.len(), depth, rem);
             if child == NONE {
                 break;
@@ -533,9 +821,10 @@ impl<V> PatriciaTrie<V> {
 
     /// Batched shared-read longest-prefix match: the `&self` counterpart
     /// of [`PatriciaTrie::longest_match_mut_each`], same interleaved
-    /// lockstep walk (32 lanes, one trie step per round, node loads
-    /// overlapping as memory-level parallelism), yielding `&V` so any
-    /// number of reader threads can run it concurrently.
+    /// lockstep walk ([`DEFAULT_LANES`] lanes, one trie step per round —
+    /// a stride hop where a table exists — node loads overlapping as
+    /// memory-level parallelism), yielding `&V` so any number of reader
+    /// threads can run it concurrently.
     pub fn longest_match_each<F>(&self, keys: &[BitStr], f: F)
     where
         F: FnMut(usize, Option<(usize, &V)>),
@@ -546,8 +835,26 @@ impl<V> PatriciaTrie<V> {
     /// [`PatriciaTrie::longest_match_each`] with the
     /// [`PatriciaTrie::longest_match_where`] predicate: lanes only
     /// record valued nodes whose value satisfies `keep`.
-    pub fn longest_match_each_where<P, F>(&self, keys: &[BitStr], mut keep: P, mut f: F)
+    pub fn longest_match_each_where<P, F>(&self, keys: &[BitStr], keep: P, f: F)
     where
+        P: FnMut(&V) -> bool,
+        F: FnMut(usize, Option<(usize, &V)>),
+    {
+        self.longest_match_each_where_lanes::<DEFAULT_LANES, P, F>(keys, keep, f)
+    }
+
+    /// [`PatriciaTrie::longest_match_each_where`] with an explicit lane
+    /// count — the tunable the `lpm_hot_path` lane sweep measures. `L`
+    /// bounds how many descents are in flight per round; past the
+    /// memory-level-parallelism window extra lanes only add register
+    /// pressure, so [`DEFAULT_LANES`] is the measured sweet spot, not a
+    /// hard ceiling.
+    pub fn longest_match_each_where_lanes<const L: usize, P, F>(
+        &self,
+        keys: &[BitStr],
+        mut keep: P,
+        mut f: F,
+    ) where
         P: FnMut(&V) -> bool,
         F: FnMut(usize, Option<(usize, &V)>),
     {
@@ -564,8 +871,8 @@ impl<V> PatriciaTrie<V> {
             done: bool,
         }
 
-        const LANES: usize = 32;
         let nodes = self.nodes.as_slice();
+        let tables = self.stride_tables.as_slice();
         let root_best = if nodes[ROOT as usize].has_value
             && keep(
                 self.values[ROOT as usize]
@@ -576,7 +883,7 @@ impl<V> PatriciaTrie<V> {
         } else {
             NONE
         };
-        for (ci, chunk) in keys.chunks(LANES).enumerate() {
+        for (ci, chunk) in keys.chunks(L).enumerate() {
             let mut lanes = [Lane {
                 node: ROOT,
                 best: root_best,
@@ -584,7 +891,7 @@ impl<V> PatriciaTrie<V> {
                 depth: 0,
                 best_depth: 0,
                 done: false,
-            }; LANES];
+            }; L];
             for (lane, key) in lanes.iter_mut().zip(chunk) {
                 lane.rem = key.raw();
             }
@@ -599,6 +906,48 @@ impl<V> PatriciaTrie<V> {
                     if depth == key.len() {
                         lane.done = true;
                         continue;
+                    }
+                    if let Some((s, next, bp)) =
+                        stride_slot(nodes, tables, lane.node, key.len(), depth, lane.rem)
+                    {
+                        let mut jump = true;
+                        if bp != NONE {
+                            let (delta, bidx) = unpack_best(bp);
+                            if keep(
+                                self.values[bidx as usize]
+                                    .as_ref()
+                                    .expect("span best holds a value"),
+                            ) {
+                                lane.best = bidx;
+                                lane.best_depth = (depth + delta) as u16;
+                            } else {
+                                // Filtered span best: walk node-by-node
+                                // (same fallback as the single descent).
+                                jump = false;
+                            }
+                        }
+                        if jump {
+                            if next == NONE {
+                                lane.done = true;
+                                continue;
+                            }
+                            lane.node = next;
+                            lane.depth = (depth + s) as u16;
+                            lane.rem <<= s;
+                            prefetch_children(nodes, &nodes[next as usize]);
+                            if nodes[next as usize].has_value
+                                && keep(
+                                    self.values[next as usize]
+                                        .as_ref()
+                                        .expect("has_value node holds a value"),
+                                )
+                            {
+                                lane.best_depth = lane.depth;
+                                lane.best = next;
+                            }
+                            active = true;
+                            continue;
+                        }
                     }
                     let (child, d, r) = descend_step(nodes, lane.node, key.len(), depth, lane.rem);
                     if child == NONE {
@@ -635,7 +984,7 @@ impl<V> PatriciaTrie<V> {
                             .expect("kept node holds a value"),
                     ))
                 };
-                f(ci * LANES + i, res);
+                f(ci * L + i, res);
             }
         }
     }
@@ -654,7 +1003,16 @@ impl<V> PatriciaTrie<V> {
     /// `dataplane_fwd` bench measures it). With the arena layout the
     /// lanes advance by `u32` index loads from one contiguous slab —
     /// no `unsafe`, no pointer provenance gymnastics.
-    pub fn longest_match_mut_each<F>(&mut self, keys: &[BitStr], mut f: F)
+    pub fn longest_match_mut_each<F>(&mut self, keys: &[BitStr], f: F)
+    where
+        F: FnMut(usize, Option<(usize, &mut V)>),
+    {
+        self.longest_match_mut_each_lanes::<DEFAULT_LANES, F>(keys, f)
+    }
+
+    /// [`PatriciaTrie::longest_match_mut_each`] with an explicit lane
+    /// count (see [`PatriciaTrie::longest_match_each_where_lanes`]).
+    pub fn longest_match_mut_each_lanes<const L: usize, F>(&mut self, keys: &[BitStr], mut f: F)
     where
         F: FnMut(usize, Option<(usize, &mut V)>),
     {
@@ -670,13 +1028,12 @@ impl<V> PatriciaTrie<V> {
             done: bool,
         }
 
-        const LANES: usize = 32;
         let root_best = if self.nodes[ROOT as usize].has_value {
             ROOT
         } else {
             NONE
         };
-        for (ci, chunk) in keys.chunks(LANES).enumerate() {
+        for (ci, chunk) in keys.chunks(L).enumerate() {
             let mut lanes = [Lane {
                 node: ROOT,
                 best: root_best,
@@ -684,11 +1041,12 @@ impl<V> PatriciaTrie<V> {
                 depth: 0,
                 best_depth: 0,
                 done: false,
-            }; LANES];
+            }; L];
             for (lane, key) in lanes.iter_mut().zip(chunk) {
                 lane.rem = key.raw();
             }
             let nodes = self.nodes.as_slice();
+            let tables = self.stride_tables.as_slice();
             loop {
                 let mut active = false;
                 for (i, lane) in lanes.iter_mut().enumerate().take(chunk.len()) {
@@ -699,6 +1057,29 @@ impl<V> PatriciaTrie<V> {
                     let depth = lane.depth as usize;
                     if depth == key.len() {
                         lane.done = true;
+                        continue;
+                    }
+                    if let Some((s, next, bp)) =
+                        stride_slot(nodes, tables, lane.node, key.len(), depth, lane.rem)
+                    {
+                        if bp != NONE {
+                            let (delta, bidx) = unpack_best(bp);
+                            lane.best = bidx;
+                            lane.best_depth = (depth + delta) as u16;
+                        }
+                        if next == NONE {
+                            lane.done = true;
+                            continue;
+                        }
+                        lane.node = next;
+                        lane.depth = (depth + s) as u16;
+                        lane.rem <<= s;
+                        prefetch_children(nodes, &nodes[next as usize]);
+                        if nodes[next as usize].has_value {
+                            lane.best_depth = lane.depth;
+                            lane.best = next;
+                        }
+                        active = true;
                         continue;
                     }
                     let (child, d, r) = descend_step(nodes, lane.node, key.len(), depth, lane.rem);
@@ -732,7 +1113,7 @@ impl<V> PatriciaTrie<V> {
                             .expect("has_value node holds a value"),
                     ))
                 };
-                f(ci * LANES + i, res);
+                f(ci * L + i, res);
             }
         }
     }
@@ -744,9 +1125,25 @@ impl<V> PatriciaTrie<V> {
     /// This replaces the collect-victims-then-remove-each pattern: one
     /// pass over the trie instead of one full descent per victim.
     pub fn retain<F: FnMut(&BitStr, &mut V) -> bool>(&mut self, mut f: F) -> usize {
+        let free_before = self.free.len();
         let mut removed = 0usize;
         self.retain_at(ROOT, BitStr::empty(), &mut f, &mut removed);
         self.len -= removed;
+        if removed > 0 || self.free.len() > free_before {
+            // Structure (and span bests) may have changed anywhere: drop
+            // every stride table and the slab wholesale — the next
+            // compact() rebuilds them from the surviving occupancy. The
+            // free-list check matters even at zero removals: `fix_child`
+            // merges away valueless boundary-split nodes that stride
+            // tables point at as landing nodes. A true no-op retain
+            // (nothing freed, values only mutated) keeps its tables:
+            // value edits never move nodes.
+            for n in &mut self.nodes {
+                n.stride = 0;
+                n.table = NONE;
+            }
+            self.stride_tables.clear();
+        }
         self.maybe_compact();
         removed
     }
@@ -809,7 +1206,16 @@ impl<V> PatriciaTrie<V> {
             return None;
         }
         let removed = self.remove_at(child, key, depth + label.len())?;
-        // Re-establish compression on the way out.
+        // Re-establish compression on the way out, dropping this
+        // ancestor's stride table first: its span may reference the
+        // removed value or a node the merge below frees. The target's
+        // own table (deepest frame) stays — it only describes structure
+        // *below* the target, which a value removal leaves intact.
+        {
+            let n = &mut self.nodes[idx as usize];
+            n.stride = 0;
+            n.table = NONE;
+        }
         self.fix_child(idx, bit);
         Some(removed)
     }
@@ -857,30 +1263,132 @@ impl<V> PatriciaTrie<V> {
         let live = self.nodes.len() - self.free.len();
         let mut nodes = Vec::with_capacity(live);
         let mut values = Vec::with_capacity(live);
-        self.compact_at(ROOT, &mut nodes, &mut values);
-        debug_assert_eq!(nodes.len(), live);
+        let mut tables = Vec::new();
+        let allow_stride = live < STRIDE_MAX_NODES;
+        self.compact_at(ROOT, 0, allow_stride, &mut nodes, &mut values, &mut tables);
+        debug_assert!(nodes.len() >= live, "compaction dropped nodes");
+        // Boundary splits push past the `live` reservation, and Vec
+        // growth doubles — at 1M routes that doubling alone would blow
+        // the scale-tier memory budget. Compact is the bulk-load hook,
+        // so one trailing realloc to exact size is the right trade.
+        nodes.shrink_to_fit();
+        values.shrink_to_fit();
+        tables.shrink_to_fit();
         self.nodes = nodes;
         self.values = values;
+        self.stride_tables = tables;
         self.free.clear();
     }
 
     /// Moves the subtree at `idx` into `nodes`/`values` in preorder,
-    /// returning its new index.
-    fn compact_at(&mut self, idx: u32, nodes: &mut Vec<Node>, values: &mut Vec<Option<V>>) -> u32 {
+    /// returning its new index, and grows the stride layer as it goes:
+    /// a node sitting on a span boundary (`span_rem == 0` — landing
+    /// nodes of an enclosing table, or any node outside one) whose old
+    /// subtree is dense enough gets a fanout table, and labels that
+    /// would cross an active boundary are split there so every covered
+    /// path has a landing node. Layout order is unchanged — node, its
+    /// 0-subtree, its 1-subtree, split nodes in path position — so the
+    /// preorder locality the module docs promise survives.
+    fn compact_at(
+        &mut self,
+        idx: u32,
+        span_rem: usize,
+        allow_stride: bool,
+        nodes: &mut Vec<Node>,
+        values: &mut Vec<Option<V>>,
+        tables: &mut Vec<u32>,
+    ) -> u32 {
         let node = self.nodes[idx as usize];
         let new_idx = nodes.len() as u32;
         nodes.push(Node {
             children: [NONE, NONE],
+            table: NONE,
+            stride: 0,
             ..node
         });
         values.push(self.values[idx as usize].take());
-        for bit in 0..2 {
-            if node.children[bit] != NONE {
-                let c = self.compact_at(node.children[bit], nodes, values);
-                nodes[new_idx as usize].children[bit] = c;
+
+        // Promotion: only at span boundaries, from old-arena occupancy.
+        let mut stride = 0usize;
+        if span_rem == 0 && allow_stride {
+            let (e4, e8) = self.count_span_ends(idx);
+            if e8 >= STRIDE8_MIN_ENDS {
+                stride = 8;
+            } else if e4 >= STRIDE4_MIN_ENDS {
+                stride = 4;
             }
         }
+        if stride != 0 {
+            let base = tables.len();
+            tables.resize(base + (2usize << stride), NONE);
+            nodes[new_idx as usize].table = base as u32;
+            nodes[new_idx as usize].stride = stride as u8;
+        }
+        let child_avail = if stride != 0 { stride } else { span_rem };
+
+        for bit in 0..2 {
+            let child = node.children[bit];
+            if child == NONE {
+                continue;
+            }
+            let cl = self.nodes[child as usize].label_len as usize;
+            let c_new = if child_avail > 0 && cl > child_avail {
+                // The label crosses the enclosing stride boundary: split
+                // it there — in the old arena, so the (valueless) split
+                // node is laid and considered for promotion like any
+                // other boundary node — and recurse on the split.
+                let clabel = self.nodes[child as usize].label();
+                let head = clabel.slice(0, child_avail);
+                let tail = clabel.slice(child_avail, cl);
+                self.nodes[child as usize].set_label(tail);
+                let mut split = Node::new(head, false);
+                split.children[tail.bit(0) as usize] = child;
+                self.nodes.push(split);
+                self.values.push(None);
+                let split_idx = (self.nodes.len() - 1) as u32;
+                self.compact_at(split_idx, 0, allow_stride, nodes, values, tables)
+            } else {
+                let crem = child_avail.saturating_sub(cl);
+                self.compact_at(child, crem, allow_stride, nodes, values, tables)
+            };
+            nodes[new_idx as usize].children[bit] = c_new;
+        }
+
+        if stride != 0 {
+            let base = nodes[new_idx as usize].table as usize;
+            fill_stride_table(nodes, tables, base, stride, new_idx);
+        }
         new_idx
+    }
+
+    /// Occupancy probe for stride promotion: counts label-ends within
+    /// the first 4 and 8 bits below `idx` in the (old) arena. A label
+    /// crossing a limit contributes nothing to it — it is a single
+    /// sparse path, and the split a table would force on it is only
+    /// worth paying under a dense fanout.
+    fn count_span_ends(&self, idx: u32) -> (usize, usize) {
+        fn go(nodes: &[Node], idx: u32, depth: usize, e4: &mut usize, e8: &mut usize) {
+            for bit in 0..2 {
+                let c = nodes[idx as usize].children[bit];
+                if c == NONE {
+                    continue;
+                }
+                let end = depth + nodes[c as usize].label_len as usize;
+                if end > 8 {
+                    continue;
+                }
+                *e8 += 1;
+                if end <= 4 {
+                    *e4 += 1;
+                }
+                if end < 8 {
+                    go(nodes, c, end, e4, e8);
+                }
+            }
+        }
+        let (mut e4, mut e8) = (0, 0);
+        go(&self.nodes, idx, 0, &mut e4, &mut e8);
+        (e4, e8)
     }
 
     /// Opportunistic re-layout once the free-list dominates the arena:
@@ -903,8 +1411,12 @@ impl<V> PatriciaTrie<V> {
             arena_len: self.nodes.len(),
             capacity_bytes: self.nodes.capacity() * core::mem::size_of::<Node>()
                 + self.values.capacity() * core::mem::size_of::<Option<V>>()
+                + self.stride_tables.capacity() * core::mem::size_of::<u32>()
                 + self.free.capacity() * core::mem::size_of::<u32>(),
             free_list_len: self.free.len(),
+            stride_tables: 0,
+            stride_slots: 0,
+            stride_filled: 0,
             depth_histogram: Vec::new(),
         };
         self.depth_census(ROOT, 0, &mut stats);
@@ -917,6 +1429,18 @@ impl<V> PatriciaTrie<V> {
             stats.depth_histogram.resize(depth + 1, 0);
         }
         stats.depth_histogram[depth] += 1;
+        let node = &self.nodes[idx as usize];
+        if node.stride != 0 {
+            stats.stride_tables += 1;
+            let slots = 1usize << node.stride;
+            stats.stride_slots += slots;
+            let base = node.table as usize;
+            for j in 0..slots {
+                if self.stride_tables[base + 2 * j] != NONE {
+                    stats.stride_filled += 1;
+                }
+            }
+        }
         for bit in 0..2 {
             let child = self.nodes[idx as usize].children[bit];
             if child != NONE {
@@ -1273,5 +1797,177 @@ mod tests {
         merged.merge(&t.mem_stats());
         assert_eq!(merged.live_nodes, 8);
         assert_eq!(merged.depth_histogram, vec![2, 2, 4]);
+    }
+
+    /// All 256 8-bit keys, each valued with its bit pattern.
+    fn dense8() -> PatriciaTrie<u32> {
+        let mut t = PatriciaTrie::new();
+        for i in 0u32..256 {
+            t.insert(&BitStr::from_bytes(&[i as u8], 8), i);
+        }
+        t
+    }
+
+    #[test]
+    fn compact_promotes_dense_top_to_stride8() {
+        let mut t = dense8();
+        assert_eq!(t.mem_stats().stride_tables, 0, "promotion is compact-only");
+        t.compact();
+        let stats = t.mem_stats();
+        // A full 8-bit subtree has 510 label-ends within 8 levels — well
+        // past STRIDE8_MIN_ENDS — so exactly the root promotes (landing
+        // nodes have nothing below them).
+        assert_eq!(stats.stride_tables, 1);
+        assert_eq!(stats.stride_slots, 256);
+        assert_eq!(stats.stride_filled, 256, "every path has a landing node");
+        for i in 0u32..256 {
+            let k = BitStr::from_bytes(&[i as u8], 8);
+            assert_eq!(t.get(&k), Some(&i), "stride get {i}");
+            assert_eq!(t.longest_match(&k), Some((8, &i)), "stride LPM {i}");
+        }
+        // Longer probes jump the span, then fall off the landing node.
+        let long = BitStr::from_bytes(&[0xAB, 0xCD], 16);
+        assert_eq!(t.longest_match(&long), Some((8, &0xABu32)));
+    }
+
+    #[test]
+    fn compact_promotes_moderate_density_to_stride4() {
+        let mut t = PatriciaTrie::new();
+        // A full 4-bit subtree: 30 ends within 4 levels (>= the 4-bit
+        // floor), far short of the 8-bit floor.
+        for i in 0u32..16 {
+            t.insert(&BitStr::from_bytes(&[(i as u8) << 4], 4), i);
+        }
+        t.compact();
+        let stats = t.mem_stats();
+        assert_eq!(stats.stride_tables, 1);
+        assert_eq!(stats.stride_slots, 16);
+        for i in 0u32..16 {
+            let k = BitStr::from_bytes(&[(i as u8) << 4], 4);
+            assert_eq!(t.longest_match(&k), Some((4, &i)));
+        }
+    }
+
+    #[test]
+    fn compact_splits_labels_crossing_the_span_boundary() {
+        // All 8-bit keys except 0xFF keep the root dense enough to
+        // promote; the 12-bit key then hangs off the depth-7 branch with
+        // a label crossing the 8-bit boundary, forcing a split.
+        let mut t = PatriciaTrie::new();
+        for i in 0u32..255 {
+            t.insert(&BitStr::from_bytes(&[i as u8], 8), i);
+        }
+        t.insert(&BitStr::from_bytes(&[0xFF, 0x50], 12), 999);
+        let live_before = t.mem_stats().live_nodes;
+        t.compact();
+        let stats = t.mem_stats();
+        assert_eq!(stats.stride_tables, 1);
+        assert_eq!(
+            stats.live_nodes,
+            live_before + 1,
+            "exactly one boundary split node"
+        );
+        assert_eq!(stats.stride_filled, 256, "the split fills slot 0xFF");
+        assert_eq!(
+            t.longest_match(&BitStr::from_bytes(&[0xFF, 0x50], 12)),
+            Some((12, &999))
+        );
+        // The split node at depth 8 is valueless: an exact 8-bit probe
+        // under it must fall back to the best *above* the span.
+        assert_eq!(t.get(&BitStr::from_bytes(&[0xFF], 8)), None);
+        assert_eq!(t.longest_match(&BitStr::from_bytes(&[0xFF], 8)), None);
+        assert_eq!(t.len(), 256, "splits add structure, not entries");
+    }
+
+    #[test]
+    fn insert_and_remove_invalidate_stride_tables() {
+        let mut t = dense8();
+        t.compact();
+        assert_eq!(t.mem_stats().stride_tables, 1);
+        // Insert through the strided root: its table is cleared (the
+        // span's shape may have changed) and lookups take binary steps
+        // until the next compact re-derives promotion from occupancy.
+        t.insert(&BitStr::from_bytes(&[0x12, 0x34], 16), 4660);
+        assert_eq!(t.mem_stats().stride_tables, 0);
+        assert_eq!(
+            t.longest_match(&BitStr::from_bytes(&[0x12, 0x34], 16)),
+            Some((16, &4660))
+        );
+        assert_eq!(t.get(&BitStr::from_bytes(&[0x12], 8)), Some(&0x12));
+        t.compact();
+        assert!(t.mem_stats().stride_tables >= 1, "re-promoted");
+        // Remove through it: same deal.
+        assert_eq!(t.remove(&BitStr::from_bytes(&[0x12, 0x34], 16)), Some(4660));
+        assert_eq!(t.mem_stats().stride_tables, 0);
+        for i in 0u32..256 {
+            let k = BitStr::from_bytes(&[i as u8], 8);
+            assert_eq!(t.get(&k), Some(&i), "post-remove get {i}");
+        }
+    }
+
+    #[test]
+    fn filtered_lookups_fall_back_across_stride_spans() {
+        let mut t = dense8();
+        t.insert(&key("1"), 1000);
+        t.compact();
+        assert_eq!(t.mem_stats().stride_tables, 1);
+        let probe = BitStr::from_bytes(&[0xFF], 8);
+        // Unfiltered: the landing node wins.
+        assert_eq!(t.longest_match(&probe), Some((8, &255)));
+        // Rejecting the landing value forces the walk back into the
+        // span; the packed best (the depth-1 entry) must surface.
+        assert_eq!(
+            t.longest_match_where(&probe, |v| *v != 255),
+            Some((1, &1000))
+        );
+        // Rejecting both falls through to no match on the 0x00 path.
+        assert_eq!(
+            t.longest_match_where(&BitStr::from_bytes(&[0x00], 8), |v| *v != 0),
+            None
+        );
+    }
+
+    #[test]
+    fn lockstep_lanes_agree_across_stride_layout() {
+        let mut t = dense8();
+        t.insert(&key("1"), 1000);
+        t.compact();
+        // More keys than the widest lane count, mixing in-table hits,
+        // deep misses and short keys.
+        let keys: Vec<BitStr> = (0u32..150)
+            .map(|j| match j % 3 {
+                0 => BitStr::from_bytes(&[(j * 7) as u8], 8),
+                1 => BitStr::from_bytes(&[(j * 11) as u8, j as u8], 16),
+                _ => BitStr::from_bytes(&[(j * 13) as u8], 5),
+            })
+            .collect();
+        let single: Vec<Option<(usize, u32)>> = keys
+            .iter()
+            .map(|k| {
+                t.longest_match_where(k, |v| *v % 2 == 0)
+                    .map(|(l, v)| (l, *v))
+            })
+            .collect();
+        for lanes in [8usize, 32, 64] {
+            let mut got: Vec<Option<(usize, u32)>> = vec![None; keys.len()];
+            match lanes {
+                8 => t.longest_match_each_where_lanes::<8, _, _>(
+                    &keys,
+                    |v| *v % 2 == 0,
+                    |i, m| got[i] = m.map(|(l, v)| (l, *v)),
+                ),
+                32 => t.longest_match_each_where_lanes::<32, _, _>(
+                    &keys,
+                    |v| *v % 2 == 0,
+                    |i, m| got[i] = m.map(|(l, v)| (l, *v)),
+                ),
+                _ => t.longest_match_each_where_lanes::<64, _, _>(
+                    &keys,
+                    |v| *v % 2 == 0,
+                    |i, m| got[i] = m.map(|(l, v)| (l, *v)),
+                ),
+            }
+            assert_eq!(got, single, "{lanes}-lane walk diverged");
+        }
     }
 }

@@ -1,9 +1,11 @@
 //! Proof, not promise: the LPM lookup paths perform **zero heap
 //! allocations**. A counting global allocator wraps the system one; the
 //! test drives `get` / `longest_match` / `longest_match_mut` /
-//! `longest_match_mut_each` over a populated trie — before *and after*
-//! an arena `compact()` — and asserts the allocation counter does not
-//! move. (`compact()` itself allocates the re-laid arena; it runs
+//! `longest_match_mut_each` / `longest_match_each_where_lanes` (at both
+//! 32 and 64 lanes) over a populated trie — before *and after* an arena
+//! `compact()`, i.e. over both the plain Patricia and the
+//! stride-promoted layouts — and asserts the allocation counter does
+//! not move. (`compact()` itself allocates the re-laid arena; it runs
 //! outside the measured windows, as the bulk-load hooks do in
 //! production.)
 //!
@@ -73,9 +75,10 @@ fn drive_lookups(trie: &mut PatriciaTrie<u32>, eids: &mut EidTrie<u32>) -> u64 {
         }
     }
 
-    // The interleaved lockstep batch walk: full 32-lane chunks plus a
+    // The interleaved lockstep batch walk: enough keys for two full
+    // chunks at the widened [`sda_trie::DEFAULT_LANES`] (64) plus a
     // ragged tail, hits and misses mixed, keys staged in a stack array.
-    let mut keys = [BitStr::empty(); 48];
+    let mut keys = [BitStr::empty(); 160];
     for (j, slot) in keys.iter_mut().enumerate() {
         let k = (j as u32 % 40).wrapping_mul(2_654_435_761);
         *slot = if j % 5 == 4 {
@@ -90,6 +93,22 @@ fn drive_lookups(trie: &mut PatriciaTrie<u32>, eids: &mut EidTrie<u32>) -> u64 {
             hits += 1;
         }
     });
+    // Both explicit lane widths of the shared walk (the lane-sweep
+    // surface the benches tune), through the filtered entry point.
+    trie.longest_match_each_where_lanes::<32, _, _>(
+        &keys,
+        |_| true,
+        |_, res| {
+            hits += res.is_some() as u64;
+        },
+    );
+    trie.longest_match_each_where_lanes::<64, _, _>(
+        &keys,
+        |_| true,
+        |_, res| {
+            hits += res.is_some() as u64;
+        },
+    );
     hits
 }
 
@@ -109,7 +128,9 @@ fn lookup_paths_allocate_nothing() {
         eids.insert(EidPrefix::host(e), i);
     }
 
-    const EXPECTED_HITS: u64 = 50_000 + 39; // per-key surfaces + batch-walk hits
+    // Per-key surfaces + three batch walks over 160 keys (128 hits each:
+    // every fifth key is a deliberate miss).
+    const EXPECTED_HITS: u64 = 50_000 + 3 * 128;
 
     // Window 1: the insertion-order arena.
     let before = allocations();
@@ -124,10 +145,18 @@ fn lookup_paths_allocate_nothing() {
     );
 
     // Window 2: the DFS-compacted arena (the production layout after
-    // bulk-load hooks run). Compaction itself may allocate — it happens
-    // between the windows — but lookups afterwards must not.
+    // bulk-load hooks run), now with dense upper levels promoted to
+    // stride fanout tables — so this window proves the *stride* descent
+    // (table hop + packed best extraction) allocates nothing too.
+    // Compaction itself may allocate — it happens between the windows —
+    // but lookups afterwards must not.
     trie.compact();
     eids.compact();
+    assert!(
+        trie.mem_stats().stride_tables > 0,
+        "10k well-spread keys must promote at least one stride table, \
+         or window 2 no longer exercises the stride descent"
+    );
     let before = allocations();
     let hits = drive_lookups(&mut trie, &mut eids);
     let after = allocations();

@@ -7,6 +7,14 @@
 //! reuse handing out stale slots, opportunistic compaction firing
 //! mid-churn, and explicit `compact()` calls at arbitrary points must
 //! all leave the logical contents untouched.
+//!
+//! The dense batch variants deliberately cross the stride boundary:
+//! `InsertDense` populates every extension of a short base prefix (a
+//! width-7+ block holds >= 128 span ends, promoting an 8-bit fanout
+//! table at the next `compact()`), and `RemoveDense` empties it again
+//! (the next `compact()` demotes back to plain Patricia), so the
+//! promotion/demotion seam and the insert/remove table-invalidation
+//! paths are all exercised against the model.
 
 use std::collections::BTreeMap;
 
@@ -25,10 +33,26 @@ enum Batch {
     RetainParity(bool),
     /// Explicit DFS re-layout.
     Compact,
+    /// Insert every `width`-bit extension of `base` (dense block:
+    /// promotion fodder for the stride layer).
+    InsertDense {
+        base: Vec<bool>,
+        width: usize,
+        seed: u32,
+    },
+    /// Remove every `width`-bit extension of `base` (demotion fodder).
+    RemoveDense { base: Vec<bool>, width: usize },
 }
 
 fn arb_key() -> impl Strategy<Value = Vec<bool>> {
     proptest::collection::vec(any::<bool>(), 0..24)
+}
+
+/// Dense-block parameters: a short base so blocks overlap across
+/// batches, and widths up to 8 so both the 4-bit (>= 8 ends within 4)
+/// and 8-bit (>= 128 ends within 8) promotion thresholds trip.
+fn arb_dense() -> impl Strategy<Value = (Vec<bool>, usize)> {
+    (proptest::collection::vec(any::<bool>(), 0..6), 1usize..=8)
 }
 
 fn arb_batch() -> impl Strategy<Value = Batch> {
@@ -38,7 +62,26 @@ fn arb_batch() -> impl Strategy<Value = Batch> {
         proptest::collection::vec(arb_key(), 1..40).prop_map(Batch::Remove),
         any::<bool>().prop_map(Batch::RetainParity),
         Just(Batch::Compact),
+        (arb_dense(), any::<u32>()).prop_map(|((base, width), seed)| Batch::InsertDense {
+            base,
+            width,
+            seed
+        }),
+        arb_dense().prop_map(|(base, width)| Batch::RemoveDense { base, width }),
     ]
+}
+
+/// All `width`-bit extensions of `base`, as full keys.
+fn dense_block(base: &[bool], width: usize) -> Vec<Vec<bool>> {
+    (0..1u32 << width)
+        .map(|ext| {
+            let mut k = base.to_vec();
+            for b in (0..width).rev() {
+                k.push((ext >> b) & 1 == 1);
+            }
+            k
+        })
+        .collect()
 }
 
 fn to_bits(k: &[bool]) -> BitStr {
@@ -99,6 +142,34 @@ proptest! {
                     prop_assert_eq!(removed, before - model.len());
                 }
                 Batch::Compact => trie.compact(),
+                Batch::InsertDense { base, width, seed } => {
+                    for (ki, k) in dense_block(base, *width).iter().enumerate() {
+                        let v = seed.wrapping_add(ki as u32);
+                        let key = to_bits(k);
+                        prop_assert_eq!(
+                            trie.insert(&key, v),
+                            model.insert(key.to_string(), v),
+                            "dense insert disagreement in batch {}", bi
+                        );
+                    }
+                    // Promote immediately: the dense block is in place,
+                    // so this compact is what builds the stride table
+                    // the following batches then churn against.
+                    trie.compact();
+                }
+                Batch::RemoveDense { base, width } => {
+                    for k in dense_block(base, *width) {
+                        let key = to_bits(&k);
+                        prop_assert_eq!(
+                            trie.remove(&key),
+                            model.remove(&key.to_string()),
+                            "dense remove disagreement in batch {}", bi
+                        );
+                    }
+                    // Demote: with the block gone, occupancy falls back
+                    // under the promotion thresholds.
+                    trie.compact();
+                }
             }
 
             // After every batch: size, LPM on probe keys, and full
@@ -127,6 +198,11 @@ proptest! {
         let stats = trie.mem_stats();
         prop_assert_eq!(stats.free_list_len, 0);
         prop_assert_eq!(stats.arena_len, stats.live_nodes);
+        prop_assert!(
+            stats.stride_filled <= stats.stride_slots,
+            "stride accounting inconsistent: {} filled > {} slots",
+            stats.stride_filled, stats.stride_slots
+        );
         let mut got: Vec<(String, u32)> =
             trie.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         got.sort();

@@ -46,10 +46,15 @@ mod layout {
 /// Length of the VXLAN-GPO header.
 pub const HEADER_LEN: usize = layout::PAYLOAD.start;
 
-const FLAG_G: u16 = 0x8000;
-const FLAG_I: u16 = 0x0800;
-const FLAG_D: u16 = 0x0040;
-const FLAG_A: u16 = 0x0008;
+/// Flag-word masks, public so the data plane's flat header writer can
+/// assemble the flags in one store instead of per-bit read-modify-write.
+pub const FLAG_G: u16 = 0x8000;
+/// VNI-valid flag (mandatory).
+pub const FLAG_I: u16 = 0x0800;
+/// "Don't learn" flag.
+pub const FLAG_D: u16 = 0x0040;
+/// "Policy already applied" flag.
+pub const FLAG_A: u16 = 0x0008;
 
 /// Next-protocol value for an Ethernet inner frame (the VXLAN-GPE
 /// number). The historical `0x00` reserved byte reads as IPv4.
