@@ -1,0 +1,290 @@
+//! The partitioned control-plane benchmark: `sda-ctrl`'s
+//! `PartitionedMapServer` driven by the metro workload (100k and 1M
+//! endpoints) across 1/2/4 shards, against the paper-faithful
+//! replicate-all `ShardedMapServer`.
+//!
+//! Run with: `cargo bench -p sda-bench --bench ctrl_plane`
+//! Smoke mode (CI): `SDA_BENCH_SMOKE=1 cargo bench -p sda-bench --bench
+//! ctrl_plane` — tiny sample sizes, JSON goes to `target/`, timing
+//! assertions skipped (the partition-memory budget still holds).
+//!
+//! Emits `BENCH_ctrl.json` at the workspace root. Schema:
+//! `[{group, id, median_ns, mean_ns, p95_ns, iterations}]`. Rows:
+//!
+//! * `register_s{1,2,4}/{100k,1M}` — one churn move-register against a
+//!   preloaded server (owner-shard routing; the per-register cost must
+//!   not grow with shard count — the replicate-all deployment's does).
+//! * `register_legacy_s4/100000` — the same churn through the
+//!   replicate-all `ShardedMapServer` (every register applied 4×).
+//! * `request_s{1,2,4}/{100k,1M}` — one Map-Request resolution.
+//! * `sweep_seq_s4` / `sweep_par_s4` — a full zero-victim expiry
+//!   traversal of all shards, sequential vs. scoped worker threads.
+//! * `pubsub_delta_s4/{100k,1M}` — one move fanned out to 4 borders
+//!   subscribed to every VN, plus the flush: must stay flat across
+//!   world size (O(changes × subscribers), never O(world)).
+//!
+//! Asserted bars:
+//! * **both modes** — the 4-shard 1M-endpoint trie arenas sum to at
+//!   most 1.25× the single-shard footprint (partitioned, not
+//!   replicated).
+//! * full mode, ≥4 CPUs — the parallel sweep beats sequential by ≥1.3×
+//!   at 1M endpoints (skipped with a notice on smaller hosts, like
+//!   `mt_fwd`'s scaling bar).
+//! * full mode — `pubsub_delta_s4` at 1M is within 3× of 100k (flat).
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use sda_ctrl::PartitionedMapServer;
+use sda_lisp::ShardedMapServer;
+use sda_simnet::{SimDuration, SimTime};
+use sda_types::Rloc;
+use sda_wire::lisp::Message;
+use sda_workloads::{MetroParams, MetroWorkload};
+
+const SCALES: [u32; 2] = [100_000, 1_000_000];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn params_for(scale: u32) -> MetroParams {
+    match scale {
+        100_000 => MetroParams::hundred_k(),
+        1_000_000 => MetroParams::full(),
+        other => panic!("no metro tier for {other} endpoints"),
+    }
+}
+
+/// A metro-preloaded partitioned server (every endpoint onboarded).
+fn preloaded(w: &MetroWorkload, shards: usize) -> PartitionedMapServer {
+    let mut s = PartitionedMapServer::new(Rloc::for_router_index(1000), shards);
+    for m in w.initial_registers() {
+        s.handle(m, SimTime::ZERO);
+    }
+    s
+}
+
+fn main() {
+    let smoke = std::env::var("SDA_BENCH_SMOKE").is_ok();
+    let mut criterion = if smoke {
+        Criterion::default()
+            .sample_size(10)
+            .measurement_time(std::time::Duration::from_millis(60))
+            .warm_up_time(std::time::Duration::from_millis(20))
+    } else {
+        Criterion::default()
+            .sample_size(30)
+            .measurement_time(std::time::Duration::from_millis(500))
+            .warm_up_time(std::time::Duration::from_millis(150))
+    };
+    let now = SimTime::ZERO;
+    // Steady state for the zero-victim sweeps: well before any TTL.
+    let sweep_at = SimTime::ZERO + SimDuration::from_secs(1);
+
+    // Partition-memory acceptance (both modes): captured while the
+    // 1M-endpoint servers are alive below.
+    let mut mem_1m_s1: Option<usize> = None;
+    let mut mem_1m_s4: Option<usize> = None;
+
+    {
+        let mut group = criterion.benchmark_group("ctrl_plane");
+        for scale in SCALES {
+            let w = MetroWorkload::new(params_for(scale));
+            let churn: Vec<Message> = w.churn().collect();
+            let requests: Vec<Message> = w.requests().collect();
+            // One server per shard count, built (and dropped) in turn to
+            // bound peak memory on small hosts.
+            for shards in SHARD_COUNTS {
+                let mut server = preloaded(&w, shards);
+                if scale == 1_000_000 {
+                    let bytes = server.mem_stats().capacity_bytes;
+                    match shards {
+                        1 => mem_1m_s1 = Some(bytes),
+                        4 => mem_1m_s4 = Some(bytes),
+                        _ => {}
+                    }
+                }
+
+                let mut k = 0usize;
+                group.bench_with_input(
+                    BenchmarkId::new(format!("register_s{shards}"), scale),
+                    &scale,
+                    |b, _| {
+                        b.iter(|| {
+                            let m = churn[k].clone();
+                            k = (k + 1) % churn.len();
+                            black_box(server.handle(m, now));
+                        });
+                    },
+                );
+
+                let mut k = 0usize;
+                group.bench_with_input(
+                    BenchmarkId::new(format!("request_s{shards}"), scale),
+                    &scale,
+                    |b, _| {
+                        b.iter(|| {
+                            let m = requests[k].clone();
+                            k = (k + 1) % requests.len();
+                            black_box(server.handle(m, now));
+                        });
+                    },
+                );
+
+                if shards == 4 {
+                    // Zero-victim traversal of every shard's trie:
+                    // repeatable, measures pure sweep wall time.
+                    group.bench_with_input(
+                        BenchmarkId::new("sweep_seq_s4", scale),
+                        &scale,
+                        |b, _| {
+                            b.iter(|| black_box(server.expire_sequential(sweep_at)));
+                        },
+                    );
+                    group.bench_with_input(
+                        BenchmarkId::new("sweep_par_s4", scale),
+                        &scale,
+                        |b, _| {
+                            b.iter(|| black_box(server.expire(sweep_at)));
+                        },
+                    );
+
+                    // Incremental fan-out: borders subscribe to every
+                    // VN; each iteration is one move + the flush that
+                    // delivers its deltas. Stays flat across world size.
+                    for m in w.subscriptions() {
+                        server.handle(m, now);
+                    }
+                    server.flush_publishes(); // initial snapshots, off the clock
+                    let mut k = 0usize;
+                    group.bench_with_input(
+                        BenchmarkId::new("pubsub_delta_s4", scale),
+                        &scale,
+                        |b, _| {
+                            b.iter(|| {
+                                let m = churn[k].clone();
+                                k = (k + 1) % churn.len();
+                                server.handle(m, now);
+                                black_box(server.flush_publishes());
+                            });
+                        },
+                    );
+                    assert_eq!(server.pubsub_gaps(), 0, "bench flushes every change");
+                }
+            }
+        }
+
+        // The paper-faithful replicate-all deployment at the smaller
+        // tier (4 shards × 100k endpoints each hold the whole world).
+        {
+            let w = MetroWorkload::new(params_for(100_000));
+            let churn: Vec<Message> = w.churn().collect();
+            let mut legacy =
+                ShardedMapServer::new((0..4).map(|i| Rloc::for_router_index(2000 + i)).collect());
+            for m in w.initial_registers() {
+                legacy.handle(m, SimTime::ZERO);
+            }
+            let mut k = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new("register_legacy_s4", 100_000u32),
+                &100_000u32,
+                |b, _| {
+                    b.iter(|| {
+                        let m = churn[k].clone();
+                        k = (k + 1) % churn.len();
+                        black_box(legacy.handle(m, now));
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+
+    let out = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_ctrl.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ctrl.json")
+    };
+    criterion.write_json(out).expect("write BENCH_ctrl.json");
+    eprintln!("wrote {out}");
+
+    // Partition-memory budget: asserted in BOTH modes (like the LPM
+    // bench's memory bars) — shards partition the world, they must not
+    // replicate it.
+    let (s1, s4) = (
+        mem_1m_s1.expect("1M single-shard footprint captured"),
+        mem_1m_s4.expect("1M 4-shard footprint captured"),
+    );
+    eprintln!(
+        "1M-endpoint trie arenas: 1 shard {:.1} MiB, 4 shards {:.1} MiB ({:.2}x)",
+        s1 as f64 / (1024.0 * 1024.0),
+        s4 as f64 / (1024.0 * 1024.0),
+        s4 as f64 / s1 as f64
+    );
+    assert!(
+        (s4 as f64) <= 1.25 * s1 as f64,
+        "4-shard 1M footprint exceeds 1.25x single-server: {s4} vs {s1} bytes"
+    );
+
+    let results = criterion.results();
+    let median = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.group == "ctrl_plane" && r.id == id)
+            .map(|r| r.median_ns)
+            .expect("bench result present")
+    };
+
+    for scale in SCALES {
+        eprintln!(
+            "{scale} endpoints: register s1/s2/s4 {:.0}/{:.0}/{:.0} ns, request s1/s2/s4 \
+             {:.0}/{:.0}/{:.0} ns",
+            median(&format!("register_s1/{scale}")),
+            median(&format!("register_s2/{scale}")),
+            median(&format!("register_s4/{scale}")),
+            median(&format!("request_s1/{scale}")),
+            median(&format!("request_s2/{scale}")),
+            median(&format!("request_s4/{scale}")),
+        );
+        eprintln!(
+            "{scale} endpoints: sweep seq {:.2} ms vs par {:.2} ms ({:.2}x), pubsub delta \
+             {:.0} ns",
+            median(&format!("sweep_seq_s4/{scale}")) / 1e6,
+            median(&format!("sweep_par_s4/{scale}")) / 1e6,
+            median(&format!("sweep_seq_s4/{scale}")) / median(&format!("sweep_par_s4/{scale}")),
+            median(&format!("pubsub_delta_s4/{scale}")),
+        );
+    }
+    eprintln!(
+        "replicate-all register (legacy, 4 shards, 100k): {:.0} ns vs partitioned {:.0} ns",
+        median("register_legacy_s4/100000"),
+        median("register_s4/100000"),
+    );
+
+    if smoke {
+        eprintln!("smoke mode: skipping the timing assertions");
+        return;
+    }
+
+    // Delta fan-out must not scale with world size.
+    let delta_ratio = median("pubsub_delta_s4/1000000") / median("pubsub_delta_s4/100000");
+    assert!(
+        delta_ratio <= 3.0,
+        "pub/sub delta fan-out grew with world size: {delta_ratio:.2}x from 100k to 1M"
+    );
+
+    // Parallel-sweep scaling bar: only meaningful with real cores (the
+    // mt_fwd discipline).
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = median("sweep_seq_s4/1000000") / median("sweep_par_s4/1000000");
+    if cpus >= 4 {
+        assert!(
+            speedup >= 1.3,
+            "parallel sweep below the 1.3x bar on {cpus} CPUs: {speedup:.2}x"
+        );
+    } else {
+        eprintln!(
+            "NOTE: {cpus} CPU(s) — parallel-sweep bar (>=1.3x, needs >=4 CPUs) not armed; \
+             measured {speedup:.2}x"
+        );
+    }
+}

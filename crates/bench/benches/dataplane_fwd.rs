@@ -15,8 +15,9 @@
 //!
 //! Measured surfaces, per FIB size where it matters:
 //!
-//! * `encap_batch32/{1k,10k,100k}` — ingress hits: parse + classify +
-//!   batched map-cache LPM + in-place VXLAN-GPO encap.
+//! * `encap_batch32/{1k,10k,100k,1M}` — ingress hits: parse +
+//!   classify + batched map-cache LPM + in-place VXLAN-GPO encap. The
+//!   1M row is the metro-tier FIB (`ctrl_plane`'s endpoint count).
 //! * `encap_single/10k` — the same engine called with 1-packet batches
 //!   (what batching itself buys).
 //! * `miss_batch32/10k` — every packet misses, rides the border default
@@ -51,7 +52,7 @@ use sda_types::{Eid, EidPrefix, GroupId, MacAddr, PortId, Rloc, VnId};
 use sda_wire::{ethernet, ipv4, EtherType};
 use std::net::Ipv4Addr;
 
-const ROUTE_COUNTS: [u32; 3] = [1_000, 10_000, 100_000];
+const ROUTE_COUNTS: [u32; 4] = [1_000, 10_000, 100_000, 1_000_000];
 const MID_ROUTES: u32 = 10_000;
 /// Pre-built distinct batches cycled per iteration, so measurements
 /// sweep the FIB instead of hammering one hot entry.

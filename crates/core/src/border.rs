@@ -21,11 +21,12 @@
 //! It is also provisioned with a beefier control CPU in the scenarios
 //! ("the border router is usually more powerful than edge routers").
 
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use sda_dataplane::{DropReason, PacketBuf, Punt, Switch, SwitchConfig, Verdict};
 use sda_simnet::{Context, Node, NodeId, SimDuration, SimTime};
-use sda_types::{Eid, EidKind, EidPrefix, Ipv4Prefix, Rloc};
+use sda_types::{Eid, EidKind, EidPrefix, Ipv4Prefix, Rloc, VnId};
 use sda_wire::lisp::Message as Lisp;
 
 use crate::msg::{FabricMsg, PolicyMsg};
@@ -57,6 +58,10 @@ pub struct BorderStats {
     pub policy_drops: u64,
     /// Publishes applied from the routing server.
     pub publishes_applied: u64,
+    /// Jumps detected in the per-VN publish sequence (a jump means
+    /// deltas were lost upstream; the routing server resyncs by
+    /// snapshot, so the table still converges).
+    pub publish_gaps: u64,
 }
 
 /// The border router node.
@@ -68,6 +73,8 @@ pub struct BorderRouter {
     /// attached endpoints (VRF), ACL and external prefixes.
     switch: Switch,
     stats: BorderStats,
+    /// Highest publish sequence number seen per VN (gap detection).
+    last_pub_seq: BTreeMap<VnId, u64>,
     buf: PacketBuf,
     frame_scratch: Vec<u8>,
     punt_scratch: Vec<Punt>,
@@ -90,6 +97,7 @@ impl BorderRouter {
             dir,
             switch,
             stats: BorderStats::default(),
+            last_pub_seq: BTreeMap::new(),
             buf: PacketBuf::new(),
             frame_scratch: Vec::new(),
             punt_scratch: Vec::new(),
@@ -207,15 +215,24 @@ impl BorderRouter {
     fn handle_control(&mut self, ctx: &mut Context<'_, FabricMsg>, msg: Lisp, now: SimTime) {
         match msg {
             Lisp::Publish {
+                nonce,
                 vn,
                 prefix,
                 rloc,
                 withdraw,
-                ..
             } => {
                 let Some(eid) = host_eid(&prefix) else {
                     return;
                 };
+                // Deltas carry the VN stream's next sequence number;
+                // snapshot entries all repeat the stream watermark. A
+                // jump past last+1 on a live stream means lost deltas.
+                let last = self.last_pub_seq.entry(vn).or_insert(0);
+                if *last != 0 && nonce > *last + 1 {
+                    self.stats.publish_gaps += 1;
+                    ctx.metrics().incr("border.publish_gaps");
+                }
+                *last = (*last).max(nonce);
                 self.stats.publishes_applied += 1;
                 if withdraw {
                     self.switch.apply_negative(vn, EidPrefix::host(eid));

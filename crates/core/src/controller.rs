@@ -50,6 +50,9 @@ pub struct FabricConfig {
     pub fib_sample_interval: Option<SimDuration>,
     /// Routing-server expiry sweep period (None = never purge).
     pub purge_interval: Option<SimDuration>,
+    /// Map-server shards the routing server partitions EID space over
+    /// (1 = the paper's single routing server).
+    pub ctrl_shards: usize,
     /// Underlay protocol tick (only with dynamics enabled).
     pub underlay_tick: SimDuration,
     /// Edge data-plane per-packet control cost (tiny: ASIC path).
@@ -78,6 +81,7 @@ impl Default for FabricConfig {
             idle_timeout: SimDuration::from_hours(20),
             fib_sample_interval: None,
             purge_interval: Some(SimDuration::from_mins(10)),
+            ctrl_shards: 1,
             underlay_tick: SimDuration::from_secs(1),
             data_service: SimDuration::from_nanos(500),
             edge_control_service: SimDuration::from_micros(50),
@@ -318,7 +322,7 @@ impl FabricBuilder {
 
         let got_policy = sim.add_node(Box::new(PolicyServerNode::new(self.policy, dir.clone())));
         assert_eq!(got_policy, policy_id);
-        let rs = sda_lisp::MapServer::new(Self::ROUTING_RLOC);
+        let rs = sda_ctrl::PartitionedMapServer::new(Self::ROUTING_RLOC, self.config.ctrl_shards);
         let got_routing = sim.add_node(Box::new(RoutingServerNode::new(rs, dir.clone())));
         assert_eq!(got_routing, routing_id);
 
@@ -623,7 +627,7 @@ mod tests {
         assert_eq!(f.edge(e1).stats().onboarded, 1);
         assert_eq!(f.edge(e2).stats().onboarded, 1);
         assert_eq!(
-            f.routing_server().server().db().len(),
+            f.routing_server().server().db_len(),
             4,
             "2 endpoints × 2 EIDs"
         );

@@ -1,10 +1,14 @@
 //! Simulator nodes wrapping the control-plane servers.
 //!
 //! * [`RoutingServerNode`] — the routing server of Fig. 1: an
-//!   `sda-lisp` [`MapServer`] plus the §3.5 IP→MAC table for ARP
-//!   service, with a single-server control CPU (service times from
-//!   `sda-lisp`, small multiplicative jitter for realistic percentile
-//!   spread — Fig. 7's boxplots).
+//!   `sda-ctrl` [`PartitionedMapServer`] (one shard by default — the
+//!   paper's single routing server; `FabricConfig::ctrl_shards` scales
+//!   it) plus the §3.5 IP→MAC table for ARP service, with a
+//!   single-server control CPU (service times from `sda-lisp`, small
+//!   multiplicative jitter for realistic percentile spread — Fig. 7's
+//!   boxplots). Pub/sub publishes drain through the partitioned
+//!   server's delta fan-out immediately after each handled message, so
+//!   the wire timing matches the old inline-publish model.
 //! * [`PolicyServerNode`] — the policy server: `sda-policy`'s
 //!   [`PolicyServer`] answering auth and rule-refresh requests.
 //!
@@ -16,6 +20,7 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use rand::Rng;
+use sda_ctrl::PartitionedMapServer;
 use sda_lisp::MapServer;
 use sda_policy::PolicyServer;
 use sda_simnet::{Context, Node, NodeId, SimDuration};
@@ -64,7 +69,7 @@ pub(crate) fn service_jitter(rng: &mut impl Rng) -> f64 {
 
 /// The routing server simulator node.
 pub struct RoutingServerNode {
-    server: MapServer,
+    server: PartitionedMapServer,
     dir: Rc<Directory>,
     /// §3.5: overlay IP → MAC, for ARP broadcast-to-unicast conversion.
     arp_db: BTreeMap<(VnId, Ipv4Addr), MacAddr>,
@@ -72,7 +77,7 @@ pub struct RoutingServerNode {
 
 impl RoutingServerNode {
     /// Wraps `server` with fabric wiring.
-    pub fn new(server: MapServer, dir: Rc<Directory>) -> Self {
+    pub fn new(server: PartitionedMapServer, dir: Rc<Directory>) -> Self {
         RoutingServerNode {
             server,
             dir,
@@ -81,13 +86,20 @@ impl RoutingServerNode {
     }
 
     /// Read access for post-run assertions.
-    pub fn server(&self) -> &MapServer {
+    pub fn server(&self) -> &PartitionedMapServer {
         &self.server
     }
 
     /// Registered IP→MAC pairs.
     pub fn arp_entries(&self) -> usize {
         self.arp_db.len()
+    }
+
+    /// Sends replies/notifies, then drains the pub/sub fan-out.
+    fn transmit(&mut self, ctx: &mut Context<'_, FabricMsg>, out: sda_lisp::Outbox) {
+        for (rloc, msg) in out.into_iter().chain(self.server.flush_publishes()) {
+            ctx.send(self.dir.node_of(rloc), FabricMsg::Control(msg));
+        }
     }
 }
 
@@ -97,10 +109,8 @@ const TIMER_PURGE: u64 = 0;
 impl Node<FabricMsg> for RoutingServerNode {
     fn on_timer(&mut self, ctx: &mut Context<'_, FabricMsg>, token: u64) {
         if token == TIMER_PURGE {
-            let out = self.server.expire(ctx.now());
-            for (rloc, msg) in out {
-                ctx.send(self.dir.node_of(rloc), FabricMsg::Control(msg));
-            }
+            self.server.expire(ctx.now());
+            self.transmit(ctx, sda_lisp::Outbox::new());
             if let Some(interval) = self.dir.params.purge_interval {
                 ctx.set_timer(interval, TIMER_PURGE);
             }
@@ -114,9 +124,7 @@ impl Node<FabricMsg> for RoutingServerNode {
                 let jitter = service_jitter(ctx.rng());
                 ctx.busy(SimDuration::from_secs_f64(base.as_secs_f64() * jitter));
                 let out = self.server.handle(m, ctx.now());
-                for (rloc, reply) in out {
-                    ctx.send(self.dir.node_of(rloc), FabricMsg::Control(reply));
-                }
+                self.transmit(ctx, out);
             }
             FabricMsg::Arp(ArpMsg::Register { vn, ip, mac }) => {
                 self.arp_db.insert((vn, ip), mac);

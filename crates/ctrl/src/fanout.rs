@@ -1,0 +1,388 @@
+//! Incremental pub/sub delta fan-out.
+//!
+//! The single `MapServer` walks the whole VN on every subscribe and
+//! touches every subscriber's stream through one global counter. Here
+//! every mapping change enqueues one [`Delta`] into the bounded queue of
+//! each subscriber of *that VN* — O(changes × subscribers-of-that-VN),
+//! never O(world) — stamped with a **per-VN** sequence number.
+//!
+//! Snapshot resync rides the same path as initial subscription: a
+//! `(subscriber, VN)` stream is either `Live` (deltas flow) or pending
+//! `Snapshot` (deltas are suppressed; the next
+//! [`DeltaFanout::flush`] walks the owner shards' current state for
+//! that VN instead). Queue overflow — the subscriber fell too far
+//! behind — drops that VN's queued deltas and flips the stream back to
+//! `Snapshot`: a gap never delivers a partial view, it re-synchronizes.
+//!
+//! Sequence semantics on the wire ([`Message::Publish`]'s `nonce`):
+//! delta publishes carry the change's own per-VN sequence number;
+//! snapshot publishes carry the VN's current watermark (snapshots
+//! describe *state as of* that sequence, and must not advance the
+//! sequence or live subscribers of the same VN would see phantom gaps).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use sda_types::{Eid, EidPrefix, Rloc, VnId};
+use sda_wire::lisp::Message;
+
+/// Default per-subscriber delta queue bound. A subscriber further than
+/// this many undelivered changes behind is resynced by snapshot instead.
+pub const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// One pending mapping change for one subscriber.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Delta {
+    /// The VN the change belongs to.
+    pub vn: VnId,
+    /// The (host) EID that changed.
+    pub eid: Eid,
+    /// The new RLOC (or, for withdrawals, the last one).
+    pub rloc: Rloc,
+    /// True when the mapping was removed.
+    pub withdraw: bool,
+    /// Per-VN publish sequence number.
+    pub seq: u64,
+}
+
+/// Sync state of one `(subscriber, VN)` stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VnSync {
+    /// Snapshot pending: deltas suppressed until the next flush walks
+    /// the current state (initial subscribe, or gap recovery).
+    Snapshot,
+    /// Deltas flow.
+    Live,
+}
+
+struct Sub {
+    rloc: Rloc,
+    /// Bounded queue of undelivered deltas, across this subscriber's VNs.
+    queue: VecDeque<Delta>,
+    vns: BTreeMap<VnId, VnSync>,
+}
+
+/// Per-subscriber delta queues plus the per-VN sequence authority.
+pub struct DeltaFanout {
+    subs: Vec<Sub>,
+    /// vn → indices into `subs`.
+    by_vn: BTreeMap<VnId, Vec<usize>>,
+    /// Per-VN publish sequence (the source of truth for gap detection).
+    seqs: BTreeMap<VnId, u64>,
+    cap: usize,
+    delivered: u64,
+    gaps: u64,
+}
+
+impl DeltaFanout {
+    /// Empty fan-out with per-subscriber queue bound `cap`.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero (a zero-length queue could never go live).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        DeltaFanout {
+            subs: Vec::new(),
+            by_vn: BTreeMap::new(),
+            seqs: BTreeMap::new(),
+            cap,
+            delivered: 0,
+            gaps: 0,
+        }
+    }
+
+    /// Subscribes `rloc` to `vn`'s stream, marking it for snapshot on
+    /// the next flush. Idempotent (re-subscribing forces a resync).
+    pub fn subscribe(&mut self, vn: VnId, rloc: Rloc) {
+        let idx = match self.subs.iter().position(|s| s.rloc == rloc) {
+            Some(i) => i,
+            None => {
+                self.subs.push(Sub {
+                    rloc,
+                    queue: VecDeque::new(),
+                    vns: BTreeMap::new(),
+                });
+                self.subs.len() - 1
+            }
+        };
+        // A forced resync makes any queued deltas for this VN redundant.
+        self.subs[idx].queue.retain(|d| d.vn != vn);
+        self.subs[idx].vns.insert(vn, VnSync::Snapshot);
+        let idxs = self.by_vn.entry(vn).or_default();
+        if !idxs.contains(&idx) {
+            idxs.push(idx);
+        }
+    }
+
+    /// Records one mapping change, enqueueing a delta for every live
+    /// subscriber of `vn`. Allocates the change's per-VN sequence number
+    /// even when nobody listens (the stream must stay gap-free for
+    /// subscribers that join later).
+    pub fn publish(&mut self, vn: VnId, eid: Eid, rloc: Rloc, withdraw: bool) {
+        let seq = {
+            let s = self.seqs.entry(vn).or_insert(0);
+            *s += 1;
+            *s
+        };
+        let Some(idxs) = self.by_vn.get(&vn) else {
+            return;
+        };
+        for &i in idxs {
+            let sub = &mut self.subs[i];
+            match sub.vns.get_mut(&vn) {
+                // Snapshot pending: the flush-time walk of current state
+                // already covers this change; a delta would double it.
+                Some(VnSync::Snapshot) | None => {}
+                Some(state @ VnSync::Live) => {
+                    if sub.queue.len() >= self.cap {
+                        // Gap: this subscriber fell too far behind. Drop
+                        // the VN's queued deltas and resync by snapshot —
+                        // never deliver a stream with a hole in it.
+                        *state = VnSync::Snapshot;
+                        sub.queue.retain(|d| d.vn != vn);
+                        self.gaps += 1;
+                    } else {
+                        sub.queue.push_back(Delta {
+                            vn,
+                            eid,
+                            rloc,
+                            withdraw,
+                            seq,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains every subscriber's stream into `(destination, Publish)`
+    /// pairs: pending snapshots first (state supplied by `snapshot`,
+    /// which must emit every `(prefix, rloc)` currently mapped in the
+    /// given VN), then queued deltas. Deterministic: subscribers in
+    /// subscription order, snapshot VNs in `VnId` order.
+    pub fn flush<F>(&mut self, mut snapshot: F) -> Vec<(Rloc, Message)>
+    where
+        F: FnMut(VnId, &mut dyn FnMut(EidPrefix, Rloc)),
+    {
+        let mut out = Vec::new();
+        let mut delivered = 0u64;
+        for sub in &mut self.subs {
+            let to = sub.rloc;
+            for (&vn, state) in sub.vns.iter_mut() {
+                if *state == VnSync::Snapshot {
+                    let watermark = self.seqs.get(&vn).copied().unwrap_or(0);
+                    snapshot(vn, &mut |prefix, rloc| {
+                        delivered += 1;
+                        out.push((
+                            to,
+                            Message::Publish {
+                                nonce: watermark,
+                                vn,
+                                prefix,
+                                rloc,
+                                withdraw: false,
+                            },
+                        ));
+                    });
+                    *state = VnSync::Live;
+                }
+            }
+            for d in sub.queue.drain(..) {
+                delivered += 1;
+                out.push((
+                    to,
+                    Message::Publish {
+                        nonce: d.seq,
+                        vn: d.vn,
+                        prefix: EidPrefix::host(d.eid),
+                        rloc: d.rloc,
+                        withdraw: d.withdraw,
+                    },
+                ));
+            }
+        }
+        self.delivered += delivered;
+        out
+    }
+
+    /// The current sequence watermark of `vn` (0 before any change).
+    pub fn current_seq(&self, vn: VnId) -> u64 {
+        self.seqs.get(&vn).copied().unwrap_or(0)
+    }
+
+    /// Publishes emitted by flushes so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Queue-overflow resyncs forced so far.
+    pub fn gaps(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Distinct subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Subscriptions across VNs.
+    pub fn subscription_count(&self) -> usize {
+        self.by_vn.values().map(Vec::len).sum()
+    }
+}
+
+impl Default for DeltaFanout {
+    fn default() -> Self {
+        DeltaFanout::new(DEFAULT_QUEUE_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn vn(n: u32) -> VnId {
+        VnId::new(n).unwrap()
+    }
+
+    fn eid(n: u32) -> Eid {
+        Eid::V4(Ipv4Addr::from(0x0A00_0000 | n))
+    }
+
+    fn rl(n: u16) -> Rloc {
+        Rloc::for_router_index(n)
+    }
+
+    /// Flush against an empty world (no snapshot content).
+    fn flush_empty(f: &mut DeltaFanout) -> Vec<(Rloc, Message)> {
+        f.flush(|_, _| {})
+    }
+
+    #[test]
+    fn each_change_delivered_exactly_once() {
+        let mut f = DeltaFanout::new(64);
+        f.subscribe(vn(1), rl(9));
+        flush_empty(&mut f); // empty snapshot -> Live
+        for i in 0..10 {
+            f.publish(vn(1), eid(i), rl(1), false);
+        }
+        let out = flush_empty(&mut f);
+        assert_eq!(out.len(), 10);
+        let seqs: Vec<u64> = out
+            .iter()
+            .map(|(_, m)| match m {
+                Message::Publish { nonce, .. } => *nonce,
+                other => panic!("expected Publish, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, (1..=10).collect::<Vec<u64>>(), "contiguous per-VN");
+        // Nothing left: a second flush is empty.
+        assert!(flush_empty(&mut f).is_empty());
+        assert_eq!(f.delivered(), 10);
+    }
+
+    #[test]
+    fn publish_only_reaches_that_vns_subscribers() {
+        let mut f = DeltaFanout::new(64);
+        f.subscribe(vn(1), rl(9));
+        f.subscribe(vn(2), rl(8));
+        flush_empty(&mut f);
+        f.publish(vn(1), eid(1), rl(1), false);
+        let out = flush_empty(&mut f);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, rl(9), "vn-2 subscriber untouched");
+    }
+
+    #[test]
+    fn per_vn_sequences_are_independent() {
+        let mut f = DeltaFanout::new(64);
+        f.publish(vn(1), eid(1), rl(1), false);
+        f.publish(vn(1), eid(2), rl(1), false);
+        f.publish(vn(2), eid(3), rl(1), false);
+        assert_eq!(f.current_seq(vn(1)), 2);
+        assert_eq!(
+            f.current_seq(vn(2)),
+            1,
+            "vn-1 traffic must not advance vn-2"
+        );
+    }
+
+    #[test]
+    fn overflow_gap_resyncs_by_snapshot() {
+        let mut f = DeltaFanout::new(4);
+        f.subscribe(vn(1), rl(9));
+        flush_empty(&mut f);
+        // 4 fit, the 5th overflows -> gap -> queued deltas dropped.
+        for i in 0..5 {
+            f.publish(vn(1), eid(i), rl(1), false);
+        }
+        assert_eq!(f.gaps(), 1);
+        // The flush must deliver a snapshot (here: the authoritative
+        // world has entries 0..5) stamped at the watermark, not deltas.
+        let world: Vec<(EidPrefix, Rloc)> =
+            (0..5).map(|i| (EidPrefix::host(eid(i)), rl(1))).collect();
+        let out = f.flush(|v, emit| {
+            assert_eq!(v, vn(1));
+            for (p, r) in &world {
+                emit(*p, *r);
+            }
+        });
+        assert_eq!(out.len(), 5);
+        for (_, m) in &out {
+            match m {
+                Message::Publish { nonce, .. } => assert_eq!(*nonce, 5, "watermark"),
+                other => panic!("expected Publish, got {other:?}"),
+            }
+        }
+        // Stream is live again afterwards.
+        f.publish(vn(1), eid(99), rl(1), false);
+        let out = flush_empty(&mut f);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, Message::Publish { nonce: 6, .. }));
+    }
+
+    #[test]
+    fn changes_while_snapshot_pending_are_not_doubled() {
+        let mut f = DeltaFanout::new(64);
+        f.subscribe(vn(1), rl(9));
+        // Change lands before the first flush: covered by the snapshot.
+        f.publish(vn(1), eid(1), rl(1), false);
+        let world = [(EidPrefix::host(eid(1)), rl(1))];
+        let out = f.flush(|_, emit| {
+            for (p, r) in &world {
+                emit(*p, *r);
+            }
+        });
+        assert_eq!(out.len(), 1, "snapshot only, no duplicate delta");
+    }
+
+    #[test]
+    fn sequences_advance_even_with_no_subscribers() {
+        let mut f = DeltaFanout::new(64);
+        f.publish(vn(1), eid(1), rl(1), false);
+        f.subscribe(vn(1), rl(9));
+        f.publish(vn(1), eid(2), rl(1), false);
+        let world = [
+            (EidPrefix::host(eid(1)), rl(1)),
+            (EidPrefix::host(eid(2)), rl(1)),
+        ];
+        let out = f.flush(|_, emit| {
+            for (p, r) in &world {
+                emit(*p, *r);
+            }
+        });
+        // Snapshot watermark reflects both changes.
+        assert!(out
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Publish { nonce: 2, .. })));
+        f.publish(vn(1), eid(3), rl(2), false);
+        let out = flush_empty(&mut f);
+        assert!(matches!(out[0].1, Message::Publish { nonce: 3, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        DeltaFanout::new(0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # sda-ctrl
+//!
+//! The **partitioned control plane**: the scale-tier successor to
+//! `sda-lisp`'s single [`MapServer`](sda_lisp::MapServer) and to the
+//! paper-faithful replicate-all [`ShardedMapServer`]
+//! (sda_lisp::ShardedMapServer), which clones every Map-Register into
+//! every shard (§4.1: "perform route updates on all servers") and so
+//! scales registration cost, memory, and pub/sub fan-out *linearly with
+//! shard count*.
+//!
+//! [`PartitionedMapServer`] instead owns N shards, each with its **own**
+//! [`MappingDb`](sda_lisp::MappingDb) trie covering a prefix-aligned
+//! partition of EID space:
+//!
+//! * **Registers land on exactly one owner shard**, routed by the EID's
+//!   top [`partition::PARTITION_BITS`] key bits — total state is the
+//!   world, not `shards × world`.
+//! * **Map-Requests route by EID to the owner** (the owner is the only
+//!   shard that can know the answer).
+//! * **Expiry sweeps run in parallel** across shards on scoped worker
+//!   threads — each shard's trie is an independent `&mut`, so the sweep
+//!   is embarrassingly parallel; results aggregate in shard order, so
+//!   the outcome is deterministic regardless of thread scheduling (the
+//!   same discipline as the multi-core engine's worker-order punt
+//!   aggregation in `sda-dataplane`).
+//! * **Pub/sub is incremental**: every mapping change enqueues one
+//!   [`fanout::Delta`] into per-subscriber bounded queues with per-VN
+//!   sequence numbers. Publishing is O(changes × subscribers-of-that-VN)
+//!   — never a whole-world re-walk. Queue overflow marks a gap and
+//!   triggers a snapshot resync of exactly the affected `(subscriber,
+//!   VN)` stream on the next flush.
+//!
+//! The replicate-all `ShardedMapServer` is kept in `sda-lisp` as the
+//! paper-faithful differential oracle; `tests/differential_ctrl.rs`
+//! proves the partitioned server agrees with a *single* `MapServer`
+//! reply-for-reply and notify-for-notify over generated
+//! register/request/move/expiry interleavings.
+
+pub mod fanout;
+pub mod partition;
+pub mod server;
+
+pub use fanout::{Delta, DeltaFanout, DEFAULT_QUEUE_CAP};
+pub use partition::{block_of, owner_of, PARTITION_BITS};
+pub use server::PartitionedMapServer;

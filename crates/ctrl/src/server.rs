@@ -1,0 +1,627 @@
+//! The partitioned map-server.
+//!
+//! One logical routing server whose state is split across N shards by
+//! [`crate::partition`]: each shard owns its own
+//! [`MappingDb`](sda_lisp::MappingDb) covering a prefix-aligned slice of
+//! EID space, so a register costs one shard's work and total memory is
+//! the world — not `shards × world` like the replicate-all
+//! [`ShardedMapServer`](sda_lisp::ShardedMapServer).
+//!
+//! [`PartitionedMapServer::handle`] returns replies and notifies only —
+//! byte-for-byte what a single [`MapServer`](sda_lisp::MapServer) would
+//! transmit. Pub/sub rides the incremental
+//! [`DeltaFanout`](crate::fanout::DeltaFanout) instead: changes enqueue
+//! deltas, and [`PartitionedMapServer::flush_publishes`] drains them
+//! (plus any pending snapshot resyncs). Callers embedding the server in
+//! a message loop flush after each handled message; batch loaders flush
+//! once at the end.
+
+use sda_lisp::map_server::{MapServerStats, Outbox, NEGATIVE_TTL_SECS, REPLY_TTL_SECS};
+use sda_lisp::{MappingDb, RegisterOutcome};
+use sda_simnet::{SimDuration, SimTime};
+use sda_trie::MemStats;
+use sda_types::{Eid, EidPrefix, Rloc, VnId};
+use sda_wire::lisp::Message;
+
+use crate::fanout::{DeltaFanout, DEFAULT_QUEUE_CAP};
+use crate::partition;
+
+/// One partition: its slice of the mapping database plus counters.
+struct Shard {
+    db: MappingDb,
+    replies: u64,
+    negative_replies: u64,
+    registers: u64,
+    moves: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            db: MappingDb::new(),
+            replies: 0,
+            negative_replies: 0,
+            registers: 0,
+            moves: 0,
+        }
+    }
+
+    /// One expiry sweep over this shard: prunes expired host
+    /// registrations in a single traversal, returning what was removed
+    /// (for the withdraw publishes). Runs on a worker thread when the
+    /// parent sweeps in parallel — it only touches this shard's `&mut`.
+    fn sweep(&mut self, now: SimTime) -> Vec<(VnId, Eid, Rloc)> {
+        let mut dead = Vec::new();
+        self.db.retain(|vn, prefix, rec| {
+            if !rec.expired(now) {
+                return true;
+            }
+            match host_eid_of(prefix) {
+                Some(eid) => {
+                    dead.push((vn, eid, rec.rloc));
+                    false
+                }
+                // Non-host registrations are out of scope for expiry
+                // withdrawal (parity with `MapServer::expire`).
+                None => true,
+            }
+        });
+        dead
+    }
+}
+
+/// The EID-partitioned routing server.
+pub struct PartitionedMapServer {
+    rloc: Rloc,
+    shards: Vec<Shard>,
+    fanout: DeltaFanout,
+    default_ttl: SimDuration,
+}
+
+impl PartitionedMapServer {
+    /// A server reachable at `rloc` with `shards` partitions.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(rloc: Rloc, shards: usize) -> Self {
+        Self::with_queue_capacity(rloc, shards, DEFAULT_QUEUE_CAP)
+    }
+
+    /// As [`PartitionedMapServer::new`] with an explicit per-subscriber
+    /// delta queue bound (tests force tiny bounds to exercise the gap →
+    /// snapshot resync path).
+    pub fn with_queue_capacity(rloc: Rloc, shards: usize, queue_cap: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        PartitionedMapServer {
+            rloc,
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            fanout: DeltaFanout::new(queue_cap),
+            default_ttl: SimDuration::from_secs(u64::from(REPLY_TTL_SECS)),
+        }
+    }
+
+    /// This server's locator.
+    pub fn rloc(&self) -> Rloc {
+        self.rloc
+    }
+
+    /// Number of partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Handles one control message, returning the replies/notifies to
+    /// transmit — exactly what a single `MapServer` would produce.
+    /// Mapping changes additionally enqueue pub/sub deltas; drain them
+    /// with [`PartitionedMapServer::flush_publishes`].
+    pub fn handle(&mut self, msg: Message, now: SimTime) -> Outbox {
+        match msg {
+            Message::MapRequest {
+                nonce,
+                smr,
+                vn,
+                eid,
+                itr_rloc,
+            } => {
+                // An SMR addressed to the server is meaningless; ignore.
+                if smr {
+                    return Outbox::new();
+                }
+                self.answer_request(nonce, vn, eid, itr_rloc, now)
+            }
+            Message::MapRegister {
+                nonce,
+                vn,
+                eid,
+                rloc,
+                ttl_secs,
+                want_notify,
+            } => self.process_register(nonce, vn, eid, rloc, ttl_secs, want_notify, now),
+            Message::Subscribe {
+                nonce: _,
+                vn,
+                subscriber,
+            } => {
+                // Snapshot is assembled at the next flush, off the owner
+                // shards' live state — not walked here.
+                self.fanout.subscribe(vn, subscriber);
+                Outbox::new()
+            }
+            // Replies/notifies/publishes are never addressed to a server.
+            Message::MapReply { .. } | Message::MapNotify { .. } | Message::Publish { .. } => {
+                Outbox::new()
+            }
+        }
+    }
+
+    fn answer_request(
+        &mut self,
+        nonce: u64,
+        vn: VnId,
+        eid: Eid,
+        itr_rloc: Rloc,
+        now: SimTime,
+    ) -> Outbox {
+        let owner = partition::owner_of(&eid, self.shards.len());
+        let shard = &mut self.shards[owner];
+        match shard.db.lookup(vn, eid, now) {
+            Some((prefix, rec)) => {
+                shard.replies += 1;
+                vec![(
+                    itr_rloc,
+                    Message::MapReply {
+                        nonce,
+                        vn,
+                        prefix,
+                        rloc: Some(rec.rloc),
+                        negative: false,
+                        ttl_secs: REPLY_TTL_SECS,
+                    },
+                )]
+            }
+            None => {
+                shard.negative_replies += 1;
+                vec![(
+                    itr_rloc,
+                    Message::MapReply {
+                        nonce,
+                        vn,
+                        prefix: EidPrefix::host(eid),
+                        rloc: None,
+                        negative: true,
+                        ttl_secs: NEGATIVE_TTL_SECS,
+                    },
+                )]
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_register(
+        &mut self,
+        nonce: u64,
+        vn: VnId,
+        eid: Eid,
+        rloc: Rloc,
+        ttl_secs: u32,
+        want_notify: bool,
+        now: SimTime,
+    ) -> Outbox {
+        let ttl = if ttl_secs == 0 {
+            self.default_ttl
+        } else {
+            SimDuration::from_secs(u64::from(ttl_secs))
+        };
+        let owner = partition::owner_of(&eid, self.shards.len());
+        let shard = &mut self.shards[owner];
+        shard.registers += 1;
+        let outcome = shard.db.register(vn, eid, rloc, ttl, now);
+        let mut out = Outbox::new();
+
+        if let RegisterOutcome::Moved { previous } = outcome {
+            shard.moves += 1;
+            // Fig. 5 step 2: tell the previous edge where the endpoint
+            // went so it can forward in-flight traffic and refresh.
+            out.push((
+                previous,
+                Message::MapNotify {
+                    nonce: 0,
+                    vn,
+                    eid,
+                    new_rloc: rloc,
+                },
+            ));
+        }
+
+        if want_notify {
+            // Registration ack.
+            out.push((
+                rloc,
+                Message::MapNotify {
+                    nonce,
+                    vn,
+                    eid,
+                    new_rloc: rloc,
+                },
+            ));
+        }
+
+        // Refreshes change nothing for the data plane: no delta.
+        if !matches!(outcome, RegisterOutcome::Refreshed) {
+            self.fanout.publish(vn, eid, rloc, false);
+        }
+        out
+    }
+
+    /// Explicit withdraw (endpoint offboarded); enqueues the removal
+    /// delta toward subscribers.
+    pub fn withdraw(&mut self, vn: VnId, eid: Eid) {
+        let owner = partition::owner_of(&eid, self.shards.len());
+        let shard = &mut self.shards[owner];
+        if let Some(old) = shard.db.withdraw(vn, eid) {
+            self.fanout.publish(vn, eid, old.rloc, true);
+        }
+    }
+
+    /// Drains pending pub/sub work into `(destination, Publish)` pairs:
+    /// snapshot resyncs first (walking exactly the affected VN across
+    /// the owner shards, in shard order — deterministic), then queued
+    /// deltas.
+    pub fn flush_publishes(&mut self) -> Outbox {
+        let shards = &self.shards;
+        self.fanout.flush(|vn, emit| {
+            for shard in shards {
+                for (prefix, rec) in shard.db.iter_vn(vn) {
+                    emit(prefix, rec.rloc);
+                }
+            }
+        })
+    }
+
+    /// Expires lapsed registrations, sweeping shards **in parallel** on
+    /// scoped worker threads when there is more than one (each sweep
+    /// only touches its own shard's `&mut`). Withdraw deltas enqueue in
+    /// shard order regardless of thread scheduling, so the observable
+    /// outcome is deterministic. Returns how many registrations expired;
+    /// follow with [`PartitionedMapServer::flush_publishes`].
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let dead = if self.shards.len() > 1 {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| s.spawn(move || shard.sweep(now)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+        } else {
+            self.shards.iter_mut().map(|s| s.sweep(now)).collect()
+        };
+        self.enqueue_withdrawals(dead)
+    }
+
+    /// The same sweep run sequentially on the calling thread — the
+    /// baseline the `ctrl_plane` bench measures the parallel sweep
+    /// against. Observable behavior is identical to
+    /// [`PartitionedMapServer::expire`].
+    pub fn expire_sequential(&mut self, now: SimTime) -> usize {
+        let dead: Vec<_> = self.shards.iter_mut().map(|s| s.sweep(now)).collect();
+        self.enqueue_withdrawals(dead)
+    }
+
+    fn enqueue_withdrawals(&mut self, dead: Vec<Vec<(VnId, Eid, Rloc)>>) -> usize {
+        let mut total = 0;
+        for shard_dead in dead {
+            total += shard_dead.len();
+            for (vn, eid, old_rloc) in shard_dead {
+                self.fanout.publish(vn, eid, old_rloc, true);
+            }
+        }
+        total
+    }
+
+    /// Total registrations across shards (live or expired).
+    pub fn db_len(&self) -> usize {
+        self.shards.iter().map(|s| s.db.len()).sum()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.db_len() == 0
+    }
+
+    /// Longest-prefix lookup of `eid` in `vn` on its owner shard.
+    pub fn lookup(
+        &self,
+        vn: VnId,
+        eid: Eid,
+        now: SimTime,
+    ) -> Option<(EidPrefix, sda_lisp::MappingRecord)> {
+        self.shards[partition::owner_of(&eid, self.shards.len())]
+            .db
+            .lookup(vn, eid, now)
+    }
+
+    /// Per-shard entry counts (partition balance checks).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.db.len()).collect()
+    }
+
+    /// Per-shard answered-request counts (load balance checks).
+    pub fn request_distribution(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.replies + s.negative_replies)
+            .collect()
+    }
+
+    /// Aggregated counters across shards, publish count from the
+    /// fan-out (publishes emitted by flushes).
+    pub fn stats(&self) -> MapServerStats {
+        let mut total = MapServerStats::default();
+        for s in &self.shards {
+            total.replies += s.replies;
+            total.negative_replies += s.negative_replies;
+            total.registers += s.registers;
+            total.moves += s.moves;
+        }
+        total.publishes = self.fanout.delivered();
+        total
+    }
+
+    /// Gap → snapshot resyncs forced by queue overflow so far.
+    pub fn pubsub_gaps(&self) -> u64 {
+        self.fanout.gaps()
+    }
+
+    /// Current publish-sequence watermark of `vn`'s delta stream (0
+    /// before any change). Snapshot resyncs are stamped with this value,
+    /// so a subscriber that just resynced resumes its stream here.
+    pub fn pubsub_seq(&self, vn: VnId) -> u64 {
+        self.fanout.current_seq(vn)
+    }
+
+    /// Re-lays every shard's trie arenas in DFS preorder once a
+    /// registration storm settles (see `MappingDb::compact`).
+    pub fn compact(&mut self) {
+        for s in &mut self.shards {
+            s.db.compact();
+        }
+    }
+
+    /// Aggregated trie-arena diagnostics across all shards — the sum the
+    /// scale-tier acceptance compares against a single server's.
+    pub fn mem_stats(&self) -> MemStats {
+        let mut total = MemStats::default();
+        for s in &self.shards {
+            total.merge(&s.db.mem_stats());
+        }
+        total
+    }
+
+    /// Per-shard trie-arena diagnostics.
+    pub fn shard_mem_stats(&self) -> Vec<MemStats> {
+        self.shards.iter().map(|s| s.db.mem_stats()).collect()
+    }
+}
+
+/// Host EID of a full-length prefix.
+fn host_eid_of(prefix: &EidPrefix) -> Option<Eid> {
+    match prefix {
+        EidPrefix::V4(p) if p.len() == 32 => Some(Eid::V4(p.addr())),
+        EidPrefix::V6(p) if p.len() == 128 => Some(Eid::V6(p.addr())),
+        EidPrefix::Mac(p) if p.len() == 48 => Some(Eid::Mac(p.addr())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn vn(n: u32) -> VnId {
+        VnId::new(n).unwrap()
+    }
+
+    /// EIDs spread across /16 blocks so 4 shards all get work.
+    fn eid(n: u32) -> Eid {
+        Eid::V4(Ipv4Addr::from(0x0A00_0000 | ((n % 256) << 16) | n))
+    }
+
+    fn rl(n: u16) -> Rloc {
+        Rloc::for_router_index(n)
+    }
+
+    fn server(shards: usize) -> PartitionedMapServer {
+        PartitionedMapServer::new(rl(1000), shards)
+    }
+
+    fn register(vn_: VnId, eid_: Eid, rloc: Rloc, ttl_secs: u32) -> Message {
+        Message::MapRegister {
+            nonce: 0,
+            vn: vn_,
+            eid: eid_,
+            rloc,
+            ttl_secs,
+            want_notify: false,
+        }
+    }
+
+    fn request(vn_: VnId, eid_: Eid, itr: Rloc) -> Message {
+        Message::MapRequest {
+            nonce: 1,
+            smr: false,
+            vn: vn_,
+            eid: eid_,
+            itr_rloc: itr,
+        }
+    }
+
+    #[test]
+    fn register_lands_on_exactly_one_shard() {
+        let mut s = server(4);
+        for i in 0..64 {
+            s.handle(register(vn(1), eid(i), rl(1), 300), SimTime::ZERO);
+        }
+        assert_eq!(s.db_len(), 64, "total state is the world, not 4x");
+        let lens = s.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 64);
+        assert!(
+            lens.iter().filter(|&&l| l > 0).count() >= 2,
+            "spread across shards: {lens:?}"
+        );
+    }
+
+    #[test]
+    fn requests_route_to_owner_and_answer() {
+        let mut s = server(4);
+        for i in 0..64 {
+            s.handle(
+                register(vn(1), eid(i), rl((i % 8) as u16), 300),
+                SimTime::ZERO,
+            );
+        }
+        for i in 0..64 {
+            let out = s.handle(request(vn(1), eid(i), rl(99)), SimTime::ZERO);
+            assert_eq!(out.len(), 1);
+            match &out[0].1 {
+                Message::MapReply { negative, rloc, .. } => {
+                    assert!(!negative);
+                    assert_eq!(*rloc, Some(rl((i % 8) as u16)));
+                }
+                other => panic!("expected MapReply, got {other:?}"),
+            }
+        }
+        let dist = s.request_distribution();
+        assert_eq!(dist.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn unknown_eid_answers_negative() {
+        let mut s = server(4);
+        let out = s.handle(request(vn(1), eid(7), rl(99)), SimTime::ZERO);
+        assert!(matches!(
+            out[0].1,
+            Message::MapReply {
+                negative: true,
+                ttl_secs: NEGATIVE_TTL_SECS,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn move_notifies_previous_edge_once() {
+        let mut s = server(4);
+        s.handle(register(vn(1), eid(3), rl(1), 300), SimTime::ZERO);
+        let out = s.handle(register(vn(1), eid(3), rl(2), 300), SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, rl(1), "notify goes to the previous edge");
+        assert!(matches!(out[0].1, Message::MapNotify { .. }));
+        assert_eq!(s.stats().moves, 1);
+    }
+
+    #[test]
+    fn subscriber_snapshot_then_incremental_stream() {
+        let mut s = server(4);
+        for i in 0..16 {
+            s.handle(register(vn(1), eid(i), rl(1), 300), SimTime::ZERO);
+        }
+        s.handle(
+            Message::Subscribe {
+                nonce: 0,
+                vn: vn(1),
+                subscriber: rl(9),
+            },
+            SimTime::ZERO,
+        );
+        let out = s.flush_publishes();
+        assert_eq!(out.len(), 16, "snapshot of the subscribed VN");
+        // One change -> exactly one delta publish, not a re-walk.
+        s.handle(register(vn(1), eid(3), rl(2), 300), SimTime::ZERO);
+        let out = s.flush_publishes();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0].1,
+            Message::Publish {
+                withdraw: false,
+                ..
+            }
+        ));
+        // Refresh publishes nothing.
+        s.handle(register(vn(1), eid(3), rl(2), 300), SimTime::ZERO);
+        assert!(s.flush_publishes().is_empty());
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree() {
+        let now = SimTime::ZERO;
+        let later = SimTime::ZERO + SimDuration::from_secs(301);
+        let mut par = server(4);
+        let mut seq = server(4);
+        for i in 0..256 {
+            // Half expire (ttl 300), half survive (ttl 3600).
+            let ttl = if i % 2 == 0 { 300 } else { 3600 };
+            par.handle(register(vn(1 + i % 3), eid(i), rl(1), ttl), now);
+            seq.handle(register(vn(1 + i % 3), eid(i), rl(1), ttl), now);
+        }
+        par.handle(
+            Message::Subscribe {
+                nonce: 0,
+                vn: vn(1),
+                subscriber: rl(9),
+            },
+            now,
+        );
+        seq.handle(
+            Message::Subscribe {
+                nonce: 0,
+                vn: vn(1),
+                subscriber: rl(9),
+            },
+            now,
+        );
+        par.flush_publishes();
+        seq.flush_publishes();
+
+        assert_eq!(par.expire(later), 128);
+        assert_eq!(seq.expire_sequential(later), 128);
+        assert_eq!(par.db_len(), seq.db_len());
+        let out_par = par.flush_publishes();
+        let out_seq = seq.flush_publishes();
+        assert_eq!(out_par, out_seq, "deterministic shard-order withdrawals");
+        assert!(!out_par.is_empty());
+        assert!(out_par
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Publish { withdraw: true, .. })));
+    }
+
+    #[test]
+    fn memory_is_partitioned_not_replicated() {
+        let world = 4096;
+        let mut single = server(1);
+        let mut four = server(4);
+        for i in 0..world {
+            single.handle(register(vn(1), eid(i), rl(1), 3600), SimTime::ZERO);
+            four.handle(register(vn(1), eid(i), rl(1), 3600), SimTime::ZERO);
+        }
+        single.compact();
+        four.compact();
+        let s1 = single.mem_stats().capacity_bytes as f64;
+        let s4 = four.mem_stats().capacity_bytes as f64;
+        assert!(
+            s4 <= s1 * 1.25,
+            "4-shard memory {s4} exceeds 1.25x single-shard {s1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        PartitionedMapServer::new(rl(1), 0);
+    }
+}

@@ -38,7 +38,7 @@ pub mod shard;
 pub mod smr;
 
 pub use map_cache::{CacheEntry, CacheOutcome, MapCache};
-pub use map_server::{MapServer, REQUEST_SERVICE, UPDATE_SERVICE};
+pub use map_server::{MapServer, MapServerStats, Outbox, REQUEST_SERVICE, UPDATE_SERVICE};
 pub use pubsub::SubscriberTable;
 pub use registry::{MappingDb, MappingRecord, RegisterOutcome};
 pub use shard::ShardedMapServer;

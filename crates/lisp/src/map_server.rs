@@ -237,7 +237,7 @@ impl MapServer {
         if !matches!(outcome, RegisterOutcome::Refreshed) {
             let subscribers: Vec<Rloc> = self.subs.subscribers(vn).to_vec();
             for sub in subscribers {
-                let seq = self.subs.next_seq();
+                let seq = self.subs.next_seq(vn);
                 self.stats.publishes += 1;
                 out.push((
                     sub,
@@ -265,7 +265,7 @@ impl MapServer {
             .map(|(v, p, r)| (v, p, r.rloc))
             .collect();
         for (v, prefix, rloc) in snapshot {
-            let seq = self.subs.next_seq();
+            let seq = self.subs.next_seq(v);
             self.stats.publishes += 1;
             out.push((
                 subscriber,
@@ -317,7 +317,7 @@ impl MapServer {
     fn publish_withdraw(&mut self, vn: VnId, eid: Eid, old_rloc: Rloc, out: &mut Outbox) {
         let subscribers: Vec<Rloc> = self.subs.subscribers(vn).to_vec();
         for sub in subscribers {
-            let seq = self.subs.next_seq();
+            let seq = self.subs.next_seq(vn);
             self.stats.publishes += 1;
             out.push((
                 sub,
@@ -552,6 +552,57 @@ mod tests {
                     last = nonce;
                 }
             }
+        }
+    }
+
+    /// Regression: with the old *global* sequence counter, publishes to
+    /// VN A advanced the numbers VN B's subscriber saw, so every
+    /// foreign-VN publish looked like a gap. Each VN's stream must be
+    /// contiguous on its own.
+    #[test]
+    fn per_vn_publish_streams_are_contiguous() {
+        let mut s = server();
+        let border_a = Rloc::for_router_index(8);
+        let border_b = Rloc::for_router_index(9);
+        for (v, b) in [(vn(1), border_a), (vn(2), border_b)] {
+            s.handle(
+                Message::Subscribe {
+                    nonce: 0,
+                    vn: v,
+                    subscriber: b,
+                },
+                SimTime::ZERO,
+            );
+        }
+        // Interleave changes across the two VNs.
+        let mut out = Outbox::new();
+        for i in 1..=4u8 {
+            out.extend(s.handle(
+                register(vn(1), eid(i), Rloc::for_router_index(1)),
+                SimTime::ZERO,
+            ));
+            out.extend(s.handle(
+                register(vn(2), eid(i), Rloc::for_router_index(1)),
+                SimTime::ZERO,
+            ));
+        }
+        for (border, v) in [(border_a, vn(1)), (border_b, vn(2))] {
+            let seqs: Vec<u64> = out
+                .iter()
+                .filter(|(to, _)| *to == border)
+                .map(|(_, m)| match m {
+                    Message::Publish { nonce, vn, .. } => {
+                        assert_eq!(*vn, v);
+                        *nonce
+                    }
+                    other => panic!("expected Publish, got {other:?}"),
+                })
+                .collect();
+            assert_eq!(
+                seqs,
+                vec![1, 2, 3, 4],
+                "{v:?}'s stream must be gap-free despite interleaving"
+            );
         }
     }
 

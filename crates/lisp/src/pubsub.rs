@@ -1,8 +1,11 @@
 //! Pub/sub subscriptions (draft-ietf-lisp-pubsub, §3.3 border sync).
 //!
 //! Border routers subscribe per VN; every mapping change is pushed to
-//! them with a monotonic sequence number so a subscriber can detect a
-//! gap (and re-subscribe for a full snapshot).
+//! them with a monotonic **per-VN** sequence number so a subscriber can
+//! detect a gap in its own stream (and re-subscribe for a full
+//! snapshot). The sequence must be per VN: with a single global counter
+//! a publish to VN A advances the number a VN-B subscriber sees next,
+//! so every foreign-VN publish looks like a gap to everyone else.
 
 use std::collections::BTreeMap;
 
@@ -13,9 +16,8 @@ use sda_types::{Rloc, VnId};
 pub struct SubscriberTable {
     /// vn → subscriber RLOCs (sorted, deduped).
     by_vn: BTreeMap<VnId, Vec<Rloc>>,
-    /// Publish sequence, global (simpler than per-VN and still gap-
-    /// detectable).
-    seq: u64,
+    /// vn → last allocated publish sequence number.
+    seqs: BTreeMap<VnId, u64>,
 }
 
 impl SubscriberTable {
@@ -46,10 +48,17 @@ impl SubscriberTable {
         self.by_vn.get(&vn).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Allocates the next publish sequence number.
-    pub fn next_seq(&mut self) -> u64 {
-        self.seq += 1;
-        self.seq
+    /// Allocates the next publish sequence number of `vn`'s stream.
+    pub fn next_seq(&mut self, vn: VnId) -> u64 {
+        let seq = self.seqs.entry(vn).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+
+    /// The last sequence number allocated for `vn` (0 before any
+    /// publish) — the stream's current watermark.
+    pub fn current_seq(&self, vn: VnId) -> u64 {
+        self.seqs.get(&vn).copied().unwrap_or(0)
     }
 
     /// Total subscriptions across VNs.
@@ -104,8 +113,23 @@ mod tests {
     #[test]
     fn sequence_monotone() {
         let mut t = SubscriberTable::new();
-        let a = t.next_seq();
-        let b = t.next_seq();
+        let a = t.next_seq(vn(1));
+        let b = t.next_seq(vn(1));
         assert!(b > a);
+    }
+
+    /// Regression: a publish to VN A must not advance VN B's stream —
+    /// with the old global counter, every foreign-VN publish looked
+    /// like a gap to all other subscribers.
+    #[test]
+    fn sequences_are_per_vn() {
+        let mut t = SubscriberTable::new();
+        assert_eq!(t.next_seq(vn(1)), 1);
+        assert_eq!(t.next_seq(vn(1)), 2);
+        assert_eq!(t.next_seq(vn(2)), 1, "vn 2 starts its own stream");
+        assert_eq!(t.next_seq(vn(1)), 3, "vn 1 unaffected by vn 2");
+        assert_eq!(t.current_seq(vn(1)), 3);
+        assert_eq!(t.current_seq(vn(2)), 1);
+        assert_eq!(t.current_seq(vn(3)), 0, "untouched stream is at 0");
     }
 }

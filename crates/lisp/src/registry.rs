@@ -148,6 +148,13 @@ impl MappingDb {
             .flat_map(|(vn, trie)| trie.iter().map(move |(p, r)| (*vn, p, r)))
     }
 
+    /// Iterates `(prefix, record)` entries of one VN only — O(that VN),
+    /// not O(database). Pub/sub snapshots walk exactly the subscribed VN
+    /// through this.
+    pub fn iter_vn(&self, vn: VnId) -> impl Iterator<Item = (EidPrefix, &MappingRecord)> {
+        self.vns.get(&vn).into_iter().flat_map(EidTrie::iter)
+    }
+
     /// Keeps only registrations for which `f` returns true, in one
     /// traversal per VN. Returns how many were removed.
     pub fn retain<F: FnMut(VnId, &EidPrefix, &mut MappingRecord) -> bool>(

@@ -7,6 +7,18 @@
 //!
 //! [`ShardedMapServer`] implements exactly that: requests route to one
 //! shard by requester group; registers replicate to every shard.
+//!
+//! This is the *paper-faithful* deployment — and therefore the one whose
+//! costs grow linearly with shard count (every register is applied N
+//! times, every shard holds the whole world). It is kept as the
+//! differential oracle for `sda-ctrl`'s `PartitionedMapServer`, which
+//! partitions EID space so each register lands on exactly one shard.
+//!
+//! Invariant: register side effects (notifies, publishes) are
+//! transmitted from the **transmit shard** only (the other replicas
+//! apply the update silently, or every subscriber would see N copies),
+//! so subscriptions MUST live on that same shard — a subscription pinned
+//! anywhere else would silently receive nothing.
 
 use sda_simnet::SimTime;
 use sda_types::Rloc;
@@ -43,6 +55,14 @@ impl ShardedMapServer {
         (ip.wrapping_mul(2_654_435_761) >> 16) as usize % self.shards.len()
     }
 
+    /// The shard whose register side effects (notifies, publishes) are
+    /// transmitted — the module-level invariant: subscriptions must be
+    /// routed here and nowhere else, or subscribers would silently
+    /// receive nothing (the other replicas apply updates mutely).
+    fn transmit_shard(&self) -> usize {
+        self.shards.len() - 1
+    }
+
     /// Handles a message, applying the request/update routing rule.
     pub fn handle(&mut self, msg: Message, now: SimTime) -> Outbox {
         match &msg {
@@ -55,20 +75,21 @@ impl ShardedMapServer {
                 for shard in rest {
                     shard.handle(msg.clone(), now);
                 }
-                // The message moves into the final shard (no clone), and
-                // only that shard's side effects (notify/publish) are
-                // transmitted, or every subscriber would see N copies.
+                // The message moves into the transmit shard (no clone),
+                // and only that shard's side effects (notify/publish)
+                // are transmitted, or every subscriber would see N
+                // copies.
                 last.handle(msg, now)
             }
             Message::MapRequest { itr_rloc, .. } => {
                 let idx = self.shard_for(*itr_rloc);
                 self.shards[idx].handle(msg, now)
             }
-            Message::Subscribe { subscriber, .. } => {
-                // Subscriptions live on the last shard — the one whose
-                // side effects are transmitted for registers.
-                let idx = self.shards.len() - 1;
-                let _ = subscriber;
+            Message::Subscribe { .. } => {
+                // Explicitly routed to the transmit shard (see the
+                // invariant on `transmit_shard`): that is the only shard
+                // that emits publishes for replicated registers.
+                let idx = self.transmit_shard();
                 self.shards[idx].handle(msg, now)
             }
             _ => Outbox::new(),
@@ -198,6 +219,34 @@ mod tests {
             .filter(|(_, m)| matches!(m, Message::MapNotify { .. }))
             .count();
         assert_eq!(notifies, 1, "exactly one notify despite 4 shards");
+    }
+
+    /// The transmit-shard invariant: a subscriber must see every change
+    /// exactly once, even though registers are applied on all 4 shards.
+    /// (Subscriptions pinned to any non-transmit shard would receive
+    /// nothing at all, since only the transmit shard's side effects are
+    /// sent.)
+    #[test]
+    fn subscriber_sees_each_change_exactly_once() {
+        let mut s = sharded(4);
+        let border = Rloc::for_router_index(9);
+        let out = s.handle(
+            Message::Subscribe {
+                nonce: 0,
+                vn: vn(),
+                subscriber: border,
+            },
+            SimTime::ZERO,
+        );
+        assert!(out.is_empty(), "empty snapshot before any register");
+        for i in 1..=5u8 {
+            let out = s.handle(register(eid(i), Rloc::for_router_index(1)), SimTime::ZERO);
+            let publishes: Vec<_> = out
+                .iter()
+                .filter(|(to, m)| *to == border && matches!(m, Message::Publish { .. }))
+                .collect();
+            assert_eq!(publishes.len(), 1, "one publish per change, not 4");
+        }
     }
 
     #[test]

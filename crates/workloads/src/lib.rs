@@ -16,6 +16,8 @@
 //!   (`sda-bgp`) fabrics.
 //! * [`frames`] — the same populations as real Ethernet/IPv4 frames,
 //!   batched through the `sda-dataplane` forwarding engine.
+//! * [`metro`] — the city-scale control-plane message stream (million-
+//!   endpoint tier) driving the partitioned map-server benches.
 //! * [`queries`] — Poisson arrival processes (Fig. 7c's offered load).
 //! * [`traffic`] — popularity (Zipf) samplers shared by the models.
 //!
@@ -23,12 +25,14 @@
 
 pub mod campus;
 pub mod frames;
+pub mod metro;
 pub mod queries;
 pub mod traffic;
 pub mod warehouse;
 
 pub use campus::{CampusParams, CampusScenario};
 pub use frames::{FrameDriver, FramePreset, FrameStats};
+pub use metro::{MetroParams, MetroWorkload};
 pub use queries::PoissonArrivals;
 pub use traffic::ZipfSampler;
 pub use warehouse::{HandoverSample, WarehouseParams};

@@ -54,7 +54,7 @@ fn main() {
     );
     println!(
         "routing server mappings: {}",
-        fabric.routing_server().server().db().len()
+        fabric.routing_server().server().db_len()
     );
 
     // Alice prints. The first packet misses edge1's map-cache, rides the

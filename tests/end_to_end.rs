@@ -63,7 +63,7 @@ fn onboarding_registers_all_eids_and_arp_pairs() {
     w.fabric.run_until(ms(100));
 
     // 7 endpoints × 2 EIDs (IPv4 + MAC).
-    assert_eq!(w.fabric.routing_server().server().db().len(), 14);
+    assert_eq!(w.fabric.routing_server().server().db_len(), 14);
     assert_eq!(w.fabric.routing_server().arp_entries(), 7);
     let onboarded: u64 = w
         .edges

@@ -99,7 +99,7 @@ fn packet_conservation_and_state_reconciliation() {
 
     // ── Reconciliation ────────────────────────────────────────────────
     // Routing server holds 2 EIDs per endpoint (all registrations fresh).
-    assert_eq!(f.routing_server().server().db().len(), 2 * n_endpoints);
+    assert_eq!(f.routing_server().server().db_len(), 2 * n_endpoints);
     // Border's synced table mirrors it.
     assert_eq!(f.border(border).fib_len(), 2 * n_endpoints);
     // Every edge's map-cache only holds IPv4 mappings it actually
