@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use sda_dataplane::{DropReason, PacketBuf, Punt, Switch, SwitchConfig, Verdict};
-use sda_simnet::{Context, Node, NodeId, SimDuration, SimTime};
+use sda_simnet::{Context, FaultEvent, Node, NodeId, SimDuration, SimTime};
 use sda_types::{Eid, EidKind, EidPrefix, Ipv4Prefix, Rloc, VnId};
 use sda_wire::lisp::Message as Lisp;
 
@@ -34,10 +34,12 @@ use crate::pipeline;
 use crate::servers::Directory;
 use crate::vrf::LocalEndpoint;
 
-/// Timer token for the subscription kick.
+/// Timer token for the subscription kick (and periodic resubscribe).
 const TIMER_SUBSCRIBE: u64 = 0;
 /// Timer token for FIB sampling.
 const TIMER_FIB_SAMPLE: u64 = 2;
+/// Retransmit sweep for unacknowledged Subscribes. Lazily armed.
+const TIMER_RETRY: u64 = 3;
 
 /// Pub/sub-synced mappings never idle out on the border; the routing
 /// server withdraws them explicitly. Far beyond any scenario horizon.
@@ -62,6 +64,20 @@ pub struct BorderStats {
     /// deltas were lost upstream; the routing server resyncs by
     /// snapshot, so the table still converges).
     pub publish_gaps: u64,
+    /// Resync Subscribes this border sent after detecting a gap or a
+    /// sequence regression (publisher restart).
+    pub resyncs_requested: u64,
+    /// Acked (re)subscriptions after the initial one: each reset the
+    /// VN's synced slice and replayed the server's snapshot.
+    pub resyncs_completed: u64,
+}
+
+/// A Subscribe awaiting its ack, retransmitted with capped backoff —
+/// without bound: a border without a synced table is useless.
+struct PendingSubscribe {
+    nonce: u64,
+    attempts: u32,
+    next_retry: SimTime,
 }
 
 /// The border router node.
@@ -73,8 +89,17 @@ pub struct BorderRouter {
     /// attached endpoints (VRF), ACL and external prefixes.
     switch: Switch,
     stats: BorderStats,
-    /// Highest publish sequence number seen per VN (gap detection).
+    /// Highest publish sequence number seen per VN (gap detection). A
+    /// VN present here has completed at least one acked subscription.
     last_pub_seq: BTreeMap<VnId, u64>,
+    /// Subscribes in flight, per VN, until the server's SubscribeAck.
+    pending_subscribes: BTreeMap<VnId, PendingSubscribe>,
+    next_nonce: u64,
+    /// Whether the subscribe retransmit sweep is armed.
+    retry_armed: bool,
+    /// Crashed (fault injection): volatile synced state is rebuilt on
+    /// restart by resubscribing to every VN.
+    failed: bool,
     buf: PacketBuf,
     frame_scratch: Vec<u8>,
     punt_scratch: Vec<Punt>,
@@ -98,6 +123,10 @@ impl BorderRouter {
             switch,
             stats: BorderStats::default(),
             last_pub_seq: BTreeMap::new(),
+            pending_subscribes: BTreeMap::new(),
+            next_nonce: 1,
+            retry_armed: false,
+            failed: false,
             buf: PacketBuf::new(),
             frame_scratch: Vec::new(),
             punt_scratch: Vec::new(),
@@ -145,6 +174,108 @@ impl BorderRouter {
     /// Installs (merges) group rules for scenario setup.
     pub fn install_rules(&mut self, subset: &sda_policy::RuleSubset) {
         self.switch.install_rules(subset);
+    }
+
+    /// Subscribes in flight (convergence checks: must be 0 once the
+    /// fabric quiesces).
+    pub fn pending_subscribe_len(&self) -> usize {
+        self.pending_subscribes.len()
+    }
+
+    /// Sends a Subscribe for `vn` and tracks it until acked. The server
+    /// answers with a SubscribeAck followed by a full snapshot, so an
+    /// acked (re)subscription always resets the VN's synced slice.
+    fn subscribe_vn(&mut self, ctx: &mut Context<'_, FabricMsg>, vn: VnId) {
+        if self.pending_subscribes.contains_key(&vn) {
+            return; // one in flight per VN is enough
+        }
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let next_retry = ctx.now() + self.dir.params.rtx_initial;
+        self.pending_subscribes.insert(
+            vn,
+            PendingSubscribe {
+                nonce,
+                attempts: 1,
+                next_retry,
+            },
+        );
+        ctx.send(
+            self.dir.routing_server,
+            FabricMsg::Control(Lisp::Subscribe {
+                nonce,
+                vn,
+                subscriber: self.rloc,
+            }),
+        );
+        self.arm_retry(ctx);
+    }
+
+    /// A gap or regression was detected on `vn`'s publish stream: ask
+    /// for a fresh snapshot by resubscribing (unless one is already in
+    /// flight).
+    fn request_resync(&mut self, ctx: &mut Context<'_, FabricMsg>, vn: VnId) {
+        if self.pending_subscribes.contains_key(&vn) {
+            return;
+        }
+        self.stats.resyncs_requested += 1;
+        ctx.metrics().incr("border.resyncs_requested");
+        self.subscribe_vn(ctx, vn);
+    }
+
+    fn arm_retry(&mut self, ctx: &mut Context<'_, FabricMsg>) {
+        if !self.retry_armed {
+            self.retry_armed = true;
+            ctx.set_timer(self.dir.params.rtx_initial, TIMER_RETRY);
+        }
+    }
+
+    /// Exponential backoff after the `attempts`-th send, capped.
+    fn backoff(&self, attempts: u32) -> SimDuration {
+        let p = &self.dir.params;
+        let mut d = p.rtx_initial;
+        for _ in 1..attempts {
+            d = d.saturating_mul(2);
+            if d >= p.rtx_max_backoff {
+                return p.rtx_max_backoff;
+            }
+        }
+        d.min(p.rtx_max_backoff)
+    }
+
+    /// Retransmit sweep: resend due Subscribes (same nonce — the ack
+    /// matches by VN anyway) and re-arm while any are pending.
+    fn run_retries(&mut self, ctx: &mut Context<'_, FabricMsg>) {
+        let now = ctx.now();
+        let due: Vec<VnId> = self
+            .pending_subscribes
+            .iter()
+            .filter(|(_, st)| st.next_retry <= now)
+            .map(|(vn, _)| *vn)
+            .collect();
+        for vn in due {
+            let (nonce, attempts) = {
+                let st = &self.pending_subscribes[&vn];
+                (st.nonce, st.attempts)
+            };
+            let delay = self.backoff(attempts + 1);
+            if let Some(st) = self.pending_subscribes.get_mut(&vn) {
+                st.attempts = attempts + 1;
+                st.next_retry = now + delay;
+            }
+            ctx.metrics().incr("border.subscribe_retries");
+            ctx.send(
+                self.dir.routing_server,
+                FabricMsg::Control(Lisp::Subscribe {
+                    nonce,
+                    vn,
+                    subscriber: self.rloc,
+                }),
+            );
+        }
+        if !self.pending_subscribes.is_empty() {
+            self.arm_retry(ctx);
+        }
     }
 
     /// Runs one packet (already loaded into `self.buf`) through the
@@ -226,13 +357,21 @@ impl BorderRouter {
                 };
                 // Deltas carry the VN stream's next sequence number;
                 // snapshot entries all repeat the stream watermark. A
-                // jump past last+1 on a live stream means lost deltas.
-                let last = self.last_pub_seq.entry(vn).or_insert(0);
-                if *last != 0 && nonce > *last + 1 {
+                // jump past last+1 on a live stream means lost deltas;
+                // a *regression* means the publisher restarted with a
+                // fresh sequence space. Either way the synced slice can
+                // no longer be trusted — request a snapshot resync.
+                let last = self.last_pub_seq.get(&vn).copied().unwrap_or(0);
+                let mut desynced = false;
+                if last != 0 && nonce > last + 1 {
                     self.stats.publish_gaps += 1;
                     ctx.metrics().incr("border.publish_gaps");
+                    desynced = true;
+                } else if nonce < last {
+                    ctx.metrics().incr("border.publish_regressions");
+                    desynced = true;
                 }
-                *last = (*last).max(nonce);
+                self.last_pub_seq.insert(vn, last.max(nonce));
                 self.stats.publishes_applied += 1;
                 if withdraw {
                     self.switch.apply_negative(vn, EidPrefix::host(eid));
@@ -241,6 +380,23 @@ impl BorderRouter {
                         .install_mapping(vn, EidPrefix::host(eid), rloc, SYNC_TTL, now);
                 }
                 ctx.metrics().incr("border.publishes");
+                if desynced {
+                    self.request_resync(ctx, vn);
+                }
+            }
+            Lisp::SubscribeAck { vn, .. } => {
+                if self.pending_subscribes.remove(&vn).is_some() {
+                    // The server reset our subscription: drop the VN's
+                    // synced slice and restart the sequence space — the
+                    // snapshot that follows the ack rebuilds it.
+                    self.switch.purge_vn(vn);
+                    let first = !self.last_pub_seq.contains_key(&vn);
+                    self.last_pub_seq.insert(vn, 0);
+                    if !first {
+                        self.stats.resyncs_completed += 1;
+                        ctx.metrics().incr("border.resyncs_completed");
+                    }
+                }
             }
             Lisp::MapNotify { .. } => {}
             other => {
@@ -321,21 +477,43 @@ impl Node<FabricMsg> for BorderRouter {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, FabricMsg>, token: u64) {
+        if self.failed {
+            // Keep periodic timers armed so a restarted border resumes;
+            // retransmit state is volatile.
+            match token {
+                TIMER_SUBSCRIBE => {
+                    if let Some(interval) = self.dir.params.subscribe_refresh_interval {
+                        ctx.set_timer(interval, TIMER_SUBSCRIBE);
+                    }
+                }
+                TIMER_FIB_SAMPLE => {
+                    if let Some(interval) = self.dir.params.fib_sample_interval {
+                        ctx.set_timer(interval, TIMER_FIB_SAMPLE);
+                    }
+                }
+                TIMER_RETRY => self.retry_armed = false,
+                _ => {}
+            }
+            return;
+        }
         match token {
             TIMER_SUBSCRIBE => {
-                // §3.3: subscribe to every VN's mapping stream.
-                for vn in &self.dir.params.vns {
-                    ctx.send(
-                        self.dir.routing_server,
-                        FabricMsg::Control(Lisp::Subscribe {
-                            nonce: 0,
-                            vn: *vn,
-                            subscriber: self.rloc,
-                        }),
-                    );
+                // §3.3: subscribe to every VN's mapping stream. The
+                // first firing is the t=0 kick; later firings are the
+                // periodic resubscribe (a full resync per VN), which
+                // bounds divergence after arbitrary loss.
+                let first = self.last_pub_seq.is_empty() && self.pending_subscribes.is_empty();
+                let vns = self.dir.params.vns.clone();
+                for vn in vns {
+                    self.subscribe_vn(ctx, vn);
                 }
-                if let Some(interval) = self.dir.params.fib_sample_interval {
-                    ctx.set_timer(interval, TIMER_FIB_SAMPLE);
+                if first {
+                    if let Some(interval) = self.dir.params.fib_sample_interval {
+                        ctx.set_timer(interval, TIMER_FIB_SAMPLE);
+                    }
+                }
+                if let Some(interval) = self.dir.params.subscribe_refresh_interval {
+                    ctx.set_timer(interval, TIMER_SUBSCRIBE);
                 }
             }
             TIMER_FIB_SAMPLE => {
@@ -346,7 +524,35 @@ impl Node<FabricMsg> for BorderRouter {
                     ctx.set_timer(interval, TIMER_FIB_SAMPLE);
                 }
             }
+            TIMER_RETRY => {
+                self.retry_armed = false;
+                self.run_retries(ctx);
+            }
             _ => {}
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut Context<'_, FabricMsg>, fault: FaultEvent) {
+        match fault {
+            FaultEvent::Crash => {
+                self.failed = true;
+            }
+            FaultEvent::Restart => {
+                self.failed = false;
+                ctx.metrics().incr("fabric.border_restarts");
+                // The synced overlay slice is volatile; external routes,
+                // ACL and sinks are config. Drop every VN's slice and
+                // resubscribe from scratch.
+                let vns: Vec<VnId> = self.dir.params.vns.clone();
+                for vn in &vns {
+                    self.switch.purge_vn(*vn);
+                }
+                self.last_pub_seq.clear();
+                self.pending_subscribes.clear();
+                for vn in vns {
+                    self.subscribe_vn(ctx, vn);
+                }
+            }
         }
     }
 

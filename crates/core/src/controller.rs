@@ -65,6 +65,20 @@ pub struct FabricConfig {
     pub vns: Vec<VnId>,
     /// Ingress-enforcement destination-group oracle (§5.3 ablation).
     pub dst_groups: BTreeMap<(VnId, Eid), GroupId>,
+    /// Control-plane retransmit: first retry delay for unacknowledged
+    /// Map-Requests, Map-Registers and Subscribes. Doubles per attempt.
+    pub rtx_initial: SimDuration,
+    /// Cap on the retransmit backoff.
+    pub rtx_max_backoff: SimDuration,
+    /// Send budget per Map-Request/Register (initial send included).
+    /// Exhausting it evicts the pending entry — no stuck `resolving`
+    /// state. Border Subscribes retry without bound: a border without a
+    /// synced table is useless, so it keeps trying.
+    pub rtx_max_attempts: u32,
+    /// Border re-subscribe period (None = subscribe once at start and
+    /// only resync on detected gaps). A periodic resubscribe bounds how
+    /// long a border can stay silently divergent after arbitrary loss.
+    pub subscribe_refresh_interval: Option<SimDuration>,
 }
 
 impl Default for FabricConfig {
@@ -88,6 +102,10 @@ impl Default for FabricConfig {
             border_data_service: SimDuration::from_nanos(200),
             vns: Vec::new(),
             dst_groups: BTreeMap::new(),
+            rtx_initial: SimDuration::from_millis(500),
+            rtx_max_backoff: SimDuration::from_secs(8),
+            rtx_max_attempts: 6,
+            subscribe_refresh_interval: None,
         }
     }
 }
@@ -559,6 +577,37 @@ impl Fabric {
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Number of borders.
+    pub fn border_count(&self) -> usize {
+        self.borders.len()
+    }
+
+    /// Simulator node of an edge — for authoring [`sda_simnet::FaultPlan`]s.
+    pub fn edge_node(&self, h: EdgeHandle) -> NodeId {
+        self.edges[h.0]
+    }
+
+    /// Simulator node of a border.
+    pub fn border_node(&self, h: BorderHandle) -> NodeId {
+        self.borders[h.0]
+    }
+
+    /// Simulator node of the routing server.
+    pub fn routing_node(&self) -> NodeId {
+        self.routing
+    }
+
+    /// Simulator node of the policy server.
+    pub fn policy_node(&self) -> NodeId {
+        self.policy
+    }
+
+    /// Schedules a chaos plan against the fabric (see
+    /// [`sda_simnet::FaultPlan`]).
+    pub fn schedule_faults(&mut self, plan: &sda_simnet::FaultPlan) {
+        self.sim.schedule_faults(plan);
     }
 
     /// Fault injection: fail or revive an edge (§5.1 outage scenarios).

@@ -27,13 +27,13 @@
 //! differential oracle in [`crate::pipeline`]; this node no longer
 //! calls it on the data path.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use sda_dataplane::{PacketBuf, Punt, Switch, SwitchConfig, SwitchStats, Verdict};
 use sda_lisp::SmrTracker;
-use sda_simnet::{Context, Node, NodeId, SimDuration, SimTime};
-use sda_types::{Eid, EidKind, MacAddr, PortId, Rloc, VnId};
+use sda_simnet::{Context, FaultEvent, Node, NodeId, SimDuration, SimTime};
+use sda_types::{Eid, EidKind, GroupId, MacAddr, PortId, Rloc, VnId};
 use sda_underlay::{LinkStateRouter, ReachabilityEvent, ReachabilityTracker};
 use sda_wire::lisp::Message as Lisp;
 
@@ -48,12 +48,38 @@ const TIMER_EVICT: u64 = 1;
 const TIMER_FIB_SAMPLE: u64 = 2;
 const TIMER_UNDERLAY: u64 = 3;
 const TIMER_REFRESH: u64 = 4;
+/// Retransmit sweep for unanswered Map-Requests/Registers. Lazily
+/// armed only while something is pending, so lossless runs never see
+/// it fire.
+const TIMER_RETRY: u64 = 5;
 
 /// A pending attach awaiting authentication.
 struct PendingAttach {
     endpoint: EndpointIdentity,
     port: PortId,
     started: SimTime,
+}
+
+/// A Map-Request in flight: retried with exponential backoff until a
+/// reply arrives or the attempt budget runs out — then *evicted*, so
+/// the resolving set can never wedge an EID permanently (a later
+/// packet restarts resolution from scratch).
+struct PendingResolve {
+    /// Sends so far (the initial request counts).
+    attempts: u32,
+    /// When the retry sweep may retransmit (or give up).
+    next_retry: SimTime,
+}
+
+/// An unacknowledged Map-Register, keyed by its nonce. Registers are
+/// sent with `want_notify` and retransmitted under the *same* nonce —
+/// re-delivery is idempotent on the server, and any in-flight ack
+/// still matches.
+struct PendingRegister {
+    vn: VnId,
+    eid: Eid,
+    attempts: u32,
+    next_retry: SimTime,
 }
 
 /// Counters a scenario can read back after the run.
@@ -83,6 +109,13 @@ pub struct EdgeStats {
     pub onboarded: u64,
     /// ARP broadcasts converted to unicast (§3.5).
     pub arp_converted: u64,
+    /// Map-Request retransmits (loss recovery).
+    pub map_request_retries: u64,
+    /// Map-Register retransmits.
+    pub register_retries: u64,
+    /// Resolutions abandoned after the attempt budget — evicted from
+    /// the resolving set, never stuck.
+    pub resolve_timeouts: u64,
 }
 
 /// The edge router.
@@ -95,8 +128,19 @@ pub struct EdgeRouter {
     switch: Switch,
     smr: SmrTracker,
     pending_auth: HashMap<u64, PendingAttach>,
-    /// Resolutions in flight, to avoid duplicate Map-Requests.
-    resolving: HashSet<(VnId, Eid)>,
+    /// Resolutions in flight: dedupes Map-Requests and drives the
+    /// retransmit/timeout discipline. Ordered so the retry sweep is
+    /// replay-deterministic.
+    resolving: BTreeMap<(VnId, Eid), PendingResolve>,
+    /// Unacked Map-Registers by nonce, retransmitted until the
+    /// server's MapNotify ack.
+    pending_registers: BTreeMap<u64, PendingRegister>,
+    /// Whether the retransmit sweep timer is armed.
+    retry_armed: bool,
+    /// Non-volatile endpoint inventory (port config + cached auth):
+    /// what the box re-detects on its ports after a reboot, used to
+    /// re-attach and re-register everything on restart (§5.2).
+    inventory: BTreeMap<MacAddr, (VnId, LocalEndpoint)>,
     /// Pending ARP conversions: (vn, ip) → requesting endpoint's MAC.
     pending_arp: HashMap<(VnId, std::net::Ipv4Addr), MacAddr>,
     next_txn: u64,
@@ -141,7 +185,10 @@ impl EdgeRouter {
             switch,
             smr: SmrTracker::new(SimDuration::from_secs(5)),
             pending_auth: HashMap::new(),
-            resolving: HashSet::new(),
+            resolving: BTreeMap::new(),
+            pending_registers: BTreeMap::new(),
+            retry_armed: false,
+            inventory: BTreeMap::new(),
             pending_arp: HashMap::new(),
             next_txn: 1,
             next_nonce: 1,
@@ -199,6 +246,17 @@ impl EdgeRouter {
         self.switch.tables().vrf().endpoint_count()
     }
 
+    /// Resolutions currently in flight (convergence checks: must be 0
+    /// once the fabric quiesces).
+    pub fn resolving_len(&self) -> usize {
+        self.resolving.len()
+    }
+
+    /// Unacknowledged Map-Registers (convergence checks).
+    pub fn pending_register_len(&self) -> usize {
+        self.pending_registers.len()
+    }
+
     /// ACL state (for the §5.3 ablation).
     pub fn acl(&self) -> &GroupAcl {
         self.switch.acl()
@@ -213,6 +271,7 @@ impl EdgeRouter {
         install_dst_hints(&mut self.switch, &self.dir);
         self.pending_auth.clear();
         self.resolving.clear();
+        self.pending_registers.clear();
         self.pending_arp.clear();
         if let Some(ls) = self.underlay.take() {
             // Fresh protocol instance with the same wiring (empty LSDB,
@@ -273,10 +332,41 @@ impl EdgeRouter {
         self.dir.node_of(rloc)
     }
 
+    /// Exponential backoff after the `attempts`-th send, capped.
+    fn backoff(&self, attempts: u32) -> SimDuration {
+        let p = &self.dir.params;
+        let mut d = p.rtx_initial;
+        for _ in 1..attempts {
+            d = d.saturating_mul(2);
+            if d >= p.rtx_max_backoff {
+                return p.rtx_max_backoff;
+            }
+        }
+        d.min(p.rtx_max_backoff)
+    }
+
+    /// Arms the retransmit sweep if it is not already pending. Lossless
+    /// runs answer everything before the first sweep, which then finds
+    /// nothing pending and disarms itself.
+    fn arm_retry(&mut self, ctx: &mut Context<'_, FabricMsg>) {
+        if !self.retry_armed {
+            self.retry_armed = true;
+            ctx.set_timer(self.dir.params.rtx_initial, TIMER_RETRY);
+        }
+    }
+
     fn send_map_request(&mut self, ctx: &mut Context<'_, FabricMsg>, vn: VnId, eid: Eid) {
-        if !self.resolving.insert((vn, eid)) {
+        if self.resolving.contains_key(&(vn, eid)) {
             return; // already in flight
         }
+        let next_retry = ctx.now() + self.dir.params.rtx_initial;
+        self.resolving.insert(
+            (vn, eid),
+            PendingResolve {
+                attempts: 1,
+                next_retry,
+            },
+        );
         let nonce = self.nonce();
         self.stats.map_requests += 1;
         ctx.metrics().incr("fabric.map_requests");
@@ -290,6 +380,92 @@ impl EdgeRouter {
                 itr_rloc: self.rloc,
             }),
         );
+        self.arm_retry(ctx);
+    }
+
+    /// One pass of the retransmit sweep: resend due Map-Requests and
+    /// Map-Registers with backoff, evict entries whose attempt budget
+    /// is spent, and re-arm while anything is still pending.
+    fn run_retries(&mut self, ctx: &mut Context<'_, FabricMsg>) {
+        let now = ctx.now();
+        let max_attempts = self.dir.params.rtx_max_attempts;
+
+        let due: Vec<(VnId, Eid)> = self
+            .resolving
+            .iter()
+            .filter(|(_, st)| st.next_retry <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in due {
+            let attempts = self.resolving[&key].attempts;
+            if attempts >= max_attempts {
+                self.resolving.remove(&key);
+                self.stats.resolve_timeouts += 1;
+                ctx.metrics().incr("fabric.resolve_timeouts");
+                continue;
+            }
+            let delay = self.backoff(attempts + 1);
+            if let Some(st) = self.resolving.get_mut(&key) {
+                st.attempts = attempts + 1;
+                st.next_retry = now + delay;
+            }
+            self.stats.map_request_retries += 1;
+            ctx.metrics().incr("fabric.map_request_retries");
+            let nonce = self.nonce();
+            let (vn, eid) = key;
+            ctx.send(
+                self.dir.routing_server,
+                FabricMsg::Control(Lisp::MapRequest {
+                    nonce,
+                    smr: false,
+                    vn,
+                    eid,
+                    itr_rloc: self.rloc,
+                }),
+            );
+        }
+
+        let due_regs: Vec<u64> = self
+            .pending_registers
+            .iter()
+            .filter(|(_, st)| st.next_retry <= now)
+            .map(|(n, _)| *n)
+            .collect();
+        let ttl = self.dir.params.register_ttl_secs;
+        for nonce in due_regs {
+            let (vn, eid, attempts) = {
+                let st = &self.pending_registers[&nonce];
+                (st.vn, st.eid, st.attempts)
+            };
+            if attempts >= max_attempts {
+                // Give up for now; the periodic refresh re-registers.
+                self.pending_registers.remove(&nonce);
+                ctx.metrics().incr("fabric.register_timeouts");
+                continue;
+            }
+            let delay = self.backoff(attempts + 1);
+            if let Some(st) = self.pending_registers.get_mut(&nonce) {
+                st.attempts = attempts + 1;
+                st.next_retry = now + delay;
+            }
+            self.stats.register_retries += 1;
+            ctx.metrics().incr("fabric.register_retries");
+            ctx.send(
+                self.dir.routing_server,
+                FabricMsg::Control(Lisp::MapRegister {
+                    nonce,
+                    vn,
+                    eid,
+                    rloc: self.rloc,
+                    ttl_secs: ttl,
+                    want_notify: true,
+                }),
+            );
+        }
+
+        if !(self.resolving.is_empty() && self.pending_registers.is_empty()) {
+            self.arm_retry(ctx);
+        }
     }
 
     fn register_endpoint(
@@ -305,7 +481,26 @@ impl EdgeRouter {
             eids.push(Eid::Mac(mac));
         }
         for eid in eids {
+            // If an earlier register for this EID is still unacked, the
+            // retransmit sweep already owns it — don't pile up pendings.
+            if self
+                .pending_registers
+                .values()
+                .any(|p| p.vn == vn && p.eid == eid)
+            {
+                continue;
+            }
             let nonce = self.nonce();
+            let next_retry = ctx.now() + self.dir.params.rtx_initial;
+            self.pending_registers.insert(
+                nonce,
+                PendingRegister {
+                    vn,
+                    eid,
+                    attempts: 1,
+                    next_retry,
+                },
+            );
             ctx.send(
                 self.dir.routing_server,
                 FabricMsg::Control(Lisp::MapRegister {
@@ -314,10 +509,11 @@ impl EdgeRouter {
                     eid,
                     rloc: self.rloc,
                     ttl_secs: ttl,
-                    want_notify: false,
+                    want_notify: true,
                 }),
             );
         }
+        self.arm_retry(ctx);
         // §3.5: the routing server also stores the IP→MAC pair.
         if self.dir.params.register_mac {
             ctx.send(
@@ -369,6 +565,7 @@ impl EdgeRouter {
                 );
             }
             HostEvent::Detach { mac } => {
+                self.inventory.remove(&mac);
                 self.switch.detach(mac);
                 // Deliberately no withdraw: mobility overwrites the
                 // mapping when the endpoint re-registers elsewhere
@@ -647,18 +844,28 @@ impl EdgeRouter {
                 }
             }
             Lisp::MapNotify {
-                vn, eid, new_rloc, ..
+                nonce,
+                vn,
+                eid,
+                new_rloc,
             } => {
-                // Fig. 5 step 2–3: the moved endpoint's new location.
-                // Install it so in-flight traffic forwards onward.
-                self.switch.update_mapping(
-                    vn,
-                    eid,
-                    new_rloc,
-                    SimDuration::from_secs(u64::from(sda_lisp::map_server::REPLY_TTL_SECS)),
-                    now,
-                );
-                self.smr.forget_eid(vn, eid);
+                if nonce != 0 {
+                    // Register ack: the server echoes our nonce (moves
+                    // always carry nonce 0). Settle the pending entry;
+                    // installing would self-map the endpoint.
+                    self.pending_registers.remove(&nonce);
+                } else {
+                    // Fig. 5 step 2–3: the moved endpoint's new location.
+                    // Install it so in-flight traffic forwards onward.
+                    self.switch.update_mapping(
+                        vn,
+                        eid,
+                        new_rloc,
+                        SimDuration::from_secs(u64::from(sda_lisp::map_server::REPLY_TTL_SECS)),
+                        now,
+                    );
+                    self.smr.forget_eid(vn, eid);
+                }
             }
             Lisp::MapRequest {
                 smr: true, vn, eid, ..
@@ -688,15 +895,14 @@ impl EdgeRouter {
                 debug_assert_eq!(pending.endpoint.mac, mac);
                 // Fig. 3 steps 2–4: install binding, rules, register.
                 self.switch.install_rules(&rules);
-                self.switch.attach(
-                    profile.vn,
-                    LocalEndpoint {
-                        port: pending.port,
-                        group: profile.group,
-                        mac,
-                        ipv4: pending.endpoint.ipv4,
-                    },
-                );
+                let ep = LocalEndpoint {
+                    port: pending.port,
+                    group: profile.group,
+                    mac,
+                    ipv4: pending.endpoint.ipv4,
+                };
+                self.inventory.insert(mac, (profile.vn, ep));
+                self.switch.attach(profile.vn, ep);
                 self.register_endpoint(ctx, profile.vn, mac, pending.endpoint.ipv4);
                 self.stats.onboarded += 1;
                 let latency = ctx.now().since(pending.started);
@@ -856,6 +1062,10 @@ impl Node<FabricMsg> for EdgeRouter {
                         ctx.set_timer(i, TIMER_FIB_SAMPLE);
                     }
                 }
+                // Retransmit state is volatile: a crashed box isn't
+                // retrying anything. Restart re-registers from the
+                // inventory and re-arms on demand.
+                TIMER_RETRY => self.retry_armed = false,
                 _ => {}
             }
             return;
@@ -890,9 +1100,46 @@ impl Node<FabricMsg> for EdgeRouter {
                     ctx.set_timer(interval, TIMER_REFRESH);
                 }
             }
+            TIMER_RETRY => {
+                self.retry_armed = false;
+                self.run_retries(ctx);
+            }
             // Token 0 is the controller's arming kick.
             0 => self.arm_timers(ctx),
             _ => {}
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut Context<'_, FabricMsg>, fault: FaultEvent) {
+        match fault {
+            FaultEvent::Crash => {
+                self.failed = true;
+            }
+            FaultEvent::Restart => {
+                self.failed = false;
+                self.reboot();
+                ctx.metrics().incr("fabric.edge_restarts");
+                // §5.2 recovery: the endpoint inventory (port config +
+                // cached auth) survives the reboot — re-attach it, then
+                // re-register every endpoint and re-fetch the group
+                // rules the attached population needs.
+                let inventory: Vec<(VnId, LocalEndpoint)> =
+                    self.inventory.values().copied().collect();
+                let mut local: Vec<(VnId, GroupId)> =
+                    inventory.iter().map(|(vn, ep)| (*vn, ep.group)).collect();
+                local.sort_unstable();
+                local.dedup();
+                for (vn, ep) in inventory {
+                    self.switch.attach(vn, ep);
+                    self.register_endpoint(ctx, vn, ep.mac, ep.ipv4);
+                }
+                if !local.is_empty() {
+                    ctx.send(
+                        self.dir.policy_server,
+                        FabricMsg::Policy(PolicyMsg::RuleRefreshRequest { local }),
+                    );
+                }
+            }
         }
     }
 

@@ -39,9 +39,13 @@
 //! * [`dhcp`] — overlay address allocation per VN.
 //! * [`controller`] — the declarative operator API (§3.1) and scenario
 //!   builder producing a runnable [`controller::Fabric`].
+//! * [`chaos`] — post-fault convergence checking: compares server
+//!   database, border subscriber views and edge caches against an
+//!   expected endpoint placement after a chaos run.
 
 pub mod acl;
 pub mod border;
+pub mod chaos;
 pub mod controller;
 pub mod dhcp;
 pub mod edge;
@@ -51,6 +55,7 @@ pub mod servers;
 pub mod vrf;
 
 pub use acl::GroupAcl;
+pub use chaos::{check_convergence, ConvergenceReport, ExpectedPlacement};
 pub use controller::{Fabric, FabricBuilder, FabricConfig};
 pub use msg::{EndpointIdentity, FabricMsg, HostEvent, InnerPacket, OverlayPacket, PolicyMsg};
 pub use pipeline::EnforcementPoint;

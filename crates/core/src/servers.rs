@@ -23,7 +23,7 @@ use rand::Rng;
 use sda_ctrl::PartitionedMapServer;
 use sda_lisp::MapServer;
 use sda_policy::PolicyServer;
-use sda_simnet::{Context, Node, NodeId, SimDuration};
+use sda_simnet::{Context, FaultEvent, Node, NodeId, SimDuration};
 use sda_types::{MacAddr, Rloc, VnId};
 
 use crate::msg::{ArpMsg, FabricMsg, PolicyMsg};
@@ -73,6 +73,12 @@ pub struct RoutingServerNode {
     dir: Rc<Directory>,
     /// §3.5: overlay IP → MAC, for ARP broadcast-to-unicast conversion.
     arp_db: BTreeMap<(VnId, Ipv4Addr), MacAddr>,
+    /// Crashed (fault injection). All state here is volatile: a restart
+    /// comes up with an empty mapping database, empty subscriber list
+    /// and empty ARP table — edges repopulate it through registration
+    /// refreshes and borders resubscribe when they notice the publish
+    /// sequence regressed.
+    failed: bool,
 }
 
 impl RoutingServerNode {
@@ -82,6 +88,7 @@ impl RoutingServerNode {
             server,
             dir,
             arp_db: BTreeMap::new(),
+            failed: false,
         }
     }
 
@@ -109,15 +116,36 @@ const TIMER_PURGE: u64 = 0;
 impl Node<FabricMsg> for RoutingServerNode {
     fn on_timer(&mut self, ctx: &mut Context<'_, FabricMsg>, token: u64) {
         if token == TIMER_PURGE {
-            self.server.expire(ctx.now());
-            self.transmit(ctx, sda_lisp::Outbox::new());
+            if !self.failed {
+                self.server.expire(ctx.now());
+                self.transmit(ctx, sda_lisp::Outbox::new());
+            }
             if let Some(interval) = self.dir.params.purge_interval {
                 ctx.set_timer(interval, TIMER_PURGE);
             }
         }
     }
 
+    fn on_fault(&mut self, ctx: &mut Context<'_, FabricMsg>, fault: FaultEvent) {
+        match fault {
+            FaultEvent::Crash => {
+                self.failed = true;
+            }
+            FaultEvent::Restart => {
+                self.failed = false;
+                let rloc = self.server.rloc();
+                let shards = self.server.shard_count();
+                self.server = PartitionedMapServer::new(rloc, shards);
+                self.arp_db.clear();
+                ctx.metrics().incr("ctrl.server_restarts");
+            }
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Context<'_, FabricMsg>, _from: NodeId, msg: FabricMsg) {
+        if self.failed {
+            return;
+        }
         match msg {
             FabricMsg::Control(m) => {
                 let base = MapServer::service_time(&m);

@@ -138,19 +138,21 @@ impl PartitionedMapServer {
                 want_notify,
             } => self.process_register(nonce, vn, eid, rloc, ttl_secs, want_notify, now),
             Message::Subscribe {
-                nonce: _,
+                nonce,
                 vn,
                 subscriber,
             } => {
                 // Snapshot is assembled at the next flush, off the owner
-                // shards' live state — not walked here.
+                // shards' live state — not walked here. The ack mirrors
+                // the single server's: byte-identical non-publish outbox.
                 self.fanout.subscribe(vn, subscriber);
-                Outbox::new()
+                vec![(subscriber, Message::SubscribeAck { nonce, vn })]
             }
-            // Replies/notifies/publishes are never addressed to a server.
-            Message::MapReply { .. } | Message::MapNotify { .. } | Message::Publish { .. } => {
-                Outbox::new()
-            }
+            // Replies/notifies/publishes/acks are never addressed to a server.
+            Message::MapReply { .. }
+            | Message::MapNotify { .. }
+            | Message::Publish { .. }
+            | Message::SubscribeAck { .. } => Outbox::new(),
         }
     }
 
@@ -343,6 +345,13 @@ impl PartitionedMapServer {
         self.shards[partition::owner_of(&eid, self.shards.len())]
             .db
             .lookup(vn, eid, now)
+    }
+
+    /// Iterates every registered mapping across all shards — ground
+    /// truth for convergence checkers comparing subscriber views
+    /// against the server database.
+    pub fn iter_db(&self) -> impl Iterator<Item = (VnId, EidPrefix, &sda_lisp::MappingRecord)> {
+        self.shards.iter().flat_map(|s| s.db.iter())
     }
 
     /// Per-shard entry counts (partition balance checks).

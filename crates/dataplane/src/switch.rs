@@ -327,6 +327,12 @@ impl SharedTables {
         self.cache.purge_rloc(rloc)
     }
 
+    /// Drops every cached mapping of `vn` (subscriber resync: the slice
+    /// is rebuilt from a fresh snapshot). Returns how many were removed.
+    pub fn purge_vn(&mut self, vn: VnId) -> usize {
+        self.cache.purge_vn(vn)
+    }
+
     /// Installs (merges) an SXP rule subset.
     pub fn install_rules(&mut self, subset: &RuleSubset) {
         self.acl.install(subset);
@@ -1097,6 +1103,11 @@ impl Switch {
     /// Drops every cached mapping through `rloc` (underlay down, §5.1).
     pub fn purge_rloc(&mut self, rloc: Rloc) -> usize {
         self.tables.purge_rloc(rloc)
+    }
+
+    /// Drops every cached mapping of `vn` (subscriber resync).
+    pub fn purge_vn(&mut self, vn: VnId) -> usize {
+        self.tables.purge_vn(vn)
     }
 
     /// Installs (merges) an SXP rule subset.

@@ -530,6 +530,23 @@ impl MapCache {
         self.len() == 0
     }
 
+    /// Drops every entry of `vn` (subscriber resync: the whole slice is
+    /// rebuilt from a fresh snapshot). Returns how many were removed.
+    pub fn purge_vn(&mut self, vn: VnId) -> usize {
+        let removed = self.vns.remove(&vn).map(|t| t.len()).unwrap_or(0);
+        self.total -= removed;
+        removed
+    }
+
+    /// Iterates every `(vn, prefix, rloc, expires_at)` entry — the
+    /// convergence checker's view of the cache.
+    pub fn iter(&self) -> impl Iterator<Item = (VnId, EidPrefix, Rloc, SimTime)> + '_ {
+        self.vns.iter().flat_map(|(vn, trie)| {
+            trie.iter()
+                .map(move |(prefix, e)| (*vn, prefix, e.rloc, e.expires_at))
+        })
+    }
+
     /// Clears everything (edge reboot, §5.2: "it will start with an
     /// empty FIB for the overlay entries").
     pub fn clear(&mut self) {

@@ -133,14 +133,15 @@ impl MapServer {
                 want_notify,
             } => self.process_register(nonce, vn, eid, rloc, ttl_secs, want_notify, now),
             Message::Subscribe {
-                nonce: _,
+                nonce,
                 vn,
                 subscriber,
-            } => self.process_subscribe(vn, subscriber),
-            // Replies/notifies/publishes are never addressed to a server.
-            Message::MapReply { .. } | Message::MapNotify { .. } | Message::Publish { .. } => {
-                Outbox::new()
-            }
+            } => self.process_subscribe(nonce, vn, subscriber),
+            // Replies/notifies/publishes/acks are never addressed to a server.
+            Message::MapReply { .. }
+            | Message::MapNotify { .. }
+            | Message::Publish { .. }
+            | Message::SubscribeAck { .. } => Outbox::new(),
         }
     }
 
@@ -254,10 +255,14 @@ impl MapServer {
         out
     }
 
-    fn process_subscribe(&mut self, vn: VnId, subscriber: Rloc) -> Outbox {
+    fn process_subscribe(&mut self, nonce: u64, vn: VnId, subscriber: Rloc) -> Outbox {
         self.subs.subscribe(vn, subscriber);
-        // Full snapshot so the border starts synchronized.
+        // Ack first: the subscriber resets its view of the VN on receipt,
+        // then the snapshot publishes that follow rebuild it. Re-subscribe
+        // is idempotent, so retransmitted Subscribes are safe.
         let mut out = Outbox::new();
+        out.push((subscriber, Message::SubscribeAck { nonce, vn }));
+        // Full snapshot so the border starts synchronized.
         let snapshot: Vec<(VnId, EidPrefix, Rloc)> = self
             .db
             .iter()
@@ -496,24 +501,25 @@ mod tests {
         s.handle(register(vn(1), eid(1), edge), SimTime::ZERO);
         s.handle(register(vn(1), eid(2), edge), SimTime::ZERO);
 
-        // Subscribe: snapshot of 2 mappings.
+        // Subscribe: ack followed by a snapshot of 2 mappings.
         let out = s.handle(
             Message::Subscribe {
-                nonce: 0,
+                nonce: 5,
                 vn: vn(1),
                 subscriber: border,
             },
             SimTime::ZERO,
         );
-        assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|(to, m)| *to == border
-            && matches!(
-                m,
-                Message::Publish {
-                    withdraw: false,
-                    ..
-                }
-            )));
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|(to, _)| *to == border));
+        assert!(matches!(out[0].1, Message::SubscribeAck { nonce: 5, .. }));
+        assert!(out[1..].iter().all(|(_, m)| matches!(
+            m,
+            Message::Publish {
+                withdraw: false,
+                ..
+            }
+        )));
 
         // New registration streams one publish.
         let out = s.handle(register(vn(1), eid(3), edge), SimTime::ZERO);

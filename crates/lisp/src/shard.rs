@@ -238,7 +238,11 @@ mod tests {
             },
             SimTime::ZERO,
         );
-        assert!(out.is_empty(), "empty snapshot before any register");
+        assert_eq!(out.len(), 1, "just the ack before any register");
+        assert!(
+            matches!(out[0], (to, Message::SubscribeAck { .. }) if to == border),
+            "subscription acked to the border, not 4 times"
+        );
         for i in 1..=5u8 {
             let out = s.handle(register(eid(i), Rloc::for_router_index(1)), SimTime::ZERO);
             let publishes: Vec<_> = out

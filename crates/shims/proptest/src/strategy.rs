@@ -272,6 +272,41 @@ macro_rules! impl_range_strategy {
 }
 impl_range_strategy!(u8, u16, u32, u64, usize);
 
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let frac = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + frac * (self.end - self.start)
+            }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                // Halve the distance to the lower bound; stop once the
+                // step is too small to matter.
+                let dist = *value - self.start;
+                (dist > (self.end - self.start) * 1e-3)
+                    .then(|| self.start + dist / 2.0)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let frac = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + frac * (hi - lo)
+            }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                let dist = *value - lo;
+                (dist > (hi - lo) * 1e-3).then(|| lo + dist / 2.0)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
 macro_rules! impl_tuple_strategy {
     ($($name:ident: $idx:tt),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {

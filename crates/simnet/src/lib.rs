@@ -24,13 +24,44 @@
 //! * **Links.** Latency per directed pair with a default, plus optional
 //!   deterministic-seeded loss.
 //!
+//! ## Fault model
+//!
+//! Chaos experiments are scripted through a [`FaultPlan`] — a list of
+//! `(time, `[`Fault`]`)` pairs scheduled into the ordinary event queue
+//! with [`Simulator::schedule_faults`], so fault timing is subject to the
+//! same total order and the same seeded RNG as everything else: a chaos
+//! run replays bit-identically from `(scenario, seed, plan)`.
+//!
+//! * **Crash / restart** ([`Fault::Crash`], [`Fault::Restart`]). While a
+//!   node is down, every delivery addressed to it — including messages
+//!   already in flight — is dropped (`simnet.fault_msg_drops`) and its
+//!   control-CPU backlog is discarded. Timers still fire, so periodic
+//!   re-arm discipline survives the outage; the node is told about both
+//!   transitions via [`Node::on_fault`] and models volatile-state loss
+//!   there (a restarted node must rebuild from whatever it considers
+//!   non-volatile, e.g. configuration and local endpoint inventory).
+//! * **Partition / heal** ([`Fault::Partition`], [`Fault::Heal`]). Cuts
+//!   an unordered node pair: sends in either direction are dropped at
+//!   the sender's link (`simnet.partition_drops`) until healed.
+//! * **Loss / latency spikes** ([`Fault::Loss`], [`Fault::Latency`],
+//!   [`Fault::DefaultLoss`]). Rewrite link parameters on a schedule,
+//!   per-pair or fabric-wide; loss draws come from the scenario RNG, so
+//!   which packets die is deterministic per seed.
+//!
+//! Fault activity is observable via the `simnet.faults_injected`,
+//! `simnet.node_crashes`, `simnet.node_restarts`, `simnet.links_cut`,
+//! `simnet.links_healed`, `simnet.fault_msg_drops` and
+//! `simnet.partition_drops` counters.
+//!
 //! The simulator is generic over the message type `M`, so `sda-core`,
 //! `sda-bgp` and tests each bring their own protocol enums.
 
+pub mod fault;
 pub mod metrics;
 pub mod sim;
 pub mod time;
 
+pub use fault::{Fault, FaultEvent, FaultPlan};
 pub use metrics::{Metrics, Summary};
 pub use sim::{Context, Node, NodeId, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -34,6 +34,7 @@ const TYPE_MAP_REGISTER: u8 = 3;
 const TYPE_MAP_NOTIFY: u8 = 4;
 const TYPE_PUBLISH: u8 = 6;
 const TYPE_SUBSCRIBE: u8 = 7;
+const TYPE_SUBSCRIBE_ACK: u8 = 8;
 
 const FLAG_SMR: u8 = 0x1;
 const FLAG_NEGATIVE: u8 = 0x1;
@@ -109,6 +110,15 @@ pub enum Message {
         vn: VnId,
         /// Where publishes should be sent.
         subscriber: Rloc,
+    },
+    /// Acknowledges a Subscribe: the subscriber's view of `vn` is being
+    /// reset and a fresh snapshot follows as Publish messages. Used by
+    /// subscribers to retransmit Subscribes until one takes effect.
+    SubscribeAck {
+        /// Echoed from the Subscribe.
+        nonce: u64,
+        /// VN scope of the acknowledged subscription.
+        vn: VnId,
     },
     /// Push a mapping change to a subscriber.
     Publish {
@@ -198,6 +208,10 @@ impl Message {
                 w.vn(*vn);
                 w.rloc(*subscriber);
             }
+            Message::SubscribeAck { nonce, vn } => {
+                w.header(TYPE_SUBSCRIBE_ACK, 0, *nonce);
+                w.vn(*vn);
+            }
             Message::Publish {
                 nonce,
                 vn,
@@ -257,6 +271,7 @@ impl Message {
                 vn: r.vn()?,
                 subscriber: r.rloc()?,
             },
+            TYPE_SUBSCRIBE_ACK => Message::SubscribeAck { nonce, vn: r.vn()? },
             TYPE_PUBLISH => Message::Publish {
                 nonce,
                 withdraw: flags & FLAG_WITHDRAW != 0,
@@ -280,6 +295,7 @@ impl Message {
             | Message::MapRegister { nonce, .. }
             | Message::MapNotify { nonce, .. }
             | Message::Subscribe { nonce, .. }
+            | Message::SubscribeAck { nonce, .. }
             | Message::Publish { nonce, .. } => *nonce,
         }
     }
@@ -495,6 +511,7 @@ mod tests {
                 vn,
                 subscriber: rloc,
             },
+            Message::SubscribeAck { nonce: 9, vn },
             Message::Publish {
                 nonce: 77,
                 vn,

@@ -1,0 +1,393 @@
+//! The chaos scenario pack: a full-fabric fault campaign with a
+//! convergence verdict.
+//!
+//! Where [`campus`](crate::campus) and [`warehouse`](crate::warehouse)
+//! reproduce the paper's *measured* workloads, this module stresses the
+//! control plane the way an unlucky week of operations would:
+//!
+//! * a **reboot storm** — every access switch in a wing power-cycles on
+//!   a stagger (≥100 edges at full scale), losing volatile state and
+//!   recovering from its local endpoint inventory;
+//! * a **routing-server restart mid-churn** — the mapping database,
+//!   subscriber list and ARP table vanish; edges repopulate the database
+//!   through registration refreshes, borders resync by snapshot;
+//! * a **roam storm on a lossy fabric** — a slice of the population
+//!   changes edges while every link drops a percentage of messages
+//!   (Map-Requests, Registers, Publishes included).
+//!
+//! Edge↔policy-server links are pinned lossless for the campaign
+//! (out-of-band management network): authentication has no retransmit
+//! path, and the chaos under test is the *LISP* control plane's.
+//!
+//! The campaign ends with a quiet tail longer than the map-cache idle
+//! timeout (stale reactive entries must evict), a
+//! [`check_convergence`] pass against the expected endpoint placement,
+//! and a probe round that must deliver loss-free on the healed fabric.
+//! Same seed ⇒ byte-identical run, faults and drops included.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sda_core::controller::{BorderHandle, EdgeHandle, FabricBuilder};
+use sda_core::{check_convergence, ConvergenceReport, EndpointIdentity, ExpectedPlacement, Fabric};
+use sda_simnet::{Fault, FaultPlan, SimDuration, SimTime};
+use sda_types::{Eid, GroupId, Ipv4Prefix, PortId, VnId};
+
+/// The one group everyone belongs to (policy is not under test here).
+pub const USERS: GroupId = GroupId(10);
+
+/// Campaign shape. Presets: [`ChaosParams::storm`] (full scale),
+/// [`ChaosParams::reduced`] (CI scale).
+#[derive(Clone, Debug)]
+pub struct ChaosParams {
+    /// Label used in output.
+    pub name: &'static str,
+    /// Total endpoints.
+    pub endpoints: usize,
+    /// Edge routers.
+    pub edges: usize,
+    /// Border routers.
+    pub borders: usize,
+    /// How many edges the reboot storm power-cycles.
+    pub reboot_edges: usize,
+    /// Fraction of endpoints that change edges mid-campaign.
+    pub roam_share: f64,
+    /// Fabric-wide loss probability during the chaos window.
+    pub fabric_loss: f64,
+    /// RNG seed (schedule and fabric).
+    pub seed: u64,
+}
+
+impl ChaosParams {
+    /// Full scale: a 120-edge fabric whose storm reboots 110 of them.
+    pub fn storm() -> Self {
+        ChaosParams {
+            name: "storm",
+            endpoints: 240,
+            edges: 120,
+            borders: 2,
+            reboot_edges: 110,
+            roam_share: 0.05,
+            fabric_loss: 0.05,
+            seed: 0xC4A05,
+        }
+    }
+
+    /// CI scale: same phases, ~5× smaller fabric.
+    pub fn reduced() -> Self {
+        ChaosParams {
+            name: "reduced",
+            endpoints: 48,
+            edges: 24,
+            borders: 1,
+            reboot_edges: 20,
+            roam_share: 0.1,
+            fabric_loss: 0.05,
+            seed: 0xC4A05,
+        }
+    }
+
+    /// [`Self::reduced`] when `SDA_CHAOS_REDUCED` is set (CI),
+    /// [`Self::storm`] otherwise.
+    pub fn from_env() -> Self {
+        if std::env::var_os("SDA_CHAOS_REDUCED").is_some() {
+            Self::reduced()
+        } else {
+            Self::storm()
+        }
+    }
+}
+
+/// Campaign phase boundaries (seconds). The roam window starts after
+/// the last storm restart (16 + 110·0.12 + 2 ≈ 31.3 at full scale);
+/// the convergence check sits off the 5-second control-plane timer
+/// grid so it never samples a just-fired refresh mid-round-trip.
+mod t {
+    /// Attaches are staggered over `[0, ATTACH)`.
+    pub const ATTACH: u64 = 10;
+    /// Fabric-wide loss switches on.
+    pub const LOSS_ON: u64 = 15;
+    /// First storm crash.
+    pub const STORM: u64 = 16;
+    /// Routing server crashes...
+    pub const SERVER_DOWN: u64 = 20;
+    /// ...and restarts empty.
+    pub const SERVER_UP: u64 = 24;
+    /// Roams are staggered over `[ROAM_FROM, ROAM_TO)`.
+    pub const ROAM_FROM: u64 = 33;
+    /// End of the roam window.
+    pub const ROAM_TO: u64 = 39;
+    /// Fabric-wide loss heals; the quiet tail begins.
+    pub const LOSS_OFF: u64 = 45;
+    /// Convergence is checked here (quiet tail ≫ idle timeout).
+    pub const CHECK: u64 = 91;
+    /// Probe round on the healed fabric.
+    pub const PROBE: u64 = 92;
+    /// End of the run.
+    pub const END: u64 = 99;
+}
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_nanos(s * 1_000_000_000)
+}
+
+/// One endpoint: identity, home edge, and where it ends up.
+#[derive(Clone, Copy, Debug)]
+pub struct Member {
+    /// Identity (credentials + addresses).
+    pub identity: EndpointIdentity,
+    /// Edge it attaches to first.
+    pub home: usize,
+    /// Edge it is on when the campaign ends (≠ `home` for roamers).
+    pub fin: usize,
+}
+
+/// The fault/retry counters every chaos run reports.
+pub const CHAOS_COUNTERS: &[&str] = &[
+    "simnet.faults_injected",
+    "simnet.node_crashes",
+    "simnet.node_restarts",
+    "simnet.fault_msg_drops",
+    "simnet.link_drops",
+    "fabric.map_request_retries",
+    "fabric.resolve_timeouts",
+    "fabric.register_retries",
+    "fabric.register_timeouts",
+    "fabric.edge_restarts",
+    "ctrl.server_restarts",
+    "border.subscribe_retries",
+    "border.publish_gaps",
+    "border.publish_regressions",
+    "border.resyncs_requested",
+    "border.resyncs_completed",
+];
+
+/// What a campaign run produced.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// The convergence verdict at the end of the quiet tail.
+    pub report: ConvergenceReport,
+    /// Probes sent on the healed fabric.
+    pub probes_sent: u64,
+    /// Probes delivered (must equal `probes_sent`: loss is healed).
+    pub probes_delivered: u64,
+    /// `(name, value)` for every counter in [`CHAOS_COUNTERS`].
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl ChaosOutcome {
+    /// Prints the observability block scenario binaries and tests emit.
+    pub fn print(&self, label: &str) {
+        println!("chaos[{label}] convergence: {:?}", self.report);
+        println!(
+            "chaos[{label}] probes: {}/{} delivered",
+            self.probes_delivered, self.probes_sent
+        );
+        for (name, value) in &self.counters {
+            println!("chaos[{label}]   {name} = {value}");
+        }
+    }
+}
+
+/// A built campaign: fabric wired, faults, churn and traffic scheduled.
+pub struct ChaosScenario {
+    /// The fabric under test.
+    pub fabric: Fabric,
+    /// Edge handles, index-aligned with [`Member::home`]/[`Member::fin`].
+    pub edges: Vec<EdgeHandle>,
+    /// Border handles.
+    pub borders: Vec<BorderHandle>,
+    /// Everyone, with final placement.
+    pub roster: Vec<Member>,
+    /// The one overlay VN.
+    pub vn: VnId,
+    /// Parameters used.
+    pub params: ChaosParams,
+}
+
+impl ChaosScenario {
+    /// Builds the fabric and pre-schedules the whole campaign.
+    pub fn build(params: ChaosParams) -> ChaosScenario {
+        assert!(params.reboot_edges <= params.edges);
+        assert!(params.edges >= 2, "roams need somewhere to go");
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let mut b = FabricBuilder::new(params.seed);
+        {
+            let cfg = b.config_mut();
+            // Fast control plane + short idle timeout: the quiet tail
+            // (LOSS_OFF..CHECK, 46 s) covers several refresh rounds and
+            // more than two idle-eviction horizons.
+            cfg.refresh_interval = Some(SimDuration::from_secs(5));
+            cfg.subscribe_refresh_interval = Some(SimDuration::from_secs(5));
+            cfg.purge_interval = Some(SimDuration::from_secs(5));
+            cfg.register_ttl_secs = 30;
+            cfg.idle_timeout = SimDuration::from_secs(20);
+            cfg.eviction_interval = SimDuration::from_secs(2);
+        }
+        let vn = b.add_vn(
+            100,
+            Ipv4Prefix::new(std::net::Ipv4Addr::new(10, 100, 0, 0), 16).unwrap(),
+        );
+        b.allow(vn, USERS, USERS);
+        let edges: Vec<EdgeHandle> = (0..params.edges)
+            .map(|i| b.add_edge(format!("chaos-e{i}")))
+            .collect();
+        let borders: Vec<BorderHandle> = (0..params.borders)
+            .map(|i| b.add_border(format!("chaos-b{i}"), vec![]))
+            .collect();
+
+        let mut roster: Vec<Member> = (0..params.endpoints)
+            .map(|i| Member {
+                identity: b.mint_endpoint(vn, USERS),
+                home: i % params.edges,
+                fin: i % params.edges,
+            })
+            .collect();
+
+        let mut fabric = b.build();
+
+        // Attach everyone, staggered over the first seconds.
+        for (i, m) in roster.iter().enumerate() {
+            let at =
+                SimTime::ZERO + SimDuration::from_secs_f64(rng.gen::<f64>() * t::ATTACH as f64);
+            fabric.attach_at(at, edges[m.home], m.identity, PortId(i as u16));
+        }
+
+        // The fault plan: lossless management links to the policy server
+        // first (auth has no retransmit path — see module docs), then
+        // the three chaos phases.
+        let policy = fabric.policy_node();
+        let mut plan = FaultPlan::new();
+        for &e in &edges {
+            plan = plan.at(
+                SimTime::ZERO,
+                Fault::Loss {
+                    a: fabric.edge_node(e),
+                    b: policy,
+                    loss: 0.0,
+                },
+            );
+        }
+        plan = plan
+            .default_loss_window(params.fabric_loss, secs(t::LOSS_ON), secs(t::LOSS_OFF))
+            .reboot(
+                fabric.routing_node(),
+                secs(t::SERVER_DOWN),
+                secs(t::SERVER_UP),
+            );
+        for (i, &e) in edges.iter().take(params.reboot_edges).enumerate() {
+            let down = secs(t::STORM) + SimDuration::from_millis(120).saturating_mul(i as u64);
+            plan = plan.reboot(fabric.edge_node(e), down, down + SimDuration::from_secs(2));
+        }
+        fabric.schedule_faults(&plan);
+
+        // Roam storm: a slice of the population changes edges after the
+        // reboot storm settles (a detach aimed at a crashed edge would
+        // be lost with the power, leaving two edges claiming one
+        // endpoint — a fabric with out-of-band port state; here roams
+        // go switch-to-switch while both are up).
+        let roam_count = (params.endpoints as f64 * params.roam_share).round() as usize;
+        let roam_span = (t::ROAM_TO - t::ROAM_FROM) as f64;
+        for k in 0..roam_count {
+            let i = k * params.endpoints / roam_count.max(1);
+            let m = roster[i];
+            let mut dst = rng.gen_range(0..params.edges);
+            if dst == m.home {
+                dst = (dst + 1) % params.edges;
+            }
+            let at = secs(t::ROAM_FROM) + SimDuration::from_secs_f64(rng.gen::<f64>() * roam_span);
+            fabric.detach_at(at, edges[m.home], m.identity.mac);
+            fabric.attach_at(
+                at + SimDuration::from_millis(500),
+                edges[dst],
+                m.identity,
+                PortId(i as u16),
+            );
+            roster[i].fin = dst;
+        }
+
+        // Background traffic through the chaos window: drives reactive
+        // resolutions (and their retransmits) under loss. Roamers stop
+        // sending before their detach.
+        for (i, m) in roster.iter().enumerate() {
+            let send_until = if m.fin != m.home {
+                t::ROAM_FROM
+            } else {
+                t::ROAM_TO
+            };
+            for f in 0..2u64 {
+                let span = (send_until - t::ATTACH) as f64;
+                let at = secs(t::ATTACH) + SimDuration::from_secs_f64(rng.gen::<f64>() * span);
+                let peer =
+                    &roster[(i + 1 + rng.gen_range(0..params.endpoints - 1)) % params.endpoints];
+                fabric.send_at(
+                    at,
+                    edges[m.home],
+                    m.identity.mac,
+                    Eid::V4(peer.identity.ipv4),
+                    256,
+                    (i as u64) << 8 | f,
+                    false,
+                );
+            }
+        }
+
+        ChaosScenario {
+            fabric,
+            edges,
+            borders,
+            roster,
+            vn,
+            params,
+        }
+    }
+
+    /// Where every endpoint must be once the faults cease.
+    pub fn expected(&self) -> ExpectedPlacement {
+        let mut want = ExpectedPlacement::new();
+        for m in &self.roster {
+            let rloc = self.fabric.edge(self.edges[m.fin]).rloc();
+            want.insert((self.vn, Eid::V4(m.identity.ipv4)), rloc);
+            want.insert((self.vn, Eid::Mac(m.identity.mac)), rloc);
+        }
+        want
+    }
+
+    /// Runs the campaign: chaos, quiet tail, convergence check, probes.
+    pub fn run(&mut self) -> ChaosOutcome {
+        self.fabric.run_until(secs(t::CHECK));
+        let report = check_convergence(&self.fabric, &self.expected());
+
+        // Probe round on the healed fabric: every endpoint reaches a
+        // peer on a different (final) edge, loss-free.
+        let delivered_before = self.fabric.metrics().counter("fabric.delivered");
+        let mut probes = 0u64;
+        let roster = self.roster.clone();
+        for (i, m) in roster.iter().enumerate() {
+            let Some(peer) = (1..roster.len())
+                .map(|d| &roster[(i + d) % roster.len()])
+                .find(|p| p.fin != m.fin)
+            else {
+                continue;
+            };
+            self.fabric.send_at(
+                secs(t::PROBE) + SimDuration::from_millis(10).saturating_mul(i as u64),
+                self.edges[m.fin],
+                m.identity.mac,
+                Eid::V4(peer.identity.ipv4),
+                128,
+                0xF000 + i as u64,
+                false,
+            );
+            probes += 1;
+        }
+        self.fabric.run_until(secs(t::END));
+
+        let m = self.fabric.metrics();
+        ChaosOutcome {
+            report,
+            probes_sent: probes,
+            probes_delivered: m.counter("fabric.delivered") - delivered_before,
+            counters: CHAOS_COUNTERS.iter().map(|n| (*n, m.counter(n))).collect(),
+        }
+    }
+}

@@ -20,10 +20,15 @@
 //!   endpoint tier) driving the partitioned map-server benches.
 //! * [`queries`] — Poisson arrival processes (Fig. 7c's offered load).
 //! * [`traffic`] — popularity (Zipf) samplers shared by the models.
+//! * [`chaos`] — the fault campaign (reboot storm, server restart
+//!   mid-churn, roam storm on a lossy fabric) with a convergence
+//!   verdict and probe round; the robustness counterpart of the
+//!   measured workloads.
 //!
 //! Everything is seeded and deterministic.
 
 pub mod campus;
+pub mod chaos;
 pub mod frames;
 pub mod metro;
 pub mod queries;
@@ -31,6 +36,7 @@ pub mod traffic;
 pub mod warehouse;
 
 pub use campus::{CampusParams, CampusScenario};
+pub use chaos::{ChaosOutcome, ChaosParams, ChaosScenario};
 pub use frames::{FrameDriver, FramePreset, FrameStats};
 pub use metro::{MetroParams, MetroWorkload};
 pub use queries::PoissonArrivals;

@@ -1,0 +1,64 @@
+//! The chaos scenario pack as a test: the full campaign (or the CI
+//! scale when `SDA_CHAOS_REDUCED` is set) must end converged, deliver
+//! every probe on the healed fabric, and replay byte-identically.
+
+use sda_workloads::chaos::{ChaosParams, ChaosScenario};
+
+fn run(params: ChaosParams) -> sda_workloads::ChaosOutcome {
+    let mut s = ChaosScenario::build(params);
+    s.run()
+}
+
+#[test]
+fn chaos_campaign_converges_and_probes_deliver() {
+    let params = ChaosParams::from_env();
+    let label = params.name;
+    let outcome = run(params);
+    outcome.print(label);
+    assert!(
+        outcome.report.converged(),
+        "post-chaos fixed point: {:?}",
+        outcome.report
+    );
+    assert_eq!(
+        outcome.probes_delivered, outcome.probes_sent,
+        "healed fabric must deliver every probe"
+    );
+    // The campaign actually hurt: faults fired, messages died, the
+    // retry/self-healing machinery did real work.
+    let counter = |name: &str| {
+        outcome
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
+    assert!(counter("simnet.node_crashes") >= 2, "storm + server reboot");
+    assert!(
+        counter("simnet.link_drops") > 0,
+        "lossy window dropped messages"
+    );
+    assert!(counter("ctrl.server_restarts") == 1);
+    assert!(counter("fabric.edge_restarts") as usize >= 1);
+    assert!(
+        counter("fabric.register_retries") > 0,
+        "registers retransmitted under loss"
+    );
+    assert!(
+        counter("border.resyncs_completed") >= 1,
+        "borders resynced after the server restart"
+    );
+}
+
+#[test]
+fn chaos_campaign_replays_identically() {
+    let params = ChaosParams::reduced();
+    let a = run(params.clone());
+    let b = run(params);
+    assert_eq!(
+        a.counters, b.counters,
+        "same seed, same campaign, same trace"
+    );
+    assert_eq!(a.probes_delivered, b.probes_delivered);
+}
