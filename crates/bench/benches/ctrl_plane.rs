@@ -16,6 +16,10 @@
 //!   not grow with shard count — the replicate-all deployment's does).
 //! * `register_legacy_s4/100000` — the same churn through the
 //!   replicate-all `ShardedMapServer` (every register applied 4×).
+//! * `register_admitted_s4/100000` — the same churn through an
+//!   admission-guarded server with a never-shedding budget: the cost
+//!   of the token-bucket probe on the accept path (asserted ≤1.15× the
+//!   unguarded `register_s4` median in full mode).
 //! * `request_s{1,2,4}/{100k,1M}` — one Map-Request resolution.
 //! * `sweep_seq_s4` / `sweep_par_s4` — a full zero-victim expiry
 //!   traversal of all shards, sequential vs. scoped worker threads.
@@ -114,6 +118,40 @@ fn main() {
                     },
                 );
 
+                if shards == 4 && scale == 100_000 {
+                    // Admission-control overhead on the *accept* path:
+                    // the same churn on the same server, guarded by a
+                    // budget that never sheds — back-to-back with the
+                    // unguarded row so the comparison sees identical
+                    // memory and identical load, isolating the one
+                    // token-bucket probe per register. The bench clock
+                    // is pinned, so the bucket never refills — the
+                    // burst must outlast every iteration.
+                    server.set_admission(Some(sda_ctrl::AdmissionConfig::uniform(
+                        1e12,
+                        1e12,
+                        SimDuration::from_millis(300),
+                    )));
+                    let mut k = 0usize;
+                    group.bench_with_input(
+                        BenchmarkId::new("register_admitted_s4", scale),
+                        &scale,
+                        |b, _| {
+                            b.iter(|| {
+                                let m = churn[k].clone();
+                                k = (k + 1) % churn.len();
+                                black_box(server.handle(m, now));
+                            });
+                        },
+                    );
+                    assert_eq!(
+                        server.overload_stats().shed_registers,
+                        0,
+                        "admitted bench must never shed"
+                    );
+                    server.set_admission(None);
+                }
+
                 let mut k = 0usize;
                 group.bench_with_input(
                     BenchmarkId::new(format!("request_s{shards}"), scale),
@@ -193,6 +231,7 @@ fn main() {
                 },
             );
         }
+
         group.finish();
     }
 
@@ -259,11 +298,25 @@ fn main() {
         median("register_legacy_s4/100000"),
         median("register_s4/100000"),
     );
+    let admitted_ratio = median("register_admitted_s4/100000") / median("register_s4/100000");
+    eprintln!(
+        "admission-guarded register (4 shards, 100k): {:.0} ns vs unguarded {:.0} ns ({:.3}x)",
+        median("register_admitted_s4/100000"),
+        median("register_s4/100000"),
+        admitted_ratio,
+    );
 
     if smoke {
         eprintln!("smoke mode: skipping the timing assertions");
         return;
     }
+
+    // The admission gate stays off the hot path: one token-bucket probe
+    // per accepted register, within 1.15x of the unguarded median.
+    assert!(
+        admitted_ratio <= 1.15,
+        "admission overhead on the accept path above the 1.15x bar: {admitted_ratio:.3}x"
+    );
 
     // Delta fan-out must not scale with world size.
     let delta_ratio = median("pubsub_delta_s4/1000000") / median("pubsub_delta_s4/100000");

@@ -27,7 +27,7 @@ use std::rc::Rc;
 use sda_dataplane::{DropReason, PacketBuf, Punt, Switch, SwitchConfig, Verdict};
 use sda_simnet::{Context, FaultEvent, Node, NodeId, SimDuration, SimTime};
 use sda_types::{Eid, EidKind, EidPrefix, Ipv4Prefix, Rloc, VnId};
-use sda_wire::lisp::Message as Lisp;
+use sda_wire::lisp::{BusyClass, Message as Lisp};
 
 use crate::msg::{FabricMsg, PolicyMsg};
 use crate::pipeline;
@@ -70,6 +70,9 @@ pub struct BorderStats {
     /// Acked (re)subscriptions after the initial one: each reset the
     /// VN's synced slice and replayed the server's snapshot.
     pub resyncs_completed: u64,
+    /// Subscribes shed by the routing server's admission gate; the
+    /// retry honored the server's retry-after hint.
+    pub server_busy_backoffs: u64,
 }
 
 /// A Subscribe awaiting its ack, retransmitted with capped backoff —
@@ -78,6 +81,9 @@ struct PendingSubscribe {
     nonce: u64,
     attempts: u32,
     next_retry: SimTime,
+    /// Delay used for the last (re)send — the decorrelated-jitter
+    /// recurrence feeds on it.
+    prev_delay: SimDuration,
 }
 
 /// The border router node.
@@ -100,6 +106,10 @@ pub struct BorderRouter {
     /// Crashed (fault injection): volatile synced state is rebuilt on
     /// restart by resubscribing to every VN.
     failed: bool,
+    /// Private xorshift64* stream for retransmit jitter, seeded from
+    /// this border's RLOC — per-node deterministic and independent of
+    /// the shared scenario RNG.
+    jitter_state: u64,
     buf: PacketBuf,
     frame_scratch: Vec<u8>,
     punt_scratch: Vec<Punt>,
@@ -127,6 +137,7 @@ impl BorderRouter {
             next_nonce: 1,
             retry_armed: false,
             failed: false,
+            jitter_state: crate::edge::jitter_seed(rloc),
             buf: PacketBuf::new(),
             frame_scratch: Vec::new(),
             punt_scratch: Vec::new(),
@@ -191,13 +202,15 @@ impl BorderRouter {
         }
         let nonce = self.next_nonce;
         self.next_nonce += 1;
-        let next_retry = ctx.now() + self.dir.params.rtx_initial;
+        let prev_delay = self.initial_retry_delay();
+        let next_retry = ctx.now() + prev_delay;
         self.pending_subscribes.insert(
             vn,
             PendingSubscribe {
                 nonce,
                 attempts: 1,
                 next_retry,
+                prev_delay,
             },
         );
         ctx.send(
@@ -226,7 +239,14 @@ impl BorderRouter {
     fn arm_retry(&mut self, ctx: &mut Context<'_, FabricMsg>) {
         if !self.retry_armed {
             self.retry_armed = true;
-            ctx.set_timer(self.dir.params.rtx_initial, TIMER_RETRY);
+            // Jittered sweep phase — same rationale as the edge's: a
+            // fixed period re-batches retransmits onto grid instants.
+            let mut d = self.dir.params.rtx_initial;
+            if self.dir.params.rtx_jitter {
+                let span = d.as_nanos() / 2;
+                d = SimDuration::from_nanos(d.as_nanos() + self.jitter_draw() % (span + 1));
+            }
+            ctx.set_timer(d, TIMER_RETRY);
         }
     }
 
@@ -243,6 +263,52 @@ impl BorderRouter {
         d.min(p.rtx_max_backoff)
     }
 
+    /// Next value of the private jitter stream (xorshift64*).
+    fn jitter_draw(&mut self) -> u64 {
+        let mut x = self.jitter_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.jitter_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Decorrelated jitter (same recurrence as the edge's):
+    /// uniform in `[rtx_initial, min(3·prev, rtx_max_backoff)]`.
+    fn jittered_backoff(&mut self, prev: SimDuration) -> SimDuration {
+        let p = &self.dir.params;
+        let base = p.rtx_initial.as_nanos();
+        let cap = p.rtx_max_backoff.as_nanos();
+        let hi = prev.as_nanos().saturating_mul(3).clamp(base, cap);
+        let span = hi - base;
+        let off = if span == 0 {
+            0
+        } else {
+            self.jitter_draw() % (span + 1)
+        };
+        SimDuration::from_nanos(base + off)
+    }
+
+    /// Retry delay after the `attempts`-th send: decorrelated jitter
+    /// when `rtx_jitter` is on, deterministic exponential otherwise.
+    fn retry_delay(&mut self, attempts: u32, prev: SimDuration) -> SimDuration {
+        if self.dir.params.rtx_jitter {
+            self.jittered_backoff(prev)
+        } else {
+            self.backoff(attempts)
+        }
+    }
+
+    /// Delay before the first retransmit of a fresh subscribe.
+    fn initial_retry_delay(&mut self) -> SimDuration {
+        let initial = self.dir.params.rtx_initial;
+        if self.dir.params.rtx_jitter {
+            self.jittered_backoff(initial)
+        } else {
+            initial
+        }
+    }
+
     /// Retransmit sweep: resend due Subscribes (same nonce — the ack
     /// matches by VN anyway) and re-arm while any are pending.
     fn run_retries(&mut self, ctx: &mut Context<'_, FabricMsg>) {
@@ -254,14 +320,15 @@ impl BorderRouter {
             .map(|(vn, _)| *vn)
             .collect();
         for vn in due {
-            let (nonce, attempts) = {
+            let (nonce, attempts, prev) = {
                 let st = &self.pending_subscribes[&vn];
-                (st.nonce, st.attempts)
+                (st.nonce, st.attempts, st.prev_delay)
             };
-            let delay = self.backoff(attempts + 1);
+            let delay = self.retry_delay(attempts + 1, prev);
             if let Some(st) = self.pending_subscribes.get_mut(&vn) {
                 st.attempts = attempts + 1;
                 st.next_retry = now + delay;
+                st.prev_delay = delay;
             }
             ctx.metrics().incr("border.subscribe_retries");
             ctx.send(
@@ -399,6 +466,30 @@ impl BorderRouter {
                 }
             }
             Lisp::MapNotify { .. } => {}
+            Lisp::ServerBusy {
+                vn,
+                class: BusyClass::Subscribe,
+                retry_after_ms,
+                ..
+            } => {
+                // Our Subscribe was shed at the admission gate: push the
+                // retransmit out to the server's retry-after hint so the
+                // resubscribe wave decays instead of hammering. The hint
+                // is a floor; jitter on top decorrelates shed herds.
+                let mut hold = SimDuration::from_millis(u64::from(retry_after_ms));
+                if self.dir.params.rtx_jitter {
+                    let extra = self.jitter_draw() % hold.as_nanos().max(1);
+                    hold = SimDuration::from_nanos(hold.as_nanos() + extra);
+                }
+                if let Some(st) = self.pending_subscribes.get_mut(&vn) {
+                    st.next_retry = now + hold;
+                    st.prev_delay = hold;
+                    self.stats.server_busy_backoffs += 1;
+                    ctx.metrics().incr("fabric.server_busy_backoffs");
+                }
+                self.arm_retry(ctx);
+            }
+            Lisp::ServerBusy { .. } => {}
             other => {
                 debug_assert!(false, "border received unexpected control {other:?}");
             }
@@ -553,6 +644,8 @@ impl Node<FabricMsg> for BorderRouter {
                     self.subscribe_vn(ctx, vn);
                 }
             }
+            // Shard-scoped faults target the routing server, not borders.
+            _ => {}
         }
     }
 

@@ -79,6 +79,24 @@ pub struct FabricConfig {
     /// only resync on detected gaps). A periodic resubscribe bounds how
     /// long a border can stay silently divergent after arbitrary loss.
     pub subscribe_refresh_interval: Option<SimDuration>,
+    /// Decorrelated jitter on retransmit backoff (per-node deterministic
+    /// stream). `false` restores the synchronized exponential schedule —
+    /// the ablation showing why jitter exists.
+    pub rtx_jitter: bool,
+    /// Cap on concurrently-resolving EIDs per edge (the punt funnel's
+    /// control-plane side). Overflow evicts the oldest-deadline entry.
+    pub max_resolving: usize,
+    /// Cap on unacked Map-Registers per edge. Overflow evicts the
+    /// oldest-deadline entry; the periodic refresh re-registers it.
+    pub max_pending_registers: usize,
+    /// Negative-cache hold after a resolution exhausts its attempt
+    /// budget: fresh punts for that EID are ignored this long.
+    pub punt_negative_hold: SimDuration,
+    /// Per-node ingress queue bound (None = unbounded). Arrivals beyond
+    /// the cap while the node's CPU is busy are tail-dropped.
+    pub node_ingress_cap: Option<usize>,
+    /// Routing-server admission control (None = serve everything).
+    pub admission: Option<sda_ctrl::AdmissionConfig>,
 }
 
 impl Default for FabricConfig {
@@ -106,6 +124,12 @@ impl Default for FabricConfig {
             rtx_max_backoff: SimDuration::from_secs(8),
             rtx_max_attempts: 6,
             subscribe_refresh_interval: None,
+            rtx_jitter: true,
+            max_resolving: 4096,
+            max_pending_registers: 4096,
+            punt_negative_hold: SimDuration::from_secs(2),
+            node_ingress_cap: None,
+            admission: None,
         }
     }
 }
@@ -340,7 +364,9 @@ impl FabricBuilder {
 
         let got_policy = sim.add_node(Box::new(PolicyServerNode::new(self.policy, dir.clone())));
         assert_eq!(got_policy, policy_id);
-        let rs = sda_ctrl::PartitionedMapServer::new(Self::ROUTING_RLOC, self.config.ctrl_shards);
+        let mut rs =
+            sda_ctrl::PartitionedMapServer::new(Self::ROUTING_RLOC, self.config.ctrl_shards);
+        rs.set_admission(self.config.admission);
         let got_routing = sim.add_node(Box::new(RoutingServerNode::new(rs, dir.clone())));
         assert_eq!(got_routing, routing_id);
 
@@ -389,6 +415,16 @@ impl FabricBuilder {
             }
             let id = sim.add_node(Box::new(edge));
             edges.push(id);
+        }
+
+        // Bounded ingress: apply the per-node queue cap to every fabric
+        // node (servers included — the storm hits them hardest).
+        if let Some(cap) = dir.params.node_ingress_cap {
+            sim.set_ingress_cap(policy_id, cap);
+            sim.set_ingress_cap(routing_id, cap);
+            for id in borders.iter().chain(edges.iter()) {
+                sim.set_ingress_cap(*id, cap);
+            }
         }
 
         // Kick timers: border subscription at t=0, edge timers at t=0.

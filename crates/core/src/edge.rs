@@ -35,7 +35,7 @@ use sda_lisp::SmrTracker;
 use sda_simnet::{Context, FaultEvent, Node, NodeId, SimDuration, SimTime};
 use sda_types::{Eid, EidKind, GroupId, MacAddr, PortId, Rloc, VnId};
 use sda_underlay::{LinkStateRouter, ReachabilityEvent, ReachabilityTracker};
-use sda_wire::lisp::Message as Lisp;
+use sda_wire::lisp::{BusyClass, Message as Lisp};
 
 use crate::acl::GroupAcl;
 use crate::msg::{ArpMsg, EndpointIdentity, FabricMsg, HostEvent, PolicyMsg};
@@ -69,6 +69,9 @@ struct PendingResolve {
     attempts: u32,
     /// When the retry sweep may retransmit (or give up).
     next_retry: SimTime,
+    /// The delay that produced `next_retry` — the seed for the next
+    /// decorrelated-jitter draw.
+    prev_delay: SimDuration,
 }
 
 /// An unacknowledged Map-Register, keyed by its nonce. Registers are
@@ -80,6 +83,8 @@ struct PendingRegister {
     eid: Eid,
     attempts: u32,
     next_retry: SimTime,
+    /// Seed for the next decorrelated-jitter draw.
+    prev_delay: SimDuration,
 }
 
 /// Counters a scenario can read back after the run.
@@ -116,6 +121,19 @@ pub struct EdgeStats {
     /// Resolutions abandoned after the attempt budget — evicted from
     /// the resolving set, never stuck.
     pub resolve_timeouts: u64,
+    /// Retransmit delays drawn from the decorrelated-jitter schedule
+    /// (instead of deterministic doubling).
+    pub jittered_retries: u64,
+    /// `ServerBusy` sheds honored: the pending entry was pushed out to
+    /// the server's retry-after hint.
+    pub server_busy_backoffs: u64,
+    /// Punt→Map-Request sends suppressed by the negative cache
+    /// (repeatedly-unresolvable EIDs).
+    pub negative_cache_hits: u64,
+    /// Oldest entries evicted from a full `resolving` map.
+    pub resolve_evictions: u64,
+    /// Oldest entries evicted from a full `pending_registers` map.
+    pub register_evictions: u64,
 }
 
 /// The edge router.
@@ -135,6 +153,17 @@ pub struct EdgeRouter {
     /// Unacked Map-Registers by nonce, retransmitted until the
     /// server's MapNotify ack.
     pending_registers: BTreeMap<u64, PendingRegister>,
+    /// Negative cache: EIDs whose resolution repeatedly timed out, held
+    /// until the stored instant so the punt funnel stops re-requesting
+    /// them. Bounded by `max_resolving` with oldest-evict.
+    unresolvable: BTreeMap<(VnId, Eid), SimTime>,
+    /// High-water marks of the bounded retry maps (cap audits).
+    resolving_peak: usize,
+    pending_registers_peak: usize,
+    /// Private decorrelated-jitter state, seeded from this edge's RLOC:
+    /// deterministic per node and independent of the shared scenario
+    /// RNG, so enabling jitter never perturbs other nodes' draws.
+    jitter_state: u64,
     /// Whether the retransmit sweep timer is armed.
     retry_armed: bool,
     /// Non-volatile endpoint inventory (port config + cached auth):
@@ -187,6 +216,10 @@ impl EdgeRouter {
             pending_auth: HashMap::new(),
             resolving: BTreeMap::new(),
             pending_registers: BTreeMap::new(),
+            unresolvable: BTreeMap::new(),
+            resolving_peak: 0,
+            pending_registers_peak: 0,
+            jitter_state: jitter_seed(rloc),
             retry_armed: false,
             inventory: BTreeMap::new(),
             pending_arp: HashMap::new(),
@@ -273,6 +306,7 @@ impl EdgeRouter {
         self.resolving.clear();
         self.pending_registers.clear();
         self.pending_arp.clear();
+        self.unresolvable.clear();
         if let Some(ls) = self.underlay.take() {
             // Fresh protocol instance with the same wiring (empty LSDB,
             // sequence restart — the §5.2 recovery path).
@@ -345,28 +379,135 @@ impl EdgeRouter {
         d.min(p.rtx_max_backoff)
     }
 
+    /// One step of this node's private xorshift64* stream.
+    fn jitter_draw(&mut self) -> u64 {
+        let mut x = self.jitter_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.jitter_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Decorrelated-jitter backoff: uniform in
+    /// `[rtx_initial, min(3 × prev, rtx_max_backoff)]`. Consecutive
+    /// draws decorrelate even nodes that started in lockstep (a mass
+    /// reboot), so retry waves spread instead of arriving as one burst.
+    fn jittered_backoff(&mut self, prev: SimDuration) -> SimDuration {
+        let p = &self.dir.params;
+        let base = p.rtx_initial.as_nanos();
+        let cap = p.rtx_max_backoff.as_nanos().max(base);
+        let hi = prev.as_nanos().saturating_mul(3).clamp(base, cap);
+        let span = hi - base;
+        let off = if span == 0 {
+            0
+        } else {
+            self.jitter_draw() % (span + 1)
+        };
+        SimDuration::from_nanos(base + off)
+    }
+
+    /// The delay before the next retransmit of an entry whose last
+    /// delay was `prev` and which has `attempts` sends behind it.
+    fn retry_delay(&mut self, attempts: u32, prev: SimDuration) -> SimDuration {
+        if self.dir.params.rtx_jitter {
+            self.jittered_backoff(prev)
+        } else {
+            self.backoff(attempts)
+        }
+    }
+
+    /// The delay before the *first* retransmit of a fresh entry.
+    fn initial_retry_delay(&mut self) -> SimDuration {
+        if self.dir.params.rtx_jitter {
+            self.jittered_backoff(self.dir.params.rtx_initial)
+        } else {
+            self.dir.params.rtx_initial
+        }
+    }
+
+    /// High-water mark of the `resolving` map (cap audits).
+    pub fn resolving_peak(&self) -> usize {
+        self.resolving_peak
+    }
+
+    /// High-water mark of the `pending_registers` map (cap audits).
+    pub fn pending_registers_peak(&self) -> usize {
+        self.pending_registers_peak
+    }
+
     /// Arms the retransmit sweep if it is not already pending. Lossless
     /// runs answer everything before the first sweep, which then finds
     /// nothing pending and disarms itself.
     fn arm_retry(&mut self, ctx: &mut Context<'_, FabricMsg>) {
         if !self.retry_armed {
             self.retry_armed = true;
-            ctx.set_timer(self.dir.params.rtx_initial, TIMER_RETRY);
+            // Jitter the sweep phase too: a fixed period would re-batch
+            // every node's retransmits onto the same grid instants no
+            // matter how decorrelated the per-entry deadlines are.
+            let mut d = self.dir.params.rtx_initial;
+            if self.dir.params.rtx_jitter {
+                let span = d.as_nanos() / 2;
+                d = SimDuration::from_nanos(d.as_nanos() + self.jitter_draw() % (span + 1));
+            }
+            ctx.set_timer(d, TIMER_RETRY);
         }
+    }
+
+    /// The wait applied on a `ServerBusy` reply. The wire hint is a
+    /// *floor* ("do not retransmit for at least this long"); jitter on
+    /// top spreads the herd of simultaneously-shed senders, which would
+    /// otherwise all come back in one synchronized wave and be shed
+    /// again — the hint alone re-correlates exactly what the jittered
+    /// backoff decorrelated.
+    fn busy_hold(&mut self, hint: SimDuration) -> SimDuration {
+        if !self.dir.params.rtx_jitter {
+            return hint;
+        }
+        let extra = self.jitter_draw() % hint.as_nanos().max(1);
+        SimDuration::from_nanos(hint.as_nanos() + extra)
     }
 
     fn send_map_request(&mut self, ctx: &mut Context<'_, FabricMsg>, vn: VnId, eid: Eid) {
         if self.resolving.contains_key(&(vn, eid)) {
             return; // already in flight
         }
-        let next_retry = ctx.now() + self.dir.params.rtx_initial;
+        // Negative cache: a repeatedly-unresolvable EID is not re-asked
+        // until its hold expires — the punt funnel stays bounded even
+        // when traffic keeps hitting a dead destination.
+        if let Some(&until) = self.unresolvable.get(&(vn, eid)) {
+            if until > ctx.now() {
+                self.stats.negative_cache_hits += 1;
+                ctx.metrics().incr("fabric.negative_cache_hits");
+                return;
+            }
+            self.unresolvable.remove(&(vn, eid));
+        }
+        // In-flight cap: evict the entry with the oldest deadline to
+        // make room (it restarts from scratch if its packet returns).
+        if self.resolving.len() >= self.dir.params.max_resolving {
+            if let Some(oldest) = self
+                .resolving
+                .iter()
+                .min_by_key(|(k, st)| (st.next_retry, **k))
+                .map(|(k, _)| *k)
+            {
+                self.resolving.remove(&oldest);
+                self.stats.resolve_evictions += 1;
+                ctx.metrics().incr("fabric.resolve_evictions");
+            }
+        }
+        let prev_delay = self.initial_retry_delay();
+        let next_retry = ctx.now() + prev_delay;
         self.resolving.insert(
             (vn, eid),
             PendingResolve {
                 attempts: 1,
                 next_retry,
+                prev_delay,
             },
         );
+        self.resolving_peak = self.resolving_peak.max(self.resolving.len());
         let nonce = self.nonce();
         self.stats.map_requests += 1;
         ctx.metrics().incr("fabric.map_requests");
@@ -397,17 +538,42 @@ impl EdgeRouter {
             .map(|(k, _)| *k)
             .collect();
         for key in due {
-            let attempts = self.resolving[&key].attempts;
+            let (attempts, prev) = {
+                let st = &self.resolving[&key];
+                (st.attempts, st.prev_delay)
+            };
             if attempts >= max_attempts {
                 self.resolving.remove(&key);
                 self.stats.resolve_timeouts += 1;
                 ctx.metrics().incr("fabric.resolve_timeouts");
+                // The server never answered across the whole attempt
+                // budget: negative-cache the EID so fresh punts don't
+                // immediately restart the same doomed resolution.
+                let hold = self.dir.params.punt_negative_hold;
+                if hold > SimDuration::ZERO {
+                    if self.unresolvable.len() >= self.dir.params.max_resolving {
+                        if let Some(oldest) = self
+                            .unresolvable
+                            .iter()
+                            .min_by_key(|(k, t)| (**t, **k))
+                            .map(|(k, _)| *k)
+                        {
+                            self.unresolvable.remove(&oldest);
+                        }
+                    }
+                    self.unresolvable.insert(key, now + hold);
+                }
                 continue;
             }
-            let delay = self.backoff(attempts + 1);
+            let delay = self.retry_delay(attempts + 1, prev);
             if let Some(st) = self.resolving.get_mut(&key) {
                 st.attempts = attempts + 1;
                 st.next_retry = now + delay;
+                st.prev_delay = delay;
+            }
+            if self.dir.params.rtx_jitter {
+                self.stats.jittered_retries += 1;
+                ctx.metrics().incr("fabric.jittered_retries");
             }
             self.stats.map_request_retries += 1;
             ctx.metrics().incr("fabric.map_request_retries");
@@ -433,9 +599,9 @@ impl EdgeRouter {
             .collect();
         let ttl = self.dir.params.register_ttl_secs;
         for nonce in due_regs {
-            let (vn, eid, attempts) = {
+            let (vn, eid, attempts, prev) = {
                 let st = &self.pending_registers[&nonce];
-                (st.vn, st.eid, st.attempts)
+                (st.vn, st.eid, st.attempts, st.prev_delay)
             };
             if attempts >= max_attempts {
                 // Give up for now; the periodic refresh re-registers.
@@ -443,10 +609,15 @@ impl EdgeRouter {
                 ctx.metrics().incr("fabric.register_timeouts");
                 continue;
             }
-            let delay = self.backoff(attempts + 1);
+            let delay = self.retry_delay(attempts + 1, prev);
             if let Some(st) = self.pending_registers.get_mut(&nonce) {
                 st.attempts = attempts + 1;
                 st.next_retry = now + delay;
+                st.prev_delay = delay;
+            }
+            if self.dir.params.rtx_jitter {
+                self.stats.jittered_retries += 1;
+                ctx.metrics().incr("fabric.jittered_retries");
             }
             self.stats.register_retries += 1;
             ctx.metrics().incr("fabric.register_retries");
@@ -490,8 +661,23 @@ impl EdgeRouter {
             {
                 continue;
             }
+            // Outstanding-register cap: evict the oldest-deadline entry;
+            // the periodic refresh re-registers anything dropped here.
+            if self.pending_registers.len() >= self.dir.params.max_pending_registers {
+                if let Some(oldest) = self
+                    .pending_registers
+                    .iter()
+                    .min_by_key(|(n, st)| (st.next_retry, **n))
+                    .map(|(n, _)| *n)
+                {
+                    self.pending_registers.remove(&oldest);
+                    self.stats.register_evictions += 1;
+                    ctx.metrics().incr("fabric.register_evictions");
+                }
+            }
             let nonce = self.nonce();
-            let next_retry = ctx.now() + self.dir.params.rtx_initial;
+            let prev_delay = self.initial_retry_delay();
+            let next_retry = ctx.now() + prev_delay;
             self.pending_registers.insert(
                 nonce,
                 PendingRegister {
@@ -499,8 +685,12 @@ impl EdgeRouter {
                     eid,
                     attempts: 1,
                     next_retry,
+                    prev_delay,
                 },
             );
+            self.pending_registers_peak = self
+                .pending_registers_peak
+                .max(self.pending_registers.len());
             ctx.send(
                 self.dir.routing_server,
                 FabricMsg::Control(Lisp::MapRegister {
@@ -830,6 +1020,9 @@ impl EdgeRouter {
             } => {
                 if let Some(eid0) = prefix_eid(&prefix) {
                     self.resolving.remove(&(vn, eid0));
+                    // An answer (even a negative one) supersedes any
+                    // negative-cache hold: the server is reachable again.
+                    self.unresolvable.remove(&(vn, eid0));
                 }
                 if negative {
                     self.switch.apply_negative(vn, prefix);
@@ -874,6 +1067,41 @@ impl EdgeRouter {
                 // re-resolve (Fig. 6 step 4).
                 self.switch.receive_smr(vn, eid, now);
                 self.send_map_request(ctx, vn, eid);
+            }
+            Lisp::ServerBusy {
+                nonce,
+                vn,
+                eid,
+                class,
+                retry_after_ms,
+            } => {
+                // Shed-load reply: our message was dropped unprocessed.
+                // Honor the server's retry-after hint instead of our own
+                // (possibly much shorter) backoff — collapsing the
+                // retransmit storm is the whole point of the hint.
+                let hold = self.busy_hold(SimDuration::from_millis(u64::from(retry_after_ms)));
+                match class {
+                    BusyClass::Request => {
+                        if let Some(st) = self.resolving.get_mut(&(vn, eid)) {
+                            st.next_retry = now + hold;
+                            st.prev_delay = hold;
+                            self.stats.server_busy_backoffs += 1;
+                            ctx.metrics().incr("fabric.server_busy_backoffs");
+                        }
+                    }
+                    BusyClass::Register => {
+                        if let Some(st) = self.pending_registers.get_mut(&nonce) {
+                            st.next_retry = now + hold;
+                            st.prev_delay = hold;
+                            self.stats.server_busy_backoffs += 1;
+                            ctx.metrics().incr("fabric.server_busy_backoffs");
+                        }
+                    }
+                    // Subscribe churn is border business; an edge should
+                    // never see it, but shed replies are best-effort.
+                    BusyClass::Subscribe => {}
+                }
+                self.arm_retry(ctx);
             }
             other => {
                 debug_assert!(false, "edge received unexpected control {other:?}");
@@ -996,6 +1224,17 @@ pub(crate) fn install_dst_hints(switch: &mut Switch, dir: &Directory) {
             switch.install_dst_hint(vn, eid, group);
         }
     }
+}
+
+/// Splitmix64 of the RLOC address: a well-mixed, per-node-deterministic
+/// seed for the private retransmit-jitter stream (never zero, which
+/// would wedge xorshift).
+pub(crate) fn jitter_seed(rloc: Rloc) -> u64 {
+    let mut z = u64::from(u32::from(rloc.addr())).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    z | 1
 }
 
 /// Fabric routers use their RLOC's host octets as underlay RouterId.
@@ -1140,6 +1379,8 @@ impl Node<FabricMsg> for EdgeRouter {
                     );
                 }
             }
+            // Shard-scoped faults target the routing server, not edges.
+            _ => {}
         }
     }
 

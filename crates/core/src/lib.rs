@@ -57,6 +57,9 @@ pub mod vrf;
 pub use acl::GroupAcl;
 pub use chaos::{check_convergence, ConvergenceReport, ExpectedPlacement};
 pub use controller::{Fabric, FabricBuilder, FabricConfig};
+// Overload-hardening knobs, re-exported so scenario crates can set
+// `FabricConfig::admission` without depending on `sda-ctrl` directly.
 pub use msg::{EndpointIdentity, FabricMsg, HostEvent, InnerPacket, OverlayPacket, PolicyMsg};
 pub use pipeline::EnforcementPoint;
+pub use sda_ctrl::{AdmissionConfig, ClassBudget};
 pub use vrf::VrfTable;

@@ -20,7 +20,7 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use rand::Rng;
-use sda_ctrl::PartitionedMapServer;
+use sda_ctrl::{Disposition, PartitionedMapServer};
 use sda_lisp::MapServer;
 use sda_policy::PolicyServer;
 use sda_simnet::{Context, FaultEvent, Node, NodeId, SimDuration};
@@ -113,6 +113,11 @@ impl RoutingServerNode {
 /// Timer token: periodic purge of expired registrations.
 const TIMER_PURGE: u64 = 0;
 
+/// CPU cost of shedding or dropping a message at the admission gate —
+/// a header peek plus (for sheds) a fixed-size reply, far cheaper than
+/// real service. This is what keeps the server responsive under storm.
+const SHED_SERVICE: SimDuration = SimDuration::from_micros(2);
+
 impl Node<FabricMsg> for RoutingServerNode {
     fn on_timer(&mut self, ctx: &mut Context<'_, FabricMsg>, token: u64) {
         if token == TIMER_PURGE {
@@ -135,9 +140,35 @@ impl Node<FabricMsg> for RoutingServerNode {
                 self.failed = false;
                 let rloc = self.server.rloc();
                 let shards = self.server.shard_count();
+                let admission = self.server.admission();
                 self.server = PartitionedMapServer::new(rloc, shards);
+                // Admission policy is configuration, not volatile state:
+                // it survives the reboot (with fresh full buckets).
+                self.server.set_admission(admission);
                 self.arp_db.clear();
                 ctx.metrics().incr("ctrl.server_restarts");
+            }
+            // Shard-scoped faults: the node stays up; the partitioned
+            // server tracks which slice is dark.
+            FaultEvent::ShardCrash(i) => {
+                if i < self.server.shard_count() {
+                    self.server.crash_shard(i);
+                }
+            }
+            FaultEvent::ShardRestart(i) => {
+                if i < self.server.shard_count() {
+                    self.server.restart_shard(i);
+                }
+            }
+            FaultEvent::ShardPartition(i) => {
+                if i < self.server.shard_count() {
+                    self.server.partition_shard(i);
+                }
+            }
+            FaultEvent::ShardHeal(i) => {
+                if i < self.server.shard_count() {
+                    self.server.heal_shard(i);
+                }
             }
         }
     }
@@ -149,9 +180,21 @@ impl Node<FabricMsg> for RoutingServerNode {
         match msg {
             FabricMsg::Control(m) => {
                 let base = MapServer::service_time(&m);
-                let jitter = service_jitter(ctx.rng());
-                ctx.busy(SimDuration::from_secs_f64(base.as_secs_f64() * jitter));
-                let out = self.server.handle(m, ctx.now());
+                let (disposition, out) = self.server.handle_with_disposition(m, ctx.now());
+                match disposition {
+                    Disposition::Served => {
+                        let jitter = service_jitter(ctx.rng());
+                        ctx.busy(SimDuration::from_secs_f64(base.as_secs_f64() * jitter));
+                    }
+                    Disposition::Shed => {
+                        ctx.busy(SHED_SERVICE);
+                        ctx.metrics().incr("ctrl.shed_replies");
+                    }
+                    Disposition::ShardDown => {
+                        ctx.busy(SHED_SERVICE);
+                        ctx.metrics().incr("ctrl.shard_drops");
+                    }
+                }
                 self.transmit(ctx, out);
             }
             FabricMsg::Arp(ArpMsg::Register { vn, ip, mac }) => {

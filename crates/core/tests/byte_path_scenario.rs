@@ -19,7 +19,20 @@ fn ms(n: u64) -> SimTime {
 
 #[test]
 fn mobility_and_default_route_through_per_node_switches() {
+    scenario(1);
+}
+
+/// The same byte path against a 4-shard partitioned control plane:
+/// resolution, registration, pub/sub and SMR must be oblivious to the
+/// map-server's internal sharding.
+#[test]
+fn mobility_and_default_route_with_four_ctrl_shards() {
+    scenario(4);
+}
+
+fn scenario(ctrl_shards: usize) {
     let mut b = FabricBuilder::new(1234);
+    b.config_mut().ctrl_shards = ctrl_shards;
     let vn = b.add_vn(
         100,
         Ipv4Prefix::new(Ipv4Addr::new(10, 100, 0, 0), 16).unwrap(),

@@ -71,6 +71,8 @@ pub struct DeltaFanout {
     cap: usize,
     delivered: u64,
     gaps: u64,
+    /// High-water mark across all subscriber queues (cap audits).
+    peak_depth: usize,
 }
 
 impl DeltaFanout {
@@ -87,7 +89,18 @@ impl DeltaFanout {
             cap,
             delivered: 0,
             gaps: 0,
+            peak_depth: 0,
         }
+    }
+
+    /// True when `rloc` already has a stream (live or snapshot-pending)
+    /// for `vn` — i.e. a new Subscribe would be a resync, not a fresh
+    /// subscription. Admission control uses this to let self-healing
+    /// resubscribes bypass the subscribe budget.
+    pub fn is_subscribed(&self, vn: VnId, rloc: Rloc) -> bool {
+        self.subs
+            .iter()
+            .any(|s| s.rloc == rloc && s.vns.contains_key(&vn))
     }
 
     /// Subscribes `rloc` to `vn`'s stream, marking it for snapshot on
@@ -148,6 +161,7 @@ impl DeltaFanout {
                             withdraw,
                             seq,
                         });
+                        self.peak_depth = self.peak_depth.max(sub.queue.len());
                     }
                 }
             }
@@ -217,6 +231,12 @@ impl DeltaFanout {
     /// Queue-overflow resyncs forced so far.
     pub fn gaps(&self) -> u64 {
         self.gaps
+    }
+
+    /// High-water mark of any single subscriber queue so far — provably
+    /// ≤ the configured cap (overflow resyncs instead of growing).
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
     }
 
     /// Distinct subscribers.

@@ -35,11 +35,27 @@
 //! proves the partitioned server agrees with a *single* `MapServer`
 //! reply-for-reply and notify-for-notify over generated
 //! register/request/move/expiry interleavings.
+//!
+//! ## Overload hardening
+//!
+//! * **Admission control** ([`admission`]): per-shard, per-class token
+//!   buckets gate requests, registers and subscribes independently.
+//!   Over-budget messages are shed with a `ServerBusy` reply carrying a
+//!   retry-after hint — never silently dropped — and resync
+//!   resubscribes bypass the subscribe budget so self-healing always
+//!   wins over churn.
+//! * **Shard-scoped faults**: individual shards can crash (state lost)
+//!   or partition (state frozen) while the rest of the server keeps
+//!   serving; down shards drop their owner-routed traffic and are
+//!   excluded from snapshot walks and expiry sweeps. See the overload
+//!   model section in [`server`].
 
+pub mod admission;
 pub mod fanout;
 pub mod partition;
 pub mod server;
 
+pub use admission::{AdmissionConfig, ClassBudget};
 pub use fanout::{Delta, DeltaFanout, DEFAULT_QUEUE_CAP};
 pub use partition::{block_of, owner_of, PARTITION_BITS};
-pub use server::PartitionedMapServer;
+pub use server::{Disposition, OverloadStats, PartitionedMapServer};

@@ -15,20 +15,92 @@
 //! (plus any pending snapshot resyncs). Callers embedding the server in
 //! a message loop flush after each handled message; batch loaders flush
 //! once at the end.
+//!
+//! ## Overload model
+//!
+//! Two protections sit in front of the shards, both off by default:
+//!
+//! * **Admission control** ([`PartitionedMapServer::set_admission`]):
+//!   per-shard, per-class token buckets (requests / registers /
+//!   subscribes — see [`crate::admission`]). A message whose bucket is
+//!   empty is **shed**: [`PartitionedMapServer::handle_with_disposition`]
+//!   returns [`Disposition::Shed`] together with a
+//!   [`Message::ServerBusy`] reply carrying the class and a
+//!   retry-after hint, so the sender reschedules at the hinted time
+//!   instead of its (faster) loss-recovery backoff. Resubscribes of an
+//!   already-known `(VN, subscriber)` stream bypass the subscribe
+//!   bucket — snapshot resyncs are the self-healing path and must
+//!   never lose to churn.
+//! * **Shard faults** ([`PartitionedMapServer::crash_shard`] /
+//!   [`PartitionedMapServer::partition_shard`]): a down shard answers
+//!   nothing — owner-routed requests and registers are dropped with
+//!   [`Disposition::ShardDown`] (counted, never replied), its state is
+//!   excluded from snapshot walks and expiry sweeps, and the rest of
+//!   the server keeps serving. Senders recover through their ordinary
+//!   retransmit machinery once the shard restarts or heals.
+//!
+//! The retry-after contract: a `ServerBusy` reply means "this exact
+//! message was dropped unprocessed; do not retransmit it for at least
+//! `retry_after_ms`". It never acknowledges anything.
 
 use sda_lisp::map_server::{MapServerStats, Outbox, NEGATIVE_TTL_SECS, REPLY_TTL_SECS};
 use sda_lisp::{MappingDb, RegisterOutcome};
 use sda_simnet::{SimDuration, SimTime};
 use sda_trie::MemStats;
 use sda_types::{Eid, EidPrefix, Rloc, VnId};
-use sda_wire::lisp::Message;
+use sda_wire::lisp::{BusyClass, Message};
 
+use crate::admission::{AdmissionConfig, TokenBucket};
 use crate::fanout::{DeltaFanout, DEFAULT_QUEUE_CAP};
 use crate::partition;
+
+/// How [`PartitionedMapServer::handle_with_disposition`] disposed of a
+/// message — drives differentiated CPU accounting (shedding is cheap)
+/// and overload observability in embedding nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Disposition {
+    /// Processed normally (including messages a server ignores).
+    Served,
+    /// Admission bucket empty: dropped unprocessed, a
+    /// [`Message::ServerBusy`] reply is in the outbox.
+    Shed,
+    /// The owner shard is crashed or partitioned: dropped silently
+    /// (the shard cannot answer, busy or otherwise).
+    ShardDown,
+}
+
+/// Overload counters: messages shed per class plus drops at down shards.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct OverloadStats {
+    /// Map-Requests shed by admission control.
+    pub shed_requests: u64,
+    /// Map-Registers shed by admission control.
+    pub shed_registers: u64,
+    /// Subscribes shed by admission control.
+    pub shed_subscribes: u64,
+    /// Messages dropped because their owner shard was down.
+    pub shard_drops: u64,
+}
+
+impl OverloadStats {
+    /// Total messages shed with a `ServerBusy` reply.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_requests + self.shed_registers + self.shed_subscribes
+    }
+}
+
+/// Admission buckets of one shard (present only when admission is on).
+#[derive(Clone, Copy, Debug)]
+struct ShardGates {
+    requests: TokenBucket,
+    registers: TokenBucket,
+}
 
 /// One partition: its slice of the mapping database plus counters.
 struct Shard {
     db: MappingDb,
+    /// Crashed or partitioned away: serves nothing until restart/heal.
+    down: bool,
     replies: u64,
     negative_replies: u64,
     registers: u64,
@@ -39,6 +111,7 @@ impl Shard {
     fn new() -> Self {
         Shard {
             db: MappingDb::new(),
+            down: false,
             replies: 0,
             negative_replies: 0,
             registers: 0,
@@ -51,6 +124,11 @@ impl Shard {
     /// (for the withdraw publishes). Runs on a worker thread when the
     /// parent sweeps in parallel — it only touches this shard's `&mut`.
     fn sweep(&mut self, now: SimTime) -> Vec<(VnId, Eid, Rloc)> {
+        // A down shard's state is frozen: nothing expires (and nothing
+        // could publish the withdrawals anyway) until restart/heal.
+        if self.down {
+            return Vec::new();
+        }
         let mut dead = Vec::new();
         self.db.retain(|vn, prefix, rec| {
             if !rec.expired(now) {
@@ -76,6 +154,14 @@ pub struct PartitionedMapServer {
     shards: Vec<Shard>,
     fanout: DeltaFanout,
     default_ttl: SimDuration,
+    /// Admission policy; `None` = every message admitted (no gating
+    /// work on the hot path at all).
+    admission: Option<AdmissionConfig>,
+    /// Per-shard request/register buckets (empty when admission off).
+    gates: Vec<ShardGates>,
+    /// Server-wide subscribe bucket (subscriptions are not sharded).
+    subscribe_gate: Option<TokenBucket>,
+    overload: OverloadStats,
 }
 
 impl PartitionedMapServer {
@@ -97,7 +183,74 @@ impl PartitionedMapServer {
             shards: (0..shards).map(|_| Shard::new()).collect(),
             fanout: DeltaFanout::new(queue_cap),
             default_ttl: SimDuration::from_secs(u64::from(REPLY_TTL_SECS)),
+            admission: None,
+            gates: Vec::new(),
+            subscribe_gate: None,
+            overload: OverloadStats::default(),
         }
+    }
+
+    /// Installs (or removes, with `None`) admission control: fresh
+    /// full buckets per shard and class. Overload counters are kept.
+    pub fn set_admission(&mut self, config: Option<AdmissionConfig>) {
+        self.admission = config;
+        match config {
+            Some(cfg) => {
+                self.gates = self
+                    .shards
+                    .iter()
+                    .map(|_| ShardGates {
+                        requests: TokenBucket::new(cfg.requests),
+                        registers: TokenBucket::new(cfg.registers),
+                    })
+                    .collect();
+                self.subscribe_gate = Some(TokenBucket::new(cfg.subscribes));
+            }
+            None => {
+                self.gates = Vec::new();
+                self.subscribe_gate = None;
+            }
+        }
+    }
+
+    /// The installed admission policy, if any.
+    pub fn admission(&self) -> Option<AdmissionConfig> {
+        self.admission
+    }
+
+    /// Overload counters (shed per class, drops at down shards).
+    pub fn overload_stats(&self) -> OverloadStats {
+        self.overload
+    }
+
+    /// Crashes shard `shard`: its volatile slice of the database is
+    /// lost and it serves nothing until [`PartitionedMapServer::restart_shard`].
+    pub fn crash_shard(&mut self, shard: usize) {
+        let s = &mut self.shards[shard];
+        s.db = MappingDb::new();
+        s.down = true;
+    }
+
+    /// Brings a crashed shard back up, empty. Its slice of the world
+    /// repopulates through the edges' periodic register refreshes.
+    pub fn restart_shard(&mut self, shard: usize) {
+        self.shards[shard].down = false;
+    }
+
+    /// Partitions shard `shard` away: state intact but serving nothing
+    /// until [`PartitionedMapServer::heal_shard`].
+    pub fn partition_shard(&mut self, shard: usize) {
+        self.shards[shard].down = true;
+    }
+
+    /// Reconnects a partitioned shard, state intact.
+    pub fn heal_shard(&mut self, shard: usize) {
+        self.shards[shard].down = false;
+    }
+
+    /// True while `shard` is crashed or partitioned.
+    pub fn shard_down(&self, shard: usize) -> bool {
+        self.shards[shard].down
     }
 
     /// This server's locator.
@@ -113,8 +266,17 @@ impl PartitionedMapServer {
     /// Handles one control message, returning the replies/notifies to
     /// transmit — exactly what a single `MapServer` would produce.
     /// Mapping changes additionally enqueue pub/sub deltas; drain them
-    /// with [`PartitionedMapServer::flush_publishes`].
+    /// with [`PartitionedMapServer::flush_publishes`]. Shorthand for
+    /// [`PartitionedMapServer::handle_with_disposition`] when the
+    /// caller does not differentiate served/shed CPU cost.
     pub fn handle(&mut self, msg: Message, now: SimTime) -> Outbox {
+        self.handle_with_disposition(msg, now).1
+    }
+
+    /// As [`PartitionedMapServer::handle`], also reporting how the
+    /// message was disposed of (served, shed with a `ServerBusy` reply
+    /// in the outbox, or dropped at a down shard).
+    pub fn handle_with_disposition(&mut self, msg: Message, now: SimTime) -> (Disposition, Outbox) {
         match msg {
             Message::MapRequest {
                 nonce,
@@ -125,9 +287,27 @@ impl PartitionedMapServer {
             } => {
                 // An SMR addressed to the server is meaningless; ignore.
                 if smr {
-                    return Outbox::new();
+                    return (Disposition::Served, Outbox::new());
                 }
-                self.answer_request(nonce, vn, eid, itr_rloc, now)
+                let owner = partition::owner_of(&eid, self.shards.len());
+                if self.shards[owner].down {
+                    self.overload.shard_drops += 1;
+                    return (Disposition::ShardDown, Outbox::new());
+                }
+                if !self.admit_request(owner, now) {
+                    self.overload.shed_requests += 1;
+                    return (
+                        Disposition::Shed,
+                        vec![(
+                            itr_rloc,
+                            self.busy_reply(nonce, vn, eid, BusyClass::Request),
+                        )],
+                    );
+                }
+                (
+                    Disposition::Served,
+                    self.answer_request(nonce, vn, eid, itr_rloc, now),
+                )
             }
             Message::MapRegister {
                 nonce,
@@ -136,23 +316,93 @@ impl PartitionedMapServer {
                 rloc,
                 ttl_secs,
                 want_notify,
-            } => self.process_register(nonce, vn, eid, rloc, ttl_secs, want_notify, now),
+            } => {
+                let owner = partition::owner_of(&eid, self.shards.len());
+                if self.shards[owner].down {
+                    self.overload.shard_drops += 1;
+                    return (Disposition::ShardDown, Outbox::new());
+                }
+                if !self.admit_register(owner, now) {
+                    self.overload.shed_registers += 1;
+                    return (
+                        Disposition::Shed,
+                        vec![(rloc, self.busy_reply(nonce, vn, eid, BusyClass::Register))],
+                    );
+                }
+                (
+                    Disposition::Served,
+                    self.process_register(nonce, vn, eid, rloc, ttl_secs, want_notify, now),
+                )
+            }
             Message::Subscribe {
                 nonce,
                 vn,
                 subscriber,
             } => {
+                // Resubscribes of a known stream are resyncs — the
+                // self-healing path — and bypass the subscribe budget.
+                if !self.fanout.is_subscribed(vn, subscriber) && !self.admit_subscribe(now) {
+                    self.overload.shed_subscribes += 1;
+                    let eid = Eid::V4(std::net::Ipv4Addr::UNSPECIFIED);
+                    return (
+                        Disposition::Shed,
+                        vec![(
+                            subscriber,
+                            self.busy_reply(nonce, vn, eid, BusyClass::Subscribe),
+                        )],
+                    );
+                }
                 // Snapshot is assembled at the next flush, off the owner
                 // shards' live state — not walked here. The ack mirrors
                 // the single server's: byte-identical non-publish outbox.
                 self.fanout.subscribe(vn, subscriber);
-                vec![(subscriber, Message::SubscribeAck { nonce, vn })]
+                (
+                    Disposition::Served,
+                    vec![(subscriber, Message::SubscribeAck { nonce, vn })],
+                )
             }
-            // Replies/notifies/publishes/acks are never addressed to a server.
+            // Replies/notifies/publishes/acks/busy-signals are never
+            // addressed to a server.
             Message::MapReply { .. }
             | Message::MapNotify { .. }
             | Message::Publish { .. }
-            | Message::SubscribeAck { .. } => Outbox::new(),
+            | Message::SubscribeAck { .. }
+            | Message::ServerBusy { .. } => (Disposition::Served, Outbox::new()),
+        }
+    }
+
+    fn busy_reply(&self, nonce: u64, vn: VnId, eid: Eid, class: BusyClass) -> Message {
+        let retry_after_ms = self
+            .admission
+            .map(|cfg| cfg.retry_after_ms())
+            .unwrap_or(1000);
+        Message::ServerBusy {
+            nonce,
+            vn,
+            eid,
+            class,
+            retry_after_ms,
+        }
+    }
+
+    fn admit_request(&mut self, shard: usize, now: SimTime) -> bool {
+        match self.gates.get_mut(shard) {
+            Some(g) => g.requests.try_take(now),
+            None => true,
+        }
+    }
+
+    fn admit_register(&mut self, shard: usize, now: SimTime) -> bool {
+        match self.gates.get_mut(shard) {
+            Some(g) => g.registers.try_take(now),
+            None => true,
+        }
+    }
+
+    fn admit_subscribe(&mut self, now: SimTime) -> bool {
+        match self.subscribe_gate.as_mut() {
+            Some(g) => g.try_take(now),
+            None => true,
         }
     }
 
@@ -273,6 +523,12 @@ impl PartitionedMapServer {
         let shards = &self.shards;
         self.fanout.flush(|vn, emit| {
             for shard in shards {
+                // A down shard's slice is unreachable: snapshots omit
+                // it (subscribers pick the entries up through deltas as
+                // edges re-register after the shard recovers).
+                if shard.down {
+                    continue;
+                }
                 for (prefix, rec) in shard.db.iter_vn(vn) {
                     emit(prefix, rec.rloc);
                 }
@@ -384,6 +640,12 @@ impl PartitionedMapServer {
     /// Gap → snapshot resyncs forced by queue overflow so far.
     pub fn pubsub_gaps(&self) -> u64 {
         self.fanout.gaps()
+    }
+
+    /// High-water mark across per-subscriber delta queues (bounded-queue
+    /// proofs: must never exceed the fan-out's queue cap).
+    pub fn pubsub_peak_depth(&self) -> usize {
+        self.fanout.peak_depth()
     }
 
     /// Current publish-sequence watermark of `vn`'s delta stream (0
@@ -632,5 +894,167 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         PartitionedMapServer::new(rl(1), 0);
+    }
+
+    #[test]
+    fn admission_sheds_with_server_busy_and_retry_after() {
+        use crate::admission::{AdmissionConfig, ClassBudget};
+        let mut s = server(1);
+        s.set_admission(Some(AdmissionConfig {
+            requests: ClassBudget::new(1.0, 2.0),
+            registers: ClassBudget::new(1.0, 1.0),
+            subscribes: ClassBudget::new(1.0, 1.0),
+            retry_after: SimDuration::from_millis(750),
+        }));
+        let now = SimTime::ZERO;
+        // Register budget: first admitted, second shed with a busy reply
+        // back to the registering edge.
+        let (d, _) = s.handle_with_disposition(register(vn(1), eid(1), rl(1), 300), now);
+        assert_eq!(d, Disposition::Served);
+        let (d, out) = s.handle_with_disposition(register(vn(1), eid(2), rl(1), 300), now);
+        assert_eq!(d, Disposition::Shed);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, rl(1));
+        assert!(matches!(
+            out[0].1,
+            Message::ServerBusy {
+                class: BusyClass::Register,
+                retry_after_ms: 750,
+                ..
+            }
+        ));
+        // Request budget is independent: registers being exhausted must
+        // not starve resolution.
+        let (d, out) = s.handle_with_disposition(request(vn(1), eid(1), rl(9)), now);
+        assert_eq!(d, Disposition::Served);
+        assert!(matches!(out[0].1, Message::MapReply { .. }));
+        assert_eq!(s.overload_stats().shed_registers, 1);
+        assert_eq!(s.overload_stats().shed_requests, 0);
+        // Refilled after a second, the shed register is admitted.
+        let later = now + SimDuration::from_secs(1);
+        let (d, _) = s.handle_with_disposition(register(vn(1), eid(2), rl(1), 300), later);
+        assert_eq!(d, Disposition::Served);
+    }
+
+    #[test]
+    fn resubscribe_bypasses_the_subscribe_budget() {
+        use crate::admission::{AdmissionConfig, ClassBudget};
+        let mut s = server(1);
+        s.set_admission(Some(AdmissionConfig {
+            requests: ClassBudget::new(1000.0, 1000.0),
+            registers: ClassBudget::new(1000.0, 1000.0),
+            subscribes: ClassBudget::new(0.001, 1.0),
+            retry_after: SimDuration::from_millis(500),
+        }));
+        let now = SimTime::ZERO;
+        let sub = |n: u64, v: u32, r: u16| Message::Subscribe {
+            nonce: n,
+            vn: vn(v),
+            subscriber: rl(r),
+        };
+        // First subscribe takes the only token.
+        let (d, _) = s.handle_with_disposition(sub(1, 1, 9), now);
+        assert_eq!(d, Disposition::Served);
+        // A different subscriber is shed (budget empty)...
+        let (d, out) = s.handle_with_disposition(sub(2, 1, 8), now);
+        assert_eq!(d, Disposition::Shed);
+        assert!(matches!(
+            out[0].1,
+            Message::ServerBusy {
+                class: BusyClass::Subscribe,
+                ..
+            }
+        ));
+        // ...but the known stream's resync goes straight through.
+        let (d, out) = s.handle_with_disposition(sub(3, 1, 9), now);
+        assert_eq!(d, Disposition::Served);
+        assert!(matches!(out[0].1, Message::SubscribeAck { .. }));
+    }
+
+    #[test]
+    fn down_shard_drops_its_traffic_and_recovers() {
+        let mut s = server(4);
+        for i in 0..64 {
+            s.handle(register(vn(1), eid(i), rl(1), 300), SimTime::ZERO);
+        }
+        let victim = crate::partition::owner_of(&eid(0), 4);
+        let before = s.db_len();
+        s.crash_shard(victim);
+        assert!(s.shard_down(victim));
+        assert!(s.db_len() < before, "crashed shard lost its slice");
+        // Owner-routed traffic is dropped without reply...
+        let (d, out) = s.handle_with_disposition(request(vn(1), eid(0), rl(9)), SimTime::ZERO);
+        assert_eq!(d, Disposition::ShardDown);
+        assert!(out.is_empty());
+        let (d, _) = s.handle_with_disposition(register(vn(1), eid(0), rl(2), 300), SimTime::ZERO);
+        assert_eq!(d, Disposition::ShardDown);
+        assert_eq!(s.overload_stats().shard_drops, 2);
+        // ...while other shards keep serving.
+        let other = (0..64)
+            .map(eid)
+            .find(|e| crate::partition::owner_of(e, 4) != victim)
+            .unwrap();
+        let (d, out) = s.handle_with_disposition(
+            Message::MapRequest {
+                nonce: 1,
+                smr: false,
+                vn: vn(1),
+                eid: other,
+                itr_rloc: rl(9),
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(d, Disposition::Served);
+        assert!(matches!(
+            out[0].1,
+            Message::MapReply {
+                negative: false,
+                ..
+            }
+        ));
+        // After restart, the shard serves again (empty until refreshes).
+        s.restart_shard(victim);
+        let (d, out) = s.handle_with_disposition(request(vn(1), eid(0), rl(9)), SimTime::ZERO);
+        assert_eq!(d, Disposition::Served);
+        assert!(matches!(out[0].1, Message::MapReply { negative: true, .. }));
+        let (d, _) = s.handle_with_disposition(register(vn(1), eid(0), rl(2), 300), SimTime::ZERO);
+        assert_eq!(d, Disposition::Served);
+        assert_eq!(
+            s.lookup(vn(1), eid(0), SimTime::ZERO).unwrap().1.rloc,
+            rl(2)
+        );
+    }
+
+    #[test]
+    fn partitioned_shard_keeps_state_and_is_left_out_of_snapshots() {
+        let mut s = server(4);
+        for i in 0..32 {
+            s.handle(register(vn(1), eid(i), rl(1), 300), SimTime::ZERO);
+        }
+        let victim = crate::partition::owner_of(&eid(0), 4);
+        let full = s.db_len();
+        s.partition_shard(victim);
+        assert_eq!(s.db_len(), full, "partition keeps state");
+        // A snapshot taken mid-partition omits the victim's slice.
+        s.handle(
+            Message::Subscribe {
+                nonce: 0,
+                vn: vn(1),
+                subscriber: rl(9),
+            },
+            SimTime::ZERO,
+        );
+        let snap = s.flush_publishes();
+        assert!(snap.len() < full, "down shard excluded from snapshot");
+        s.heal_shard(victim);
+        let (d, out) = s.handle_with_disposition(request(vn(1), eid(0), rl(9)), SimTime::ZERO);
+        assert_eq!(d, Disposition::Served);
+        assert!(matches!(
+            out[0].1,
+            Message::MapReply {
+                negative: false,
+                ..
+            }
+        ));
     }
 }

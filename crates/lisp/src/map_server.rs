@@ -137,11 +137,13 @@ impl MapServer {
                 vn,
                 subscriber,
             } => self.process_subscribe(nonce, vn, subscriber),
-            // Replies/notifies/publishes/acks are never addressed to a server.
+            // Replies/notifies/publishes/acks/busy-signals are never
+            // addressed to a server.
             Message::MapReply { .. }
             | Message::MapNotify { .. }
             | Message::Publish { .. }
-            | Message::SubscribeAck { .. } => Outbox::new(),
+            | Message::SubscribeAck { .. }
+            | Message::ServerBusy { .. } => Outbox::new(),
         }
     }
 

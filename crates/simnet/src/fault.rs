@@ -37,6 +37,20 @@ pub enum Fault {
     /// Sets the loss probability applied to every link that has no
     /// explicit override — a fabric-wide degradation dial.
     DefaultLoss(f64),
+    /// Crashes one internal shard of `node` (a partitioned control
+    /// server): the node stays up and keeps serving other shards, but
+    /// the shard's volatile state is lost until a matching
+    /// [`Fault::ShardRestart`]. Delivery filtering is the node's job —
+    /// the simulator only tells it via
+    /// [`Node::on_fault`](crate::Node::on_fault).
+    ShardCrash(NodeId, usize),
+    /// Brings shard `.1` of `node` back up (state was lost).
+    ShardRestart(NodeId, usize),
+    /// Partitions shard `.1` of `node` away from the fabric: the shard
+    /// keeps its state but serves nothing until [`Fault::ShardHeal`].
+    ShardPartition(NodeId, usize),
+    /// Reconnects a previously partitioned shard, state intact.
+    ShardHeal(NodeId, usize),
 }
 
 /// What a node is told when a scheduled fault hits it.
@@ -48,6 +62,16 @@ pub enum FaultEvent {
     /// The node just came back up with volatile state lost; rebuild from
     /// whatever the node models as non-volatile.
     Restart,
+    /// Internal shard `.0` crashed (volatile shard state lost); the
+    /// node itself stays up.
+    ShardCrash(usize),
+    /// Internal shard `.0` restarted empty.
+    ShardRestart(usize),
+    /// Internal shard `.0` is partitioned away (state intact, serving
+    /// nothing).
+    ShardPartition(usize),
+    /// Internal shard `.0` reconnected with its state intact.
+    ShardHeal(usize),
 }
 
 /// A deterministic, replayable chaos schedule.
@@ -93,6 +117,34 @@ impl FaultPlan {
         assert!(to >= from, "heal must not precede partition");
         self.at(from, Fault::Partition(a, b))
             .at(to, Fault::Heal(a, b))
+    }
+
+    /// Crashes shard `shard` of `node` at `down_at`, restarts it empty
+    /// at `up_at` — one shard reboot while the node stays up.
+    pub fn shard_outage(
+        self,
+        node: NodeId,
+        shard: usize,
+        down_at: SimTime,
+        up_at: SimTime,
+    ) -> Self {
+        assert!(up_at >= down_at, "shard restart must not precede crash");
+        self.at(down_at, Fault::ShardCrash(node, shard))
+            .at(up_at, Fault::ShardRestart(node, shard))
+    }
+
+    /// Partitions shard `shard` of `node` away at `from`, heals at `to`
+    /// (state survives the window).
+    pub fn shard_partition_window(
+        self,
+        node: NodeId,
+        shard: usize,
+        from: SimTime,
+        to: SimTime,
+    ) -> Self {
+        assert!(to >= from, "shard heal must not precede partition");
+        self.at(from, Fault::ShardPartition(node, shard))
+            .at(to, Fault::ShardHeal(node, shard))
     }
 
     /// Raises loss on `a ↔ b` to `loss` at `from`, back to zero at `to`.

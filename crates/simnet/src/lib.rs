@@ -47,11 +47,44 @@
 //!   [`Fault::DefaultLoss`]). Rewrite link parameters on a schedule,
 //!   per-pair or fabric-wide; loss draws come from the scenario RNG, so
 //!   which packets die is deterministic per seed.
+//! * **Shard faults** ([`Fault::ShardCrash`], [`Fault::ShardRestart`],
+//!   [`Fault::ShardPartition`], [`Fault::ShardHeal`]). Scoped to one
+//!   internal shard of a node that models a partitioned service: the
+//!   node stays up and keeps receiving — the fault is dispatched to
+//!   [`Node::on_fault`] and the node decides what a downed shard means
+//!   (the partitioned map-server drops that shard's owner-routed
+//!   traffic while the other shards keep serving).
 //!
 //! Fault activity is observable via the `simnet.faults_injected`,
 //! `simnet.node_crashes`, `simnet.node_restarts`, `simnet.links_cut`,
-//! `simnet.links_healed`, `simnet.fault_msg_drops` and
-//! `simnet.partition_drops` counters.
+//! `simnet.links_healed`, `simnet.fault_msg_drops`,
+//! `simnet.partition_drops`, `simnet.shard_crashes`,
+//! `simnet.shard_restarts`, `simnet.shard_partitions` and
+//! `simnet.shard_heals` counters.
+//!
+//! ## Overload model
+//!
+//! The single-server control CPU gives every node an implicit queue —
+//! and an unbounded one turns saturation into silent infinite backlog.
+//! [`Simulator::set_ingress_cap`] bounds it: at most `cap` deliveries
+//! may wait for a node's CPU at once, and a delivery that arrives at a
+//! full queue is **tail-dropped** at the receiver (counted per node in
+//! [`Simulator::ingress_drops`] and fabric-wide in
+//! `simnet.ingress_drops`). Messages being *processed* and timer
+//! callbacks never occupy queue slots. Per-node observability:
+//! [`Simulator::ingress_depth`] (current),
+//! [`Simulator::ingress_peak`] (high-water mark since the last
+//! [`Simulator::reset_ingress_peaks`]) and
+//! [`Simulator::ingress_drops`]. Depth and peak are tracked for
+//! unbounded nodes too, so a scenario can *measure* a queue it chose
+//! not to cap.
+//!
+//! A tail-drop is indistinguishable from link loss to the sender — by
+//! design: saturation recovery rides the same retransmit machinery as
+//! loss recovery. Back-pressure with an explicit signal (shed-load
+//! `ServerBusy` replies with a retry-after hint) is layered above, in
+//! `sda-ctrl`'s admission control, where the receiver still has the
+//! CPU to say no cheaply.
 //!
 //! The simulator is generic over the message type `M`, so `sda-core`,
 //! `sda-bgp` and tests each bring their own protocol enums.

@@ -63,8 +63,19 @@ pub trait Node<M> {
 }
 
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, token: u64 },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        /// True once the delivery has been parked in the destination's
+        /// bounded ingress queue (it holds a slot and is never dropped
+        /// by the cap again).
+        queued: bool,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
     Fault(Fault),
 }
 
@@ -174,6 +185,14 @@ pub struct Simulator<M> {
     partitioned: HashSet<(NodeId, NodeId)>,
     /// Per-node control CPU availability.
     busy_until: Vec<SimTime>,
+    /// Per-node ingress queue bound (`usize::MAX` = unbounded).
+    ingress_cap: Vec<usize>,
+    /// Deliveries currently parked behind each node's busy CPU.
+    ingress_depth: Vec<u32>,
+    /// High-water mark of `ingress_depth` since the last reset.
+    ingress_peak: Vec<u32>,
+    /// Deliveries tail-dropped at each node's full ingress queue.
+    ingress_drops: Vec<u64>,
     rng: SmallRng,
     metrics: Metrics,
     events_processed: u64,
@@ -194,6 +213,10 @@ impl<M> Simulator<M> {
             node_down: Vec::new(),
             partitioned: HashSet::new(),
             busy_until: Vec::new(),
+            ingress_cap: Vec::new(),
+            ingress_depth: Vec::new(),
+            ingress_peak: Vec::new(),
+            ingress_drops: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
             metrics: Metrics::default(),
             events_processed: 0,
@@ -219,7 +242,43 @@ impl<M> Simulator<M> {
         self.nodes.push(node);
         self.node_down.push(false);
         self.busy_until.push(SimTime::ZERO);
+        self.ingress_cap.push(usize::MAX);
+        self.ingress_depth.push(0);
+        self.ingress_peak.push(0);
+        self.ingress_drops.push(0);
         id
+    }
+
+    /// Bounds `node`'s ingress queue: at most `cap` deliveries may wait
+    /// behind its busy CPU; further arrivals while the queue is full are
+    /// tail-dropped (counted in [`Simulator::ingress_drops`] and the
+    /// `simnet.ingress_drops` metric). Nodes default to unbounded.
+    pub fn set_ingress_cap(&mut self, node: NodeId, cap: usize) {
+        self.ingress_cap[node.0 as usize] = cap;
+    }
+
+    /// Deliveries currently parked behind `node`'s busy CPU.
+    pub fn ingress_depth(&self, node: NodeId) -> u32 {
+        self.ingress_depth[node.0 as usize]
+    }
+
+    /// High-water mark of `node`'s ingress queue since the last
+    /// [`Simulator::reset_ingress_peaks`] (or the start of the run).
+    pub fn ingress_peak(&self, node: NodeId) -> u32 {
+        self.ingress_peak[node.0 as usize]
+    }
+
+    /// Deliveries tail-dropped at `node`'s full ingress queue.
+    pub fn ingress_drops(&self, node: NodeId) -> u64 {
+        self.ingress_drops[node.0 as usize]
+    }
+
+    /// Resets every node's ingress high-water mark to its current depth
+    /// (so a later phase of a scenario can be measured in isolation).
+    pub fn reset_ingress_peaks(&mut self) {
+        for (peak, depth) in self.ingress_peak.iter_mut().zip(&self.ingress_depth) {
+            *peak = *depth;
+        }
     }
 
     /// Number of nodes.
@@ -249,6 +308,7 @@ impl<M> Simulator<M> {
                 from: NodeId::EXTERNAL,
                 to,
                 msg,
+                queued: false,
             },
         );
     }
@@ -377,6 +437,31 @@ impl<M> Simulator<M> {
                 assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
                 self.default_loss = loss;
             }
+            // Shard faults leave the node up (its other shards keep
+            // serving); filtering deliveries for the dead shard is the
+            // node's job, driven by the FaultEvent.
+            Fault::ShardCrash(node, shard) => {
+                self.metrics.incr("simnet.shard_crashes");
+                self.dispatch(node, |n, ctx| {
+                    n.on_fault(ctx, FaultEvent::ShardCrash(shard))
+                });
+            }
+            Fault::ShardRestart(node, shard) => {
+                self.metrics.incr("simnet.shard_restarts");
+                self.dispatch(node, |n, ctx| {
+                    n.on_fault(ctx, FaultEvent::ShardRestart(shard))
+                });
+            }
+            Fault::ShardPartition(node, shard) => {
+                self.metrics.incr("simnet.shard_partitions");
+                self.dispatch(node, |n, ctx| {
+                    n.on_fault(ctx, FaultEvent::ShardPartition(shard))
+                });
+            }
+            Fault::ShardHeal(node, shard) => {
+                self.metrics.incr("simnet.shard_heals");
+                self.dispatch(node, |n, ctx| n.on_fault(ctx, FaultEvent::ShardHeal(shard)));
+            }
         }
     }
 
@@ -390,20 +475,52 @@ impl<M> Simulator<M> {
         self.events_processed += 1;
 
         match ev.kind {
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                queued,
+            } => {
                 let idx = to.0 as usize;
                 assert!(idx < self.nodes.len(), "delivery to unknown node {to}");
                 // A crashed node receives nothing — in-flight included.
                 if self.node_down[idx] {
+                    if queued {
+                        self.ingress_depth[idx] -= 1;
+                    }
                     self.metrics.incr("simnet.fault_msg_drops");
                     return true;
                 }
                 // Single-server FIFO CPU: if the node is busy, requeue the
                 // delivery at the moment it frees up (stable via seq order).
+                // Fresh arrivals claim an ingress-queue slot first; a full
+                // queue tail-drops them. Already-queued deliveries keep
+                // their slot across re-parks.
                 if self.busy_until[idx] > self.now {
+                    if !queued {
+                        if self.ingress_depth[idx] as usize >= self.ingress_cap[idx] {
+                            self.ingress_drops[idx] += 1;
+                            self.metrics.incr("simnet.ingress_drops");
+                            return true;
+                        }
+                        self.ingress_depth[idx] += 1;
+                        self.ingress_peak[idx] =
+                            self.ingress_peak[idx].max(self.ingress_depth[idx]);
+                    }
                     let at = self.busy_until[idx];
-                    self.push(at, EventKind::Deliver { from, to, msg });
+                    self.push(
+                        at,
+                        EventKind::Deliver {
+                            from,
+                            to,
+                            msg,
+                            queued: true,
+                        },
+                    );
                     return true;
+                }
+                if queued {
+                    self.ingress_depth[idx] -= 1;
                 }
                 self.dispatch(to, |node, ctx| node.on_message(ctx, from, msg));
             }
@@ -460,7 +577,15 @@ impl<M> Simulator<M> {
                 continue;
             }
             let at = self.now + delay + link.latency;
-            self.push(at, EventKind::Deliver { from: id, to, msg });
+            self.push(
+                at,
+                EventKind::Deliver {
+                    from: id,
+                    to,
+                    msg,
+                    queued: false,
+                },
+            );
         }
         for (delay, token) in timers {
             let at = self.now + delay;
@@ -604,6 +729,56 @@ mod tests {
         assert_eq!(served[0], 0);
         assert_eq!(served[1], 5_000_000);
         assert_eq!(served[2], 10_000_000);
+    }
+
+    #[test]
+    fn bounded_ingress_queue_tail_drops_and_tracks_peak() {
+        let mut sim = Simulator::new(2);
+        let served = Rc::new(RefCell::new(Vec::new()));
+        let n = sim.add_node(Box::new(Busy {
+            served_at: served.clone(),
+        }));
+        sim.set_ingress_cap(n, 1);
+        // Four simultaneous arrivals: one serves, one queues, two drop.
+        for _ in 0..4 {
+            sim.inject_at(SimTime::ZERO, n, 1);
+        }
+        sim.run_to_completion(100);
+        assert_eq!(served.borrow().len(), 2);
+        assert_eq!(sim.ingress_drops(n), 2);
+        assert_eq!(sim.metrics().counter("simnet.ingress_drops"), 2);
+        assert_eq!(sim.ingress_peak(n), 1, "never more than cap queued");
+        assert_eq!(sim.ingress_depth(n), 0, "queue drained by end of run");
+        // A fresh arrival after the backlog clears is served normally.
+        let t = sim.now() + SimDuration::from_secs(1);
+        sim.inject_at(t, n, 1);
+        sim.run_to_completion(100);
+        assert_eq!(served.borrow().len(), 3);
+        assert_eq!(sim.ingress_drops(n), 2);
+    }
+
+    #[test]
+    fn shard_faults_reach_the_node_without_downing_it() {
+        let mut sim = Simulator::new(12);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let n = sim.add_node(Box::new(FaultProbe { log: log.clone() }));
+        let plan = FaultPlan::new()
+            .shard_outage(n, 2, SimTime::from_nanos(1_000), SimTime::from_nanos(2_000))
+            .shard_partition_window(n, 0, SimTime::from_nanos(3_000), SimTime::from_nanos(4_000));
+        sim.schedule_faults(&plan);
+        // Delivered mid-outage: shard faults never down the node.
+        sim.inject_at(SimTime::from_nanos(1_500), n, 5);
+        sim.run_to_completion(100);
+        let log = log.borrow();
+        assert!(log.iter().any(|e| e.starts_with("ShardCrash(2)@1000")));
+        assert!(log.iter().any(|e| e.starts_with("ShardRestart(2)@2000")));
+        assert!(log.iter().any(|e| e.starts_with("ShardPartition(0)@3000")));
+        assert!(log.iter().any(|e| e.starts_with("ShardHeal(0)@4000")));
+        assert!(log.iter().any(|e| e.starts_with("msg:5")));
+        assert_eq!(sim.metrics().counter("simnet.shard_crashes"), 1);
+        assert_eq!(sim.metrics().counter("simnet.shard_restarts"), 1);
+        assert_eq!(sim.metrics().counter("simnet.node_crashes"), 0);
+        assert!(!sim.is_node_down(n));
     }
 
     struct TimerNode {

@@ -35,6 +35,7 @@ const TYPE_MAP_NOTIFY: u8 = 4;
 const TYPE_PUBLISH: u8 = 6;
 const TYPE_SUBSCRIBE: u8 = 7;
 const TYPE_SUBSCRIBE_ACK: u8 = 8;
+const TYPE_SERVER_BUSY: u8 = 9;
 
 const FLAG_SMR: u8 = 0x1;
 const FLAG_NEGATIVE: u8 = 0x1;
@@ -44,6 +45,40 @@ const FLAG_WITHDRAW: u8 = 0x1;
 const AFI_IPV4: u16 = 1;
 const AFI_IPV6: u16 = 2;
 const AFI_MAC: u16 = 6;
+
+/// Which admission-control budget a shed [`Message::ServerBusy`] charges.
+///
+/// Carried in the header flags nibble so the 9-byte common header stays
+/// untouched; receivers use it to find the matching retry state
+/// (requests match by `(vn, eid)`, registers by nonce, subscribes by VN).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BusyClass {
+    /// A Map-Request was shed; retry resolution later.
+    Request,
+    /// A Map-Register was shed; retry registration later.
+    Register,
+    /// A Subscribe was shed; retry subscription later.
+    Subscribe,
+}
+
+impl BusyClass {
+    fn flag(self) -> u8 {
+        match self {
+            BusyClass::Request => 0,
+            BusyClass::Register => 1,
+            BusyClass::Subscribe => 2,
+        }
+    }
+
+    fn from_flag(flags: u8) -> Result<BusyClass> {
+        match flags {
+            0 => Ok(BusyClass::Request),
+            1 => Ok(BusyClass::Register),
+            2 => Ok(BusyClass::Subscribe),
+            _ => Err(Error::Malformed),
+        }
+    }
+}
 
 /// A fully parsed LISP control message.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -119,6 +154,25 @@ pub enum Message {
         nonce: u64,
         /// VN scope of the acknowledged subscription.
         vn: VnId,
+    },
+    /// Shed-load reply: the server's admission budget for `class` is
+    /// exhausted and the triggering message was dropped unprocessed.
+    /// The sender should retry no sooner than `retry_after_ms` from now
+    /// (plus its own jitter) instead of running its normal backoff.
+    ServerBusy {
+        /// Echoed from the shed message (registers match on this).
+        nonce: u64,
+        /// VN scope of the shed message.
+        vn: VnId,
+        /// EID of the shed request/register (requests match on
+        /// `(vn, eid)` because retransmits regenerate nonces). For
+        /// [`BusyClass::Subscribe`] this carries an all-zero
+        /// placeholder; subscribes match on VN alone.
+        eid: Eid,
+        /// Which admission budget was exhausted.
+        class: BusyClass,
+        /// Retry-after hint in milliseconds.
+        retry_after_ms: u32,
     },
     /// Push a mapping change to a subscriber.
     Publish {
@@ -212,6 +266,18 @@ impl Message {
                 w.header(TYPE_SUBSCRIBE_ACK, 0, *nonce);
                 w.vn(*vn);
             }
+            Message::ServerBusy {
+                nonce,
+                vn,
+                eid,
+                class,
+                retry_after_ms,
+            } => {
+                w.header(TYPE_SERVER_BUSY, class.flag(), *nonce);
+                w.vn(*vn);
+                w.eid(*eid);
+                w.u32(*retry_after_ms);
+            }
             Message::Publish {
                 nonce,
                 vn,
@@ -272,6 +338,13 @@ impl Message {
                 subscriber: r.rloc()?,
             },
             TYPE_SUBSCRIBE_ACK => Message::SubscribeAck { nonce, vn: r.vn()? },
+            TYPE_SERVER_BUSY => Message::ServerBusy {
+                nonce,
+                class: BusyClass::from_flag(flags)?,
+                vn: r.vn()?,
+                eid: r.eid()?,
+                retry_after_ms: r.u32()?,
+            },
             TYPE_PUBLISH => Message::Publish {
                 nonce,
                 withdraw: flags & FLAG_WITHDRAW != 0,
@@ -296,6 +369,7 @@ impl Message {
             | Message::MapNotify { nonce, .. }
             | Message::Subscribe { nonce, .. }
             | Message::SubscribeAck { nonce, .. }
+            | Message::ServerBusy { nonce, .. }
             | Message::Publish { nonce, .. } => *nonce,
         }
     }
@@ -519,6 +593,27 @@ mod tests {
                 rloc,
                 withdraw: true,
             },
+            Message::ServerBusy {
+                nonce: 11,
+                vn,
+                eid: eid4,
+                class: BusyClass::Request,
+                retry_after_ms: 250,
+            },
+            Message::ServerBusy {
+                nonce: 12,
+                vn,
+                eid: eidm,
+                class: BusyClass::Register,
+                retry_after_ms: 1000,
+            },
+            Message::ServerBusy {
+                nonce: 13,
+                vn,
+                eid: Eid::V4(Ipv4Addr::UNSPECIFIED),
+                class: BusyClass::Subscribe,
+                retry_after_ms: 2000,
+            },
         ]
     }
 
@@ -576,6 +671,20 @@ mod tests {
             let bytes = msg.emit();
             assert_eq!(Message::parse(&bytes).unwrap().nonce(), msg.nonce());
         }
+    }
+
+    #[test]
+    fn server_busy_unknown_class_rejected() {
+        let busy = Message::ServerBusy {
+            nonce: 11,
+            vn: VnId::new(100).unwrap(),
+            eid: Eid::V4(Ipv4Addr::new(10, 1, 0, 5)),
+            class: BusyClass::Request,
+            retry_after_ms: 250,
+        };
+        let mut bytes = busy.emit();
+        bytes[0] = (TYPE_SERVER_BUSY << 4) | 0x7; // class 7 undefined
+        assert_eq!(Message::parse(&bytes).unwrap_err(), Error::Malformed);
     }
 
     #[test]

@@ -19,6 +19,23 @@
 //! (out-of-band management network): authentication has no retransmit
 //! path, and the chaos under test is the *LISP* control plane's.
 //!
+//! ## Overload variant
+//!
+//! [`ChaosParams::with_overload`] (preset [`ChaosParams::shard_storm`],
+//! env `SDA_CHAOS_SHARDS=n`) layers the hardened control plane under
+//! the same storm: a multi-shard map-server with per-class admission
+//! budgets scaled to the refresh-wave size, bounded ingress queues on
+//! every node, and one control shard crashed mid-storm (its database
+//! slice lost) and restarted while the others keep serving. The
+//! campaign then asserts *graceful* degradation, not absence of pain:
+//! sheds and tail-drops are expected and counted
+//! (`ctrl.shed_replies`, `simnet.ingress_drops`,
+//! `fabric.server_busy_backoffs`, `fabric.jittered_retries` in the
+//! counter block), but every bounded structure's high-water mark stays
+//! ≤ its cap and the fabric still reaches the fault-free fixed point —
+//! retry-after floors plus decorrelated per-node jitter keep the shed
+//! herds from re-synchronizing into lockstep waves.
+//!
 //! The campaign ends with a quiet tail longer than the map-cache idle
 //! timeout (stale reactive entries must evict), a
 //! [`check_convergence`] pass against the expected endpoint placement,
@@ -28,7 +45,10 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sda_core::controller::{BorderHandle, EdgeHandle, FabricBuilder};
-use sda_core::{check_convergence, ConvergenceReport, EndpointIdentity, ExpectedPlacement, Fabric};
+use sda_core::{
+    check_convergence, AdmissionConfig, ClassBudget, ConvergenceReport, EndpointIdentity,
+    ExpectedPlacement, Fabric,
+};
 use sda_simnet::{Fault, FaultPlan, SimDuration, SimTime};
 use sda_types::{Eid, GroupId, Ipv4Prefix, PortId, VnId};
 
@@ -55,6 +75,18 @@ pub struct ChaosParams {
     pub fabric_loss: f64,
     /// RNG seed (schedule and fabric).
     pub seed: u64,
+    /// Map-server shards on the routing server (1 = the paper's single
+    /// server).
+    pub ctrl_shards: usize,
+    /// Crash one shard mid-campaign (requires `ctrl_shards > 1`): its
+    /// slice of the mapping database is lost and rebuilt by the
+    /// registration refreshes after the shard restarts.
+    pub shard_outage: bool,
+    /// Routing-server admission control: per-shard token buckets that
+    /// shed over-budget messages with `ServerBusy` retry-after replies.
+    pub admission: Option<AdmissionConfig>,
+    /// Per-node bounded ingress queue (tail-drop beyond the cap).
+    pub ingress_cap: Option<usize>,
 }
 
 impl ChaosParams {
@@ -69,6 +101,10 @@ impl ChaosParams {
             roam_share: 0.05,
             fabric_loss: 0.05,
             seed: 0xC4A05,
+            ctrl_shards: 1,
+            shard_outage: false,
+            admission: None,
+            ingress_cap: None,
         }
     }
 
@@ -83,16 +119,73 @@ impl ChaosParams {
             roam_share: 0.1,
             fabric_loss: 0.05,
             seed: 0xC4A05,
+            ctrl_shards: 1,
+            shard_outage: false,
+            admission: None,
+            ingress_cap: None,
         }
     }
 
+    /// The overload campaign: the same storm against a sharded,
+    /// admission-guarded, bounded-queue control plane, with one shard
+    /// crashed mid-storm. The budgets are sized so a synchronized
+    /// refresh wave *must* shed (burst < wave) while the sustained rate
+    /// comfortably drains the backlog before the next wave — the
+    /// campaign proves degradation, not collapse.
+    pub fn shard_storm() -> Self {
+        ChaosParams {
+            name: "shard-storm",
+            ..Self::storm().with_overload(4)
+        }
+    }
+
+    /// Applies the overload-hardening knobs on top of a base preset:
+    /// `shards` map-server shards, per-shard admission budgets, a
+    /// bounded per-node ingress queue and a mid-campaign shard outage.
+    ///
+    /// The campaign's single-/16 EID plan parks every IPv4 EID on one
+    /// shard and every MAC EID on another (prefix-aligned partition), so
+    /// each synchronized refresh wave hits one shard with the *whole*
+    /// family's registers at once. Budgets scale with the population:
+    /// burst well below the wave (every wave sheds) and a sustained rate
+    /// that drains the backlog in under a second (every wave converges).
+    pub fn with_overload(mut self, shards: usize) -> Self {
+        assert!(shards > 1, "overload campaign needs a sharded server");
+        let wave = self.endpoints as f64; // one family's refresh wave
+        self.ctrl_shards = shards;
+        self.shard_outage = true;
+        self.admission = Some(AdmissionConfig {
+            requests: ClassBudget::new((2.0 * wave).max(100.0), (wave / 4.0).max(16.0)),
+            registers: ClassBudget::new((2.0 * wave).max(100.0), (wave / 8.0).max(8.0)),
+            subscribes: ClassBudget::new(10.0, 4.0),
+            retry_after: SimDuration::from_millis(300),
+        });
+        self.ingress_cap = Some(512);
+        self
+    }
+
     /// [`Self::reduced`] when `SDA_CHAOS_REDUCED` is set (CI),
-    /// [`Self::storm`] otherwise.
+    /// [`Self::storm`] otherwise; `SDA_CHAOS_SHARDS=<n>` (n > 1) layers
+    /// the overload campaign ([`Self::with_overload`]) on top.
     pub fn from_env() -> Self {
-        if std::env::var_os("SDA_CHAOS_REDUCED").is_some() {
+        let base = if std::env::var_os("SDA_CHAOS_REDUCED").is_some() {
             Self::reduced()
         } else {
             Self::storm()
+        };
+        match std::env::var("SDA_CHAOS_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n > 1 => ChaosParams {
+                name: if base.ctrl_shards == 1 && base.edges >= 100 {
+                    "shard-storm"
+                } else {
+                    "shard-reduced"
+                },
+                ..base.with_overload(n)
+            },
+            _ => base,
         }
     }
 }
@@ -112,16 +205,24 @@ mod t {
     pub const SERVER_DOWN: u64 = 20;
     /// ...and restarts empty.
     pub const SERVER_UP: u64 = 24;
+    /// One map-server shard crashes (overload campaigns only)...
+    pub const SHARD_DOWN: u64 = 28;
+    /// ...and restarts empty mid-roam-storm.
+    pub const SHARD_UP: u64 = 34;
     /// Roams are staggered over `[ROAM_FROM, ROAM_TO)`.
     pub const ROAM_FROM: u64 = 33;
     /// End of the roam window.
     pub const ROAM_TO: u64 = 39;
     /// Fabric-wide loss heals; the quiet tail begins.
     pub const LOSS_OFF: u64 = 45;
-    /// Convergence is checked here (quiet tail ≫ idle timeout).
-    pub const CHECK: u64 = 91;
+    /// Convergence is checked here (quiet tail ≫ idle timeout). Off the
+    /// 5-second refresh grid and the 2-second eviction grid, with 4 s of
+    /// headroom after the t=85 refresh wave: an admission-throttled
+    /// wave needs a few shed→retry rounds to drain before the check
+    /// samples the pending maps.
+    pub const CHECK: u64 = 89;
     /// Probe round on the healed fabric.
-    pub const PROBE: u64 = 92;
+    pub const PROBE: u64 = 91;
     /// End of the run.
     pub const END: u64 = 99;
 }
@@ -159,6 +260,15 @@ pub const CHAOS_COUNTERS: &[&str] = &[
     "border.publish_regressions",
     "border.resyncs_requested",
     "border.resyncs_completed",
+    "simnet.ingress_drops",
+    "simnet.shard_crashes",
+    "simnet.shard_restarts",
+    "ctrl.shed_replies",
+    "ctrl.shard_drops",
+    "fabric.server_busy_backoffs",
+    "fabric.negative_cache_hits",
+    "fabric.jittered_retries",
+    "fabric.resolve_evictions",
 ];
 
 /// What a campaign run produced.
@@ -172,6 +282,10 @@ pub struct ChaosOutcome {
     pub probes_delivered: u64,
     /// `(name, value)` for every counter in [`CHAOS_COUNTERS`].
     pub counters: Vec<(&'static str, u64)>,
+    /// High-water mark of the routing server's ingress queue.
+    pub server_queue_peak: u32,
+    /// The per-node ingress cap the campaign ran with, if bounded.
+    pub queue_cap: Option<usize>,
 }
 
 impl ChaosOutcome {
@@ -182,6 +296,16 @@ impl ChaosOutcome {
             "chaos[{label}] probes: {}/{} delivered",
             self.probes_delivered, self.probes_sent
         );
+        match self.queue_cap {
+            Some(cap) => println!(
+                "chaos[{label}] server queue peak: {} (cap {cap})",
+                self.server_queue_peak
+            ),
+            None => println!(
+                "chaos[{label}] server queue peak: {} (unbounded)",
+                self.server_queue_peak
+            ),
+        }
         for (name, value) in &self.counters {
             println!("chaos[{label}]   {name} = {value}");
         }
@@ -222,6 +346,9 @@ impl ChaosScenario {
             cfg.register_ttl_secs = 30;
             cfg.idle_timeout = SimDuration::from_secs(20);
             cfg.eviction_interval = SimDuration::from_secs(2);
+            cfg.ctrl_shards = params.ctrl_shards;
+            cfg.admission = params.admission;
+            cfg.node_ingress_cap = params.ingress_cap;
         }
         let vn = b.add_vn(
             100,
@@ -277,6 +404,21 @@ impl ChaosScenario {
         for (i, &e) in edges.iter().take(params.reboot_edges).enumerate() {
             let down = secs(t::STORM) + SimDuration::from_millis(120).saturating_mul(i as u64);
             plan = plan.reboot(fabric.edge_node(e), down, down + SimDuration::from_secs(2));
+        }
+        if params.shard_outage {
+            assert!(
+                params.ctrl_shards > 1,
+                "a shard outage needs a sharded server"
+            );
+            // Crash a middle shard while the roam storm is still running:
+            // its database slice is lost; refresh registrations rebuild
+            // it after the restart.
+            plan = plan.shard_outage(
+                fabric.routing_node(),
+                1,
+                secs(t::SHARD_DOWN),
+                secs(t::SHARD_UP),
+            );
         }
         fabric.schedule_faults(&plan);
 
@@ -382,12 +524,16 @@ impl ChaosScenario {
         }
         self.fabric.run_until(secs(t::END));
 
+        let routing = self.fabric.routing_node();
+        let server_queue_peak = self.fabric.sim_mut().ingress_peak(routing);
         let m = self.fabric.metrics();
         ChaosOutcome {
             report,
             probes_sent: probes,
             probes_delivered: m.counter("fabric.delivered") - delivered_before,
             counters: CHAOS_COUNTERS.iter().map(|n| (*n, m.counter(n))).collect(),
+            server_queue_peak,
+            queue_cap: self.params.ingress_cap,
         }
     }
 }

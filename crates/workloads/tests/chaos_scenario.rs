@@ -51,6 +51,84 @@ fn chaos_campaign_converges_and_probes_deliver() {
     );
 }
 
+/// The overload campaign: the full storm against a 4-shard,
+/// admission-guarded, bounded-queue control plane with one shard
+/// crashed mid-storm. Degradation must be graceful — sheds happen, but
+/// the fabric converges, every bounded structure stays within its cap,
+/// and no resolution is left permanently wedged.
+#[test]
+fn shard_storm_degrades_gracefully_and_converges() {
+    let params = if std::env::var_os("SDA_CHAOS_REDUCED").is_some() {
+        sda_workloads::chaos::ChaosParams {
+            name: "shard-reduced",
+            ..ChaosParams::reduced().with_overload(4)
+        }
+    } else {
+        ChaosParams::shard_storm()
+    };
+    let cap = params.ingress_cap.unwrap();
+    let max_resolving = 4096; // FabricConfig default, asserted below
+    let mut s = ChaosScenario::build(params.clone());
+    let outcome = s.run();
+    outcome.print(params.name);
+
+    assert!(
+        outcome.report.converged(),
+        "overload campaign must still reach the fixed point: {:?}",
+        outcome.report
+    );
+    assert_eq!(outcome.probes_delivered, outcome.probes_sent);
+
+    let counter = |name: &str| {
+        outcome
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
+    // The admission gate actually fired, the shard outage actually
+    // happened, and shed senders honored the retry-after hint.
+    assert!(counter("ctrl.shed_replies") > 0, "admission never shed");
+    assert_eq!(counter("simnet.shard_crashes"), 1);
+    assert_eq!(counter("simnet.shard_restarts"), 1);
+    assert!(
+        counter("fabric.server_busy_backoffs") > 0,
+        "no sender honored a retry-after hint"
+    );
+    assert!(counter("fabric.jittered_retries") > 0, "jitter never used");
+
+    // Bounded-queue proofs: every capped structure stayed within cap.
+    assert!(
+        outcome.server_queue_peak as usize <= cap,
+        "server ingress queue peak {} exceeded cap {cap}",
+        outcome.server_queue_peak
+    );
+    let dir_params = &s.fabric.directory().params;
+    assert_eq!(dir_params.max_resolving, max_resolving);
+    for &e in &s.edges {
+        let edge = s.fabric.edge(e);
+        assert!(
+            edge.resolving_peak() <= dir_params.max_resolving,
+            "resolving map exceeded its cap"
+        );
+        assert!(
+            edge.pending_registers_peak() <= dir_params.max_pending_registers,
+            "pending-register map exceeded its cap"
+        );
+        // Zero permanently-wedged resolutions on the healed fabric.
+        assert_eq!(
+            edge.resolving_len(),
+            0,
+            "edge left with wedged resolving entries"
+        );
+    }
+    assert!(
+        s.fabric.routing_server().server().pubsub_peak_depth() <= sda_ctrl::DEFAULT_QUEUE_CAP,
+        "delta fan-out queue exceeded its cap"
+    );
+}
+
 #[test]
 fn chaos_campaign_replays_identically() {
     let params = ChaosParams::reduced();
