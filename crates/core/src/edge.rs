@@ -37,7 +37,6 @@ use sda_types::{Eid, EidKind, GroupId, MacAddr, PortId, Rloc, VnId};
 use sda_underlay::{LinkStateRouter, ReachabilityEvent, ReachabilityTracker};
 use sda_wire::lisp::{BusyClass, Message as Lisp};
 
-use crate::acl::GroupAcl;
 use crate::msg::{ArpMsg, EndpointIdentity, FabricMsg, HostEvent, PolicyMsg};
 use crate::pipeline::{self, EnforcementPoint};
 use crate::servers::Directory;
@@ -291,7 +290,7 @@ impl EdgeRouter {
     }
 
     /// ACL state (for the §5.3 ablation).
-    pub fn acl(&self) -> &GroupAcl {
+    pub fn acl(&self) -> &sda_policy::CompiledAcl {
         self.switch.acl()
     }
 

@@ -428,7 +428,7 @@ pub fn parse_delivered_frame(bytes: &[u8]) -> Option<DeliveredFrame> {
 pub mod oracle {
     use sda_dataplane::{encap, DropReason, Punt, SharedTables, SwitchConfig, Verdict};
     use sda_lisp::CacheOutcome;
-    use sda_policy::EnforcementPoint;
+    use sda_policy::{EnforcementPoint, GroupAcl};
     use sda_simnet::SimTime;
     use sda_types::{Eid, MacAddr};
     use sda_wire::{ethernet, ipv4, EtherType};
@@ -451,6 +451,24 @@ pub mod oracle {
     pub fn predict_ingress(
         cfg: &SwitchConfig,
         tables: &SharedTables,
+        frame: &[u8],
+        now: SimTime,
+    ) -> (Verdict, Vec<Punt>) {
+        // Decompile into the reference per-pair ACL for the decision —
+        // the model stays a second implementation (it never touches the
+        // engine's bitset rows), and the prediction must not perturb
+        // the shared enforcement counters.
+        let mut acl = tables.acl().to_group_acl();
+        predict_ingress_with_acl(cfg, tables, &mut acl, frame, now)
+    }
+
+    /// [`predict_ingress`] against a caller-owned reference ACL, so a
+    /// whole-run replay can accumulate the model's enforcement counters
+    /// in one place and diff them against the engine's shared atomics.
+    pub fn predict_ingress_with_acl(
+        cfg: &SwitchConfig,
+        tables: &SharedTables,
+        acl: &mut GroupAcl,
         frame: &[u8],
         now: SimTime,
     ) -> (Verdict, Vec<Punt>) {
@@ -505,12 +523,9 @@ pub mod oracle {
         } else {
             None
         };
-        // Clone for decision only — the prediction must not perturb the
-        // shared ACL counters.
-        let mut acl = tables.acl().clone();
         let action = ingress(
             tables.vrf(),
-            &mut acl,
+            acl,
             vn,
             src_ep.group,
             inner,
@@ -559,6 +574,20 @@ pub mod oracle {
         wire: &[u8],
         now: SimTime,
     ) -> (Verdict, Vec<Punt>) {
+        // Decompiled reference ACL, same reasoning as `predict_ingress`.
+        let mut acl = tables.acl().to_group_acl();
+        predict_egress_with_acl(cfg, tables, &mut acl, wire, now)
+    }
+
+    /// [`predict_egress`] against a caller-owned reference ACL (see
+    /// [`predict_ingress_with_acl`]).
+    pub fn predict_egress_with_acl(
+        cfg: &SwitchConfig,
+        tables: &SharedTables,
+        acl: &mut GroupAcl,
+        wire: &[u8],
+        now: SimTime,
+    ) -> (Verdict, Vec<Punt>) {
         let mut punts = Vec::new();
         let Ok(d) = encap::parse_underlay(wire) else {
             return (Verdict::Drop(DropReason::Malformed), punts);
@@ -603,14 +632,7 @@ pub mod oracle {
             origin: d.outer_src,
             inner,
         };
-        let mut acl = tables.acl().clone();
-        match egress(
-            tables.vrf(),
-            &mut acl,
-            &pkt,
-            cfg.enforcement,
-            cfg.default_action,
-        ) {
+        match egress(tables.vrf(), acl, &pkt, cfg.enforcement, cfg.default_action) {
             EgressAction::Deliver { port, .. } => (Verdict::Deliver { port }, punts),
             EgressAction::DropPolicy => (Verdict::Drop(DropReason::Policy), punts),
             EgressAction::NotLocal => {

@@ -460,6 +460,98 @@ fn batched_ingress_agrees_with_per_packet_oracle() {
     }
 }
 
+/// Enforcement replay against the batched bitset path: one persistent
+/// reference [`sda_policy::GroupAcl`] (decompiled from the engine's
+/// compiled table before any traffic) shadows every counting decision
+/// the engine makes — across batched ingress and egress populations,
+/// under both §5.3 enforcement points — and the engine's shared
+/// allowed/dropped atomics must equal the model's counters after every
+/// batch, not just at the end. This is the counting twin of the verdict
+/// tests above: a verdict can agree while the counter discipline
+/// (which sites tally, how often) silently diverges; this pins both.
+#[test]
+fn enforcement_counters_agree_with_model_replay() {
+    for (name, cfg, externals) in configs()
+        .into_iter()
+        .filter(|(n, ..)| *n == "edge/zero-checksum" || *n == "edge/ingress-enforcement")
+    {
+        let mut w = build_world(cfg, externals);
+        let mut rng = SmallRng::seed_from_u64(0xC0C7);
+        let mut model_acl = w.switch.tables().acl().to_group_acl();
+        assert_eq!(
+            w.switch.tables().acl().counters(),
+            (0, 0),
+            "[{name}] fresh world must start with zeroed enforcement counters"
+        );
+        for round in 0..40u32 {
+            let ingress = round % 2 == 0;
+            let frames: Vec<Vec<u8>> = (0..32)
+                .map(|_| {
+                    if ingress {
+                        gen_ingress_frame(&w, &mut rng)
+                    } else {
+                        gen_egress_wire(&w, w.switch.config(), &mut rng)
+                    }
+                })
+                .collect();
+            let cfg = *w.switch.config();
+            let pred: Vec<Verdict> = frames
+                .iter()
+                .map(|f| {
+                    let (v, _) = if ingress {
+                        oracle::predict_ingress_with_acl(
+                            &cfg,
+                            w.switch.tables(),
+                            &mut model_acl,
+                            f,
+                            w.now,
+                        )
+                    } else {
+                        oracle::predict_egress_with_acl(
+                            &cfg,
+                            w.switch.tables(),
+                            &mut model_acl,
+                            f,
+                            w.now,
+                        )
+                    };
+                    v
+                })
+                .collect();
+            let mut bufs: Vec<PacketBuf> = frames
+                .iter()
+                .map(|f| {
+                    let mut b = PacketBuf::new();
+                    assert!(b.load(f));
+                    b
+                })
+                .collect();
+            let got = if ingress {
+                w.switch.process_ingress(&mut bufs, w.now).to_vec()
+            } else {
+                w.switch.process_egress(&mut bufs, w.now).to_vec()
+            };
+            w.switch.drain_punts();
+            assert_eq!(got, pred, "[{name}] round {round}: batch verdicts diverged");
+            assert_eq!(
+                w.switch.tables().acl().counters(),
+                model_acl.counters(),
+                "[{name}] round {round}: engine counters != model replay"
+            );
+            assert_eq!(
+                w.switch.tables().acl().drop_permille(),
+                model_acl.drop_permille(),
+                "[{name}] round {round}: Fig. 12 drop-permille diverged"
+            );
+        }
+        let (allowed, dropped) = w.switch.tables().acl().counters();
+        assert!(
+            allowed > 0 && dropped > 0,
+            "[{name}] population too narrow: allowed {allowed}, dropped {dropped}"
+        );
+    }
+}
+
 /// The two checksum policies interoperate: a zero-checksum encap
 /// parses, a full-checksum encap parses and catches corruption —
 /// whichever policy the emitting switch ran (the fixed divergence).

@@ -339,7 +339,7 @@ impl MtSwitch {
     /// Spawns `workers` forwarding threads (≥ 1) sharing empty tables.
     pub fn spawn(cfg: SwitchConfig, workers: usize) -> Self {
         assert!(workers >= 1, "MtSwitch needs at least one worker");
-        let epoch = EpochTables::new(SharedTables::new());
+        let epoch = EpochTables::new(SharedTables::with_policy_default(cfg.default_action));
         let (result_tx, result_rx) = std::sync::mpsc::channel();
         let mut job_txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
@@ -356,8 +356,8 @@ impl MtSwitch {
             job_txs.push(tx);
         }
         MtSwitch {
+            tables: SharedTables::with_policy_default(cfg.default_action),
             cfg,
-            tables: SharedTables::new(),
             dirty: false,
             epoch,
             job_txs,

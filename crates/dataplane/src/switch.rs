@@ -4,11 +4,13 @@
 //!
 //! * [`SharedTables`] — the read-mostly half: the three tables of
 //!   Fig. 4 (per-VRF local endpoint tries ([`VrfTable`]), the
-//!   on-demand overlay FIB ([`MapCache`]) and the group ACL
-//!   ([`GroupAcl`])). The per-packet pipeline touches them through
-//!   `&self` only; mutation is the owner's business (`&mut`, or
-//!   clone-and-swap behind the [`crate::mt::EpochTables`] epoch when
-//!   workers are live).
+//!   on-demand overlay FIB ([`MapCache`]) and the compiled group ACL
+//!   ([`CompiledAcl`]: dense group interning + bitset verdict rows,
+//!   one shift+mask per check)). The per-packet pipeline touches them
+//!   through `&self` only; mutation is the owner's business (`&mut`,
+//!   or clone-and-swap behind the [`crate::mt::EpochTables`] epoch
+//!   when workers are live — the ACL's rows are `Arc`-shared, so a
+//!   publish copies pointers, not rules).
 //! * [`WorkerCtx`] — the per-worker half: verdict/meta/run scratch
 //!   vectors, the punt queue, forwarding counters and the one-entry
 //!   source-classification memo. One per forwarding thread; nothing in
@@ -52,7 +54,9 @@
 use std::collections::BTreeMap;
 
 use sda_lisp::{CacheOutcome, MapCache};
-use sda_policy::{Action, ConnectivityMatrix, EnforcementPoint, GroupAcl, RuleSubset};
+use sda_policy::{
+    AclVnView, Action, CompiledAcl, ConnectivityMatrix, EnforcementPoint, RuleSubset,
+};
 use sda_simnet::{SimDuration, SimTime};
 use sda_types::{Eid, EidPrefix, GroupId, Ipv4Prefix, MacAddr, PortId, Rloc, VnId};
 use sda_wire::{ethernet, ipv4, EtherType};
@@ -234,25 +238,28 @@ enum IngressMeta {
 
 /// The read-mostly half of the engine: the three tables of Fig. 4 —
 /// per-VRF local endpoint tries ([`VrfTable`]), the on-demand overlay
-/// FIB ([`MapCache`]) and the group ACL ([`GroupAcl`]).
+/// FIB ([`MapCache`]) and the compiled group ACL ([`CompiledAcl`]).
 ///
 /// Everything the per-packet pipeline touches goes through `&self`: VRF
 /// and ACL lookups are plain shared reads, map-cache resolution rides
 /// [`MapCache::lookup_batch_shared`] (entry metadata refreshes through
 /// the `CacheEntry` atomics — see that type's memory-ordering contract),
-/// and ACL enforcement uses the non-counting
-/// [`sda_policy::GroupAcl::check`] (enforcement outcomes are counted in
-/// the per-worker [`SwitchStats`] instead, so shared tables carry no
-/// mutable counters). Mutation — onboarding, Map-Replies, purges,
-/// compaction — takes `&mut self` and belongs to the table owner: the
-/// single-threaded [`Switch`] mutates in place, the multi-core
-/// [`crate::MtSwitch`] mutates a working copy and publishes clones
-/// (clone-and-swap; `Clone` exists for exactly that).
+/// and ACL enforcement goes through the counting
+/// [`CompiledAcl::enforce`] / per-run [`AclVnView`] — the allow/drop
+/// totals live in `Relaxed` shared atomics (the same per-entry-metadata
+/// discipline), so enforcing on a published snapshot and reading the
+/// counters from the working copy see one coherent Fig. 12 total.
+/// Mutation — onboarding, Map-Replies, purges, compaction — takes
+/// `&mut self` and belongs to the table owner: the single-threaded
+/// [`Switch`] mutates in place, the multi-core [`crate::MtSwitch`]
+/// mutates a working copy and publishes clones (clone-and-swap; `Clone`
+/// exists for exactly that — and the ACL's `Arc`-shared rows make that
+/// clone O(#VNs) pointer copies, not a rule-map deep copy).
 #[derive(Default, Clone)]
 pub struct SharedTables {
     vrf: VrfTable,
     cache: MapCache,
-    acl: GroupAcl,
+    acl: CompiledAcl,
     /// External prefixes (Internet/DC) reachable through this switch —
     /// populated on borders only; consulted after a map-cache miss when
     /// no default route applies.
@@ -264,9 +271,20 @@ pub struct SharedTables {
 }
 
 impl SharedTables {
-    /// Empty tables.
+    /// Empty tables (ACL compiled around the SDA deny default).
     pub fn new() -> Self {
         SharedTables::default()
+    }
+
+    /// Empty tables whose ACL folds `default` into its compiled rows.
+    /// Seed this from [`SwitchConfig::default_action`] so steady-state
+    /// verdicts stay on the one-load fast path (a mismatched per-call
+    /// default stays correct, just slower).
+    pub fn with_policy_default(default: Action) -> Self {
+        SharedTables {
+            acl: CompiledAcl::with_default(default),
+            ..SharedTables::default()
+        }
     }
 
     // --- owner (mutating) surface ----------------------------------
@@ -424,9 +442,10 @@ impl SharedTables {
         &self.vrf
     }
 
-    /// The group ACL rule table (enforcement outcomes are counted in
-    /// the per-worker [`SwitchStats`], not here).
-    pub fn acl(&self) -> &GroupAcl {
+    /// The compiled group ACL. Its allow/drop counters are shared
+    /// `Relaxed` atomics fed by the packet path; `Policy` drop verdicts
+    /// are additionally counted in the per-worker [`SwitchStats`].
+    pub fn acl(&self) -> &CompiledAcl {
         &self.acl
     }
 }
@@ -599,6 +618,10 @@ pub fn ingress_batch(
         tables
             .cache
             .lookup_batch_shared(run_vn, &ctx.run_eids, now, &mut ctx.run_out);
+        // Enforcement is fused into the same per-run pass as the cache
+        // resolve: the VN's bitset rows are probed once per run and
+        // each packet's verdict is one shift+mask against them.
+        let run_acl = tables.acl.vn_view(run_vn);
         for k in 0..ctx.run_idx.len() {
             let idx = ctx.run_idx[k];
             let IngressMeta::Resolve {
@@ -631,11 +654,7 @@ pub fn ingress_batch(
                 && !matches!(outcome, CacheOutcome::Stale(_))
             {
                 if let Some(dst_group) = tables.dst_hint(vn, dst) {
-                    if tables
-                        .acl
-                        .check(vn, src_group, dst_group, cfg.default_action)
-                        == Action::Deny
-                    {
+                    if run_acl.enforce(src_group, dst_group, cfg.default_action) == Action::Deny {
                         let verdict = Verdict::Drop(DropReason::Policy);
                         ctx.count(verdict, false);
                         ctx.verdicts[idx] = verdict;
@@ -728,8 +747,13 @@ pub fn egress_batch(
     ctx.stats.batches += 1;
     ctx.stats.rx += bufs.len() as u64;
     ctx.verdicts.clear();
+    // One-entry ACL memo: fabric bursts arrive in same-VN runs, so the
+    // previous packet's per-VN bitset view usually answers the next one
+    // without re-probing the VN table — the egress half of the fused
+    // lookup+enforce pass.
+    let mut acl_memo: Option<(VnId, AclVnView<'_>)> = None;
     for buf in bufs.iter_mut() {
-        let (v, default_route) = egress_one(cfg, tables, ctx, buf, now);
+        let (v, default_route) = egress_one(cfg, tables, ctx, buf, now, &mut acl_memo);
         ctx.count(v, default_route);
         ctx.verdicts.push(v);
     }
@@ -771,7 +795,7 @@ fn classify_ingress(
         if let Some(dst_ep) = tables.vrf.lookup(vn, dst).copied() {
             if tables
                 .acl
-                .check(vn, src_ep.group, dst_ep.group, cfg.default_action)
+                .enforce(vn, src_ep.group, dst_ep.group, cfg.default_action)
                 == Action::Deny
             {
                 return done(Verdict::Drop(DropReason::Policy));
@@ -810,11 +834,11 @@ fn classify_ingress(
 
     if let Some(dst_ep) = tables.vrf.lookup(vn, dst).copied() {
         // Same-edge delivery: the egress stages run locally, ACL
-        // included (non-counting check — the Policy drop verdict is
-        // what the stats record).
+        // included (counting enforce — the shared atomics take the
+        // allow/deny tally, the stats record the Policy drop verdict).
         if tables
             .acl
-            .check(vn, src_ep.group, dst_ep.group, cfg.default_action)
+            .enforce(vn, src_ep.group, dst_ep.group, cfg.default_action)
             == Action::Deny
         {
             return done(Verdict::Drop(DropReason::Policy));
@@ -882,12 +906,13 @@ fn encap_in_place(
 /// Full egress treatment of one underlay packet. The second return is
 /// true when the packet missed the cache and rode the border default
 /// route (the caller's `forwarded_default` accounting).
-fn egress_one(
+fn egress_one<'t>(
     cfg: &SwitchConfig,
-    tables: &SharedTables,
+    tables: &'t SharedTables,
     ctx: &mut WorkerCtx,
     buf: &mut PacketBuf,
     now: SimTime,
+    acl_memo: &mut Option<(VnId, AclVnView<'t>)>,
 ) -> (Verdict, bool) {
     let done = |v: Verdict| (v, false);
     let d = match encap::parse_underlay(buf.bytes()) {
@@ -936,14 +961,18 @@ fn egress_one(
     if let Some(dst_ep) = tables.vrf.lookup(vn, dst).copied() {
         // Egress-point enforcement; under §5.3 ingress enforcement the
         // check happened (or was deliberately skipped) before transit.
-        if matches!(cfg.enforcement, EnforcementPoint::Egress)
-            && !policy_applied
-            && tables
-                .acl
-                .check(vn, src_group, dst_ep.group, cfg.default_action)
-                == Action::Deny
-        {
-            return done(Verdict::Drop(DropReason::Policy));
+        if matches!(cfg.enforcement, EnforcementPoint::Egress) && !policy_applied {
+            let view = match acl_memo {
+                Some((memo_vn, view)) if *memo_vn == vn => *view,
+                _ => {
+                    let view = tables.acl.vn_view(vn);
+                    *acl_memo = Some((vn, view));
+                    view
+                }
+            };
+            if view.enforce(src_group, dst_ep.group, cfg.default_action) == Action::Deny {
+                return done(Verdict::Drop(DropReason::Policy));
+            }
         }
         // In-place decap: strip the underlay, then (for L3) dress the
         // inner packet in a delivery Ethernet header — an L2 inner
@@ -1029,9 +1058,9 @@ impl Switch {
     /// Builds an empty switch.
     pub fn new(cfg: SwitchConfig) -> Self {
         Switch {
-            cfg,
-            tables: SharedTables::new(),
+            tables: SharedTables::with_policy_default(cfg.default_action),
             ctx: WorkerCtx::new(&cfg),
+            cfg,
         }
     }
 
@@ -1162,9 +1191,10 @@ impl Switch {
         self.tables.map_cache()
     }
 
-    /// The group ACL rule table (allow/deny outcomes are visible in
-    /// [`Switch::stats`] — `Policy` drops count under `dropped`).
-    pub fn acl(&self) -> &GroupAcl {
+    /// The compiled group ACL (its shared counters carry the
+    /// allow/deny tally; `Policy` drops also count in
+    /// [`Switch::stats`] under `dropped`).
+    pub fn acl(&self) -> &CompiledAcl {
         self.tables.acl()
     }
 

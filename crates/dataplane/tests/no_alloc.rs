@@ -14,7 +14,11 @@
 //! (`MapCache::lookup_batch_shared`, filtered `&self` trie descent,
 //! atomic metadata refresh) allocates nothing per packet. A third
 //! window below additionally measures the shared map-cache entry point
-//! in isolation.
+//! in isolation, and a fourth drives the *fused* lookup+enforce pass —
+//! compiled-ACL verdicts (allow, explicit deny, default-action deny)
+//! on the §5.3 ingress-hint path, the always-on local-delivery sites
+//! and the egress memo path, counters ticking on shared atomics — and
+//! proves it allocates nothing either.
 //!
 //! This file deliberately holds a single `#[test]` — the counter is
 //! process-global, and a concurrently running test would pollute it.
@@ -26,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use sda_dataplane::{
     encap, DropReason, LocalEndpoint, PacketBuf, Switch, SwitchConfig, Verdict, BATCH_SIZE,
 };
+use sda_policy::{Action, ConnectivityMatrix, EnforcementPoint};
 use sda_simnet::{SimDuration, SimTime};
 use sda_types::{Eid, EidPrefix, GroupId, MacAddr, PortId, Rloc, VnId};
 use sda_wire::{ethernet, ipv4, EtherType};
@@ -265,5 +270,187 @@ fn steady_state_forwarding_allocates_nothing() {
         0,
         "shared-read batched lookup performed {} heap allocations",
         after - before
+    );
+
+    // Window 4: the fused lookup+enforce pass. Three destination
+    // classes — explicit allow, explicit deny, and no-rule (the deny
+    // default decides) — hit every compiled-ACL enforcement site:
+    //
+    //   * local L3 delivery on the egress-enforcement switch (always
+    //     enforced, counting),
+    //   * the egress decap path with the A bit clear (one-entry per-VN
+    //     view memo),
+    //   * the §5.3 ingress-hint check inside the same lockstep run as
+    //     the map-cache resolve (per-run `vn_view`, hint known/deny/
+    //     unknown), on a second ingress-enforcement switch.
+    //
+    // Exact verdict accounting per class, exact allowed/dropped deltas
+    // on the shared atomics, and zero heap allocations.
+    let allow_ep = LocalEndpoint {
+        port: PortId(2),
+        group: GroupId(20),
+        mac: MacAddr::from_seed(2),
+        ipv4: Ipv4Addr::new(10, 0, 0, 2),
+    };
+    let deny_ep = LocalEndpoint {
+        port: PortId(3),
+        group: GroupId(30),
+        mac: MacAddr::from_seed(3),
+        ipv4: Ipv4Addr::new(10, 0, 0, 3),
+    };
+    let default_ep = LocalEndpoint {
+        port: PortId(4),
+        group: GroupId(40),
+        mac: MacAddr::from_seed(4),
+        ipv4: Ipv4Addr::new(10, 0, 0, 4),
+    };
+    let mut m = ConnectivityMatrix::new();
+    m.set_rule(vn, GroupId(10), GroupId(20), Action::Allow);
+    m.set_rule(vn, GroupId(10), GroupId(30), Action::Deny);
+    // GroupId(40): no rule — the compiled-in deny default decides.
+    sw.attach(vn, allow_ep);
+    sw.attach(vn, deny_ep);
+    sw.attach(vn, default_ep);
+    sw.install_matrix(&m);
+
+    let classes = [allow_ep, deny_ep, default_ep];
+    let per_batch_allow = (BATCH_SIZE as u64).div_ceil(3);
+    let per_batch_deny = BATCH_SIZE as u64 - per_batch_allow;
+
+    // Local delivery frames (host → same-edge endpoint, all enforced).
+    let local_frames: Vec<Vec<u8>> = (0..BATCH_SIZE)
+        .map(|i| frame(&host, classes[i % 3].ipv4, 256))
+        .collect();
+    // Egress wires with the A bit clear: decap must enforce via the
+    // per-VN view memo.
+    let enforce_wire: Vec<Vec<u8>> = (0..BATCH_SIZE)
+        .map(|i| {
+            let f = frame(
+                &LocalEndpoint {
+                    ipv4: remote_ip(i as u32),
+                    ..host
+                },
+                classes[i % 3].ipv4,
+                256,
+            );
+            let inner = &f[ethernet::HEADER_LEN..];
+            let mut w = vec![0u8; encap::UNDERLAY_OVERHEAD + inner.len()];
+            w[encap::UNDERLAY_OVERHEAD..].copy_from_slice(inner);
+            encap::write_underlay(
+                &mut w,
+                &encap::EncapParams {
+                    outer_src: Rloc::for_router_index(7),
+                    outer_dst: Rloc::for_router_index(1),
+                    vn,
+                    group: GroupId(10),
+                    policy_applied: false,
+                    ttl: 8,
+                    src_port: 50_000,
+                    udp_checksum: encap::OuterChecksum::Zero,
+                    inner_proto: encap::InnerProto::Ipv4,
+                },
+            )
+            .unwrap();
+            w
+        })
+        .collect();
+
+    // A second switch with §5.3 ingress enforcement: remote
+    // destinations resolve in the lockstep run and the hint check rides
+    // the same pass. Classes cycle known-allow / known-deny / no hint
+    // (the signaling gap: travels unenforced).
+    let mut hint_cfg = SwitchConfig::new(Rloc::for_router_index(1));
+    hint_cfg.border = Some(Rloc::for_router_index(99));
+    hint_cfg.enforcement = EnforcementPoint::Ingress;
+    let mut sw_hint = Switch::new(hint_cfg);
+    sw_hint.attach(vn, host);
+    sw_hint.install_matrix(&m);
+    for i in 0..BATCH_SIZE as u32 {
+        sw_hint.install_mapping(
+            vn,
+            EidPrefix::host(Eid::V4(remote_ip(i))),
+            Rloc::for_router_index(2 + (i % 8) as u16),
+            ttl,
+            SimTime::ZERO,
+        );
+        match i as usize % 3 {
+            0 => sw_hint.install_dst_hint(vn, Eid::V4(remote_ip(i)), GroupId(20)),
+            1 => sw_hint.install_dst_hint(vn, Eid::V4(remote_ip(i)), GroupId(30)),
+            _ => {} // unknown destination group
+        }
+    }
+    let hint_frames: Vec<Vec<u8>> = (0..BATCH_SIZE)
+        .map(|i| frame(&host, remote_ip(i as u32), 256))
+        .collect();
+    // Hinted-deny packets drop; known-allow and unknown-hint forward.
+    let per_batch_hint_fwd = (BATCH_SIZE as u64).div_ceil(3) + BATCH_SIZE as u64 / 3;
+    let per_batch_hint_drop = BATCH_SIZE as u64 - per_batch_hint_fwd;
+
+    // Warm-up, then snapshot the shared counters for the delta check.
+    run(&mut sw, &local_frames, true);
+    run(&mut sw, &enforce_wire, false);
+    run(&mut sw_hint, &hint_frames, true);
+    let (base_allow, base_deny) = sw.acl().counters();
+    let (hint_base_allow, hint_base_deny) = sw_hint.acl().counters();
+
+    let before = allocations();
+    let (mut deliver, mut drop, mut hint_fwd, mut hint_drop) = (0u64, 0u64, 0u64, 0u64);
+    for _ in 0..ROUNDS {
+        let (_, dv, dr) = run(&mut sw, &local_frames, true);
+        deliver += dv;
+        drop += dr;
+        let (_, dv, dr) = run(&mut sw, &enforce_wire, false);
+        deliver += dv;
+        drop += dr;
+        let (f, _, dr) = run(&mut sw_hint, &hint_frames, true);
+        hint_fwd += f;
+        hint_drop += dr;
+    }
+    let after = allocations();
+
+    assert_eq!(
+        deliver,
+        2 * ROUNDS * per_batch_allow,
+        "allow class delivered"
+    );
+    assert_eq!(
+        drop,
+        2 * ROUNDS * per_batch_deny,
+        "deny + default classes dropped"
+    );
+    assert_eq!(
+        hint_fwd,
+        ROUNDS * per_batch_hint_fwd,
+        "allow + unknown hints forwarded"
+    );
+    assert_eq!(
+        hint_drop,
+        ROUNDS * per_batch_hint_drop,
+        "hinted denies dropped"
+    );
+    // Every enforced packet tallied into the shared Relaxed atomics —
+    // the counting discipline survives the fused fast path.
+    assert_eq!(
+        sw.acl().counters(),
+        (
+            base_allow + ROUNDS * 2 * per_batch_allow,
+            base_deny + ROUNDS * 2 * per_batch_deny
+        ),
+        "egress-enforcement switch: fused pass must count every verdict"
+    );
+    assert_eq!(
+        sw_hint.acl().counters(),
+        (
+            hint_base_allow + ROUNDS * (BATCH_SIZE as u64).div_ceil(3),
+            hint_base_deny + ROUNDS * per_batch_hint_drop
+        ),
+        "ingress-enforcement switch: only hinted packets count"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "fused lookup+enforce performed {} heap allocations over {} packets",
+        after - before,
+        3 * ROUNDS * batch
     );
 }

@@ -38,6 +38,11 @@ pub struct ConnectivityMatrix {
     default_action: Action,
     /// Bumped on every mutation; lets caches detect staleness.
     version: u64,
+    /// Total explicit cells across VNs, maintained incrementally so
+    /// [`ConnectivityMatrix::len`] is O(1) (the MapCache/MappingDb
+    /// counter discipline). [`ConnectivityMatrix::recount`] checks the
+    /// invariant.
+    cells: usize,
 }
 
 impl Default for ConnectivityMatrix {
@@ -46,6 +51,7 @@ impl Default for ConnectivityMatrix {
             rules: BTreeMap::new(),
             default_action: Action::Deny,
             version: 0,
+            cells: 0,
         }
     }
 }
@@ -72,7 +78,15 @@ impl ConnectivityMatrix {
     /// Sets the cell `(src → dst)` in `vn`. Overwrites silently (the
     /// operator UI is declarative).
     pub fn set_rule(&mut self, vn: VnId, src: GroupId, dst: GroupId, action: Action) {
-        self.rules.entry(vn).or_default().insert((src, dst), action);
+        if self
+            .rules
+            .entry(vn)
+            .or_default()
+            .insert((src, dst), action)
+            .is_none()
+        {
+            self.cells += 1;
+        }
         self.version += 1;
     }
 
@@ -86,6 +100,7 @@ impl ConnectivityMatrix {
     pub fn clear_rule(&mut self, vn: VnId, src: GroupId, dst: GroupId) -> Option<Action> {
         let removed = self.rules.get_mut(&vn)?.remove(&(src, dst));
         if removed.is_some() {
+            self.cells -= 1;
             self.version += 1;
         }
         removed
@@ -114,19 +129,36 @@ impl ConnectivityMatrix {
     /// Explicit rules of `vn` whose destination is in `dst_groups` —
     /// the egress-enforcement subset an edge router downloads (§3.3.1:
     /// "it downloads the rules where the endpoint's group is the
-    /// destination").
+    /// destination"). `dst_groups` must be sorted ascending: the filter
+    /// binary-searches it per rule, so a large edge's subset costs
+    /// O(rules · log(local groups)) instead of the quadratic scan an
+    /// SXP storm used to pay.
     pub fn rules_toward<'a>(
         &'a self,
         vn: VnId,
         dst_groups: &'a [GroupId],
     ) -> impl Iterator<Item = GroupRule> + 'a {
+        debug_assert!(
+            dst_groups.windows(2).all(|w| w[0] <= w[1]),
+            "rules_toward requires a sorted dst_groups slice"
+        );
         self.rules_of(vn)
-            .filter(move |r| dst_groups.contains(&r.dst))
+            .filter(move |r| dst_groups.binary_search(&r.dst).is_ok())
     }
 
-    /// Total number of explicit cells across VNs.
+    /// Total number of explicit cells across VNs — O(1), maintained by
+    /// `set_rule`/`clear_rule`.
     pub fn len(&self) -> usize {
-        self.rules.values().map(BTreeMap::len).sum()
+        self.cells
+    }
+
+    /// Recomputes the cell count from the maps and checks it against
+    /// the incremental counter (debug/diagnostic invariant — the same
+    /// discipline as the trie tables' `recount`).
+    pub fn recount(&self) -> usize {
+        let counted: usize = self.rules.values().map(BTreeMap::len).sum();
+        debug_assert_eq!(counted, self.cells, "cell counter diverged from maps");
+        counted
     }
 
     /// True when no explicit cells exist.
@@ -215,6 +247,38 @@ mod tests {
         let subset: Vec<GroupRule> = m.rules_toward(vn(1), &local).collect();
         assert_eq!(subset.len(), 2);
         assert!(subset.iter().all(|r| r.dst == GroupId(10)));
+    }
+
+    #[test]
+    fn len_counter_tracks_inserts_overwrites_and_clears() {
+        let mut m = ConnectivityMatrix::new();
+        assert_eq!(m.len(), 0);
+        m.set_rule(vn(1), GroupId(1), GroupId(2), Action::Allow);
+        m.set_rule(vn(2), GroupId(1), GroupId(2), Action::Allow);
+        assert_eq!(m.len(), 2);
+        // Overwriting an existing cell must not inflate the counter.
+        m.set_rule(vn(1), GroupId(1), GroupId(2), Action::Deny);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.recount(), 2);
+        m.clear_rule(vn(1), GroupId(1), GroupId(2));
+        assert_eq!(m.len(), 1);
+        // No-op clear leaves the counter alone.
+        m.clear_rule(vn(1), GroupId(1), GroupId(2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.recount(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn rules_toward_binary_searches_sorted_locals() {
+        let mut m = ConnectivityMatrix::new();
+        for d in [5u16, 10, 20, 40] {
+            m.set_rule(vn(1), GroupId(1), GroupId(d), Action::Allow);
+        }
+        let local = [GroupId(5), GroupId(20), GroupId(40)];
+        let subset: Vec<GroupRule> = m.rules_toward(vn(1), &local).collect();
+        assert_eq!(subset.len(), 3);
+        assert!(subset.iter().all(|r| local.binary_search(&r.dst).is_ok()));
     }
 
     #[test]

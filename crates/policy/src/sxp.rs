@@ -41,11 +41,15 @@ pub fn egress_subset(matrix: &ConnectivityMatrix, local: &[(VnId, GroupId)]) -> 
     vns.sort_unstable();
     vns.dedup();
     for vn in vns {
-        let dst_groups: Vec<GroupId> = local
+        // Sorted + deduped once per VN so `rules_toward` can
+        // binary-search instead of scanning the local set per rule.
+        let mut dst_groups: Vec<GroupId> = local
             .iter()
             .filter(|(v, _)| *v == vn)
             .map(|(_, g)| *g)
             .collect();
+        dst_groups.sort_unstable();
+        dst_groups.dedup();
         for r in matrix.rules_toward(vn, &dst_groups) {
             rules.push((vn, r));
         }
@@ -64,13 +68,15 @@ pub fn ingress_subset(matrix: &ConnectivityMatrix, local: &[(VnId, GroupId)]) ->
     vns.sort_unstable();
     vns.dedup();
     for vn in vns {
-        let src_groups: Vec<GroupId> = local
+        let mut src_groups: Vec<GroupId> = local
             .iter()
             .filter(|(v, _)| *v == vn)
             .map(|(_, g)| *g)
             .collect();
+        src_groups.sort_unstable();
+        src_groups.dedup();
         for r in matrix.rules_of(vn) {
-            if src_groups.contains(&r.src) {
+            if src_groups.binary_search(&r.src).is_ok() {
                 rules.push((vn, r));
             }
         }

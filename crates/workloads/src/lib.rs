@@ -18,6 +18,11 @@
 //!   batched through the `sda-dataplane` forwarding engine.
 //! * [`metro`] — the city-scale control-plane message stream (million-
 //!   endpoint tier) driving the partitioned map-server benches.
+//! * [`policy_churn`] — Table 3's policy-update scenarios at fleet
+//!   scale: SXP re-subset storms, enforcement-point flips and §5.4
+//!   group-move vs rule-rewrite rollouts over hundreds of edges
+//!   carrying compiled bitset ACLs, with exact fan-out accounting and
+//!   a semantic convergence check.
 //! * [`queries`] — Poisson arrival processes (Fig. 7c's offered load).
 //! * [`traffic`] — popularity (Zipf) samplers shared by the models.
 //! * [`chaos`] — the fault campaign (reboot storm, server restart
@@ -31,6 +36,7 @@ pub mod campus;
 pub mod chaos;
 pub mod frames;
 pub mod metro;
+pub mod policy_churn;
 pub mod queries;
 pub mod traffic;
 pub mod warehouse;
@@ -39,6 +45,9 @@ pub use campus::{CampusParams, CampusScenario};
 pub use chaos::{ChaosOutcome, ChaosParams, ChaosScenario};
 pub use frames::{FrameDriver, FramePreset, FrameStats};
 pub use metro::{MetroParams, MetroWorkload};
+pub use policy_churn::{
+    ChurnEdge, FlipReport, PolicyChurnParams, PolicyChurnScenario, RolloutReport, StormReport,
+};
 pub use queries::PoissonArrivals;
 pub use traffic::ZipfSampler;
 pub use warehouse::{HandoverSample, WarehouseParams};

@@ -1,0 +1,115 @@
+//! The Table-3-at-scale policy-churn scenario: 300 edges carrying
+//! compiled bitset ACLs, driven through an SXP re-subset storm, a §5.3
+//! enforcement-point flip (and back), and both §5.4 rollout strategies
+//! — with exact fan-out accounting at every step and a semantic
+//! convergence check (every edge answers its whole subset scope exactly
+//! like the authoritative matrix) after each event.
+
+use sda_policy::{EnforcementPoint, UpdateStrategy};
+use sda_types::{GroupId, VnId};
+use sda_workloads::{PolicyChurnParams, PolicyChurnScenario};
+
+fn vn(n: u32) -> VnId {
+    VnId::new(n).unwrap()
+}
+
+#[test]
+fn fleet_survives_storm_flip_and_rollouts() {
+    let params = PolicyChurnParams::default();
+    assert!(
+        params.edges >= 300,
+        "Table 3 at scale means hundreds of edges"
+    );
+    let mut s = PolicyChurnScenario::new(params);
+
+    // Initial SXP distribution: one push per edge, fleet converged.
+    assert_eq!(s.total_pushes(), params.edges as u64);
+    assert_eq!(s.divergences(), 0, "initial distribution must converge");
+    let baseline_rules = s.total_rules_shipped();
+    assert!(
+        baseline_rules > 0,
+        "a 1.5k-cell matrix must subset somewhere"
+    );
+
+    // --- SXP re-subset storm -------------------------------------------
+    let before: Vec<u64> = s.edges().iter().map(|e| e.pushes).collect();
+    let storm = s.resubset_storm(200);
+    assert_eq!(storm.rewrites, 200);
+    assert!(
+        storm.edges_pushed > 0 && storm.edges_pushed <= params.edges as u64,
+        "storm fan-out must be positive and bounded by the fleet"
+    );
+    // Exact fan-out: the push deltas across the fleet sum to the
+    // reported count, and every pushed edge moved by exactly one.
+    let deltas: Vec<u64> = s
+        .edges()
+        .iter()
+        .zip(&before)
+        .map(|(e, b)| e.pushes - b)
+        .collect();
+    assert_eq!(deltas.iter().sum::<u64>(), storm.edges_pushed);
+    assert!(deltas.iter().all(|d| *d <= 1), "one push per affected edge");
+    assert_eq!(s.divergences(), 0, "storm must reconverge");
+
+    // --- Enforcement-point flip (§5.3) ---------------------------------
+    let flip = s.flip_enforcement();
+    assert_eq!(s.enforcement(), EnforcementPoint::Ingress);
+    assert_eq!(
+        flip.edges_pushed, params.edges as u64,
+        "a flip re-subsets the entire fleet"
+    );
+    assert_eq!(s.divergences(), 0, "ingress subsets must converge too");
+    // The §5.3 state argument, measured: ingress subsets (every rule a
+    // local *source* may use) carry at least the egress volume on this
+    // uniformly random matrix.
+    assert!(
+        flip.rules_after >= flip.rules_before,
+        "ingress rule volume {} unexpectedly below egress {}",
+        flip.rules_after,
+        flip.rules_before
+    );
+    let back = s.flip_enforcement();
+    assert_eq!(s.enforcement(), EnforcementPoint::Egress);
+    assert_eq!(
+        back.rules_after, flip.rules_before,
+        "flip-back restores volume"
+    );
+    assert_eq!(s.divergences(), 0);
+
+    // --- §5.4 rollouts: group move vs rule rewrite ---------------------
+    // Pick a source group that is actually hosted so the move is real.
+    let from = (0..64u16)
+        .map(GroupId)
+        .find(|g| s.population().group_size(vn(1), *g) > 0)
+        .expect("a 300-edge fleet hosts something in VN 1");
+    let to = GroupId(63);
+
+    let mv = s.rollout(vn(1), from, to, UpdateStrategy::MoveEndpoints);
+    assert!(mv.planned_messages > 0, "hosted group must cost something");
+    assert_eq!(
+        mv.delivered_messages, mv.planned_messages,
+        "group-move rollout must deliver exactly the planned §5.4 cost"
+    );
+    assert!(mv.edges_touched > 0);
+    assert_eq!(s.population().group_size(vn(1), from), 0, "everyone moved");
+    assert_eq!(s.divergences(), 0, "move rollout reconverged");
+
+    // Rewrite rollout on a fresh hosted group.
+    let from2 = (0..63u16)
+        .map(GroupId)
+        .find(|g| {
+            s.population().group_size(vn(2), *g) > 0
+                && s.matrix().rules_of(vn(2)).any(|r| r.dst == *g)
+        })
+        .expect("some hosted VN-2 group has explicit rows toward it");
+    let rw = s.rollout(vn(2), from2, GroupId(62), UpdateStrategy::RewriteRules);
+    assert!(
+        rw.planned_messages > 0,
+        "rows toward a hosted group cost > 0"
+    );
+    assert_eq!(
+        rw.delivered_messages, rw.planned_messages,
+        "rule-rewrite rollout must deliver exactly the planned §5.4 cost"
+    );
+    assert_eq!(s.divergences(), 0, "rewrite rollout reconverged");
+}
